@@ -1,0 +1,72 @@
+//! Criterion benches for the backprop case-study kernels (Table 3): the
+//! suggested interchange+SIMD (+ parallel) transformation vs the original.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kernels::backprop::*;
+use std::hint::black_box;
+
+fn bench_layerforward(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3/layerforward");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for &n in &[256usize, 1024] {
+        let (conn, l1, l2) = make_inputs(n, n);
+        let mut out = l2.clone();
+        g.bench_with_input(BenchmarkId::new("original", n), &n, |b, &n| {
+            b.iter(|| {
+                layerforward_original(black_box(&l1), &mut out, black_box(&conn), n, n)
+            })
+        });
+        let mut out2 = l2.clone();
+        g.bench_with_input(BenchmarkId::new("interchanged", n), &n, |b, &n| {
+            b.iter(|| {
+                layerforward_interchanged(black_box(&l1), &mut out2, black_box(&conn), n, n)
+            })
+        });
+        let mut out3 = l2;
+        g.bench_with_input(BenchmarkId::new("parallel", n), &n, |b, &n| {
+            b.iter(|| {
+                layerforward_parallel(black_box(&l1), &mut out3, black_box(&conn), n, n)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_adjust(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3/adjust_weights");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for &n in &[256usize, 1024] {
+        let ld = n + 1;
+        let delta: Vec<f64> = (0..ld).map(|i| (i % 9) as f64 * 0.01).collect();
+        let ly: Vec<f64> = (0..=n).map(|i| (i % 5) as f64 * 0.1).collect();
+        let w0: Vec<f64> = (0..(n + 1) * ld).map(|i| (i % 11) as f64 * 0.1).collect();
+        let o0 = w0.clone();
+        let (mut w1, mut o1) = (w0.clone(), o0.clone());
+        g.bench_with_input(BenchmarkId::new("original", n), &n, |b, &n| {
+            b.iter(|| {
+                adjust_weights_original(black_box(&delta), n, black_box(&ly), n, &mut w1, &mut o1)
+            })
+        });
+        let (mut w2, mut o2) = (w0, o0);
+        g.bench_with_input(BenchmarkId::new("transformed", n), &n, |b, &n| {
+            b.iter(|| {
+                adjust_weights_transformed(
+                    black_box(&delta),
+                    n,
+                    black_box(&ly),
+                    n,
+                    &mut w2,
+                    &mut o2,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_layerforward, bench_adjust);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion benches for the folding stage in isolation: throughput of the
+//! fit-and-verify stream folder on affine, triangular and non-affine point
+//! streams (the §5 compression engine).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use polyfold::StreamFolder;
+use std::hint::black_box;
+
+fn bench_folding(c: &mut Criterion) {
+    let mut g = c.benchmark_group("folding");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    let n = 100_000u64;
+    g.throughput(Throughput::Elements(n));
+
+    g.bench_function("rect_2d_exact", |b| {
+        b.iter(|| {
+            let mut f = StreamFolder::new(2);
+            let side = (n as i64).isqrt();
+            for i in 0..side {
+                for j in 0..side {
+                    f.push(black_box(&[i, j]), None);
+                }
+            }
+            black_box(f.finalize())
+        })
+    });
+
+    g.bench_function("rect_2d_affine_labels", |b| {
+        b.iter(|| {
+            let mut f = StreamFolder::new(2);
+            let side = (n as i64).isqrt();
+            for i in 0..side {
+                for j in 0..side {
+                    f.push(black_box(&[i, j]), Some(&[3 * i - j + 1]));
+                }
+            }
+            black_box(f.finalize())
+        })
+    });
+
+    g.bench_function("triangle_2d_exact", |b| {
+        b.iter(|| {
+            let mut f = StreamFolder::new(2);
+            let side = ((2 * n) as f64).sqrt() as i64;
+            for i in 0..side {
+                for j in 0..=i {
+                    f.push(black_box(&[i, j]), None);
+                }
+            }
+            black_box(f.finalize())
+        })
+    });
+
+    g.bench_function("nonaffine_labels_range", |b| {
+        b.iter(|| {
+            let mut f = StreamFolder::new(1);
+            for i in 0..n as i64 {
+                f.push(black_box(&[i]), Some(&[(i * i) % 1_000_003]));
+            }
+            black_box(f.finalize())
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_folding);
+criterion_main!(benches);

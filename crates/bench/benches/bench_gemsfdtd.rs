@@ -1,0 +1,35 @@
+//! Criterion benches for the GemsFDTD case-study kernels (Table 4):
+//! tiled + outer-parallel stencils vs the original triple loops.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kernels::gemsfdtd::*;
+use std::hint::black_box;
+
+fn bench_updates(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table4/gemsfdtd");
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.sample_size(10);
+    for &n in &[48usize, 96] {
+        g.bench_with_input(BenchmarkId::new("original", n), &n, |b, &n| {
+            let mut grid = Grid::new(n);
+            b.iter(|| {
+                update_h_original(&mut grid);
+                update_e_original(&mut grid);
+                black_box(grid.ex[0]);
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("tiled_parallel", n), &n, |b, &n| {
+            let mut grid = Grid::new(n);
+            b.iter(|| {
+                update_h_transformed(&mut grid);
+                update_e_transformed(&mut grid);
+                black_box(grid.ex[0]);
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_updates);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion benches for the profiling pipeline itself — the paper's §8
+//! scalability claim (full Rodinia profiled in bounded time). Measures the
+//! un-instrumented VM, stage 1 (structure recording), and the full
+//! pipeline, per workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use polyvm::{NullSink, Vm};
+
+fn bench_stages(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.sample_size(10);
+    for build in [rodinia::hotspot::build, rodinia::srad::build_v2] {
+        let w = build();
+        let name = w.name;
+        g.bench_function(format!("{name}/vm_uninstrumented"), |b| {
+            b.iter(|| {
+                Vm::new(&w.program).run(&[], &mut NullSink).unwrap();
+            })
+        });
+        g.bench_function(format!("{name}/stage1_structure"), |b| {
+            b.iter(|| {
+                let mut rec = polycfg::StructureRecorder::new();
+                Vm::new(&w.program).run(&[], &mut rec).unwrap();
+                polycfg::StaticStructure::analyze(&w.program, rec)
+            })
+        });
+        g.bench_function(format!("{name}/full_pipeline"), |b| {
+            b.iter(|| polyprof_core::profile(&w.program))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_stages);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion benches for the shadow memory (the dominant §8 overhead
+//! source): write/read throughput under dense and sparse address patterns.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use polyddg::shadow::{ShadowMemory, Writer};
+use polyiiv::context::StmtId;
+use std::hint::black_box;
+
+fn writer(stmt: u32, c: i64) -> Writer {
+    Writer { stmt: StmtId(stmt), coords: vec![0, c].into_boxed_slice() }
+}
+
+fn bench_shadow(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shadow");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    let n = 100_000u64;
+    g.throughput(Throughput::Elements(n));
+
+    g.bench_function("dense_writes", |b| {
+        b.iter(|| {
+            let mut s = ShadowMemory::new();
+            for a in 0..n {
+                s.record_write(a, writer(1, a as i64));
+            }
+            black_box(s.resident_pages())
+        })
+    });
+
+    g.bench_function("sparse_writes", |b| {
+        b.iter(|| {
+            let mut s = ShadowMemory::new();
+            let mut x = 0x9e3779b97f4a7c15u64;
+            for i in 0..n {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                s.record_write(x % (1 << 30), writer(1, i as i64));
+            }
+            black_box(s.resident_pages())
+        })
+    });
+
+    g.bench_function("write_read_pairs", |b| {
+        b.iter(|| {
+            let mut s = ShadowMemory::new();
+            let mut hits = 0u64;
+            for a in 0..n {
+                s.record_write(a % 4096, writer(1, a as i64));
+                if s.last_write((a + 1) % 4096).is_some() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_shadow);
+criterion_main!(benches);

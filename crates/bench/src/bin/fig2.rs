@@ -1,0 +1,72 @@
+//! Regenerates **Figure 2**: the example CFG with its loop-nesting tree and
+//! the example CG with its recursive-component set.
+
+use polycfg::{LoopForest, RecursiveComponentSet};
+use polyir::{FuncId, LocalBlockId};
+use std::collections::BTreeSet;
+
+fn main() {
+    println!("=== Figure 2 (a/b): CFG and loop-nesting-tree ===\n");
+    // Fig. 2a: A=0, B=1, C=2, D=3, E=4 with back-edges (D,B) and (D,C).
+    let names = ["A", "B", "C", "D", "E"];
+    let blocks: BTreeSet<LocalBlockId> = (0..5).map(LocalBlockId).collect();
+    let edges: BTreeSet<(LocalBlockId, LocalBlockId)> =
+        [(0, 1), (1, 2), (1, 3), (2, 3), (3, 2), (3, 1), (2, 4)]
+            .into_iter()
+            .map(|(u, v)| (LocalBlockId(u), LocalBlockId(v)))
+            .collect();
+    println!("CFG edges:");
+    for (u, v) in &edges {
+        println!("  {} -> {}", names[u.0 as usize], names[v.0 as usize]);
+    }
+    let forest = LoopForest::build(&blocks, &edges, LocalBlockId(0));
+    println!("\nLoop-nesting-tree:");
+    for (i, l) in forest.loops.iter().enumerate() {
+        let members: Vec<&str> =
+            l.blocks.iter().map(|b| names[b.0 as usize]).collect();
+        let backs: Vec<String> = l
+            .back_edges
+            .iter()
+            .map(|(u, v)| format!("({},{})", names[u.0 as usize], names[v.0 as usize]))
+            .collect();
+        println!(
+            "  L{} (depth {}): header {}, region {{{}}}, back-edges {}",
+            i + 1,
+            l.depth,
+            names[l.header.0 as usize],
+            members.join(", "),
+            backs.join(" ")
+        );
+    }
+
+    println!("\n=== Figure 2 (c/d): CG and recursive-component-set ===\n");
+    // CG with component {B, C}: M→B, B→C, C→B, C→C.
+    let fnames = ["M", "B", "C"];
+    let funcs: BTreeSet<FuncId> = (0..3).map(FuncId).collect();
+    let cg: BTreeSet<(FuncId, FuncId)> = [(0, 1), (1, 2), (2, 1), (2, 2)]
+        .into_iter()
+        .map(|(u, v)| (FuncId(u), FuncId(v)))
+        .collect();
+    println!("CG edges:");
+    for (u, v) in &cg {
+        println!("  {} -> {}", fnames[u.0 as usize], fnames[v.0 as usize]);
+    }
+    let rcs = RecursiveComponentSet::build(&funcs, &cg, FuncId(0));
+    println!("\nRecursive components:");
+    for (i, c) in rcs.components.iter().enumerate() {
+        let f = |s: &BTreeSet<FuncId>| {
+            s.iter()
+                .map(|f| fnames[f.0 as usize])
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        println!(
+            "  component {}: members {{{}}}, entries {{{}}}, headers {{{}}}",
+            i,
+            f(&c.members),
+            f(&c.entries),
+            f(&c.headers)
+        );
+    }
+    println!("\n(paper: components = {{L}}, L.entries = {{B}}, L.headers = {{B, C}})");
+}

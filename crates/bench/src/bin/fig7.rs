@@ -1,0 +1,44 @@
+//! Regenerates **Figure 7** (and Fig. 5b): the annotated flame graph for
+//! backprop. Writes SVG + folded-stacks text next to the target directory
+//! and prints the annotated AST.
+
+use polyprof_core::profile;
+use std::fs;
+
+fn main() {
+    let out_dir = std::path::Path::new("target/figures");
+    fs::create_dir_all(out_dir).expect("create target/figures");
+
+    for (workload, tag) in [
+        (rodinia::backprop::build(), "fig7_backprop"),
+        (rodinia::gemsfdtd::build(), "fig5_gemsfdtd"),
+    ] {
+        let report = profile(&workload.program);
+        let svg_path = out_dir.join(format!("{tag}.svg"));
+        fs::write(&svg_path, &report.flamegraph_svg).expect("write svg");
+        println!("wrote {} ({} bytes)", svg_path.display(), report.flamegraph_svg.len());
+
+        let txt_path = out_dir.join(format!("{tag}_report.txt"));
+        fs::write(&txt_path, &report.full_text).expect("write report");
+        println!("wrote {}", txt_path.display());
+
+        println!("\nannotated AST for {}:", workload.name);
+        print!("{}", report.annotated_ast);
+        println!(
+            "regions of interest: {}",
+            report
+                .feedback
+                .regions
+                .iter()
+                .map(|r| format!("{} ({:.0}% ops)", r.name, 100.0 * r.pct_ops))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        for r in report.feedback.regions.iter().take(2) {
+            for (i, s) in r.suggestions.iter().enumerate() {
+                println!("  {}. {}", i + 1, s);
+            }
+        }
+        println!();
+    }
+}

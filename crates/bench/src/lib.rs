@@ -1,0 +1,75 @@
+//! # polyprof-bench — experiment harness
+//!
+//! One binary per paper artifact (`fig2`, `fig3`, `fig4`, `fig7`,
+//! `table1_2`, `table3`, `table4`, `table5`) regenerates the corresponding
+//! table or figure from the reproduction, and Criterion benches measure the
+//! case-study kernels (original vs transformed) and the profiling pipeline
+//! itself. Shared helpers live here.
+
+use polyiiv::CtxElem;
+use polyir::Program;
+use std::time::Instant;
+
+/// Human-readable names for context elements given the program (used by the
+/// fig3 trace printer and flame graphs).
+pub fn ctx_namer<'p>(
+    prog: &'p Program,
+    structure: &'p polycfg::StaticStructure,
+) -> impl Fn(&CtxElem) -> String + 'p {
+    move |e: &CtxElem| match e {
+        CtxElem::Block(b) => {
+            let f = prog.func(b.func);
+            format!("{}{}", f.name, b.block.0)
+        }
+        CtxElem::Loop(polycfg::LoopRef::Cfg(f, l)) => {
+            let func = prog.func(*f);
+            let header = structure.forest(*f).info(*l).header;
+            format!("L[{}:{}]", func.name, func.block(header).name)
+        }
+        CtxElem::Loop(polycfg::LoopRef::Rec(c)) => format!("Lrec{}", c.0),
+    }
+}
+
+/// Wall-time of `reps` runs of `f` (after one warm-up), in seconds.
+pub fn time_runs(reps: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    t0.elapsed().as_secs_f64() / reps as f64
+}
+
+/// Format a speedup comparison line.
+pub fn speedup_line(label: &str, base: f64, improved: f64) -> String {
+    format!(
+        "{label:<42} {base:>10.4}s → {improved:>10.4}s   speedup {:.2}x",
+        base / improved
+    )
+}
+
+/// Percent formatter.
+pub fn pct(x: f64) -> String {
+    if x.is_nan() {
+        "-".into()
+    } else {
+        format!("{:.0}%", 100.0 * x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers() {
+        assert_eq!(pct(0.5), "50%");
+        assert_eq!(pct(f64::NAN), "-");
+        let s = speedup_line("x", 2.0, 1.0);
+        assert!(s.contains("2.00x"));
+        let t = time_runs(2, || {
+            std::hint::black_box(1 + 1);
+        });
+        assert!(t >= 0.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! # polyprof-core — the Poly-Prof pipeline, end to end
+//!
+//! The top-level API of the reproduction of *"Data-Flow/Dependence
+//! Profiling for Structured Transformations"* (PPoPP 2019). One call —
+//! [`profile`] — runs the whole Fig. 1 pipeline on a PolyVM program:
+//!
+//! 1. **Instrumentation I** (`polycfg`): dynamic CFG/CG recording, loop
+//!    forests, recursive components;
+//! 2. **Instrumentation II** (`polyiiv` + `polyddg`): dynamic
+//!    interprocedural iteration vectors, shadow memory, dependence streams;
+//! 3. **Folding** (`polyfold`): polyhedral compaction, SCEV removal,
+//!    over-approximation;
+//! 4. **Feedback** (`polysched` + `polyfeedback`): Pluto-style analysis and
+//!    PolyFeat-style metrics, flame graphs, annotated ASTs.
+//!
+//! The static "Polly" baseline (`polystatic`) runs alongside for the
+//! paper's Experiment II comparison.
+//!
+//! ```
+//! use polyprof_core::profile;
+//!
+//! let workload = rodinia::backprop::build();
+//! let report = profile(&workload.program);
+//! assert!(report.feedback.regions[0].pct_parallel > 0.9);
+//! println!("{}", report.annotated_ast);
+//! ```
+
+pub use polycfg;
+pub use polyddg;
+pub use polyfeedback;
+pub use polyfold;
+pub use polyiiv;
+pub use polyir;
+pub use polylib;
+pub use polysched;
+pub use polystatic;
+pub use polyvm;
+
+use polyfeedback::metrics::ProgramFeedback;
+use polyir::Program;
+use polystatic::StaticReport;
+
+/// Everything Poly-Prof produces for one program.
+pub struct Report {
+    /// PolyFeat-style metrics and suggestions (Tables 3–5 material).
+    pub feedback: ProgramFeedback,
+    /// The static "Polly" baseline verdicts (Experiment II).
+    pub static_report: StaticReport,
+    /// Annotated flame graph (SVG, Figs. 5b/7).
+    pub flamegraph_svg: String,
+    /// Simplified annotated AST of the nest forest (§6 "final output").
+    pub annotated_ast: String,
+    /// The complete textual feedback document (§6's "extensive" output:
+    /// region statistics, dependence summary, transformation sequences,
+    /// annotated AST).
+    pub full_text: String,
+    /// Folded-DDG statistics: (statements after folding+SCEV removal,
+    /// dependences, dynamic ops) — the paper's scalability argument
+    /// ("thousands of statements → a few hundred").
+    pub folded_stats: (usize, usize, u64),
+    /// Number of statements removed as SCEVs and dependences removed with
+    /// them.
+    pub scev_removed: (usize, usize),
+}
+
+/// Run the full Poly-Prof pipeline (both instrumentation passes, folding,
+/// scheduling, feedback) plus the static baseline.
+pub fn profile(prog: &Program) -> Report {
+    // Pass 1: dynamic control structure.
+    let mut rec = polycfg::StructureRecorder::new();
+    polyvm::Vm::new(prog)
+        .run(&[], &mut rec)
+        .expect("pass-1 execution failed");
+    let structure = polycfg::StaticStructure::analyze(prog, rec);
+
+    // Pass 2: DDG streaming into the folding sink.
+    let mut prof =
+        polyddg::DdgProfiler::new(prog, &structure, polyfold::FoldingSink::new());
+    polyvm::Vm::new(prog)
+        .run(&[], &mut prof)
+        .expect("pass-2 execution failed");
+    let (sink, interner) = prof.finish();
+    let mut ddg = sink.finalize(prog, &interner);
+    let scev_removed = ddg.remove_scevs();
+
+    // Stage 4: scheduling + feedback.
+    let analysis = polysched::Analysis::analyze(&ddg, &interner);
+    let input = polyfeedback::FeedbackInput {
+        prog,
+        ddg: &ddg,
+        interner: &interner,
+        structure: &structure,
+        analysis: &analysis,
+    };
+    let feedback = polyfeedback::metrics::compute(&input);
+    let flamegraph_svg = polyfeedback::flamegraph_svg(&input, &prog.name);
+    let annotated_ast = polyfeedback::annotated_ast(&input);
+    let full_text = polyfeedback::full_report(&input, &feedback);
+
+    Report {
+        feedback,
+        static_report: polystatic::analyze_program(prog),
+        flamegraph_svg,
+        annotated_ast,
+        full_text,
+        folded_stats: (ddg.n_stmts(), ddg.deps.len(), ddg.total_ops),
+        scev_removed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_backprop_end_to_end() {
+        let w = rodinia::backprop::build();
+        let r = profile(&w.program);
+        assert!(!r.feedback.regions.is_empty());
+        assert!(r.flamegraph_svg.contains("<svg"));
+        assert!(r.annotated_ast.contains("for"));
+        // folding compacts: way fewer statements than dynamic ops
+        let (stmts, _deps, ops) = r.folded_stats;
+        assert!(stmts > 0 && (stmts as u64) < ops / 10);
+        // SCEV removal fired
+        assert!(r.scev_removed.0 > 0);
+        // static baseline must fail somewhere dynamic analysis succeeded
+        assert!(!r.static_report.all_modeled());
+    }
+
+    #[test]
+    fn doc_example_runs() {
+        let workload = rodinia::backprop::build();
+        let report = profile(&workload.program);
+        assert!(report.feedback.regions[0].pct_parallel > 0.9);
+    }
+}

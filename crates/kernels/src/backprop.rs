@@ -1,0 +1,188 @@
+//! backprop's two kernels, original and transformed (paper Table 3).
+//!
+//! * `bpnn_layerforward`: original walks `conn` column-wise (stride `n2+1`
+//!   in the inner reduction). The suggested interchange (plus scalar
+//!   expansion of `sum` into the output array) makes the inner loop walk
+//!   rows stride-1, vectorizable. Paper: 0.5 → 2.8 GFlop/s (≈5.3×
+//!   reported in Table 3 with parallelism).
+//! * `bpnn_adjust_weights`: original is `j`-outer / `k`-inner with
+//!   column-stride accesses; interchanged + parallel version walks rows and
+//!   splits them across threads. Paper: 0.3 → 5.1 GFlop/s (≈7.8×).
+
+use rayon::prelude::*;
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Original `bpnn_layerforward`: for each output `j`, reduce over `k` with
+/// column-major (strided) access to `conn[k][j]`.
+pub fn layerforward_original(l1: &[f64], l2: &mut [f64], conn: &[f64], n1: usize, n2: usize) {
+    let ld = n2 + 1;
+    for j in 1..=n2 {
+        let mut sum = 0.0;
+        for k in 0..=n1 {
+            sum += conn[k * ld + j] * l1[k];
+        }
+        l2[j] = sigmoid(sum);
+    }
+}
+
+/// Transformed `bpnn_layerforward`: interchange (k outer, j inner) with
+/// `sum` array-expanded into `l2` — the inner loop is stride-1 over a row
+/// of `conn` and auto-vectorizes.
+pub fn layerforward_interchanged(
+    l1: &[f64],
+    l2: &mut [f64],
+    conn: &[f64],
+    n1: usize,
+    n2: usize,
+) {
+    let ld = n2 + 1;
+    for x in l2[1..=n2].iter_mut() {
+        *x = 0.0;
+    }
+    for k in 0..=n1 {
+        let row = &conn[k * ld..k * ld + ld];
+        let xk = l1[k];
+        for j in 1..=n2 {
+            l2[j] += row[j] * xk;
+        }
+    }
+    for x in l2[1..=n2].iter_mut() {
+        *x = sigmoid(*x);
+    }
+}
+
+/// Transformed + parallel `bpnn_layerforward`: the j range is chunked
+/// across threads (outer loop parallel after interchange back — each chunk
+/// reduces columns independently but walks rows in the cache-friendly
+/// order via blocking).
+pub fn layerforward_parallel(
+    l1: &[f64],
+    l2: &mut [f64],
+    conn: &[f64],
+    n1: usize,
+    n2: usize,
+) {
+    let ld = n2 + 1;
+    let chunk = 256.max(n2 / (4 * rayon::current_num_threads().max(1))).max(1);
+    l2[1..=n2]
+        .par_chunks_mut(chunk)
+        .enumerate()
+        .for_each(|(ci, out)| {
+            let j0 = 1 + ci * chunk;
+            for x in out.iter_mut() {
+                *x = 0.0;
+            }
+            for k in 0..=n1 {
+                let base = k * ld;
+                let xk = l1[k];
+                for (jj, x) in out.iter_mut().enumerate() {
+                    *x += conn[base + j0 + jj] * xk;
+                }
+            }
+            for x in out.iter_mut() {
+                *x = sigmoid(*x);
+            }
+        });
+}
+
+/// Original `bpnn_adjust_weights`: j-outer, k-inner; `w[k][j]` and
+/// `oldw[k][j]` are walked with stride `ndelta+1` in the inner loop.
+pub fn adjust_weights_original(
+    delta: &[f64],
+    ndelta: usize,
+    ly: &[f64],
+    nly: usize,
+    w: &mut [f64],
+    oldw: &mut [f64],
+) {
+    let ld = ndelta + 1;
+    const ETA: f64 = 0.3;
+    const MOMENTUM: f64 = 0.3;
+    for j in 1..=ndelta {
+        for k in 0..=nly {
+            let idx = k * ld + j;
+            let new_dw = ETA * delta[j] * ly[k] + MOMENTUM * oldw[idx];
+            w[idx] += new_dw;
+            oldw[idx] = new_dw;
+        }
+    }
+}
+
+/// Transformed `bpnn_adjust_weights`: interchanged (k outer, j inner:
+/// stride-1, SIMD) and parallel over rows.
+pub fn adjust_weights_transformed(
+    delta: &[f64],
+    ndelta: usize,
+    ly: &[f64],
+    nly: usize,
+    w: &mut [f64],
+    oldw: &mut [f64],
+) {
+    let ld = ndelta + 1;
+    const ETA: f64 = 0.3;
+    const MOMENTUM: f64 = 0.3;
+    w.par_chunks_mut(ld)
+        .zip(oldw.par_chunks_mut(ld))
+        .take(nly + 1)
+        .enumerate()
+        .for_each(|(k, (wrow, orow))| {
+            let lyk = ly[k];
+            for j in 1..=ndelta {
+                let new_dw = ETA * delta[j] * lyk + MOMENTUM * orow[j];
+                wrow[j] += new_dw;
+                orow[j] = new_dw;
+            }
+        });
+}
+
+/// Build deterministic inputs of the given size.
+pub fn make_inputs(n1: usize, n2: usize) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    let ld = n2 + 1;
+    let conn: Vec<f64> = (0..(n1 + 1) * ld)
+        .map(|i| ((i * 37 + 11) % 100) as f64 / 100.0 - 0.5)
+        .collect();
+    let l1: Vec<f64> = (0..=n1).map(|i| ((i * 13 + 7) % 50) as f64 / 50.0).collect();
+    let l2 = vec![0.0; ld];
+    (conn, l1, l2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::max_abs_diff;
+
+    #[test]
+    fn layerforward_variants_agree() {
+        let (conn, l1, l2) = make_inputs(64, 48);
+        let mut a = l2.clone();
+        let mut b = l2.clone();
+        let mut c = l2;
+        layerforward_original(&l1, &mut a, &conn, 64, 48);
+        layerforward_interchanged(&l1, &mut b, &conn, 64, 48);
+        layerforward_parallel(&l1, &mut c, &conn, 64, 48);
+        assert!(max_abs_diff(&a, &b) < 1e-12, "{}", max_abs_diff(&a, &b));
+        assert!(max_abs_diff(&a, &c) < 1e-12, "{}", max_abs_diff(&a, &c));
+        // outputs are sigmoids
+        assert!(a[1] > 0.0 && a[1] < 1.0);
+    }
+
+    #[test]
+    fn adjust_variants_agree() {
+        let n1 = 40;
+        let n2 = 32;
+        let ld = n2 + 1;
+        let delta: Vec<f64> = (0..ld).map(|i| (i % 9) as f64 * 0.01).collect();
+        let ly: Vec<f64> = (0..=n1).map(|i| (i % 5) as f64 * 0.1).collect();
+        let w0: Vec<f64> = (0..(n1 + 1) * ld).map(|i| (i % 11) as f64 * 0.1).collect();
+        let o0: Vec<f64> = (0..(n1 + 1) * ld).map(|i| (i % 7) as f64 * 0.1).collect();
+        let (mut w1, mut o1) = (w0.clone(), o0.clone());
+        let (mut w2, mut o2) = (w0, o0);
+        adjust_weights_original(&delta, n2, &ly, n1, &mut w1, &mut o1);
+        adjust_weights_transformed(&delta, n2, &ly, n1, &mut w2, &mut o2);
+        assert!(max_abs_diff(&w1, &w2) < 1e-12);
+        assert!(max_abs_diff(&o1, &o2) < 1e-12);
+    }
+}

@@ -1,0 +1,34 @@
+//! # kernels — native original-vs-transformed kernels (Tables 3 and 4)
+//!
+//! The paper measures the *suggested transformations* on real hardware
+//! (icc + Xeon); this crate reproduces the mechanism on the host CPU: each
+//! case-study kernel exists in its original form and in the form Poly-Prof
+//! suggests (interchange + SIMD-friendly layout for backprop; tiling +
+//! outer-loop parallelism for GemsFDTD). The Criterion benches in
+//! `polyprof-bench` measure both and report the speedup *shape*: the
+//! transformed variant must win by a factor of a few.
+//!
+//! `rayon` supplies the `OMP PARALLEL DO` counterpart.
+
+pub mod backprop;
+pub mod gemsfdtd;
+
+/// Compare two result slices elementwise within `tol`.
+pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diff_helper() {
+        assert_eq!(max_abs_diff(&[1.0, 2.0], &[1.0, 2.5]), 0.5);
+        assert_eq!(max_abs_diff(&[], &[]), 0.0);
+    }
+}

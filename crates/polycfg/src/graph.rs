@@ -1,0 +1,237 @@
+//! Small directed-graph toolkit used by the loop-forest and
+//! recursive-component constructions: Tarjan SCCs, condensation, and a
+//! deterministic topological order (the "static index" of Kelly's mapping).
+//!
+//! Nodes are dense `usize` indices into an adjacency list; callers map their
+//! domain ids (blocks, functions) to indices.
+
+/// A directed graph over nodes `0..n` as adjacency lists.
+#[derive(Debug, Clone, Default)]
+pub struct DiGraph {
+    /// `succs[u]` lists the successors of `u`.
+    pub succs: Vec<Vec<usize>>,
+}
+
+impl DiGraph {
+    /// An edgeless graph with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        DiGraph { succs: vec![Vec::new(); n] }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// True if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+
+    /// Add edge `u → v` (duplicates allowed; dedup with [`DiGraph::dedup`]).
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        self.succs[u].push(v);
+    }
+
+    /// Sort and deduplicate every adjacency list (gives deterministic walks).
+    pub fn dedup(&mut self) {
+        for s in &mut self.succs {
+            s.sort_unstable();
+            s.dedup();
+        }
+    }
+
+    /// All edges as `(u, v)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.succs
+            .iter()
+            .enumerate()
+            .flat_map(|(u, vs)| vs.iter().map(move |&v| (u, v)))
+    }
+}
+
+/// Strongly connected components in reverse-topological order
+/// (Tarjan, iterative to survive deep graphs).
+///
+/// Returns `(comp_of, components)`: `comp_of[v]` is the component index of
+/// `v`; `components[c]` lists members of component `c`. Component indices are
+/// in reverse topological order of the condensation (successors first).
+pub fn tarjan_scc(g: &DiGraph) -> (Vec<usize>, Vec<Vec<usize>>) {
+    let n = g.len();
+    const UNDEF: usize = usize::MAX;
+    let mut index = vec![UNDEF; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut comp_of = vec![UNDEF; n];
+    let mut comps: Vec<Vec<usize>> = Vec::new();
+    let mut counter = 0usize;
+
+    // Explicit DFS stack: (node, next-successor-position).
+    let mut dfs: Vec<(usize, usize)> = Vec::new();
+    for root in 0..n {
+        if index[root] != UNDEF {
+            continue;
+        }
+        dfs.push((root, 0));
+        index[root] = counter;
+        low[root] = counter;
+        counter += 1;
+        stack.push(root);
+        on_stack[root] = true;
+
+        while let Some(&mut (v, ref mut pos)) = dfs.last_mut() {
+            if *pos < g.succs[v].len() {
+                let w = g.succs[v][*pos];
+                *pos += 1;
+                if index[w] == UNDEF {
+                    index[w] = counter;
+                    low[w] = counter;
+                    counter += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    dfs.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                dfs.pop();
+                if let Some(&(parent, _)) = dfs.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("scc stack");
+                        on_stack[w] = false;
+                        comp_of[w] = comps.len();
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort_unstable();
+                    comps.push(comp);
+                }
+            }
+        }
+    }
+    (comp_of, comps)
+}
+
+/// True if component `members` contains a cycle in `g`: more than one node,
+/// or a single node with a self-edge.
+pub fn component_has_cycle(g: &DiGraph, members: &[usize]) -> bool {
+    members.len() > 1 || g.succs[members[0]].contains(&members[0])
+}
+
+/// Deterministic topological order of a DAG, smallest-index-first among
+/// ready nodes (Kahn). Panics if the graph has a cycle.
+pub fn topo_order(g: &DiGraph) -> Vec<usize> {
+    let n = g.len();
+    let mut indeg = vec![0usize; n];
+    for (_, v) in g.edges() {
+        indeg[v] += 1;
+    }
+    // Min-heap behaviour via sorted insertion into a BinaryHeap<Reverse>.
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut ready: BinaryHeap<Reverse<usize>> =
+        (0..n).filter(|&v| indeg[v] == 0).map(Reverse).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(Reverse(u)) = ready.pop() {
+        order.push(u);
+        for &v in &g.succs[u] {
+            indeg[v] -= 1;
+            if indeg[v] == 0 {
+                ready.push(Reverse(v));
+            }
+        }
+    }
+    assert_eq!(order.len(), n, "topo_order called on a cyclic graph");
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(n: usize, edges: &[(usize, usize)]) -> DiGraph {
+        let mut g = DiGraph::new(n);
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    #[test]
+    fn scc_of_dag_is_singletons() {
+        let g = g(4, &[(0, 1), (1, 2), (2, 3), (0, 3)]);
+        let (_, comps) = tarjan_scc(&g);
+        assert_eq!(comps.len(), 4);
+        assert!(comps.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn scc_finds_cycle() {
+        // 0 -> 1 -> 2 -> 1, 2 -> 3
+        let g = g(4, &[(0, 1), (1, 2), (2, 1), (2, 3)]);
+        let (comp_of, comps) = tarjan_scc(&g);
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comp_of[1], comp_of[2]);
+        assert_ne!(comp_of[0], comp_of[1]);
+        let c = &comps[comp_of[1]];
+        assert!(component_has_cycle(&g, c));
+        assert!(!component_has_cycle(&g, &comps[comp_of[0]]));
+    }
+
+    #[test]
+    fn scc_reverse_topological() {
+        let g = g(3, &[(0, 1), (1, 2)]);
+        let (comp_of, _) = tarjan_scc(&g);
+        // successors get smaller (earlier) component ids
+        assert!(comp_of[2] < comp_of[1]);
+        assert!(comp_of[1] < comp_of[0]);
+    }
+
+    #[test]
+    fn self_loop_is_cyclic() {
+        let g = g(2, &[(0, 0), (0, 1)]);
+        let (comp_of, comps) = tarjan_scc(&g);
+        assert!(component_has_cycle(&g, &comps[comp_of[0]]));
+        assert!(!component_has_cycle(&g, &comps[comp_of[1]]));
+    }
+
+    #[test]
+    fn topo_is_deterministic_and_valid() {
+        let g = g(5, &[(0, 2), (1, 2), (2, 3), (2, 4)]);
+        let o = topo_order(&g);
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 5];
+            for (i, &v) in o.iter().enumerate() {
+                p[v] = i;
+            }
+            p
+        };
+        for (u, v) in g.edges() {
+            assert!(pos[u] < pos[v]);
+        }
+        // smallest-first tie-breaking: 0 before 1, 3 before 4
+        assert!(pos[0] < pos[1]);
+        assert!(pos[3] < pos[4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cyclic")]
+    fn topo_panics_on_cycle() {
+        let g = g(2, &[(0, 1), (1, 0)]);
+        topo_order(&g);
+    }
+
+    #[test]
+    fn dedup_removes_duplicates() {
+        let mut g = g(2, &[(0, 1), (0, 1), (0, 1)]);
+        g.dedup();
+        assert_eq!(g.succs[0], vec![1]);
+    }
+}

@@ -1,0 +1,25 @@
+//! # polycfg — interprocedural control structure (paper §3)
+//!
+//! Stage 1 of the Poly-Prof pipeline:
+//!
+//! 1. [`recorder::StructureRecorder`] observes a first instrumented run and
+//!    records the dynamic CFG of every executed function plus the dynamic
+//!    call graph (only executed code is ever analyzed).
+//! 2. [`loop_forest::LoopForest`] builds the Havlak/Ramalingam
+//!    loop-nesting-forest of each CFG, including the Kelly static indices
+//!    used for schedule trees; [`recursive::RecursiveComponentSet`] builds
+//!    its call-graph counterpart with multi-header support.
+//! 3. [`events::LoopEventGen`] translates raw jump/call/return events into
+//!    the loop-event alphabet `E/I/X` + `Ec/Ic/Ir/Xr` + `N/C/R`
+//!    (Algorithms 1 and 2 of the paper) that drives the dynamic-IIV update.
+
+pub mod events;
+pub mod graph;
+pub mod loop_forest;
+pub mod recorder;
+pub mod recursive;
+
+pub use events::{LoopEvent, LoopEventGen, LoopRef};
+pub use loop_forest::{LoopForest, LoopIdx, LoopInfo, SchedNodeKey};
+pub use recorder::{DynCfg, StaticStructure, StructureRecorder};
+pub use recursive::{RecCompIdx, RecComponent, RecursiveComponentSet};

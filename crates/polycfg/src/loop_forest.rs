@@ -1,0 +1,412 @@
+//! Loop-nesting-forest construction (§3.1 of the paper).
+//!
+//! Follows Ramalingam's recursive characterization, which is what Poly-Prof
+//! uses (Havlak semantics): every SCC of the CFG containing a cycle is the
+//! region of an outermost loop; one entry node is designated the *header*;
+//! edges inside the loop targeting the header are *back-edges*; removing them
+//! exposes the next nesting level, recursively. Irreducible (multi-entry)
+//! loops are handled naturally — the non-chosen entries seed inner loops on
+//! the next round if cycles remain.
+//!
+//! The forest also carries the *static indices* of Kelly's mapping (§4,
+//! Fig. 4): within each region (the function's top level or a loop body with
+//! back-edges removed), the reduced DAG of sub-loops and plain blocks is
+//! topologically numbered; those numbers order schedule-tree siblings.
+
+use crate::graph::{component_has_cycle, tarjan_scc, DiGraph};
+use polyir::LocalBlockId;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Index of a loop within a [`LoopForest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LoopIdx(pub u32);
+
+/// One natural (or irreducible) loop.
+#[derive(Debug, Clone)]
+pub struct LoopInfo {
+    /// The designated header block.
+    pub header: LocalBlockId,
+    /// Enclosing loop, if any.
+    pub parent: Option<LoopIdx>,
+    /// Directly nested loops.
+    pub children: Vec<LoopIdx>,
+    /// Nesting depth; 1 for outermost loops.
+    pub depth: u32,
+    /// All blocks of the loop region (including nested loops' blocks).
+    pub blocks: BTreeSet<LocalBlockId>,
+    /// Edges within the region that target the header.
+    pub back_edges: Vec<(LocalBlockId, LocalBlockId)>,
+}
+
+/// A node of the reduced DAG used for static numbering: either a block that
+/// belongs directly to a region, or a whole sub-loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SchedNodeKey {
+    /// A plain basic block.
+    Block(LocalBlockId),
+    /// A contracted sub-loop.
+    Loop(LoopIdx),
+}
+
+/// The loop-nesting forest of one function's (dynamic) CFG.
+#[derive(Debug, Clone, Default)]
+pub struct LoopForest {
+    /// All loops; parents precede children.
+    pub loops: Vec<LoopInfo>,
+    header_to_loop: HashMap<LocalBlockId, LoopIdx>,
+    innermost: HashMap<LocalBlockId, LoopIdx>,
+    /// Kelly static index of every block / loop within its parent region.
+    pub static_index: HashMap<SchedNodeKey, u32>,
+}
+
+impl LoopForest {
+    /// Build the forest for a CFG given as an edge set over observed blocks.
+    /// `entry` is the function entry block (counts as a region entry when it
+    /// sits inside an SCC).
+    pub fn build(
+        blocks: &BTreeSet<LocalBlockId>,
+        edges: &BTreeSet<(LocalBlockId, LocalBlockId)>,
+        entry: LocalBlockId,
+    ) -> LoopForest {
+        let ids: Vec<LocalBlockId> = blocks.iter().copied().collect();
+        let index_of: BTreeMap<LocalBlockId, usize> =
+            ids.iter().enumerate().map(|(i, &b)| (b, i)).collect();
+        let dense_edges: Vec<(usize, usize)> = edges
+            .iter()
+            .filter(|(u, v)| index_of.contains_key(u) && index_of.contains_key(v))
+            .map(|(u, v)| (index_of[u], index_of[v]))
+            .collect();
+        let mut forest = LoopForest::default();
+        let all: Vec<usize> = (0..ids.len()).collect();
+        let entry_dense = index_of.get(&entry).copied();
+        forest.build_region(
+            &ids,
+            &all,
+            &dense_edges,
+            entry_dense.map(|e| vec![e]).unwrap_or_default(),
+            None,
+            1,
+        );
+        forest
+    }
+
+    /// Recursively process one region: condense, number, recurse into cyclic
+    /// components.
+    fn build_region(
+        &mut self,
+        ids: &[LocalBlockId],
+        nodes: &[usize],
+        edges: &[(usize, usize)],
+        region_entries: Vec<usize>,
+        parent: Option<LoopIdx>,
+        depth: u32,
+    ) {
+        // Dense re-map of the region.
+        let local_of: BTreeMap<usize, usize> =
+            nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let mut g = DiGraph::new(nodes.len());
+        for &(u, v) in edges {
+            if let (Some(&lu), Some(&lv)) = (local_of.get(&u), local_of.get(&v)) {
+                g.add_edge(lu, lv);
+            }
+        }
+        g.dedup();
+        let (comp_of, comps) = tarjan_scc(&g);
+
+        // Condensation + deterministic topo order (Kahn, min original block
+        // id first) for static numbering.
+        let mut cg = DiGraph::new(comps.len());
+        for (u, v) in g.edges() {
+            if comp_of[u] != comp_of[v] {
+                cg.add_edge(comp_of[u], comp_of[v]);
+            }
+        }
+        cg.dedup();
+        let comp_min: Vec<usize> = comps.iter().map(|c| nodes[c[0]]).collect();
+        let order = kahn_by_key(&cg, &comp_min);
+
+        for (static_idx, &c) in order.iter().enumerate() {
+            let members = &comps[c];
+            if component_has_cycle(&g, members) {
+                // Entries: members with an in-edge from outside the SCC, or
+                // that are region entries.
+                let member_set: BTreeSet<usize> = members.iter().copied().collect();
+                let mut entries: BTreeSet<usize> = BTreeSet::new();
+                for (u, v) in g.edges() {
+                    if member_set.contains(&v) && !member_set.contains(&u) {
+                        entries.insert(v);
+                    }
+                }
+                for &e in &region_entries {
+                    if let Some(&le) = local_of.get(&e) {
+                        if member_set.contains(&le) {
+                            entries.insert(le);
+                        }
+                    }
+                }
+                // Header = entry with the smallest block id; fall back to the
+                // smallest member for completely unreachable cycles.
+                let header_local = entries
+                    .iter()
+                    .copied()
+                    .min_by_key(|&m| ids[nodes[m]])
+                    .unwrap_or(members[0]);
+                let header_block = ids[nodes[header_local]];
+
+                let loop_idx = LoopIdx(self.loops.len() as u32);
+                let blocks: BTreeSet<LocalBlockId> =
+                    members.iter().map(|&m| ids[nodes[m]]).collect();
+                let back_edges: Vec<(LocalBlockId, LocalBlockId)> = g
+                    .edges()
+                    .filter(|&(u, v)| {
+                        member_set.contains(&u) && member_set.contains(&v) && v == header_local
+                    })
+                    .map(|(u, v)| (ids[nodes[u]], ids[nodes[v]]))
+                    .collect();
+                self.loops.push(LoopInfo {
+                    header: header_block,
+                    parent,
+                    children: Vec::new(),
+                    depth,
+                    blocks: blocks.clone(),
+                    back_edges,
+                });
+                if let Some(p) = parent {
+                    self.loops[p.0 as usize].children.push(loop_idx);
+                }
+                self.header_to_loop.insert(header_block, loop_idx);
+                for b in &blocks {
+                    // Children recurse later and overwrite: creation order
+                    // guarantees outer-before-inner.
+                    self.innermost.insert(*b, loop_idx);
+                }
+                self.static_index.insert(SchedNodeKey::Loop(loop_idx), static_idx as u32);
+
+                // Recurse with back-edges (all edges to the header) removed.
+                let inner_nodes: Vec<usize> = members.iter().map(|&m| nodes[m]).collect();
+                let inner_edges: Vec<(usize, usize)> = g
+                    .edges()
+                    .filter(|&(u, v)| {
+                        member_set.contains(&u) && member_set.contains(&v) && v != header_local
+                    })
+                    .map(|(u, v)| (nodes[u], nodes[v]))
+                    .collect();
+                self.build_region(
+                    ids,
+                    &inner_nodes,
+                    &inner_edges,
+                    vec![nodes[header_local]],
+                    Some(loop_idx),
+                    depth + 1,
+                );
+            } else {
+                let b = ids[nodes[members[0]]];
+                self.static_index.insert(SchedNodeKey::Block(b), static_idx as u32);
+            }
+        }
+    }
+
+    /// The loop headed by block `b`, if `b` is a header.
+    pub fn loop_of_header(&self, b: LocalBlockId) -> Option<LoopIdx> {
+        self.header_to_loop.get(&b).copied()
+    }
+
+    /// The innermost loop containing `b` (None = top level).
+    pub fn innermost(&self, b: LocalBlockId) -> Option<LoopIdx> {
+        self.innermost.get(&b).copied()
+    }
+
+    /// Whether `b` belongs to the region of loop `l`.
+    pub fn contains(&self, l: LoopIdx, b: LocalBlockId) -> bool {
+        self.loops[l.0 as usize].blocks.contains(&b)
+    }
+
+    /// Loop lookup.
+    pub fn info(&self, l: LoopIdx) -> &LoopInfo {
+        &self.loops[l.0 as usize]
+    }
+
+    /// Maximum loop nesting depth in this function (0 = loop-free).
+    pub fn max_depth(&self) -> u32 {
+        self.loops.iter().map(|l| l.depth).max().unwrap_or(0)
+    }
+
+    /// Static (Kelly) index of a block or loop within its parent region.
+    pub fn static_index_of(&self, k: SchedNodeKey) -> Option<u32> {
+        self.static_index.get(&k).copied()
+    }
+}
+
+/// Kahn topological order choosing, among ready components, the one whose
+/// `key` is smallest (keys = smallest original block id of the component).
+fn kahn_by_key(g: &DiGraph, key: &[usize]) -> Vec<usize> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let n = g.len();
+    let mut indeg = vec![0usize; n];
+    for (_, v) in g.edges() {
+        indeg[v] += 1;
+    }
+    let mut heap: BinaryHeap<Reverse<(usize, usize)>> = (0..n)
+        .filter(|&v| indeg[v] == 0)
+        .map(|v| Reverse((key[v], v)))
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(Reverse((_, u))) = heap.pop() {
+        order.push(u);
+        for &v in &g.succs[u] {
+            indeg[v] -= 1;
+            if indeg[v] == 0 {
+                heap.push(Reverse((key[v], v)));
+            }
+        }
+    }
+    assert_eq!(order.len(), n, "condensation must be acyclic");
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bb(i: u32) -> LocalBlockId {
+        LocalBlockId(i)
+    }
+
+    fn build(blocks: &[u32], edges: &[(u32, u32)], entry: u32) -> LoopForest {
+        let bs: BTreeSet<LocalBlockId> = blocks.iter().map(|&b| bb(b)).collect();
+        let es: BTreeSet<(LocalBlockId, LocalBlockId)> =
+            edges.iter().map(|&(u, v)| (bb(u), bb(v))).collect();
+        LoopForest::build(&bs, &es, bb(entry))
+    }
+
+    /// The paper's Fig. 2a/2b: A=0, B=1, C=2, D=3, E=4.
+    /// Edges: A→B, B→C, B→D, C→D, D→C, D→B (back-edge of L1), C→E.
+    /// Expected: L1 = {B,C,D} headed by B; nested L2 = {C,D} headed by C
+    /// (C chosen among entries {C, D}); back-edge of L2 = (D, C).
+    #[test]
+    fn figure2_loop_nesting_tree() {
+        let f = build(
+            &[0, 1, 2, 3, 4],
+            &[(0, 1), (1, 2), (1, 3), (2, 3), (3, 2), (3, 1), (2, 4)],
+            0,
+        );
+        assert_eq!(f.loops.len(), 2);
+        let l1 = f.loop_of_header(bb(1)).expect("L1 headed by B");
+        let l2 = f.loop_of_header(bb(2)).expect("L2 headed by C");
+        assert_eq!(f.info(l1).depth, 1);
+        assert_eq!(f.info(l2).depth, 2);
+        assert_eq!(f.info(l2).parent, Some(l1));
+        assert_eq!(f.info(l1).children, vec![l2]);
+        let l1_blocks: Vec<u32> = f.info(l1).blocks.iter().map(|b| b.0).collect();
+        assert_eq!(l1_blocks, vec![1, 2, 3]);
+        let l2_blocks: Vec<u32> = f.info(l2).blocks.iter().map(|b| b.0).collect();
+        assert_eq!(l2_blocks, vec![2, 3]);
+        assert_eq!(f.info(l1).back_edges, vec![(bb(3), bb(1))]);
+        assert_eq!(f.info(l2).back_edges, vec![(bb(3), bb(2))]);
+        // innermost: B in L1; C, D in L2; A, E in none
+        assert_eq!(f.innermost(bb(1)), Some(l1));
+        assert_eq!(f.innermost(bb(2)), Some(l2));
+        assert_eq!(f.innermost(bb(3)), Some(l2));
+        assert_eq!(f.innermost(bb(0)), None);
+        assert_eq!(f.innermost(bb(4)), None);
+        assert_eq!(f.max_depth(), 2);
+    }
+
+    #[test]
+    fn straight_line_has_no_loops() {
+        let f = build(&[0, 1, 2], &[(0, 1), (1, 2)], 0);
+        assert!(f.loops.is_empty());
+        assert_eq!(f.max_depth(), 0);
+        // static indices follow control-flow order
+        assert_eq!(f.static_index_of(SchedNodeKey::Block(bb(0))), Some(0));
+        assert_eq!(f.static_index_of(SchedNodeKey::Block(bb(1))), Some(1));
+        assert_eq!(f.static_index_of(SchedNodeKey::Block(bb(2))), Some(2));
+    }
+
+    #[test]
+    fn self_loop_is_a_loop() {
+        let f = build(&[0, 1], &[(0, 0), (0, 1)], 0);
+        assert_eq!(f.loops.len(), 1);
+        let l = f.loop_of_header(bb(0)).unwrap();
+        assert_eq!(f.info(l).back_edges, vec![(bb(0), bb(0))]);
+    }
+
+    /// Two sequential loops get sibling positions in source order.
+    #[test]
+    fn sequential_loops_static_indices() {
+        // 0 → 1⟲ (1→2, 2→1) → 3⟲ (3→4, 4→3) → 5
+        let f = build(
+            &[0, 1, 2, 3, 4, 5],
+            &[(0, 1), (1, 2), (2, 1), (2, 3), (3, 4), (4, 3), (4, 5)],
+            0,
+        );
+        assert_eq!(f.loops.len(), 2);
+        let la = f.loop_of_header(bb(1)).unwrap();
+        let lb = f.loop_of_header(bb(3)).unwrap();
+        assert_eq!(f.info(la).depth, 1);
+        assert_eq!(f.info(lb).depth, 1);
+        let ia = f.static_index_of(SchedNodeKey::Loop(la)).unwrap();
+        let ib = f.static_index_of(SchedNodeKey::Loop(lb)).unwrap();
+        let i0 = f.static_index_of(SchedNodeKey::Block(bb(0))).unwrap();
+        let i5 = f.static_index_of(SchedNodeKey::Block(bb(5))).unwrap();
+        assert!(i0 < ia && ia < ib && ib < i5);
+    }
+
+    /// Triple nesting: canonical for-loop shape per level.
+    #[test]
+    fn triple_nesting_depth() {
+        // L1: 1..6, L2: 2..5, L3: {3}
+        let f = build(
+            &[0, 1, 2, 3, 4, 5, 6],
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 3), // L3 self-loop
+                (3, 4),
+                (4, 2), // back to L2 header
+                (4, 5),
+                (5, 1), // back to L1 header
+                (5, 6),
+            ],
+            0,
+        );
+        assert_eq!(f.loops.len(), 3);
+        assert_eq!(f.max_depth(), 3);
+        let l3 = f.loop_of_header(bb(3)).unwrap();
+        assert_eq!(f.info(l3).depth, 3);
+        assert_eq!(f.innermost(bb(3)), Some(l3));
+    }
+
+    /// Irreducible region: a cycle entered at two nodes; the non-chosen entry
+    /// may head an inner loop if a cycle remains after header removal.
+    #[test]
+    fn irreducible_loop_handled() {
+        // 0→1, 0→2, 1→2, 2→1 : SCC {1,2} entered at both 1 and 2.
+        let f = build(&[0, 1, 2], &[(0, 1), (0, 2), (1, 2), (2, 1)], 0);
+        assert_eq!(f.loops.len(), 1);
+        let l = f.loop_of_header(bb(1)).unwrap(); // min entry = 1
+        assert_eq!(f.info(l).header, bb(1));
+        let blocks: Vec<u32> = f.info(l).blocks.iter().map(|b| b.0).collect();
+        assert_eq!(blocks, vec![1, 2]);
+    }
+
+    /// Header membership: contains() includes the header and nested blocks.
+    #[test]
+    fn contains_region_semantics() {
+        let f = build(
+            &[0, 1, 2, 3],
+            &[(0, 1), (1, 2), (2, 2), (2, 3), (3, 1)],
+            0,
+        );
+        let outer = f.loop_of_header(bb(1)).unwrap();
+        let inner = f.loop_of_header(bb(2)).unwrap();
+        assert!(f.contains(outer, bb(1)));
+        assert!(f.contains(outer, bb(2)));
+        assert!(f.contains(outer, bb(3)));
+        assert!(!f.contains(outer, bb(0)));
+        assert!(f.contains(inner, bb(2)));
+        assert!(!f.contains(inner, bb(1)));
+    }
+}

@@ -1,0 +1,208 @@
+//! Pass 1 of the paper's "Instrumentation I": record the *dynamic* CFG of
+//! every executed function and the dynamic call graph, then build the
+//! loop-nesting forests and the recursive-component-set.
+//!
+//! Only executed blocks and edges are analyzed — the paper highlights this
+//! as an advantage over static analysis for large programs with small hot
+//! regions.
+
+use crate::loop_forest::LoopForest;
+use crate::recursive::RecursiveComponentSet;
+use polyir::{BlockRef, FuncId, InstrRef, LocalBlockId, Program, Value};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Dynamic CFG of one function: observed blocks and local edges.
+#[derive(Debug, Clone, Default)]
+pub struct DynCfg {
+    /// Blocks that executed at least one instruction or control event.
+    pub blocks: BTreeSet<LocalBlockId>,
+    /// Observed local jump edges.
+    pub edges: BTreeSet<(LocalBlockId, LocalBlockId)>,
+}
+
+/// [`polyvm::EventSink`] that records dynamic CFGs and the call graph.
+#[derive(Debug, Default)]
+pub struct StructureRecorder {
+    /// Per-function dynamic CFG.
+    pub cfgs: BTreeMap<FuncId, DynCfg>,
+    /// Dynamic call-graph edges (caller function → callee function).
+    pub cg_edges: BTreeSet<(FuncId, FuncId)>,
+    /// Functions observed executing.
+    pub funcs: BTreeSet<FuncId>,
+    last_block: Option<BlockRef>,
+}
+
+impl StructureRecorder {
+    /// Fresh recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn touch_block(&mut self, b: BlockRef) {
+        // Cache the last touched block: the exec stream revisits the same
+        // block for every instruction.
+        if self.last_block == Some(b) {
+            return;
+        }
+        self.last_block = Some(b);
+        self.funcs.insert(b.func);
+        self.cfgs.entry(b.func).or_default().blocks.insert(b.block);
+    }
+}
+
+impl polyvm::EventSink for StructureRecorder {
+    fn local_jump(&mut self, from: BlockRef, to: BlockRef) {
+        debug_assert_eq!(from.func, to.func);
+        self.touch_block(from);
+        self.touch_block(to);
+        self.cfgs
+            .entry(from.func)
+            .or_default()
+            .edges
+            .insert((from.block, to.block));
+    }
+
+    fn call(&mut self, callsite: BlockRef, callee: FuncId, entry: BlockRef) {
+        self.touch_block(callsite);
+        self.touch_block(entry);
+        self.cg_edges.insert((callsite.func, callee));
+    }
+
+    fn ret(&mut self, _from: FuncId, to: Option<BlockRef>) {
+        if let Some(b) = to {
+            self.touch_block(b);
+        }
+        self.last_block = to;
+    }
+
+    fn exec(&mut self, instr: InstrRef, _value: Option<Value>) {
+        self.touch_block(instr.block);
+    }
+}
+
+/// Stage-1 output: loop forests for every executed function plus the
+/// recursive-component-set — the "interprocedural loop context tree" inputs
+/// of Fig. 1.
+#[derive(Debug, Default)]
+pub struct StaticStructure {
+    /// Loop-nesting forest per executed function.
+    pub forests: BTreeMap<FuncId, LoopForest>,
+    /// Recursive components of the dynamic call graph.
+    pub rcs: RecursiveComponentSet,
+    /// The recorded dynamic CFGs (kept for reporting).
+    pub cfgs: BTreeMap<FuncId, DynCfg>,
+}
+
+impl StaticStructure {
+    /// Analyze a completed recording. `prog` supplies entry-function and
+    /// entry-block information.
+    pub fn analyze(prog: &Program, rec: StructureRecorder) -> StaticStructure {
+        let mut forests = BTreeMap::new();
+        for (&f, cfg) in &rec.cfgs {
+            let entry = prog.func(f).entry();
+            forests.insert(f, LoopForest::build(&cfg.blocks, &cfg.edges, entry));
+        }
+        let root = prog.entry.unwrap_or(FuncId(0));
+        let rcs = RecursiveComponentSet::build(&rec.funcs, &rec.cg_edges, root);
+        StaticStructure { forests, rcs, cfgs: rec.cfgs }
+    }
+
+    /// Forest lookup; panics if the function never executed.
+    pub fn forest(&self, f: FuncId) -> &LoopForest {
+        &self.forests[&f]
+    }
+
+    /// Maximum loop depth observed in any single function ("ld-bin" is
+    /// derived later from the interprocedural schedule tree; this is the
+    /// intraprocedural bound).
+    pub fn max_cfg_loop_depth(&self) -> u32 {
+        self.forests.values().map(|f| f.max_depth()).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyir::build::ProgramBuilder;
+    use polyir::IBinOp;
+    use polyvm::Vm;
+
+    fn profiled(p: &Program) -> StaticStructure {
+        let mut rec = StructureRecorder::new();
+        Vm::new(p).run(&[], &mut rec).unwrap();
+        StaticStructure::analyze(p, rec)
+    }
+
+    #[test]
+    fn records_loop_cfg() {
+        let mut pb = ProgramBuilder::new("t");
+        let mut f = pb.func("main", 0);
+        let acc = f.const_i(0);
+        f.for_loop("L", 0i64, 5i64, 1, |f, i| {
+            f.iop_to(acc, IBinOp::Add, acc, i);
+        });
+        f.ret(Some(acc.into()));
+        let fid = f.finish();
+        pb.set_entry(fid);
+        let p = pb.finish();
+        let s = profiled(&p);
+        let forest = s.forest(fid);
+        assert_eq!(forest.loops.len(), 1);
+        // header is block 1 in the canonical for_loop shape
+        assert_eq!(forest.loops[0].header, LocalBlockId(1));
+        assert_eq!(s.max_cfg_loop_depth(), 1);
+        assert!(s.rcs.components.is_empty());
+    }
+
+    #[test]
+    fn only_executed_paths_recorded() {
+        let mut pb = ProgramBuilder::new("t");
+        let mut f = pb.func("main", 0);
+        let c = f.const_i(1); // always true
+        let t = f.block("taken");
+        let e = f.block("nottaken");
+        f.br(c, t, e);
+        f.switch_to(t);
+        f.ret(None);
+        f.switch_to(e);
+        f.ret(None);
+        let fid = f.finish();
+        pb.set_entry(fid);
+        let p = pb.finish();
+        let s = profiled(&p);
+        let cfg = &s.cfgs[&fid];
+        assert!(cfg.blocks.contains(&LocalBlockId(1)));
+        assert!(!cfg.blocks.contains(&LocalBlockId(2)), "untaken branch must be absent");
+    }
+
+    #[test]
+    fn call_graph_and_recursion_recorded() {
+        let mut pb = ProgramBuilder::new("t");
+        let r = pb.declare("rec", 1);
+        let mut f = pb.func("rec", 1);
+        let n = f.param(0);
+        let c = f.icmp(polyir::CmpOp::Le, n, 0i64);
+        let bb = f.block("base");
+        let rb = f.block("go");
+        f.br(c, bb, rb);
+        f.switch_to(bb);
+        f.ret(Some(n.into()));
+        f.switch_to(rb);
+        let n1 = f.sub(n, 1i64);
+        let v = f.call(r, &[n1.into()]);
+        f.ret(Some(v.into()));
+        f.finish();
+        let mut m = pb.func("main", 0);
+        let five = m.const_i(5);
+        let v = m.call(r, &[five.into()]);
+        m.ret(Some(v.into()));
+        let mid = m.finish();
+        pb.set_entry(mid);
+        let p = pb.finish();
+        let s = profiled(&p);
+        assert_eq!(s.rcs.components.len(), 1);
+        assert!(s.rcs.is_header(r));
+        assert!(s.rcs.is_entry(r));
+        assert_eq!(s.rcs.component_of(mid), None);
+    }
+}

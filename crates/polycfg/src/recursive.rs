@@ -1,0 +1,251 @@
+//! Recursive-component-set construction (§3.2 of the paper): the call-graph
+//! counterpart of the loop-nesting-forest.
+//!
+//! Every top-level SCC of the call graph with at least one cycle becomes a
+//! *recursive component* with a set of *entries* (functions callable from
+//! outside) and a set of *headers* accumulated by repeatedly choosing an
+//! entry of a remaining cyclic sub-SCC and deleting the edges that target it
+//! — the adaptation of Havlak's construction the paper describes. At run
+//! time only the headers matter: calls to / returns from a header function
+//! advance the induction variable of the recursive loop (Alg. 2).
+
+use crate::graph::{component_has_cycle, tarjan_scc, DiGraph};
+use polyir::FuncId;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Index of a recursive component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RecCompIdx(pub u32);
+
+/// One recursive component of the call graph.
+#[derive(Debug, Clone)]
+pub struct RecComponent {
+    /// Functions belonging to the component (the SCC).
+    pub members: BTreeSet<FuncId>,
+    /// Functions callable from outside the component.
+    pub entries: BTreeSet<FuncId>,
+    /// Header functions: calls to (and returns from) these iterate the
+    /// recursive loop.
+    pub headers: BTreeSet<FuncId>,
+}
+
+/// The recursive-component-set of a whole program's (dynamic) call graph.
+#[derive(Debug, Clone, Default)]
+pub struct RecursiveComponentSet {
+    /// All components (typically zero or one — recursion is rare in
+    /// performance-critical code, as the paper notes about Rodinia).
+    pub components: Vec<RecComponent>,
+    comp_of: HashMap<FuncId, RecCompIdx>,
+}
+
+impl RecursiveComponentSet {
+    /// Build from the (dynamic) call graph. `root` is the program entry
+    /// function; it counts as externally-callable.
+    pub fn build(
+        funcs: &BTreeSet<FuncId>,
+        edges: &BTreeSet<(FuncId, FuncId)>,
+        root: FuncId,
+    ) -> RecursiveComponentSet {
+        let ids: Vec<FuncId> = funcs.iter().copied().collect();
+        let index_of: BTreeMap<FuncId, usize> =
+            ids.iter().enumerate().map(|(i, &f)| (f, i)).collect();
+        let mut g = DiGraph::new(ids.len());
+        for &(u, v) in edges {
+            if let (Some(&iu), Some(&iv)) = (index_of.get(&u), index_of.get(&v)) {
+                g.add_edge(iu, iv);
+            }
+        }
+        g.dedup();
+
+        let (_, comps) = tarjan_scc(&g);
+        let mut out = RecursiveComponentSet::default();
+
+        for members in comps.iter().filter(|m| component_has_cycle(&g, m)) {
+            let member_set: BTreeSet<usize> = members.iter().copied().collect();
+            // Entries: in-edge from outside the SCC, or the program root.
+            let mut entries: BTreeSet<usize> = BTreeSet::new();
+            for (u, v) in g.edges() {
+                if member_set.contains(&v) && !member_set.contains(&u) {
+                    entries.insert(v);
+                }
+            }
+            if let Some(&r) = index_of.get(&root) {
+                if member_set.contains(&r) {
+                    entries.insert(r);
+                }
+            }
+            if entries.is_empty() {
+                // Unreachable cycle; keep it well-formed anyway.
+                entries.insert(members[0]);
+            }
+
+            // Header accumulation: repeatedly pick an entry of a remaining
+            // cyclic sub-SCC and delete its incoming intra-component edges.
+            let mut headers: BTreeSet<usize> = BTreeSet::new();
+            let mut live_edges: BTreeSet<(usize, usize)> = g
+                .edges()
+                .filter(|(u, v)| member_set.contains(u) && member_set.contains(v))
+                .collect();
+            loop {
+                // Sub-SCCs of the remaining intra-component graph.
+                let mut sub = DiGraph::new(ids.len());
+                for &(u, v) in &live_edges {
+                    sub.add_edge(u, v);
+                }
+                let (_, sub_comps) = tarjan_scc(&sub);
+                let mut progressed = false;
+                for sc in sub_comps
+                    .iter()
+                    .filter(|sc| sc.iter().all(|m| member_set.contains(m)))
+                {
+                    if !component_has_cycle(&sub, sc) {
+                        continue;
+                    }
+                    let sc_set: BTreeSet<usize> = sc.iter().copied().collect();
+                    // Entries of the sub-SCC: in-edges from outside it (using
+                    // the full graph so outer callers count), plus the
+                    // component entries that are members.
+                    let mut sc_entries: BTreeSet<usize> = BTreeSet::new();
+                    for (u, v) in g.edges() {
+                        if sc_set.contains(&v) && !sc_set.contains(&u) {
+                            sc_entries.insert(v);
+                        }
+                    }
+                    for &e in &entries {
+                        if sc_set.contains(&e) {
+                            sc_entries.insert(e);
+                        }
+                    }
+                    let h = sc_entries
+                        .iter()
+                        .copied()
+                        .min_by_key(|&m| ids[m])
+                        .unwrap_or(sc[0]);
+                    headers.insert(h);
+                    live_edges.retain(|&(_, v)| v != h);
+                    progressed = true;
+                    break; // re-run SCC after each removal for determinism
+                }
+                if !progressed {
+                    break;
+                }
+            }
+
+            let idx = RecCompIdx(out.components.len() as u32);
+            for &m in members {
+                out.comp_of.insert(ids[m], idx);
+            }
+            out.components.push(RecComponent {
+                members: members.iter().map(|&m| ids[m]).collect(),
+                entries: entries.iter().map(|&m| ids[m]).collect(),
+                headers: headers.iter().map(|&m| ids[m]).collect(),
+            });
+        }
+        out
+    }
+
+    /// The recursive component a function belongs to, if any.
+    pub fn component_of(&self, f: FuncId) -> Option<RecCompIdx> {
+        self.comp_of.get(&f).copied()
+    }
+
+    /// Component lookup.
+    pub fn info(&self, c: RecCompIdx) -> &RecComponent {
+        &self.components[c.0 as usize]
+    }
+
+    /// True if `f` is an entry of its component.
+    pub fn is_entry(&self, f: FuncId) -> bool {
+        self.component_of(f)
+            .map(|c| self.info(c).entries.contains(&f))
+            .unwrap_or(false)
+    }
+
+    /// True if `f` is a header of its component.
+    pub fn is_header(&self, f: FuncId) -> bool {
+        self.component_of(f)
+            .map(|c| self.info(c).headers.contains(&f))
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fid(i: u32) -> FuncId {
+        FuncId(i)
+    }
+
+    fn build(funcs: &[u32], edges: &[(u32, u32)], root: u32) -> RecursiveComponentSet {
+        let fs: BTreeSet<FuncId> = funcs.iter().map(|&f| fid(f)).collect();
+        let es: BTreeSet<(FuncId, FuncId)> =
+            edges.iter().map(|&(u, v)| (fid(u), fid(v))).collect();
+        RecursiveComponentSet::build(&fs, &es, fid(root))
+    }
+
+    #[test]
+    fn acyclic_cg_has_no_components() {
+        let r = build(&[0, 1, 2], &[(0, 1), (0, 2), (1, 2)], 0);
+        assert!(r.components.is_empty());
+        assert_eq!(r.component_of(fid(1)), None);
+    }
+
+    /// Self-recursion (the paper's Fig. 3 Ex. 2: B calls B).
+    #[test]
+    fn self_recursion_single_header() {
+        // M=0 calls B=1 and D=2; B calls B and C=3; D calls C.
+        let r = build(&[0, 1, 2, 3], &[(0, 1), (0, 2), (1, 1), (1, 3), (2, 3)], 0);
+        assert_eq!(r.components.len(), 1);
+        let c = r.info(RecCompIdx(0));
+        assert_eq!(c.members.iter().map(|f| f.0).collect::<Vec<_>>(), vec![1]);
+        assert_eq!(c.entries.iter().map(|f| f.0).collect::<Vec<_>>(), vec![1]);
+        assert_eq!(c.headers.iter().map(|f| f.0).collect::<Vec<_>>(), vec![1]);
+        assert!(r.is_entry(fid(1)));
+        assert!(r.is_header(fid(1)));
+        assert!(!r.is_header(fid(3)));
+    }
+
+    /// The paper's Fig. 2c/2d shape: entries = {B}, headers = {B, C}.
+    /// Component {B=1, C=2} with B→C, C→B and a self-cycle left after
+    /// removing edges to B (C→C).
+    #[test]
+    fn figure2_multi_header_component() {
+        let r = build(&[0, 1, 2], &[(0, 1), (1, 2), (2, 1), (2, 2)], 0);
+        assert_eq!(r.components.len(), 1);
+        let c = r.info(RecCompIdx(0));
+        assert_eq!(c.members.iter().map(|f| f.0).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(c.entries.iter().map(|f| f.0).collect::<Vec<_>>(), vec![1]);
+        assert_eq!(c.headers.iter().map(|f| f.0).collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    /// Mutual recursion A↔B: one header suffices.
+    #[test]
+    fn mutual_recursion_one_header() {
+        let r = build(&[0, 1, 2], &[(0, 1), (1, 2), (2, 1)], 0);
+        assert_eq!(r.components.len(), 1);
+        let c = r.info(RecCompIdx(0));
+        assert_eq!(c.members.len(), 2);
+        assert_eq!(c.headers.len(), 1);
+        assert_eq!(c.headers.iter().next().unwrap().0, 1);
+    }
+
+    /// Root inside a cycle counts as an entry.
+    #[test]
+    fn root_is_entry() {
+        let r = build(&[0, 1], &[(0, 1), (1, 0)], 0);
+        assert_eq!(r.components.len(), 1);
+        assert!(r.is_entry(fid(0)));
+    }
+
+    /// Two independent recursive components.
+    #[test]
+    fn two_components() {
+        let r = build(&[0, 1, 2, 3, 4], &[(0, 1), (1, 1), (0, 3), (3, 4), (4, 3)], 0);
+        assert_eq!(r.components.len(), 2);
+        let ca = r.component_of(fid(1)).unwrap();
+        let cb = r.component_of(fid(3)).unwrap();
+        assert_ne!(ca, cb);
+        assert_eq!(r.component_of(fid(4)), Some(cb));
+    }
+}

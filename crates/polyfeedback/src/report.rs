@@ -1,0 +1,270 @@
+//! Rendering: annotated flame graphs (paper Figs. 5b/7), the simplified
+//! annotated AST shown after a suggested transformation, and Table-5-style
+//! text rows.
+
+use crate::metrics::{ProgramFeedback, RegionReport};
+use crate::FeedbackInput;
+use polycfg::LoopRef;
+use polyiiv::schedule_tree::SchedTree;
+use polyiiv::CtxElem;
+use std::fmt::Write as _;
+
+/// Human-readable name for a context element.
+pub fn ctx_name(input: &FeedbackInput<'_>, e: &CtxElem) -> String {
+    match e {
+        CtxElem::Block(b) => {
+            let f = input.prog.func(b.func);
+            format!("{}.{}", f.name, f.block(b.block).name)
+        }
+        CtxElem::Loop(LoopRef::Cfg(f, l)) => {
+            let func = input.prog.func(*f);
+            let header = input.structure.forest(*f).info(*l).header;
+            format!("loop {}:{}", func.name, func.block(header).name)
+        }
+        CtxElem::Loop(LoopRef::Rec(c)) => format!("rec-loop #{}", c.0),
+    }
+}
+
+/// Build the dynamic schedule tree weighted by dynamic op counts.
+pub fn schedule_tree(input: &FeedbackInput<'_>) -> SchedTree {
+    let mut tree = SchedTree::new();
+    let mut stmt_ids: Vec<_> = input.ddg.stmts.keys().copied().collect();
+    stmt_ids.sort();
+    for s in stmt_ids {
+        let info = input.interner.stmt_info(s);
+        let path = input.interner.flat_path(info.path);
+        tree.add_path(&path, input.ddg.stmts[&s].domain.count);
+    }
+    tree
+}
+
+/// Render the annotated flame graph: box width ∝ computation weight,
+/// loops/calls colored, non-affine statements grayed out — the paper's
+/// Fig. 7 presentation.
+pub fn flamegraph_svg(input: &FeedbackInput<'_>, title: &str) -> String {
+    let tree = schedule_tree(input);
+    // Gray out context elements that only lead to non-affine statements.
+    let nonaffine: std::collections::HashSet<CtxElem> = {
+        let mut gray = std::collections::HashSet::new();
+        for (s, st) in &input.ddg.stmts {
+            if !st.domain.exact {
+                let info = input.interner.stmt_info(*s);
+                for e in input.interner.flat_path(info.path) {
+                    gray.insert(e);
+                }
+            }
+        }
+        // An element reached by any affine statement is not gray.
+        for (s, st) in &input.ddg.stmts {
+            if st.domain.exact {
+                let info = input.interner.stmt_info(*s);
+                for e in input.interner.flat_path(info.path) {
+                    gray.remove(&e);
+                }
+            }
+        }
+        gray
+    };
+    tree.render_svg(
+        title,
+        &|e| ctx_name(input, e),
+        &|e| {
+            if nonaffine.contains(e) {
+                "#bbbbbb".into()
+            } else {
+                match e {
+                    CtxElem::Loop(_) => "#e8743b".into(),
+                    CtxElem::Block(_) => "#f2b134".into(),
+                }
+            }
+        },
+    )
+}
+
+/// Render the simplified annotated AST of the whole nest forest: loop
+/// structure with parallel/permutable/SIMD annotations — the "decorated
+/// simplified AST" of §6.
+pub fn annotated_ast(input: &FeedbackInput<'_>) -> String {
+    let mut out = String::new();
+    let a = input.analysis;
+    fn rec(
+        input: &FeedbackInput<'_>,
+        node: usize,
+        indent: usize,
+        out: &mut String,
+    ) {
+        let a = input.analysis;
+        let n = a.forest.node(node);
+        let pad = "  ".repeat(indent);
+        if node != a.forest.root() {
+            let mut attrs = Vec::new();
+            if a.node[node].parallel {
+                attrs.push("parallel");
+            }
+            if a.node[node].zero_dist {
+                attrs.push("movable");
+            }
+            let label = n
+                .label
+                .map(|e| ctx_name(input, &e))
+                .unwrap_or_else(|| "?".into());
+            let _ = writeln!(
+                out,
+                "{pad}for {label} [{}] ({} ops, {} stmts)",
+                attrs.join(", "),
+                n.ops,
+                n.all_stmts.len()
+            );
+        }
+        for &c in &n.children {
+            rec(input, c, indent + 1, out);
+        }
+        if !n.stmts.is_empty() && node != a.forest.root() {
+            let _ = writeln!(out, "{pad}  S: {} statements", n.stmts.len());
+        }
+    }
+    rec(input, a.forest.root(), 0, &mut out);
+    let _ = a;
+    out
+}
+
+/// One Table-5-style row (fixed-width text).
+pub fn table5_row(fb: &ProgramFeedback, region: &RegionReport, ld_src: usize) -> String {
+    let pct = |x: f64| format!("{:.0}%", x * 100.0);
+    format!(
+        "{:<14} {:>10} {:>10} {:>5} {:<24} {:>5} {:>6} {:>7} {:^9} {:>5} {:>6} {:>8} {:>7} {:>8} {:>6} {:>6} {:>5} {:>8} {:>3} {:>5}",
+        fb.name,
+        fb.src_ops,
+        fb.total_ops,
+        pct(fb.pct_aff),
+        region.name,
+        pct(region.pct_ops),
+        pct(region.pct_mops),
+        pct(region.pct_fpops),
+        if region.interproc { "Y" } else { "N" },
+        if region.skew { "Y" } else { "N" },
+        pct(region.pct_parallel),
+        pct(region.pct_simd),
+        pct(region.pct_reuse),
+        pct(region.pct_preuse),
+        format!("{}D", ld_src),
+        format!("{}D", fb.ld_bin),
+        format!("{}D", region.tile_depth),
+        pct(region.pct_tilops),
+        fb.components,
+        fb.components_smartfuse,
+    )
+}
+
+/// Header line matching [`table5_row`].
+pub fn table5_header() -> String {
+    format!(
+        "{:<14} {:>10} {:>10} {:>5} {:<24} {:>5} {:>6} {:>7} {:^9} {:>5} {:>6} {:>8} {:>7} {:>8} {:>6} {:>6} {:>5} {:>8} {:>3} {:>5}",
+        "benchmark",
+        "#inst-src",
+        "#inst-bin",
+        "%Aff",
+        "Region",
+        "%ops",
+        "%Mops",
+        "%FPops",
+        "interproc",
+        "skew",
+        "%||ops",
+        "%simdops",
+        "%reuse",
+        "%Preuse",
+        "ld-src",
+        "ld-bin",
+        "TileD",
+        "%Tilops",
+        "C",
+        "Comp."
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_and_row_align() {
+        let h = table5_header();
+        assert!(h.contains("%Aff") && h.contains("TileD") && h.contains("Comp."));
+    }
+}
+
+/// The complete textual feedback document for one program — the paper's §6
+/// "extensive textual length" output (shown only in its supplementary
+/// material): per-region statistics, the dependence summary, the suggested
+/// transformation sequence, and the annotated AST.
+pub fn full_report(input: &FeedbackInput<'_>, fb: &ProgramFeedback) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "═══ Poly-Prof feedback for `{}` ═══\n", fb.name);
+    let _ = writeln!(
+        s,
+        "dynamic instructions : {} total, {} semantic (non-overhead)",
+        fb.total_ops, fb.src_ops
+    );
+    let _ = writeln!(s, "affine fraction      : {:.1}%", 100.0 * fb.pct_aff);
+    let _ = writeln!(s, "interprocedural loop depth (binary): {}D", fb.ld_bin);
+    let _ = writeln!(
+        s,
+        "fusion structure     : {} components ≥5% ops → {} after smartfuse, {} after maxfuse\n",
+        fb.components, fb.components_smartfuse, fb.components_maxfuse
+    );
+
+    // Dependence summary.
+    let a = input.analysis;
+    let mut by_kind = std::collections::BTreeMap::new();
+    for d in &a.deps {
+        *by_kind.entry(format!("{:?}", d.kind)).or_insert(0u64) += d.count;
+    }
+    let _ = writeln!(s, "dependence instances by kind (post-SCEV):");
+    for (k, n) in &by_kind {
+        let _ = writeln!(s, "  {k:<8} {n}");
+    }
+    let carried: usize = a
+        .deps
+        .iter()
+        .filter(|d| matches!(d.carried, polysched::Carried::Level(_)))
+        .count();
+    let _ = writeln!(
+        s,
+        "  {} folded relations, {} loop-carried\n",
+        a.deps.len(),
+        carried
+    );
+
+    for (i, r) in fb.regions.iter().enumerate() {
+        let _ = writeln!(s, "─── region #{}: {} ───", i + 1, r.name);
+        let _ = writeln!(
+            s,
+            "  ops {:.1}% of program | mem {:.0}% | fp {:.0}% | interprocedural: {}",
+            100.0 * r.pct_ops,
+            100.0 * r.pct_mops,
+            100.0 * r.pct_fpops,
+            if r.interproc { "yes" } else { "no" }
+        );
+        let _ = writeln!(
+            s,
+            "  parallel {:.0}% | simd {:.0}% | tilable {:.0}% ({}D band{}) | reuse {:.0}% → {:.0}%",
+            100.0 * r.pct_parallel,
+            100.0 * r.pct_simd,
+            100.0 * r.pct_tilops,
+            r.tile_depth,
+            if r.skew { ", skewed" } else { "" },
+            100.0 * r.pct_reuse,
+            100.0 * r.pct_preuse
+        );
+        let _ = writeln!(s, "  suggested transformation sequence:");
+        for (j, sug) in r.suggestions.iter().enumerate() {
+            let _ = writeln!(s, "    {}. {sug}", j + 1);
+        }
+        let _ = writeln!(s);
+    }
+
+    let _ = writeln!(s, "─── annotated AST (post-analysis loop structure) ───");
+    s.push_str(&annotated_ast(input));
+    s
+}

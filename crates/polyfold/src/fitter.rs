@@ -1,0 +1,389 @@
+//! Online affine fit-and-verify — the scalar core of the folding algorithm
+//! (companion report RR-9244; §5 of the paper).
+//!
+//! A stream of `(point, value)` samples is summarized as an affine function
+//! when one exists: the first affinely-independent samples *fix* a candidate
+//! (exact rational solve), every further sample *verifies* it. A
+//! contradiction triggers a refit with all retained samples; once the fit is
+//! uniquely determined, retained samples are dropped and any contradiction
+//! is final. Failure degrades to a `[min, max]` range — the paper's
+//! over-approximation, never a wrong answer.
+
+use polylib::linsolve::fit_affine;
+use polylib::rat::Rat;
+
+/// An affine function with rational coefficients.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RatAffine {
+    /// Per-variable coefficients.
+    pub coeffs: Vec<Rat>,
+    /// Constant term.
+    pub c: Rat,
+}
+
+impl RatAffine {
+    /// Evaluate at an integer point.
+    pub fn eval(&self, x: &[i64]) -> Rat {
+        debug_assert_eq!(x.len(), self.coeffs.len());
+        let mut acc = self.c;
+        for (a, v) in self.coeffs.iter().zip(x) {
+            acc = acc + *a * Rat::int(*v as i128);
+        }
+        acc
+    }
+
+    /// True if every coefficient and the constant are integers.
+    pub fn is_integral(&self) -> bool {
+        self.coeffs.iter().all(|a| a.is_integer()) && self.c.is_integer()
+    }
+
+    /// Convert to an integer [`polylib::AffineExpr`], if integral.
+    pub fn to_affine_expr(&self) -> Option<polylib::AffineExpr> {
+        if !self.is_integral() {
+            return None;
+        }
+        Some(polylib::AffineExpr::new(
+            self.coeffs.iter().map(|a| a.num() as i64).collect(),
+            self.c.num() as i64,
+        ))
+    }
+
+    /// Render with variable names, e.g. `cj + 0ck - 1`.
+    pub fn display(&self, names: &[&str]) -> String {
+        let mut parts = Vec::new();
+        for (i, a) in self.coeffs.iter().enumerate() {
+            if *a == Rat::ZERO {
+                continue;
+            }
+            let n = names
+                .get(i)
+                .copied()
+                .map(str::to_string)
+                .unwrap_or(format!("x{i}"));
+            if *a == Rat::ONE {
+                parts.push(n);
+            } else if *a == -Rat::ONE {
+                parts.push(format!("-{n}"));
+            } else {
+                parts.push(format!("{a}{n}"));
+            }
+        }
+        if self.c != Rat::ZERO || parts.is_empty() {
+            parts.push(self.c.to_string());
+        }
+        let mut s = String::new();
+        for (i, p) in parts.iter().enumerate() {
+            if i > 0 {
+                if p.starts_with('-') {
+                    s.push_str(" - ");
+                    s.push_str(&p[1..]);
+                    continue;
+                }
+                s.push_str(" + ");
+            }
+            s.push_str(p);
+        }
+        s
+    }
+}
+
+/// Rank of the affine sample matrix `[x | 1]` (rows = samples).
+fn affine_rank(samples: &[(Vec<i64>, i64)], dim: usize) -> usize {
+    let cols = dim + 1;
+    let mut m: Vec<Vec<Rat>> = samples
+        .iter()
+        .map(|(p, _)| {
+            let mut r: Vec<Rat> = p.iter().map(|&v| Rat::int(v as i128)).collect();
+            r.push(Rat::ONE);
+            r
+        })
+        .collect();
+    let mut rank = 0usize;
+    for col in 0..cols {
+        let Some(p) = (rank..m.len()).find(|&r| m[r][col] != Rat::ZERO) else {
+            continue;
+        };
+        m.swap(rank, p);
+        let inv = Rat::ONE / m[rank][col];
+        for v in m[rank].iter_mut() {
+            *v = *v * inv;
+        }
+        for r in 0..m.len() {
+            if r != rank && m[r][col] != Rat::ZERO {
+                let f = m[r][col];
+                for cc in 0..cols {
+                    let s = m[rank][cc] * f;
+                    m[r][cc] = m[r][cc] - s;
+                }
+            }
+        }
+        rank += 1;
+        if rank == m.len() {
+            break;
+        }
+    }
+    rank
+}
+
+/// Final classification of a folded scalar stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FitResult {
+    /// No samples were seen.
+    Empty,
+    /// All samples match this affine function exactly.
+    Affine(RatAffine),
+    /// Over-approximation: only the value range is known.
+    Range {
+        /// Minimum observed value.
+        min: i64,
+        /// Maximum observed value.
+        max: i64,
+    },
+}
+
+/// Maximum retained samples while the fit is still under-determined.
+const MAX_SAMPLES: usize = 512;
+
+/// Streaming affine fitter over points of a fixed dimension.
+#[derive(Debug, Clone)]
+pub struct OnlineAffineFitter {
+    dim: usize,
+    samples: Vec<(Vec<i64>, i64)>,
+    fit: Option<RatAffine>,
+    unique: bool,
+    failed: bool,
+    vmin: i64,
+    vmax: i64,
+    n: u64,
+}
+
+impl OnlineAffineFitter {
+    /// Fitter over `dim`-dimensional points.
+    pub fn new(dim: usize) -> Self {
+        OnlineAffineFitter {
+            dim,
+            samples: Vec::new(),
+            fit: None,
+            unique: false,
+            failed: false,
+            vmin: i64::MAX,
+            vmax: i64::MIN,
+            n: 0,
+        }
+    }
+
+    /// Number of samples pushed.
+    pub fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// True if no samples were pushed.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Feed one sample.
+    pub fn push(&mut self, x: &[i64], v: i64) {
+        debug_assert_eq!(x.len(), self.dim);
+        self.n += 1;
+        self.vmin = self.vmin.min(v);
+        self.vmax = self.vmax.max(v);
+        if self.failed {
+            return;
+        }
+        if let Some(f) = &self.fit {
+            if f.eval(x) == Rat::int(v as i128) {
+                return; // verified
+            }
+            if self.unique {
+                // A uniquely-determined fit was contradicted: non-affine.
+                self.failed = true;
+                return;
+            }
+        }
+        // (Re)fit with retained samples plus this one.
+        self.samples.push((x.to_vec(), v));
+        if self.samples.len() > MAX_SAMPLES {
+            self.failed = true;
+            self.samples.clear();
+            return;
+        }
+        match fit_affine(&self.samples) {
+            Some((coeffs, c)) => {
+                self.unique = affine_rank(&self.samples, self.dim) == self.dim + 1;
+                self.fit = Some(RatAffine { coeffs, c });
+                if self.unique {
+                    self.samples.clear();
+                    self.samples.shrink_to_fit();
+                }
+            }
+            None => {
+                self.failed = true;
+                self.samples.clear();
+            }
+        }
+    }
+
+    /// Final classification.
+    pub fn result(&self) -> FitResult {
+        if self.n == 0 {
+            return FitResult::Empty;
+        }
+        if self.failed {
+            return FitResult::Range { min: self.vmin, max: self.vmax };
+        }
+        match &self.fit {
+            Some(f) => FitResult::Affine(f.clone()),
+            None => FitResult::Range { min: self.vmin, max: self.vmax },
+        }
+    }
+
+    /// Observed value range (valid for any non-empty stream).
+    pub fn range(&self) -> (i64, i64) {
+        (self.vmin, self.vmax)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_exact_affine_stream() {
+        // v = 3i - 2j + 1 over a 5x5 grid
+        let mut f = OnlineAffineFitter::new(2);
+        for i in 0..5 {
+            for j in 0..5 {
+                f.push(&[i, j], 3 * i - 2 * j + 1);
+            }
+        }
+        let FitResult::Affine(a) = f.result() else {
+            panic!("expected affine fit");
+        };
+        assert_eq!(a.coeffs, vec![Rat::int(3), Rat::int(-2)]);
+        assert_eq!(a.c, Rat::int(1));
+        assert!(a.is_integral());
+    }
+
+    #[test]
+    fn rejects_nonaffine_with_range() {
+        let mut f = OnlineAffineFitter::new(1);
+        for i in 0..10 {
+            f.push(&[i], i * i);
+        }
+        assert_eq!(f.result(), FitResult::Range { min: 0, max: 81 });
+    }
+
+    #[test]
+    fn constant_stream_is_affine() {
+        let mut f = OnlineAffineFitter::new(2);
+        for i in 0..4 {
+            for j in 0..4 {
+                f.push(&[i, j], 7);
+            }
+        }
+        let FitResult::Affine(a) = f.result() else {
+            panic!("expected affine");
+        };
+        assert_eq!(a.eval(&[100, -3]), Rat::int(7));
+    }
+
+    /// An underdetermined fit (samples confined to a subspace) is exact on
+    /// every *observed* point even though it is not unique globally.
+    #[test]
+    fn underdetermined_fit_exact_on_observed_points() {
+        let mut f = OnlineAffineFitter::new(2);
+        let pts: Vec<[i64; 2]> = (0..4).map(|i| [i, i + 1]).collect();
+        for p in &pts {
+            f.push(p, 7);
+        }
+        let FitResult::Affine(a) = f.result() else {
+            panic!("expected affine");
+        };
+        for p in &pts {
+            assert_eq!(a.eval(p), Rat::int(7));
+        }
+    }
+
+    /// Degenerate sampling (one dim never varies) still verifies correctly
+    /// on the observed subspace, and refits on contradiction.
+    #[test]
+    fn refits_underdetermined_on_contradiction() {
+        let mut f = OnlineAffineFitter::new(2);
+        // First only j varies (i = 0): fit sees v = j.
+        for j in 0..4 {
+            f.push(&[0, j], j);
+        }
+        // Now i varies: v = 10i + j — a contradiction w.r.t. the first fit,
+        // resolved by refitting.
+        for i in 1..4 {
+            for j in 0..4 {
+                f.push(&[i, j], 10 * i + j);
+            }
+        }
+        let FitResult::Affine(a) = f.result() else {
+            panic!("expected affine after refit");
+        };
+        assert_eq!(a.coeffs, vec![Rat::int(10), Rat::int(1)]);
+    }
+
+    #[test]
+    fn contradiction_after_unique_is_final() {
+        let mut f = OnlineAffineFitter::new(1);
+        for i in 0..5 {
+            f.push(&[i], 2 * i);
+        }
+        f.push(&[5], 99);
+        assert!(matches!(f.result(), FitResult::Range { .. }));
+        // stays failed
+        f.push(&[6], 12);
+        assert!(matches!(f.result(), FitResult::Range { .. }));
+    }
+
+    #[test]
+    fn empty_and_len() {
+        let f = OnlineAffineFitter::new(3);
+        assert_eq!(f.result(), FitResult::Empty);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn zero_dim_constant() {
+        let mut f = OnlineAffineFitter::new(0);
+        f.push(&[], 4);
+        f.push(&[], 4);
+        let FitResult::Affine(a) = f.result() else {
+            panic!();
+        };
+        assert_eq!(a.c, Rat::int(4));
+        let mut g = OnlineAffineFitter::new(0);
+        g.push(&[], 4);
+        g.push(&[], 5);
+        assert_eq!(g.result(), FitResult::Range { min: 4, max: 5 });
+    }
+
+    #[test]
+    fn rational_fit_detected_as_non_integral() {
+        // v = i/2 rounded? No — feed truly half-integer-slope data v = i/2
+        // only at even i so it IS affine with coeff 1/2.
+        let mut f = OnlineAffineFitter::new(1);
+        for i in (0..10).step_by(2) {
+            f.push(&[i], i / 2);
+        }
+        let FitResult::Affine(a) = f.result() else {
+            panic!();
+        };
+        assert_eq!(a.coeffs, vec![Rat::new(1, 2)]);
+        assert!(!a.is_integral());
+        assert!(a.to_affine_expr().is_none());
+    }
+
+    #[test]
+    fn display_readable() {
+        let a = RatAffine {
+            coeffs: vec![Rat::int(1), Rat::int(0), Rat::int(-1)],
+            c: Rat::int(-1),
+        };
+        assert_eq!(a.display(&["cj", "ck", "cl"]), "cj - cl - 1");
+    }
+}

@@ -1,0 +1,574 @@
+//! # polyfold — compacting the DDG into polyhedra (paper §5)
+//!
+//! The third Poly-Prof stage: the per-context streams produced by `polyddg`
+//! (instruction points, memory accesses, dependences) are *folded* into
+//! unions of polyhedra plus affine label functions, with explicit
+//! over-approximation flags for the non-affine parts. On top of the raw
+//! fold, this crate implements:
+//!
+//! * **SCEV recognition** — statements whose produced values are affine in
+//!   their IIV (loop-counter increments, address computations) are flagged
+//!   and removed together with their dependence chains, exactly like the
+//!   paper's I5/I8 example (§5, "SCEV recognition");
+//! * **access-function folding** — addresses as affine functions of IVs,
+//!   the basis of the strided-access (`%stride 0/1`) statistics;
+//! * the Table 1 / Table 2 textual rendering of dependence streams and
+//!   folded dependence relations.
+
+pub mod fitter;
+pub mod stream;
+
+pub use fitter::{FitResult, OnlineAffineFitter, RatAffine};
+pub use stream::{FoldedDomain, FoldedStream, LabelFold, StreamFolder};
+
+use polyddg::{DepKind, FoldSink};
+use polyiiv::context::{ContextInterner, StmtId};
+use polyir::{Instr, Program};
+use std::collections::HashMap;
+
+/// A folded statement: its iteration domain plus the folded produced-value
+/// function.
+#[derive(Debug, Clone)]
+pub struct FoldedStmt {
+    /// The statement id (context + instruction).
+    pub stmt: StmtId,
+    /// Folded iteration domain.
+    pub domain: FoldedDomain,
+    /// Folded produced values (`LabelFold::Affine` ⇒ SCEV candidate).
+    pub values: LabelFold,
+    /// True once classified as a scalar-evolution statement.
+    pub is_scev: bool,
+}
+
+/// A folded memory-access relation for one statement.
+#[derive(Debug, Clone)]
+pub struct FoldedAccess {
+    /// The accessing statement.
+    pub stmt: StmtId,
+    /// Domain of accesses.
+    pub domain: FoldedDomain,
+    /// Folded address function (affine ⇒ strided access).
+    pub addr: LabelFold,
+    /// True for stores.
+    pub is_write: bool,
+}
+
+impl FoldedAccess {
+    /// The address stride along dimension `k`, if the access is affine.
+    pub fn stride(&self, k: usize) -> Option<polylib::Rat> {
+        match &self.addr {
+            LabelFold::Affine(fs) => fs.first().map(|f| f.coeffs[k]),
+            _ => None,
+        }
+    }
+}
+
+/// A folded dependence relation: dst domain + affine map to the producer.
+///
+/// Dependence streams are split by *carried class* — the index of the first
+/// coordinate where producer and consumer differ — so piecewise-affine
+/// dependences (e.g. boundary-clamped stencils) fold into a *union* of
+/// relations, one per class, instead of one big over-approximation. This is
+/// the practical form of the paper's union-of-polyhedra folding.
+#[derive(Debug, Clone)]
+pub struct FoldedDep {
+    /// Dependence kind.
+    pub kind: DepKind,
+    /// Producer statement.
+    pub src: StmtId,
+    /// Consumer statement.
+    pub dst: StmtId,
+    /// Carried class: first coordinate index where producer and consumer
+    /// coordinates differ (None = loop-independent instances).
+    pub class: Option<usize>,
+    /// Domain over the *consumer* coordinates.
+    pub domain: FoldedDomain,
+    /// Folded producer coordinates as functions of consumer coordinates.
+    pub src_map: LabelFold,
+    /// Observed per-dimension distance ranges `dst_c − src_c` (over the
+    /// common coordinate prefix) — exact facts of this execution, usable
+    /// even when the producer map is not affine.
+    pub delta: Vec<(i64, i64)>,
+}
+
+impl FoldedDep {
+    /// The affine source map, if exact.
+    pub fn affine_src_map(&self) -> Option<&[RatAffine]> {
+        match &self.src_map {
+            LabelFold::Affine(fs) => Some(fs),
+            _ => None,
+        }
+    }
+}
+
+/// The complete folded DDG.
+#[derive(Debug, Default)]
+pub struct FoldedDdg {
+    /// Folded statements, indexed by statement id.
+    pub stmts: HashMap<StmtId, FoldedStmt>,
+    /// Folded dependences.
+    pub deps: Vec<FoldedDep>,
+    /// Folded accesses per statement.
+    pub accesses: HashMap<StmtId, FoldedAccess>,
+    /// Total dynamic operations folded.
+    pub total_ops: u64,
+    /// Dynamic ops of statements removed as SCEV/control overhead (these
+    /// are affine by construction and still count toward `%Aff`).
+    pub removed_affine_ops: u64,
+}
+
+impl FoldedDdg {
+    /// Fraction of dynamic operations inside *exact* affine statement
+    /// domains with affine-or-absent labels — the paper's `%Aff` metric.
+    pub fn affine_fraction(&self) -> f64 {
+        if self.total_ops == 0 {
+            return 0.0;
+        }
+        let affine_ops: u64 = self
+            .stmts
+            .values()
+            .filter(|s| {
+                let access_affine = match self.accesses.get(&s.stmt) {
+                    Some(a) => a.addr.is_affine(),
+                    None => true,
+                };
+                s.domain.exact
+                    && !matches!(s.values, LabelFold::Range(_))
+                    && access_affine
+            })
+            .map(|s| s.domain.count)
+            .sum::<u64>()
+            + self.removed_affine_ops;
+        affine_ops as f64 / self.total_ops as f64
+    }
+
+    /// Statements currently classified as SCEV.
+    pub fn scev_stmts(&self) -> Vec<StmtId> {
+        self.stmts
+            .values()
+            .filter(|s| s.is_scev)
+            .map(|s| s.stmt)
+            .collect()
+    }
+
+    /// Remove SCEV statements and every dependence touching them (the
+    /// paper's post-fold DDG cleanup). Returns (stmts removed, deps removed).
+    pub fn remove_scevs(&mut self) -> (usize, usize) {
+        let scev: std::collections::HashSet<StmtId> =
+            self.scev_stmts().into_iter().collect();
+        self.removed_affine_ops += self
+            .stmts
+            .values()
+            .filter(|s| scev.contains(&s.stmt))
+            .map(|s| s.domain.count)
+            .sum::<u64>();
+        let before = self.deps.len();
+        self.deps
+            .retain(|d| !scev.contains(&d.src) && !scev.contains(&d.dst));
+        let deps_removed = before - self.deps.len();
+        let stmts_before = self.stmts.len();
+        self.stmts.retain(|id, _| !scev.contains(id));
+        self.accesses.retain(|id, _| !scev.contains(id));
+        (stmts_before - self.stmts.len(), deps_removed)
+    }
+
+    /// Number of *statements* after folding (what the polyhedral back-end
+    /// actually has to schedule — the paper's scalability argument).
+    pub fn n_stmts(&self) -> usize {
+        self.stmts.len()
+    }
+}
+
+/// Folding configuration (ablation knobs; defaults reproduce the paper's
+/// pipeline).
+#[derive(Debug, Clone, Copy)]
+pub struct FoldOptions {
+    /// Split dependence streams by carried class (union-of-relations
+    /// folding). Disabling it folds each (kind, src, dst) into a single
+    /// relation, which over-approximates piecewise-affine dependences — the
+    /// ablation shows how much parallelism that costs.
+    pub split_classes: bool,
+}
+
+impl Default for FoldOptions {
+    fn default() -> Self {
+        FoldOptions { split_classes: true }
+    }
+}
+
+/// The folding sink: implements the `polyddg` folding interface, folding
+/// each context's stream online.
+#[derive(Debug, Default)]
+pub struct FoldingSink {
+    stmts: HashMap<StmtId, StreamFolder>,
+    accesses: HashMap<StmtId, (StreamFolder, bool)>,
+    deps: HashMap<(DepKind, StmtId, StmtId, u8), (StreamFolder, Vec<(i64, i64)>)>,
+    total_ops: u64,
+    options: FoldOptions,
+}
+
+/// Carried-class tag for loop-independent dependences.
+const CLASS_NONE: u8 = u8::MAX;
+
+impl FoldingSink {
+    /// Fresh sink with default options.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fresh sink with explicit options (ablation studies).
+    pub fn with_options(options: FoldOptions) -> Self {
+        FoldingSink { options, ..Self::default() }
+    }
+
+    /// Finalize all folders into a [`FoldedDdg`], classifying SCEVs using
+    /// the program (only register-arithmetic instructions qualify).
+    pub fn finalize(self, prog: &Program, interner: &ContextInterner) -> FoldedDdg {
+        let mut out = FoldedDdg { total_ops: self.total_ops, ..Default::default() };
+        for (stmt, folder) in self.stmts {
+            let folded = folder.finalize();
+            let instr = prog.instr(interner.stmt_info(stmt).instr);
+            let scev_eligible = matches!(
+                instr,
+                Instr::Const { .. } | Instr::Move { .. } | Instr::IOp { .. }
+            );
+            // Compare instructions compute the branch predicate; their 0/1
+            // value sequence is never affine, but the information it carries
+            // (the loop bounds) is already captured by the folded domain —
+            // they are loop-control overhead, removable like SCEVs.
+            let is_cmp = matches!(instr, Instr::ICmp { .. } | Instr::FCmp { .. });
+            // Classic scalar-evolution recurrences — `r = r ± const` — are
+            // SCEVs along their loop even when the *global* value is only
+            // piecewise affine (e.g. an IV starting at a data-dependent
+            // lower bound). Their dependence chains are induction
+            // bookkeeping and must be ignored (paper §5).
+            let is_self_increment = matches!(
+                instr,
+                Instr::IOp {
+                    dst,
+                    op: polyir::IBinOp::Add | polyir::IBinOp::Sub,
+                    a,
+                    b,
+                } if (*a == polyir::Operand::Reg(*dst)
+                        && matches!(b, polyir::Operand::ImmI(_)))
+                    || (*b == polyir::Operand::Reg(*dst)
+                        && matches!(a, polyir::Operand::ImmI(_)))
+            );
+            let values = if is_cmp { LabelFold::None } else { folded.labels };
+            let is_scev = is_cmp
+                || is_self_increment
+                || (folded.domain.exact && scev_eligible && values.is_affine());
+            out.stmts.insert(
+                stmt,
+                FoldedStmt { stmt, domain: folded.domain, values, is_scev },
+            );
+        }
+        for (stmt, (folder, is_write)) in self.accesses {
+            let folded = folder.finalize();
+            out.accesses.insert(
+                stmt,
+                FoldedAccess { stmt, domain: folded.domain, addr: folded.labels, is_write },
+            );
+        }
+        for ((kind, src, dst, class), (folder, delta)) in self.deps {
+            let folded = folder.finalize();
+            out.deps.push(FoldedDep {
+                kind,
+                src,
+                dst,
+                class: if class == CLASS_NONE { None } else { Some(class as usize) },
+                domain: folded.domain,
+                src_map: folded.labels,
+                delta,
+            });
+        }
+        // Deterministic order for reporting.
+        out.deps.sort_by_key(|d| (d.kind, d.src, d.dst, d.class));
+        out
+    }
+}
+
+impl FoldSink for FoldingSink {
+    fn instr_point(&mut self, stmt: StmtId, coords: &[i64], value: Option<i64>) {
+        self.total_ops += 1;
+        let folder = self
+            .stmts
+            .entry(stmt)
+            .or_insert_with(|| StreamFolder::new(coords.len()));
+        match value {
+            Some(v) => folder.push(coords, Some(&[v])),
+            None => folder.push(coords, None),
+        }
+    }
+
+    fn mem_access(&mut self, stmt: StmtId, coords: &[i64], addr: u64, is_write: bool) {
+        let (folder, _) = self
+            .accesses
+            .entry(stmt)
+            .or_insert_with(|| (StreamFolder::new(coords.len()), is_write));
+        folder.push(coords, Some(&[addr as i64]));
+    }
+
+    fn dependence(
+        &mut self,
+        kind: DepKind,
+        src: StmtId,
+        src_coords: &[i64],
+        dst: StmtId,
+        dst_coords: &[i64],
+    ) {
+        let common = src_coords.len().min(dst_coords.len());
+        let class = if self.options.split_classes {
+            (0..common)
+                .find(|&i| src_coords[i] != dst_coords[i])
+                .map(|i| i as u8)
+                .unwrap_or(CLASS_NONE)
+        } else {
+            0
+        };
+        let (folder, delta) = self
+            .deps
+            .entry((kind, src, dst, class))
+            .or_insert_with(|| {
+                (StreamFolder::new(dst_coords.len()), vec![(i64::MAX, i64::MIN); common])
+            });
+        for (i, d) in delta.iter_mut().enumerate().take(common) {
+            let v = dst_coords[i] - src_coords[i];
+            d.0 = d.0.min(v);
+            d.1 = d.1.max(v);
+        }
+        folder.push(dst_coords, Some(src_coords));
+    }
+}
+
+/// Fold a whole program end-to-end: pass 1 (structure), pass 2 (DDG →
+/// folding). Returns the folded DDG, the interner, and the structure.
+pub fn fold_program(
+    prog: &Program,
+) -> (FoldedDdg, ContextInterner, polycfg::StaticStructure) {
+    let mut rec = polycfg::StructureRecorder::new();
+    polyvm::Vm::new(prog)
+        .run(&[], &mut rec)
+        .expect("pass-1 execution failed");
+    let structure = polycfg::StaticStructure::analyze(prog, rec);
+    let mut prof = polyddg::DdgProfiler::new(prog, &structure, FoldingSink::new());
+    polyvm::Vm::new(prog)
+        .run(&[], &mut prof)
+        .expect("pass-2 execution failed");
+    let (sink, interner) = prof.finish();
+    let ddg = sink.finalize(prog, &interner);
+    (ddg, interner, structure)
+}
+
+/// Render a folded dependence like the paper's Table 2 rows:
+/// polyhedron + affine producer map.
+pub fn display_dep(dep: &FoldedDep, dst_names: &[&str], src_names: &[&str]) -> String {
+    let dom = dep.domain.poly.display(dst_names);
+    let map = match &dep.src_map {
+        LabelFold::Affine(fs) => fs
+            .iter()
+            .enumerate()
+            .map(|(i, f)| {
+                format!(
+                    "{} = {}",
+                    src_names.get(i).copied().unwrap_or("?"),
+                    f.display(dst_names)
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", "),
+        LabelFold::Range(rs) => format!("approx {rs:?}"),
+        LabelFold::None => "-".into(),
+    };
+    format!("{dom}  {map}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyir::build::ProgramBuilder;
+    use polyir::IBinOp;
+
+    /// A 1-D reduction: s += a[i]. The loop-counter increment must be SCEV;
+    /// the accumulated reduction (through a register) must not.
+    #[test]
+    fn scev_recognition_on_counter() {
+        let mut pb = ProgramBuilder::new("t");
+        let base = pb.array_f64(&[1.0; 16]);
+        let mut f = pb.func("main", 0);
+        let acc = f.const_f(0.0);
+        f.for_loop("L", 0i64, 16i64, 1, |f, i| {
+            let v = f.load(base as i64, i);
+            f.fop_to(acc, polyir::FBinOp::Add, acc, v);
+        });
+        f.ret(Some(acc.into()));
+        let fid = f.finish();
+        pb.set_entry(fid);
+        let p = pb.finish();
+        let (mut ddg, interner, _) = fold_program(&p);
+        // The latch add (i = i + 1) folds to an affine value → SCEV.
+        let scevs = ddg.scev_stmts();
+        assert!(!scevs.is_empty());
+        let has_latch_add = scevs.iter().any(|s| {
+            matches!(
+                p.instr(interner.stmt_info(*s).instr),
+                Instr::IOp { op: IBinOp::Add, .. }
+            )
+        });
+        assert!(has_latch_add, "loop counter increment must be SCEV");
+        // Removing SCEVs shrinks statements and dependences.
+        let stmts_before = ddg.n_stmts();
+        let deps_before = ddg.deps.len();
+        let (sr, dr) = ddg.remove_scevs();
+        assert!(sr > 0 && dr > 0);
+        assert_eq!(ddg.n_stmts(), stmts_before - sr);
+        assert_eq!(ddg.deps.len(), deps_before - dr);
+        // The float accumulation chain (Flow through a register) survives.
+        assert!(ddg
+            .deps
+            .iter()
+            .any(|d| d.kind == DepKind::Reg), "reduction chain must survive");
+    }
+
+    /// Strided accesses fold to affine address functions: a[2i] has stride 2.
+    #[test]
+    fn access_functions_fold_with_stride() {
+        let mut pb = ProgramBuilder::new("t");
+        let base = pb.alloc(64);
+        let mut f = pb.func("main", 0);
+        f.for_loop("L", 0i64, 8i64, 1, |f, i| {
+            let off = f.mul(i, 2i64);
+            f.store(base as i64, off, i);
+        });
+        f.ret(None);
+        let fid = f.finish();
+        pb.set_entry(fid);
+        let p = pb.finish();
+        let (ddg, _, _) = fold_program(&p);
+        let store_access = ddg
+            .accesses
+            .values()
+            .find(|a| a.is_write)
+            .expect("store access folded");
+        // coords = (root, i): stride along dim 1 must be 2
+        assert_eq!(store_access.stride(1), Some(polylib::Rat::int(2)));
+        assert!(store_access.domain.exact);
+    }
+
+    /// Loop-carried dependence folds to an affine producer map with
+    /// distance 1 (the paper's I4→I4 row in Table 2).
+    #[test]
+    fn carried_dep_folds_to_affine_map() {
+        let mut pb = ProgramBuilder::new("t");
+        let base = pb.alloc(64);
+        let mut f = pb.func("main", 0);
+        f.for_loop("L", 0i64, 8i64, 1, |f, i| {
+            let prev = f.load(base as i64, i);
+            let v = f.add(prev, 1i64);
+            let i1 = f.add(i, 1i64);
+            f.store(base as i64, i1, v);
+        });
+        f.ret(None);
+        let fid = f.finish();
+        pb.set_entry(fid);
+        let p = pb.finish();
+        let (ddg, _, _) = fold_program(&p);
+        let flow = ddg
+            .deps
+            .iter()
+            .find(|d| d.kind == DepKind::Flow && d.domain.count > 1)
+            .expect("carried flow dependence folded");
+        let map = flow.affine_src_map().expect("affine producer map");
+        // producer i = consumer i - 1 on the loop dim (last component)
+        let last = map.last().unwrap();
+        assert_eq!(*last.coeffs.last().unwrap(), polylib::Rat::int(1));
+        assert_eq!(last.c, polylib::Rat::int(-1));
+        assert!(flow.domain.exact);
+        // domain lower bound is 1 on the loop dim (first iteration reads
+        // uninitialized memory → no dependence)
+        assert_eq!(*flow.domain.box_lo.last().unwrap(), 1);
+    }
+
+    /// End-to-end %Aff: a fully affine kernel is ≈ 100% affine.
+    #[test]
+    fn affine_fraction_high_for_regular_kernel() {
+        let mut pb = ProgramBuilder::new("t");
+        let a = pb.alloc(256);
+        let b = pb.alloc(256);
+        let mut f = pb.func("main", 0);
+        f.for_loop("Li", 0i64, 8i64, 1, |f, i| {
+            f.for_loop("Lj", 0i64, 8i64, 1, |f, j| {
+                let row = f.mul(i, 8i64);
+                let idx = f.add(row, j);
+                let v = f.load(a as i64, idx);
+                let w = f.fmul(v, 2.0f64);
+                f.store(b as i64, idx, w);
+            });
+        });
+        f.ret(None);
+        let fid = f.finish();
+        pb.set_entry(fid);
+        let p = pb.finish();
+        let (ddg, _, _) = fold_program(&p);
+        assert!(
+            ddg.affine_fraction() > 0.95,
+            "affine fraction was {}",
+            ddg.affine_fraction()
+        );
+    }
+
+    /// Indirection (a[b[i]]) produces non-affine access functions.
+    #[test]
+    fn indirection_is_nonaffine() {
+        let mut pb = ProgramBuilder::new("t");
+        // permutation-ish index array
+        let idx = pb.array_i64(&[3, 0, 7, 1, 6, 2, 5, 4]);
+        let data = pb.alloc(16);
+        let mut f = pb.func("main", 0);
+        f.for_loop("L", 0i64, 8i64, 1, |f, i| {
+            let k = f.load(idx as i64, i);
+            let v = f.load(data as i64, k); // indirect
+            let _ = v;
+        });
+        f.ret(None);
+        let fid = f.finish();
+        pb.set_entry(fid);
+        let p = pb.finish();
+        let (ddg, interner, _) = fold_program(&p);
+        // The indirect load's address function must be non-affine (Range).
+        let nonaffine_loads = ddg
+            .accesses
+            .values()
+            .filter(|a| {
+                !a.is_write && matches!(a.addr, LabelFold::Range(_))
+            })
+            .count();
+        assert!(nonaffine_loads >= 1, "indirect access must fold to a range");
+        let _ = interner;
+    }
+
+    #[test]
+    fn display_dep_matches_table2_format() {
+        let mut pb = ProgramBuilder::new("t");
+        let base = pb.alloc(64);
+        let mut f = pb.func("main", 0);
+        f.for_loop("L", 0i64, 8i64, 1, |f, i| {
+            let prev = f.load(base as i64, i);
+            let v = f.add(prev, 1i64);
+            let i1 = f.add(i, 1i64);
+            f.store(base as i64, i1, v);
+        });
+        f.ret(None);
+        let fid = f.finish();
+        pb.set_entry(fid);
+        let p = pb.finish();
+        let (ddg, _, _) = fold_program(&p);
+        let flow = ddg
+            .deps
+            .iter()
+            .find(|d| d.kind == DepKind::Flow && d.domain.count > 1)
+            .unwrap();
+        let s = display_dep(flow, &["c0", "ck"], &["c0'", "ck'"]);
+        assert!(s.contains("ck' = ck - 1"), "{s}");
+    }
+}

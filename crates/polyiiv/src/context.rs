@@ -1,0 +1,192 @@
+//! Context interning: splitting the dynamic IIV into its non-numeric
+//! *context* part and numeric *coordinates* (paper §5, "Folding interface").
+//!
+//! Folding operates per context, so every dynamic instruction must be mapped
+//! to a dense *statement id* keyed by (context path, static instruction).
+//! Context paths change only on loop events, so lookups are cached against
+//! [`IivTracker::version`]; per-instruction cost is then one `HashMap` probe.
+
+use crate::{CtxElem, IivTracker};
+use polyir::InstrRef;
+use std::collections::HashMap;
+
+/// Dense id of an interned context path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CtxPathId(pub u32);
+
+/// Dense id of a *statement*: one static instruction in one context path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StmtId(pub u32);
+
+/// Everything known about one statement.
+#[derive(Debug, Clone)]
+pub struct StmtInfo {
+    /// The context path the statement executes under.
+    pub path: CtxPathId,
+    /// The static instruction.
+    pub instr: InstrRef,
+    /// Number of IIV dimensions (coordinates) for this statement.
+    pub depth: usize,
+}
+
+/// Interner for context paths and statements.
+#[derive(Debug, Default)]
+pub struct ContextInterner {
+    paths: Vec<Vec<Vec<CtxElem>>>,
+    path_map: HashMap<Vec<Vec<CtxElem>>, CtxPathId>,
+    stmts: Vec<StmtInfo>,
+    stmt_map: HashMap<(CtxPathId, InstrRef), StmtId>,
+    cache: Option<(u64, CtxPathId)>,
+}
+
+impl ContextInterner {
+    /// Fresh interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern the tracker's current context path (cached by version).
+    pub fn current_path(&mut self, t: &IivTracker) -> CtxPathId {
+        if let Some((v, id)) = self.cache {
+            if v == t.version() {
+                return id;
+            }
+        }
+        let key: Vec<Vec<CtxElem>> = t.dims().iter().map(|d| d.ctx.clone()).collect();
+        let id = match self.path_map.get(&key) {
+            Some(&id) => id,
+            None => {
+                let id = CtxPathId(self.paths.len() as u32);
+                self.paths.push(key.clone());
+                self.path_map.insert(key, id);
+                id
+            }
+        };
+        self.cache = Some((t.version(), id));
+        id
+    }
+
+    /// Intern a statement (context path + instruction).
+    pub fn stmt(&mut self, path: CtxPathId, instr: InstrRef) -> StmtId {
+        match self.stmt_map.get(&(path, instr)) {
+            Some(&id) => id,
+            None => {
+                let id = StmtId(self.stmts.len() as u32);
+                let depth = self.paths[path.0 as usize].len();
+                self.stmts.push(StmtInfo { path, instr, depth });
+                self.stmt_map.insert((path, instr), id);
+                id
+            }
+        }
+    }
+
+    /// Statement lookup.
+    pub fn stmt_info(&self, s: StmtId) -> &StmtInfo {
+        &self.stmts[s.0 as usize]
+    }
+
+    /// Context path lookup: one context stack per IIV dimension.
+    pub fn path(&self, p: CtxPathId) -> &[Vec<CtxElem>] {
+        &self.paths[p.0 as usize]
+    }
+
+    /// The flattened context path (all stacks concatenated) — the spine the
+    /// schedule tree hangs this statement's subtree on.
+    pub fn flat_path(&self, p: CtxPathId) -> Vec<CtxElem> {
+        self.paths[p.0 as usize].iter().flatten().copied().collect()
+    }
+
+    /// Number of interned statements.
+    pub fn n_stmts(&self) -> usize {
+        self.stmts.len()
+    }
+
+    /// Number of interned context paths.
+    pub fn n_paths(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Iterate all statements.
+    pub fn stmts(&self) -> impl Iterator<Item = (StmtId, &StmtInfo)> {
+        self.stmts
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (StmtId(i as u32), s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polycfg::{LoopEvent, LoopIdx, LoopRef};
+    use polyir::{BlockRef, FuncId, LocalBlockId};
+
+    fn blk(f: u32, b: u32) -> BlockRef {
+        BlockRef { func: FuncId(f), block: LocalBlockId(b) }
+    }
+    fn iref(f: u32, b: u32, i: u32) -> InstrRef {
+        InstrRef { block: blk(f, b), idx: i }
+    }
+
+    #[test]
+    fn same_context_same_path() {
+        let mut t = IivTracker::new(blk(0, 0));
+        let mut int = ContextInterner::new();
+        let p1 = int.current_path(&t);
+        let l = LoopRef::Cfg(FuncId(0), LoopIdx(0));
+        t.apply(&LoopEvent::Enter { l, block: blk(0, 1) });
+        let p2 = int.current_path(&t);
+        assert_ne!(p1, p2);
+        // Iterating changes the IV but the ctx.last update is idempotent
+        // after N; the path from the same header block stays interned once.
+        t.apply(&LoopEvent::Iter { l, block: blk(0, 1) });
+        let p3 = int.current_path(&t);
+        assert_eq!(p2, p3);
+        assert_eq!(int.n_paths(), 2);
+    }
+
+    #[test]
+    fn statements_deduplicate() {
+        let t = IivTracker::new(blk(0, 0));
+        let mut int = ContextInterner::new();
+        let p = int.current_path(&t);
+        let s1 = int.stmt(p, iref(0, 0, 0));
+        let s2 = int.stmt(p, iref(0, 0, 0));
+        let s3 = int.stmt(p, iref(0, 0, 1));
+        assert_eq!(s1, s2);
+        assert_ne!(s1, s3);
+        assert_eq!(int.n_stmts(), 2);
+        assert_eq!(int.stmt_info(s1).depth, 1);
+    }
+
+    #[test]
+    fn distinct_calling_contexts_distinct_paths() {
+        // Same instruction reached through two different call sites must get
+        // two different statement ids (the CCT disambiguation property).
+        let mut t = IivTracker::new(blk(0, 0));
+        let mut int = ContextInterner::new();
+        t.apply(&LoopEvent::Call { callee: FuncId(2), block: blk(2, 0) });
+        let p_a = int.current_path(&t);
+        let s_a = int.stmt(p_a, iref(2, 0, 0));
+        t.apply(&LoopEvent::Ret(blk(0, 0)));
+        t.apply(&LoopEvent::Block(blk(0, 1)));
+        t.apply(&LoopEvent::Call { callee: FuncId(2), block: blk(2, 0) });
+        let p_b = int.current_path(&t);
+        let s_b = int.stmt(p_b, iref(2, 0, 0));
+        assert_ne!(p_a, p_b);
+        assert_ne!(s_a, s_b);
+    }
+
+    #[test]
+    fn flat_path_concatenates_dims() {
+        let mut t = IivTracker::new(blk(0, 0));
+        let mut int = ContextInterner::new();
+        let l = LoopRef::Cfg(FuncId(0), LoopIdx(0));
+        t.apply(&LoopEvent::Enter { l, block: blk(0, 1) });
+        let p = int.current_path(&t);
+        let flat = int.flat_path(p);
+        assert_eq!(flat.len(), 2); // [Loop(L), Block(header)]
+        assert!(matches!(flat[0], CtxElem::Loop(_)));
+        assert!(matches!(flat[1], CtxElem::Block(_)));
+    }
+}

@@ -1,0 +1,184 @@
+//! Kelly's mapping (paper §4, Fig. 4): the static iteration-vector template
+//! of a block, read off the decorated loop-nesting forest.
+//!
+//! For a block `b` nested in loops `L1 ⊃ L2 ⊃ …`, the Kelly vector
+//! alternates the *static index* of each enclosing region node with a
+//! canonical induction-variable slot, ending with the static index of the
+//! block itself: `[idx(L1), i1, idx(L2), i2, …, idx(b)]`. The lexicographic
+//! order of instantiated vectors is exactly the original execution order.
+
+use polycfg::{LoopForest, LoopIdx, SchedNodeKey};
+use polyir::LocalBlockId;
+
+/// One element of a Kelly vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KellyElem {
+    /// A static (scheduling) index among region siblings.
+    Static(u32),
+    /// The canonical induction variable of a loop.
+    Iv(LoopIdx),
+}
+
+/// The Kelly vector (static template) of `block` in `forest`.
+///
+/// Returns `None` if the block was never observed (no static index).
+pub fn kelly_vector(forest: &LoopForest, block: LocalBlockId) -> Option<Vec<KellyElem>> {
+    // Collect enclosing loops, innermost first, then reverse.
+    let mut chain = Vec::new();
+    let mut cur = forest.innermost(block);
+    while let Some(l) = cur {
+        chain.push(l);
+        cur = forest.info(l).parent;
+    }
+    chain.reverse();
+
+    let mut v = Vec::with_capacity(chain.len() * 2 + 1);
+    for &l in &chain {
+        v.push(KellyElem::Static(forest.static_index_of(SchedNodeKey::Loop(l))?));
+        v.push(KellyElem::Iv(l));
+    }
+    v.push(KellyElem::Static(
+        forest.static_index_of(SchedNodeKey::Block(block))?,
+    ));
+    Some(v)
+}
+
+/// Instantiate a Kelly vector with concrete IV values (one per `Iv` slot),
+/// producing the numeric iteration vector whose lexicographic order is the
+/// execution order.
+pub fn instantiate(template: &[KellyElem], ivs: &[i64]) -> Vec<i64> {
+    let mut it = ivs.iter();
+    template
+        .iter()
+        .map(|e| match e {
+            KellyElem::Static(s) => *s as i64,
+            KellyElem::Iv(_) => *it.next().expect("one IV value per Iv slot"),
+        })
+        .collect()
+}
+
+/// Render a Kelly vector like the paper's `[0, i, 0, j, 1]`, with `i`-style
+/// names for IV slots.
+pub fn display(template: &[KellyElem]) -> String {
+    const NAMES: [&str; 6] = ["i", "j", "k", "l", "m", "n"];
+    let mut depth = 0usize;
+    let parts: Vec<String> = template
+        .iter()
+        .map(|e| match e {
+            KellyElem::Static(s) => s.to_string(),
+            KellyElem::Iv(_) => {
+                let n = NAMES.get(depth).copied().unwrap_or("x").to_string();
+                depth += 1;
+                n
+            }
+        })
+        .collect();
+    format!("[{}]", parts.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn bb(i: u32) -> LocalBlockId {
+        LocalBlockId(i)
+    }
+
+    fn forest(blocks: &[u32], edges: &[(u32, u32)], entry: u32) -> LoopForest {
+        let bs: BTreeSet<LocalBlockId> = blocks.iter().map(|&b| bb(b)).collect();
+        let es: BTreeSet<(LocalBlockId, LocalBlockId)> =
+            edges.iter().map(|&(u, v)| (bb(u), bb(v))).collect();
+        LoopForest::build(&bs, &es, bb(entry))
+    }
+
+    /// Fig. 4 "fused": one 2-D nest holding S and T in the same body block
+    /// region; S's block precedes T's block in the inner loop.
+    /// CFG: 0 → 1 (Li hdr) → 2 (Lj hdr) → 3 (S) → 4 (T) → 2 (back), 4 → 1
+    /// (back), 1 → 5 (exit).
+    #[test]
+    fn fused_nest_kelly_vectors() {
+        let f = forest(
+            &[0, 1, 2, 3, 4, 5],
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 2), (4, 1), (1, 5)],
+            0,
+        );
+        let ks = kelly_vector(&f, bb(3)).unwrap();
+        let kt = kelly_vector(&f, bb(4)).unwrap();
+        // Both are [idx(Li), i, idx(Lj), j, idx(block)] — 5 elements.
+        assert_eq!(ks.len(), 5);
+        assert_eq!(kt.len(), 5);
+        // Same loops, S's block index < T's block index.
+        assert_eq!(&ks[..4], &kt[..4]);
+        let (KellyElem::Static(s_idx), KellyElem::Static(t_idx)) = (ks[4], kt[4]) else {
+            panic!("leaf elements must be static indices");
+        };
+        assert!(s_idx < t_idx, "S scheduled before T in the fused nest");
+        // Instantiation order is lexicographic execution order.
+        let a = instantiate(&ks, &[0, 1]);
+        let b = instantiate(&kt, &[0, 1]);
+        let c = instantiate(&ks, &[1, 0]);
+        assert!(a < b, "S(0,1) before T(0,1)");
+        assert!(b < c, "T(0,1) before S(1,0)");
+    }
+
+    /// Fig. 4 "fissioned": two sequential 2-D nests; every instance of the
+    /// first nest precedes every instance of the second.
+    #[test]
+    fn fissioned_nests_order() {
+        // nest A: 1(hdr) → 2(hdr') → 3(S) → 2, 3 → 1; nest B: 4 → 5 → 6(T) → 5, 6 → 4
+        let f = forest(
+            &[0, 1, 2, 3, 4, 5, 6, 7],
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 2),
+                (3, 1),
+                (1, 4),
+                (4, 5),
+                (5, 6),
+                (6, 5),
+                (6, 4),
+                (4, 7),
+            ],
+            0,
+        );
+        let ks = kelly_vector(&f, bb(3)).unwrap();
+        let kt = kelly_vector(&f, bb(6)).unwrap();
+        let (KellyElem::Static(la), KellyElem::Static(lb)) = (ks[0], kt[0]) else {
+            panic!("outer elements must be static indices");
+        };
+        assert!(la < lb, "first nest scheduled before the second");
+        // Last S instance still precedes first T instance.
+        let s_last = instantiate(&ks, &[99, 99]);
+        let t_first = instantiate(&kt, &[0, 0]);
+        assert!(s_last < t_first);
+    }
+
+    #[test]
+    fn display_uses_canonical_names() {
+        let f = forest(
+            &[0, 1, 2, 3, 4, 5],
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 2), (4, 1), (1, 5)],
+            0,
+        );
+        let k = kelly_vector(&f, bb(3)).unwrap();
+        let d = display(&k);
+        assert!(d.contains("i") && d.contains("j"), "{d}");
+        assert!(d.starts_with('[') && d.ends_with(']'));
+    }
+
+    #[test]
+    fn block_outside_loops_is_flat() {
+        let f = forest(&[0, 1], &[(0, 1)], 0);
+        let k = kelly_vector(&f, bb(1)).unwrap();
+        assert_eq!(k.len(), 1);
+    }
+
+    #[test]
+    fn unknown_block_gives_none() {
+        let f = forest(&[0, 1], &[(0, 1)], 0);
+        assert!(kelly_vector(&f, bb(9)).is_none());
+    }
+}

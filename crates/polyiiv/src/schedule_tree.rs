@@ -1,0 +1,317 @@
+//! The dynamic schedule tree (paper Figs. 3e/3j and 5) and its flame-graph
+//! rendering (Figs. 5b and 7).
+//!
+//! The schedule tree is to dynamic IIVs what the calling-context tree is to
+//! calling-context paths: a compact trie of the observed context paths, with
+//! dynamic-operation weights on every node. Poly-Prof exposes it to the user
+//! as a flame graph whose box widths are proportional to computation weight,
+//! with non-interesting (non-affine / blacklisted) regions grayed out.
+
+use crate::CtxElem;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// One node of the schedule tree.
+#[derive(Debug, Clone)]
+pub struct SchedTreeNode {
+    /// The context element this node represents (`None` only for the root).
+    pub label: Option<CtxElem>,
+    /// Children, in insertion (first-execution) order.
+    pub children: Vec<usize>,
+    /// Total dynamic weight (operation count) in this subtree.
+    pub weight: u64,
+    /// Weight attributed directly to this node (leaf statements).
+    pub self_weight: u64,
+    index: HashMap<CtxElem, usize>,
+}
+
+/// The dynamic schedule tree.
+#[derive(Debug, Clone)]
+pub struct SchedTree {
+    nodes: Vec<SchedTreeNode>,
+}
+
+impl Default for SchedTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SchedTree {
+    /// An empty tree with just the root.
+    pub fn new() -> Self {
+        SchedTree {
+            nodes: vec![SchedTreeNode {
+                label: None,
+                children: Vec::new(),
+                weight: 0,
+                self_weight: 0,
+                index: HashMap::new(),
+            }],
+        }
+    }
+
+    /// Insert (or re-weight) the path `elems`, adding `weight` to every node
+    /// along it and to the leaf's self-weight.
+    pub fn add_path(&mut self, elems: &[CtxElem], weight: u64) {
+        let mut cur = 0usize;
+        self.nodes[0].weight += weight;
+        for &e in elems {
+            let next = match self.nodes[cur].index.get(&e) {
+                Some(&n) => n,
+                None => {
+                    let n = self.nodes.len();
+                    self.nodes.push(SchedTreeNode {
+                        label: Some(e),
+                        children: Vec::new(),
+                        weight: 0,
+                        self_weight: 0,
+                        index: HashMap::new(),
+                    });
+                    self.nodes[cur].children.push(n);
+                    self.nodes[cur].index.insert(e, n);
+                    n
+                }
+            };
+            self.nodes[next].weight += weight;
+            cur = next;
+        }
+        self.nodes[cur].self_weight += weight;
+    }
+
+    /// Node accessor (0 = root).
+    pub fn node(&self, i: usize) -> &SchedTreeNode {
+        &self.nodes[i]
+    }
+
+    /// Total node count.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if only the root exists.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// Maximum depth (root = 0).
+    pub fn max_depth(&self) -> usize {
+        fn depth(t: &SchedTree, n: usize) -> usize {
+            1 + t.nodes[n]
+                .children
+                .iter()
+                .map(|&c| depth(t, c))
+                .max()
+                .unwrap_or(0)
+        }
+        depth(self, 0) - 1
+    }
+
+    /// Render in the standard *folded stacks* format consumed by flame-graph
+    /// tooling: one `a;b;c weight` line per node with self-weight.
+    pub fn render_folded(&self, name: &dyn Fn(&CtxElem) -> String) -> String {
+        let mut out = String::new();
+        let mut stack: Vec<String> = Vec::new();
+        self.fold_rec(0, &mut stack, name, &mut out);
+        out
+    }
+
+    fn fold_rec(
+        &self,
+        n: usize,
+        stack: &mut Vec<String>,
+        name: &dyn Fn(&CtxElem) -> String,
+        out: &mut String,
+    ) {
+        let node = &self.nodes[n];
+        if let Some(l) = &node.label {
+            stack.push(name(l));
+        }
+        if node.self_weight > 0 && !stack.is_empty() {
+            let _ = writeln!(out, "{} {}", stack.join(";"), node.self_weight);
+        }
+        for &c in &node.children {
+            self.fold_rec(c, stack, name, out);
+        }
+        if node.label.is_some() {
+            stack.pop();
+        }
+    }
+
+    /// Render an SVG flame graph (root at the bottom, leaves on top, width ∝
+    /// weight). `name` labels boxes; `color` returns a fill color per
+    /// element — the paper grays out non-affine/blacklisted regions.
+    pub fn render_svg(
+        &self,
+        title: &str,
+        name: &dyn Fn(&CtxElem) -> String,
+        color: &dyn Fn(&CtxElem) -> String,
+    ) -> String {
+        const W: f64 = 1200.0;
+        const ROW: f64 = 18.0;
+        let depth = self.max_depth().max(1);
+        let h = (depth as f64 + 2.0) * ROW + 30.0;
+        let total = self.nodes[0].weight.max(1) as f64;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{W}" height="{h}" font-family="monospace" font-size="11">"#
+        );
+        let _ = writeln!(
+            s,
+            r#"<text x="8" y="16" font-size="14" font-weight="bold">{}</text>"#,
+            xml_escape(title)
+        );
+        // Depth 0 row sits at the bottom.
+        self.svg_rec(0, 0.0, W, 0, h - 30.0, ROW, total, name, color, &mut s);
+        let _ = writeln!(s, "</svg>");
+        s
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn svg_rec(
+        &self,
+        n: usize,
+        x: f64,
+        width: f64,
+        depth: usize,
+        base_y: f64,
+        row: f64,
+        total: f64,
+        name: &dyn Fn(&CtxElem) -> String,
+        color: &dyn Fn(&CtxElem) -> String,
+        out: &mut String,
+    ) {
+        let node = &self.nodes[n];
+        let y = base_y - depth as f64 * row;
+        if let Some(l) = &node.label {
+            let label = name(l);
+            let fill = color(l);
+            let _ = writeln!(
+                out,
+                r#"<g><title>{} ({} ops, {:.1}%)</title><rect x="{:.2}" y="{:.2}" width="{:.2}" height="{:.2}" fill="{}" stroke="white"/>"#,
+                xml_escape(&label),
+                node.weight,
+                100.0 * node.weight as f64 / total,
+                x,
+                y - row,
+                width.max(0.5),
+                row,
+                fill
+            );
+            if width > 30.0 {
+                let max_chars = (width / 6.5) as usize;
+                let mut text = label;
+                if text.len() > max_chars {
+                    text.truncate(max_chars.saturating_sub(1));
+                    text.push('…');
+                }
+                let _ = writeln!(
+                    out,
+                    r#"<text x="{:.2}" y="{:.2}">{}</text>"#,
+                    x + 2.0,
+                    y - 5.0,
+                    xml_escape(&text)
+                );
+            }
+            let _ = writeln!(out, "</g>");
+        }
+        // Lay out children proportionally to weight.
+        let mut cx = x;
+        let wsum: u64 = node.children.iter().map(|&c| self.nodes[c].weight).sum();
+        let wsum = wsum.max(1) as f64;
+        for &c in &node.children {
+            let cw = width * (self.nodes[c].weight as f64 / wsum.max(node.weight as f64));
+            self.svg_rec(
+                c,
+                cx,
+                cw,
+                if node.label.is_some() { depth + 1 } else { depth },
+                base_y,
+                row,
+                total,
+                name,
+                color,
+                out,
+            );
+            cx += cw;
+        }
+    }
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polycfg::{LoopIdx, LoopRef};
+    use polyir::{BlockRef, FuncId};
+
+    fn b(f: u32, blk: u32) -> CtxElem {
+        CtxElem::Block(BlockRef::new(FuncId(f), blk))
+    }
+    fn l(f: u32, i: u32) -> CtxElem {
+        CtxElem::Loop(LoopRef::Cfg(FuncId(f), LoopIdx(i)))
+    }
+    fn namer(e: &CtxElem) -> String {
+        match e {
+            CtxElem::Block(br) => format!("f{}b{}", br.func.0, br.block.0),
+            CtxElem::Loop(LoopRef::Cfg(f, li)) => format!("f{}L{}", f.0, li.0),
+            CtxElem::Loop(LoopRef::Rec(c)) => format!("rec{}", c.0),
+        }
+    }
+
+    #[test]
+    fn weights_accumulate_up_the_tree() {
+        let mut t = SchedTree::new();
+        t.add_path(&[b(0, 0), l(0, 0), b(0, 1)], 10);
+        t.add_path(&[b(0, 0), l(0, 0), b(0, 2)], 5);
+        t.add_path(&[b(0, 0)], 1);
+        assert_eq!(t.node(0).weight, 16);
+        // root child = b(0,0)
+        let c0 = t.node(0).children[0];
+        assert_eq!(t.node(c0).weight, 16);
+        assert_eq!(t.node(c0).self_weight, 1);
+        assert_eq!(t.max_depth(), 3);
+    }
+
+    #[test]
+    fn shared_prefixes_merge() {
+        let mut t = SchedTree::new();
+        t.add_path(&[b(0, 0), b(1, 0)], 1);
+        t.add_path(&[b(0, 0), b(2, 0)], 1);
+        // root + b(0,0) + two leaves
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn folded_output_format() {
+        let mut t = SchedTree::new();
+        t.add_path(&[b(0, 0), l(0, 0), b(0, 1)], 42);
+        let folded = t.render_folded(&namer);
+        assert!(folded.contains("f0b0;f0L0;f0b1 42"), "{folded}");
+    }
+
+    #[test]
+    fn svg_contains_boxes_and_title() {
+        let mut t = SchedTree::new();
+        t.add_path(&[b(0, 0), l(0, 0), b(0, 1)], 100);
+        t.add_path(&[b(0, 0), b(0, 3)], 25);
+        let svg = t.render_svg("backprop", &namer, &|_| "#e66".into());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("backprop"));
+        assert!(svg.matches("<rect").count() >= 4);
+        assert!(svg.contains("100 ops"));
+    }
+
+    #[test]
+    fn empty_tree_is_fine() {
+        let t = SchedTree::new();
+        assert!(t.is_empty());
+        assert_eq!(t.max_depth(), 0);
+        let svg = t.render_svg("empty", &namer, &|_| "#ccc".into());
+        assert!(svg.contains("</svg>"));
+    }
+}

@@ -1,0 +1,126 @@
+//! Textual dump of [`Program`]s — the `objdump`-style view the paper's
+//! feedback maps back to. Useful for debugging workloads and in reports.
+
+use crate::*;
+use std::fmt::Write as _;
+
+fn op_str(o: &Operand) -> String {
+    match o {
+        Operand::Reg(r) => format!("r{}", r.0),
+        Operand::ImmI(v) => format!("{v}"),
+        Operand::ImmF(v) => format!("{v:?}"),
+    }
+}
+
+fn instr_str(p: &Program, i: &Instr) -> String {
+    match i {
+        Instr::Const { dst, value } => format!("r{} = const {}", dst.0, value),
+        Instr::Move { dst, src } => format!("r{} = {}", dst.0, op_str(src)),
+        Instr::IOp { dst, op, a, b } => {
+            format!("r{} = {:?}.i {}, {}", dst.0, op, op_str(a), op_str(b))
+        }
+        Instr::FOp { dst, op, a, b } => {
+            format!("r{} = {:?}.f {}, {}", dst.0, op, op_str(a), op_str(b))
+        }
+        Instr::ICmp { dst, op, a, b } => {
+            format!("r{} = cmp.{:?}.i {}, {}", dst.0, op, op_str(a), op_str(b))
+        }
+        Instr::FCmp { dst, op, a, b } => {
+            format!("r{} = cmp.{:?}.f {}, {}", dst.0, op, op_str(a), op_str(b))
+        }
+        Instr::Un { dst, op, a } => format!("r{} = {:?} {}", dst.0, op, op_str(a)),
+        Instr::Load { dst, base, offset } => {
+            format!("r{} = load [{} + {}]", dst.0, op_str(base), op_str(offset))
+        }
+        Instr::Store { base, offset, src } => {
+            format!("store [{} + {}] = {}", op_str(base), op_str(offset), op_str(src))
+        }
+        Instr::Call { dst, func, args } => {
+            let args = args.iter().map(op_str).collect::<Vec<_>>().join(", ");
+            let name = &p.func(*func).name;
+            match dst {
+                Some(d) => format!("r{} = call {name}({args})", d.0),
+                None => format!("call {name}({args})"),
+            }
+        }
+    }
+}
+
+fn term_str(t: &Terminator) -> String {
+    match t {
+        Terminator::Jump(b) => format!("jump b{}", b.0),
+        Terminator::Br { cond, then_, else_ } => {
+            format!("br {} ? b{} : b{}", op_str(cond), then_.0, else_.0)
+        }
+        Terminator::Ret(Some(v)) => format!("ret {}", op_str(v)),
+        Terminator::Ret(None) => "ret".into(),
+        Terminator::Unreachable => "unreachable".into(),
+    }
+}
+
+/// Render the whole program as pseudo-assembly text.
+pub fn dump_program(p: &Program) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "; program {}", p.name);
+    for (fi, f) in p.funcs.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "\nfunc {} (f{fi}, {} params, {} regs)  ; {}",
+            f.name, f.n_params, f.n_regs, f.src_file
+        );
+        for (bi, b) in f.blocks.iter().enumerate() {
+            let _ = writeln!(s, "  b{bi} <{}>  ; line {}", b.name, b.src_line);
+            for i in &b.instrs {
+                let _ = writeln!(s, "    {}", instr_str(p, i));
+            }
+            let _ = writeln!(s, "    {}", term_str(&b.term));
+        }
+    }
+    s
+}
+
+/// Render one instruction (by reference) as text.
+pub fn dump_instr(p: &Program, i: InstrRef) -> String {
+    instr_str(p, p.instr(i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::ProgramBuilder;
+
+    #[test]
+    fn dump_contains_expected_mnemonics() {
+        let mut pb = ProgramBuilder::new("d");
+        let base = pb.array_f64(&[0.0; 4]);
+        let mut f = pb.func("main", 0);
+        f.for_loop("L", 0i64, 4i64, 1, |f, i| {
+            let v = f.load(base as i64, i);
+            let w = f.fmul(v, 2.0f64);
+            f.store(base as i64, i, w);
+        });
+        f.ret(None);
+        let fid = f.finish();
+        pb.set_entry(fid);
+        let p = pb.finish();
+        let text = dump_program(&p);
+        assert!(text.contains("load ["));
+        assert!(text.contains("store ["));
+        assert!(text.contains("Mul.f"));
+        assert!(text.contains("br "));
+        assert!(text.contains("func main"));
+    }
+
+    #[test]
+    fn dump_instr_by_ref() {
+        let mut pb = ProgramBuilder::new("d");
+        let mut f = pb.func("main", 0);
+        let r = f.const_i(42);
+        f.ret(Some(r.into()));
+        let fid = f.finish();
+        pb.set_entry(fid);
+        let p = pb.finish();
+        let iref = InstrRef { block: BlockRef::new(fid, 0), idx: 0 };
+        assert!(dump_instr(&p, iref).contains("const 42"));
+    }
+}

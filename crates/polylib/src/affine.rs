@@ -1,0 +1,188 @@
+//! Affine expressions `Σ aᵢ·xᵢ + c` with integer coefficients.
+//!
+//! These appear in three roles across the pipeline: folded *label functions*
+//! (the value / producer-coordinate an instruction yields as a function of
+//! its iteration vector), folded *loop bounds* (affine in outer dimensions),
+//! and *access functions* (addresses as affine functions of IVs — the SCEVs
+//! of §5).
+
+use crate::rat::Rat;
+use std::fmt;
+
+/// An affine expression over `n` variables: `coeffs · x + c`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AffineExpr {
+    /// Per-variable integer coefficients.
+    pub coeffs: Vec<i64>,
+    /// Constant term.
+    pub c: i64,
+}
+
+impl AffineExpr {
+    /// The constant expression `c` over `n` variables.
+    pub fn constant(n: usize, c: i64) -> AffineExpr {
+        AffineExpr { coeffs: vec![0; n], c }
+    }
+
+    /// The variable `xᵢ` over `n` variables.
+    pub fn var(n: usize, i: usize) -> AffineExpr {
+        let mut coeffs = vec![0; n];
+        coeffs[i] = 1;
+        AffineExpr { coeffs, c: 0 }
+    }
+
+    /// Build from parts.
+    pub fn new(coeffs: Vec<i64>, c: i64) -> AffineExpr {
+        AffineExpr { coeffs, c }
+    }
+
+    /// Number of variables.
+    pub fn dim(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Evaluate at an integer point.
+    pub fn eval(&self, x: &[i64]) -> i64 {
+        debug_assert_eq!(x.len(), self.coeffs.len());
+        let mut acc = self.c as i128;
+        for (a, v) in self.coeffs.iter().zip(x) {
+            acc += *a as i128 * *v as i128;
+        }
+        acc as i64
+    }
+
+    /// Evaluate at a rational point.
+    pub fn eval_rat(&self, x: &[Rat]) -> Rat {
+        let mut acc = Rat::int(self.c as i128);
+        for (a, v) in self.coeffs.iter().zip(x) {
+            acc = acc + Rat::int(*a as i128) * *v;
+        }
+        acc
+    }
+
+    /// True if all variable coefficients are zero.
+    pub fn is_constant(&self) -> bool {
+        self.coeffs.iter().all(|&a| a == 0)
+    }
+
+    /// Pointwise sum.
+    pub fn add(&self, o: &AffineExpr) -> AffineExpr {
+        debug_assert_eq!(self.dim(), o.dim());
+        AffineExpr {
+            coeffs: self
+                .coeffs
+                .iter()
+                .zip(&o.coeffs)
+                .map(|(a, b)| a + b)
+                .collect(),
+            c: self.c + o.c,
+        }
+    }
+
+    /// Pointwise difference.
+    pub fn sub(&self, o: &AffineExpr) -> AffineExpr {
+        debug_assert_eq!(self.dim(), o.dim());
+        AffineExpr {
+            coeffs: self
+                .coeffs
+                .iter()
+                .zip(&o.coeffs)
+                .map(|(a, b)| a - b)
+                .collect(),
+            c: self.c - o.c,
+        }
+    }
+
+    /// Scale by an integer.
+    pub fn scale(&self, k: i64) -> AffineExpr {
+        AffineExpr { coeffs: self.coeffs.iter().map(|a| a * k).collect(), c: self.c * k }
+    }
+
+    /// Extend with zero coefficients to `n` variables.
+    pub fn extended(&self, n: usize) -> AffineExpr {
+        assert!(n >= self.dim());
+        let mut coeffs = self.coeffs.clone();
+        coeffs.resize(n, 0);
+        AffineExpr { coeffs, c: self.c }
+    }
+
+    /// Render with variable names `names` (falling back to `x0…`).
+    pub fn display(&self, names: &[&str]) -> String {
+        let mut parts = Vec::new();
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            if a == 0 {
+                continue;
+            }
+            let name = names.get(i).copied().map(str::to_string).unwrap_or(format!("x{i}"));
+            parts.push(match a {
+                1 => name,
+                -1 => format!("-{name}"),
+                _ => format!("{a}{name}"),
+            });
+        }
+        if self.c != 0 || parts.is_empty() {
+            parts.push(self.c.to_string());
+        }
+        let mut s = String::new();
+        for (i, p) in parts.iter().enumerate() {
+            if i > 0 && !p.starts_with('-') {
+                s.push_str(" + ");
+            } else if i > 0 {
+                s.push_str(" ");
+            }
+            s.push_str(p);
+        }
+        s
+    }
+}
+
+impl fmt::Display for AffineExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.display(&[]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_basic() {
+        // 2x + 3y - 1
+        let e = AffineExpr::new(vec![2, 3], -1);
+        assert_eq!(e.eval(&[1, 1]), 4);
+        assert_eq!(e.eval(&[0, 0]), -1);
+        assert_eq!(e.eval(&[-2, 5]), 10);
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        let a = AffineExpr::new(vec![1, 0], 2);
+        let b = AffineExpr::new(vec![0, 1], -2);
+        assert_eq!(a.add(&b), AffineExpr::new(vec![1, 1], 0));
+        assert_eq!(a.sub(&b), AffineExpr::new(vec![1, -1], 4));
+        assert_eq!(a.scale(3), AffineExpr::new(vec![3, 0], 6));
+    }
+
+    #[test]
+    fn constructors() {
+        assert!(AffineExpr::constant(3, 7).is_constant());
+        let v = AffineExpr::var(3, 1);
+        assert_eq!(v.eval(&[9, 4, 2]), 4);
+        assert_eq!(v.extended(5).dim(), 5);
+    }
+
+    #[test]
+    fn display_pretty() {
+        let e = AffineExpr::new(vec![1, -1, 0], 3);
+        assert_eq!(e.display(&["cj", "ck", "cl"]), "cj -ck + 3");
+        assert_eq!(AffineExpr::constant(2, 0).display(&[]), "0");
+    }
+
+    #[test]
+    fn eval_rat_matches_int() {
+        let e = AffineExpr::new(vec![2, -5], 7);
+        let r = e.eval_rat(&[Rat::int(3), Rat::int(2)]);
+        assert_eq!(r, Rat::int(e.eval(&[3, 2]) as i128));
+    }
+}

@@ -1,0 +1,29 @@
+//! # polylib — a compact integer-set library (the paper's isl substitute)
+//!
+//! Poly-Prof leans on isl for representing folded iteration domains and
+//! dependence relations and on rational linear algebra for affine fitting.
+//! This crate provides exactly that subset, self-contained:
+//!
+//! * [`rat::Rat`] — exact rational arithmetic over `i128`;
+//! * [`affine::AffineExpr`] — affine forms `Σ aᵢ·xᵢ + c`;
+//! * [`poly::Polyhedron`] — conjunctions of affine inequalities with
+//!   Fourier–Motzkin projection, emptiness, affine min/max, membership and
+//!   (small-domain) integer point counting;
+//! * [`poly::UnionPoly`] — finite unions of polyhedra;
+//! * [`linsolve`] — rational Gaussian elimination, used by the folding
+//!   stage to fit affine label functions and loop bounds.
+//!
+//! Soundness posture: emptiness and min/max answer over the *rational
+//! relaxation*, which is conservative for the legality questions the
+//! scheduler asks (a dependence that only exists rationally is treated as
+//! real, never the other way around).
+
+pub mod affine;
+pub mod linsolve;
+pub mod poly;
+pub mod rat;
+
+pub use affine::AffineExpr;
+pub use linsolve::solve_rational;
+pub use poly::{Bound, Constraint, Polyhedron, UnionPoly};
+pub use rat::Rat;

@@ -1,0 +1,189 @@
+//! Rational Gaussian elimination — the fit half of the folding stage's
+//! fit-and-verify affine recognition.
+//!
+//! Given sample rows `(x, y)` the folding stage asks: is there an affine
+//! function `f(x) = a·x + b` matching all samples? [`fit_affine`] solves the
+//! induced linear system exactly over rationals; the caller then *verifies*
+//! the candidate on every further point.
+
+use crate::rat::Rat;
+
+/// Solve `A x = b` over the rationals (A is `rows × cols`, row-major).
+///
+/// Returns one solution if the system is consistent (free variables are set
+/// to zero), `None` if inconsistent.
+pub fn solve_rational(a: &[Vec<Rat>], b: &[Rat]) -> Option<Vec<Rat>> {
+    let rows = a.len();
+    if rows == 0 {
+        return Some(Vec::new());
+    }
+    let cols = a[0].len();
+    // Augmented matrix.
+    let mut m: Vec<Vec<Rat>> = a
+        .iter()
+        .zip(b)
+        .map(|(row, &rhs)| {
+            assert_eq!(row.len(), cols, "ragged matrix");
+            let mut r = row.clone();
+            r.push(rhs);
+            r
+        })
+        .collect();
+
+    let mut pivot_of_col: Vec<Option<usize>> = vec![None; cols];
+    let mut rank = 0usize;
+    for col in 0..cols {
+        // Find a pivot.
+        let Some(p) = (rank..rows).find(|&r| m[r][col] != Rat::ZERO) else {
+            continue;
+        };
+        m.swap(rank, p);
+        let inv = Rat::ONE / m[rank][col];
+        for v in m[rank].iter_mut() {
+            *v = *v * inv;
+        }
+        for r in 0..rows {
+            if r != rank && m[r][col] != Rat::ZERO {
+                let f = m[r][col];
+                for cc in 0..=cols {
+                    let sub = m[rank][cc] * f;
+                    m[r][cc] = m[r][cc] - sub;
+                }
+            }
+        }
+        pivot_of_col[col] = Some(rank);
+        rank += 1;
+        if rank == rows {
+            break;
+        }
+    }
+    // Inconsistency: zero row with non-zero rhs.
+    for r in rank..rows {
+        if m[r][..cols].iter().all(|&v| v == Rat::ZERO) && m[r][cols] != Rat::ZERO {
+            return None;
+        }
+    }
+    let mut x = vec![Rat::ZERO; cols];
+    for (col, p) in pivot_of_col.iter().enumerate() {
+        if let Some(r) = p {
+            x[col] = m[*r][cols];
+        }
+    }
+    Some(x)
+}
+
+/// Fit an affine function `f(p) = a·p + b` through integer samples
+/// `(point, value)`. Returns `(a, b)` if a consistent affine fit exists for
+/// *all* given samples, `None` otherwise.
+pub fn fit_affine(samples: &[(Vec<i64>, i64)]) -> Option<(Vec<Rat>, Rat)> {
+    let Some((first, _)) = samples.first() else {
+        return None;
+    };
+    let d = first.len();
+    let a: Vec<Vec<Rat>> = samples
+        .iter()
+        .map(|(p, _)| {
+            let mut row: Vec<Rat> = p.iter().map(|&v| Rat::int(v as i128)).collect();
+            row.push(Rat::ONE); // the constant column
+            row
+        })
+        .collect();
+    let b: Vec<Rat> = samples.iter().map(|&(_, v)| Rat::int(v as i128)).collect();
+    let sol = solve_rational(&a, &b)?;
+    // Verify every sample (solve_rational guarantees consistency already,
+    // but keep the check cheap and explicit).
+    for (p, v) in samples {
+        let mut acc = sol[d];
+        for (i, &x) in p.iter().enumerate() {
+            acc = acc + sol[i] * Rat::int(x as i128);
+        }
+        if acc != Rat::int(*v as i128) {
+            return None;
+        }
+    }
+    Some((sol[..d].to_vec(), sol[d]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(v: i128) -> Rat {
+        Rat::int(v)
+    }
+
+    #[test]
+    fn solves_square_system() {
+        // x + y = 3, x - y = 1  →  x = 2, y = 1
+        let a = vec![vec![r(1), r(1)], vec![r(1), r(-1)]];
+        let b = vec![r(3), r(1)];
+        assert_eq!(solve_rational(&a, &b), Some(vec![r(2), r(1)]));
+    }
+
+    #[test]
+    fn detects_inconsistency() {
+        // x + y = 1, x + y = 2
+        let a = vec![vec![r(1), r(1)], vec![r(1), r(1)]];
+        let b = vec![r(1), r(2)];
+        assert_eq!(solve_rational(&a, &b), None);
+    }
+
+    #[test]
+    fn underdetermined_picks_zero_free_vars() {
+        // x + y = 4 with y free → x = 4, y = 0
+        let a = vec![vec![r(1), r(1)]];
+        let b = vec![r(4)];
+        assert_eq!(solve_rational(&a, &b), Some(vec![r(4), r(0)]));
+    }
+
+    #[test]
+    fn rational_solution() {
+        // 2x = 1 → x = 1/2
+        let a = vec![vec![r(2)]];
+        let b = vec![r(1)];
+        assert_eq!(solve_rational(&a, &b), Some(vec![Rat::new(1, 2)]));
+    }
+
+    #[test]
+    fn fit_affine_exact() {
+        // f(i, j) = 3i - 2j + 5
+        let f = |i: i64, j: i64| 3 * i - 2 * j + 5;
+        let samples: Vec<(Vec<i64>, i64)> = [(0, 0), (1, 0), (0, 1), (2, 3), (7, 7)]
+            .iter()
+            .map(|&(i, j)| (vec![i, j], f(i, j)))
+            .collect();
+        let (coeffs, c) = fit_affine(&samples).unwrap();
+        assert_eq!(coeffs, vec![r(3), r(-2)]);
+        assert_eq!(c, r(5));
+    }
+
+    #[test]
+    fn fit_affine_rejects_nonaffine() {
+        // f(i) = i²
+        let samples: Vec<(Vec<i64>, i64)> =
+            (0..5).map(|i| (vec![i], i * i)).collect();
+        assert_eq!(fit_affine(&samples), None);
+    }
+
+    #[test]
+    fn fit_affine_constant() {
+        let samples: Vec<(Vec<i64>, i64)> = (0..4).map(|i| (vec![i], 7)).collect();
+        let (coeffs, c) = fit_affine(&samples).unwrap();
+        assert_eq!(coeffs, vec![r(0)]);
+        assert_eq!(c, r(7));
+    }
+
+    #[test]
+    fn fit_affine_empty_is_none() {
+        assert_eq!(fit_affine(&[]), None);
+    }
+
+    #[test]
+    fn fit_single_point_is_constant() {
+        let (coeffs, c) = fit_affine(&[(vec![3, 4], 9)]).unwrap();
+        // One sample: free coefficients default to 0, constant picks up
+        // whatever the pivot chose — verify the fit holds.
+        let acc = coeffs[0] * r(3) + coeffs[1] * r(4) + c;
+        assert_eq!(acc, r(9));
+    }
+}

@@ -1,0 +1,192 @@
+//! Exact rational numbers over `i128`, normalized (gcd-reduced, positive
+//! denominator). Panics on overflow in debug builds; the library keeps
+//! magnitudes small by normalizing constraints after every operation.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// Greatest common divisor (non-negative).
+pub fn gcd(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// A normalized rational number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rat {
+    num: i128,
+    den: i128,
+}
+
+impl Rat {
+    /// Zero.
+    pub const ZERO: Rat = Rat { num: 0, den: 1 };
+    /// One.
+    pub const ONE: Rat = Rat { num: 1, den: 1 };
+
+    /// Construct `num/den`; panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Rat {
+        assert!(den != 0, "zero denominator");
+        let sign = if den < 0 { -1 } else { 1 };
+        let g = gcd(num, den).max(1);
+        Rat { num: sign * num / g, den: sign * den / g }
+    }
+
+    /// From an integer.
+    pub fn int(v: i128) -> Rat {
+        Rat { num: v, den: 1 }
+    }
+
+    /// Numerator (normalized).
+    pub fn num(&self) -> i128 {
+        self.num
+    }
+
+    /// Denominator (normalized, > 0).
+    pub fn den(&self) -> i128 {
+        self.den
+    }
+
+    /// True iff this is an integer.
+    pub fn is_integer(&self) -> bool {
+        self.den == 1
+    }
+
+    /// Truncate toward negative infinity.
+    pub fn floor(&self) -> i128 {
+        self.num.div_euclid(self.den)
+    }
+
+    /// Round toward positive infinity.
+    pub fn ceil(&self) -> i128 {
+        -((-self.num).div_euclid(self.den))
+    }
+
+    /// Sign: -1, 0, or 1.
+    pub fn signum(&self) -> i32 {
+        self.num.signum() as i32
+    }
+
+    /// Approximate as f64 (display / heuristics only).
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+}
+
+impl Add for Rat {
+    type Output = Rat;
+    fn add(self, o: Rat) -> Rat {
+        Rat::new(self.num * o.den + o.num * self.den, self.den * o.den)
+    }
+}
+
+impl Sub for Rat {
+    type Output = Rat;
+    fn sub(self, o: Rat) -> Rat {
+        Rat::new(self.num * o.den - o.num * self.den, self.den * o.den)
+    }
+}
+
+impl Mul for Rat {
+    type Output = Rat;
+    fn mul(self, o: Rat) -> Rat {
+        Rat::new(self.num * o.num, self.den * o.den)
+    }
+}
+
+impl Div for Rat {
+    type Output = Rat;
+    fn div(self, o: Rat) -> Rat {
+        assert!(o.num != 0, "division by zero rational");
+        Rat::new(self.num * o.den, self.den * o.num)
+    }
+}
+
+impl Neg for Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        Rat { num: -self.num, den: self.den }
+    }
+}
+
+impl PartialOrd for Rat {
+    fn partial_cmp(&self, o: &Rat) -> Option<Ordering> {
+        Some(self.cmp(o))
+    }
+}
+
+impl Ord for Rat {
+    fn cmp(&self, o: &Rat) -> Ordering {
+        (self.num * o.den).cmp(&(o.num * self.den))
+    }
+}
+
+impl fmt::Display for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl From<i64> for Rat {
+    fn from(v: i64) -> Rat {
+        Rat::int(v as i128)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization() {
+        assert_eq!(Rat::new(2, 4), Rat::new(1, 2));
+        assert_eq!(Rat::new(-2, -4), Rat::new(1, 2));
+        assert_eq!(Rat::new(2, -4), Rat::new(-1, 2));
+        assert_eq!(Rat::new(0, 5), Rat::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Rat::new(1, 2);
+        let b = Rat::new(1, 3);
+        assert_eq!(a + b, Rat::new(5, 6));
+        assert_eq!(a - b, Rat::new(1, 6));
+        assert_eq!(a * b, Rat::new(1, 6));
+        assert_eq!(a / b, Rat::new(3, 2));
+        assert_eq!(-a, Rat::new(-1, 2));
+    }
+
+    #[test]
+    fn ordering_and_rounding() {
+        assert!(Rat::new(1, 3) < Rat::new(1, 2));
+        assert!(Rat::int(-1) < Rat::ZERO);
+        assert_eq!(Rat::new(7, 2).floor(), 3);
+        assert_eq!(Rat::new(7, 2).ceil(), 4);
+        assert_eq!(Rat::new(-7, 2).floor(), -4);
+        assert_eq!(Rat::new(-7, 2).ceil(), -3);
+        assert_eq!(Rat::int(5).floor(), 5);
+        assert_eq!(Rat::int(5).ceil(), 5);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Rat::new(3, 1).to_string(), "3");
+        assert_eq!(Rat::new(-1, 2).to_string(), "-1/2");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Rat::new(1, 0);
+    }
+}

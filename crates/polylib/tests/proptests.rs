@@ -1,0 +1,166 @@
+//! Property tests for the polyhedral substrate: Fourier–Motzkin soundness,
+//! projection correctness, counting/specialization agreement, and rational
+//! arithmetic laws.
+
+use polylib::{AffineExpr, Bound, Polyhedron, Rat};
+use proptest::prelude::*;
+
+/// A random small polyhedron in 2 variables built from bound constraints
+/// plus one random half-space, guaranteed non-degenerate coefficients.
+fn small_poly() -> impl Strategy<Value = Polyhedron> {
+    (
+        -4i64..4,
+        1i64..6,
+        -4i64..4,
+        1i64..6,
+        -2i64..=2,
+        -2i64..=2,
+        -8i64..=8,
+    )
+        .prop_map(|(l0, e0, l1, e1, a, b, c)| {
+            let mut p = Polyhedron::universe(2);
+            p.add_var_bounds(
+                0,
+                &AffineExpr::constant(2, l0),
+                &AffineExpr::constant(2, l0 + e0),
+            );
+            p.add_var_bounds(
+                1,
+                &AffineExpr::constant(2, l1),
+                &AffineExpr::constant(2, l1 + e1),
+            );
+            p.add_ge(&AffineExpr::new(vec![a, b], c));
+            p
+        })
+}
+
+proptest! {
+    /// Emptiness is consistent with exhaustive membership over the box.
+    #[test]
+    fn emptiness_agrees_with_enumeration(p in small_poly()) {
+        let mut any = false;
+        for x in -12..12 {
+            for y in -12..12 {
+                if p.contains(&[x, y]) {
+                    any = true;
+                }
+            }
+        }
+        if any {
+            prop_assert!(!p.is_empty(), "found integer points but is_empty()");
+        }
+        // (rational-nonempty with no integer points is allowed: is_empty is
+        // a rational relaxation)
+    }
+
+    /// count_points equals brute-force enumeration.
+    #[test]
+    fn counting_agrees_with_enumeration(p in small_poly()) {
+        let mut n = 0u64;
+        for x in -12..12 {
+            for y in -12..12 {
+                if p.contains(&[x, y]) {
+                    n += 1;
+                }
+            }
+        }
+        if let Some(c) = p.count_points(100_000) {
+            prop_assert_eq!(c, n);
+        }
+    }
+
+    /// Extrema bound every contained point's value of a random affine form.
+    #[test]
+    fn extrema_sound(p in small_poly(), a in -3i64..=3, b in -3i64..=3, c in -5i64..=5) {
+        let f = AffineExpr::new(vec![a, b], c);
+        let min = p.min_of(&f);
+        let max = p.max_of(&f);
+        for x in -12..12 {
+            for y in -12..12 {
+                if p.contains(&[x, y]) {
+                    let v = Rat::int(f.eval(&[x, y]) as i128);
+                    match min {
+                        Bound::Finite(m) => prop_assert!(m <= v, "min {m} > value {v}"),
+                        Bound::Empty => prop_assert!(false, "point in 'empty' polyhedron"),
+                        Bound::Unbounded => {}
+                    }
+                    match max {
+                        Bound::Finite(m) => prop_assert!(m >= v),
+                        Bound::Empty => prop_assert!(false),
+                        Bound::Unbounded => {}
+                    }
+                }
+            }
+        }
+    }
+
+    /// Projection (eliminate) is an over-approximation of the shadow: any
+    /// contained point stays contained after eliminating a variable.
+    #[test]
+    fn elimination_preserves_membership(p in small_poly()) {
+        let q = p.eliminate(1);
+        for x in -12..12 {
+            for y in -12..12 {
+                if p.contains(&[x, y]) {
+                    prop_assert!(q.contains(&[x, y]), "projection lost ({x},{y})");
+                    // and the projected var is now free
+                    prop_assert!(q.contains(&[x, 999]));
+                }
+            }
+        }
+    }
+
+    /// Specialization commutes with membership.
+    #[test]
+    fn specialize_matches_membership(p in small_poly(), v in -10i64..10) {
+        let s = p.specialize(0, v);
+        for y in -12..12 {
+            prop_assert_eq!(p.contains(&[v, y]), s.contains(&[v, y]));
+            // the specialized polyhedron ignores coordinate 0
+            prop_assert_eq!(s.contains(&[v, y]), s.contains(&[12345, y]));
+        }
+    }
+
+    /// Rational arithmetic: field laws on random small fractions.
+    #[test]
+    fn rat_field_laws(
+        an in -20i128..20, ad in 1i128..10,
+        bn in -20i128..20, bd in 1i128..10,
+        cn in -20i128..20, cd in 1i128..10,
+    ) {
+        let a = Rat::new(an, ad);
+        let b = Rat::new(bn, bd);
+        let c = Rat::new(cn, cd);
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!((a + b) + c, a + (b + c));
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+        prop_assert_eq!(a - a, Rat::ZERO);
+        if b != Rat::ZERO {
+            prop_assert_eq!((a / b) * b, a);
+        }
+        // floor/ceil sandwich
+        prop_assert!(Rat::int(a.floor()) <= a);
+        prop_assert!(Rat::int(a.ceil()) >= a);
+    }
+
+    /// Affine fit round-trip through the solver used by folding.
+    #[test]
+    fn fit_affine_roundtrip(
+        a in -5i64..=5, b in -5i64..=5, c in -50i64..=50,
+        pts in proptest::collection::vec((-10i64..10, -10i64..10), 3..20),
+    ) {
+        let samples: Vec<(Vec<i64>, i64)> = pts
+            .iter()
+            .map(|&(x, y)| (vec![x, y], a * x + b * y + c))
+            .collect();
+        let (coeffs, cc) = polylib::linsolve::fit_affine(&samples)
+            .expect("affine data always fits");
+        for (p, v) in &samples {
+            let mut acc = cc;
+            for (i, &x) in p.iter().enumerate() {
+                acc = acc + coeffs[i] * Rat::int(x as i128);
+            }
+            prop_assert_eq!(acc, Rat::int(*v as i128));
+        }
+    }
+}

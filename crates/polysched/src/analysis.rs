@@ -1,0 +1,493 @@
+//! Structured-transformation analysis — the Pluto-style reasoning of the
+//! paper's stage 4: per-loop parallelism, permutable bands (tilability),
+//! skew detection, and fusion structure.
+
+use crate::deps::{Carried, DepDist};
+use crate::nest::NestForest;
+use polyfold::FoldedDdg;
+use polyiiv::context::StmtId;
+use polylib::Rat;
+use std::collections::HashMap;
+
+/// Per-loop-node legality summary.
+#[derive(Debug, Clone, Default)]
+pub struct NodeInfo {
+    /// Dependences whose shared chain includes this node (indices into the
+    /// analysis' dep list).
+    pub deps: Vec<usize>,
+    /// No dependence is carried at this node's dimension → the loop is
+    /// parallel in place (`OMP PARALLEL DO` legal).
+    pub parallel: bool,
+    /// Every dependence under this node has distance exactly 0 at this
+    /// dimension → the loop can be moved anywhere in its band, including
+    /// innermost (SIMD) or outermost (coarse parallel).
+    pub zero_dist: bool,
+    /// Number of dependences carried exactly here.
+    pub carried_here: usize,
+}
+
+/// A permutable band found in a nest chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Band {
+    /// First coordinate dimension of the band (1-based).
+    pub start: usize,
+    /// Number of consecutive permutable dimensions.
+    pub len: usize,
+    /// True if skewing was required to make the band permutable.
+    pub skewed: bool,
+}
+
+/// Fusion heuristic (paper Table 5, `fusion` column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FusionHeuristic {
+    /// Maximal fusion: fuse whenever legal.
+    Max,
+    /// Smartfuse: fuse only when there is reuse (a dependence) between the
+    /// components, balancing locality and parallelism.
+    Smart,
+}
+
+/// The complete scheduler analysis of one folded DDG.
+#[derive(Debug)]
+pub struct Analysis {
+    /// The nest forest.
+    pub forest: NestForest,
+    /// Analyzed dependences.
+    pub deps: Vec<DepDist>,
+    /// Per-node info, indexed like `forest.nodes`.
+    pub node: Vec<NodeInfo>,
+}
+
+impl Analysis {
+    /// Run the analysis. Call after `ddg.remove_scevs()` for the paper's
+    /// pipeline (SCEV chains otherwise serialize everything).
+    pub fn analyze(ddg: &FoldedDdg, interner: &polyiiv::context::ContextInterner) -> Analysis {
+        let forest = NestForest::build(ddg, interner);
+        let deps = crate::deps::compute_distances(ddg, &forest);
+        let mut node: Vec<NodeInfo> = forest
+            .nodes
+            .iter()
+            .map(|_| NodeInfo { parallel: true, zero_dist: true, ..Default::default() })
+            .collect();
+        for (di, d) in deps.iter().enumerate() {
+            let chain = &forest.chain_of[&d.dst]; // shared prefix == src's
+            for dim in 1..=d.shared {
+                let n = chain[dim];
+                node[n].deps.push(di);
+                match d.carried {
+                    Carried::Unknown => {
+                        node[n].parallel = false;
+                        node[n].zero_dist = false;
+                        node[n].carried_here += 1;
+                    }
+                    Carried::LoopIndependent => {}
+                    Carried::Level(l) => {
+                        if l == dim {
+                            node[n].parallel = false;
+                            node[n].carried_here += 1;
+                        }
+                        if !d.dist[dim - 1].is_zero() {
+                            node[n].zero_dist = false;
+                        }
+                    }
+                }
+            }
+        }
+        Analysis { forest, deps, node }
+    }
+
+    /// All root-to-leaf loop chains (each as node indices, starting at the
+    /// first loop, dim 1).
+    pub fn leaf_chains(&self) -> Vec<Vec<usize>> {
+        let mut out = Vec::new();
+        let mut stack = vec![(self.forest.root(), Vec::new())];
+        while let Some((n, chain)) = stack.pop() {
+            let node = self.forest.node(n);
+            let mut chain = chain;
+            if n != self.forest.root() {
+                chain.push(n);
+            }
+            if node.children.is_empty() {
+                if !chain.is_empty() {
+                    out.push(chain);
+                }
+            } else {
+                for &c in &node.children {
+                    stack.push((c, chain.clone()));
+                }
+                // A loop with both direct statements and children is also a
+                // leaf position for its own statements.
+                if !node.stmts.is_empty() && !chain.is_empty() {
+                    out.push(chain);
+                }
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Maximal permutable band starting at `chain[start_idx]`, with skew
+    /// detection: a negative distance at a candidate dimension can be fixed
+    /// by skewing against a band dimension carrying the dependence with
+    /// distance ≥ 1.
+    pub fn band(&self, chain: &[usize], start_idx: usize) -> Band {
+        self.band_with(chain, start_idx, true)
+    }
+
+    /// As [`Analysis::band`], optionally forbidding skewing (used to honor
+    /// the paper's "avoid skewing unless it really provides improvements"
+    /// policy).
+    pub fn band_with(&self, chain: &[usize], start_idx: usize, allow_skew: bool) -> Band {
+        let start_dim = start_idx + 1; // chain[0] has dim 1
+        let mut len = 0usize;
+        let mut skewed = false;
+        'extend: for j in start_idx..chain.len() {
+            let cand_dim = j + 1;
+            // Every dep attached to the band head whose carried level falls
+            // inside [start_dim ..= cand_dim] must have non-negative (or
+            // skew-fixable) distance at ALL dims in that window.
+            for &di in &self.node[chain[start_idx]].deps {
+                let d = &self.deps[di];
+                let carried_level = match d.carried {
+                    Carried::Unknown => {
+                        if len == 0 {
+                            // cannot even form a 1-loop band? A single loop
+                            // is trivially a band; unknown deps just stop
+                            // extension beyond it.
+                            break;
+                        }
+                        break 'extend;
+                    }
+                    Carried::LoopIndependent => continue,
+                    Carried::Level(l) => l,
+                };
+                if carried_level < start_dim || carried_level > cand_dim {
+                    continue;
+                }
+                for t in start_dim..=cand_dim.min(d.shared) {
+                    let r = match d.dist_at(t) {
+                        Some(r) => r,
+                        None => break 'extend,
+                    };
+                    if r.is_nonneg() {
+                        continue;
+                    }
+                    // Try skewing: distance at t becomes d_t + σ·d_c for a
+                    // band dim c with min distance ≥ 1.
+                    let fixable = allow_skew
+                        && (start_dim..=cand_dim.min(d.shared)).any(|c| {
+                            c != t
+                                && matches!(
+                                    d.dist_at(c).and_then(|rc| rc.min),
+                                    Some(m) if m >= Rat::ONE
+                                )
+                                && r.min.is_some()
+                        });
+                    if fixable {
+                        skewed = true;
+                    } else {
+                        break 'extend;
+                    }
+                }
+            }
+            len = j - start_idx + 1;
+        }
+        Band { start: start_dim, len: len.max(1).min(chain.len() - start_idx), skewed }
+    }
+
+    /// Statement-level: any enclosing loop parallel (in place or via
+    /// permutation within its band) → OpenMP-parallelizable.
+    pub fn stmt_parallelizable(&self, stmt: StmtId) -> bool {
+        let Some(chain) = self.forest.chain_of.get(&stmt) else {
+            return false;
+        };
+        chain
+            .iter()
+            .skip(1)
+            .any(|&n| self.node[n].parallel || self.node[n].zero_dist)
+    }
+
+    /// Statement-level: can some parallel loop be made innermost (vectorizable)?
+    /// True when the innermost loop is parallel in place or some loop in the
+    /// innermost band has all-zero distances (movable innermost).
+    pub fn stmt_simdizable(&self, stmt: StmtId) -> bool {
+        let Some(chain) = self.forest.chain_of.get(&stmt) else {
+            return false;
+        };
+        if chain.len() <= 1 {
+            return false;
+        }
+        let loops = &chain[1..];
+        let innermost = *loops.last().expect("non-empty");
+        if self.node[innermost].parallel {
+            return true;
+        }
+        // Find the innermost band and look for a zero-distance member.
+        let band = self.innermost_band(loops);
+        loops[band.start - 1..band.start - 1 + band.len]
+            .iter()
+            .any(|&n| self.node[n].zero_dist)
+    }
+
+    /// The maximal band ending at the innermost dimension of `loops`.
+    pub fn innermost_band(&self, loops: &[usize]) -> Band {
+        let mut best = Band { start: loops.len(), len: 1, skewed: false };
+        for s in (0..loops.len()).rev() {
+            let b = self.band(loops, s);
+            if s + b.len >= loops.len() {
+                best = b;
+            } else {
+                break;
+            }
+        }
+        best
+    }
+
+    /// Tiling analysis for one statement: the maximal permutable band of its
+    /// chain (searching all start positions). Skewing is only used when no
+    /// tilable (≥ 2-deep) band exists without it — the paper "tends to
+    /// avoid skewing unless it really provides improvements".
+    pub fn stmt_tile_band(&self, stmt: StmtId) -> Band {
+        let Some(chain) = self.forest.chain_of.get(&stmt) else {
+            return Band { start: 1, len: 0, skewed: false };
+        };
+        if chain.len() <= 1 {
+            return Band { start: 1, len: 0, skewed: false };
+        }
+        let loops = &chain[1..];
+        let mut best_noskew = Band { start: 1, len: 0, skewed: false };
+        for s in 0..loops.len() {
+            let b = self.band_with(loops, s, false);
+            if b.len > best_noskew.len {
+                best_noskew = b;
+            }
+        }
+        if best_noskew.len >= 2 {
+            return best_noskew;
+        }
+        let mut best = best_noskew;
+        for s in 0..loops.len() {
+            let b = self.band_with(loops, s, true);
+            if b.len > best.len {
+                best = b;
+            }
+        }
+        best
+    }
+
+    /// Fraction of dynamic operations that are parallelizable / SIMDizable /
+    /// tilable (band ≥ 2): the paper's `%||ops`, `%simdops`, `%Tilops`.
+    pub fn op_fractions(&self, ddg: &FoldedDdg) -> OpFractions {
+        let mut total = 0u64;
+        let mut par = 0u64;
+        let mut simd = 0u64;
+        let mut tile = 0u64;
+        for (id, s) in &ddg.stmts {
+            let w = s.domain.count;
+            total += w;
+            if self.stmt_parallelizable(*id) {
+                par += w;
+            }
+            if self.stmt_simdizable(*id) {
+                simd += w;
+            }
+            if self.stmt_tile_band(*id).len >= 2 {
+                tile += w;
+            }
+        }
+        let frac = |x: u64| if total == 0 { 0.0 } else { x as f64 / total as f64 };
+        OpFractions {
+            parallel: frac(par),
+            simd: frac(simd),
+            tilable: frac(tile),
+            total_ops: total,
+        }
+    }
+
+    /// Whether any statement's best band needs skewing.
+    pub fn any_skew(&self, ddg: &FoldedDdg) -> bool {
+        ddg.stmts.keys().any(|&s| self.stmt_tile_band(s).skewed)
+    }
+
+    /// Maximum tile band length across statements, weighted by presence.
+    pub fn max_tile_depth(&self, ddg: &FoldedDdg) -> usize {
+        ddg.stmts
+            .keys()
+            .map(|&s| self.stmt_tile_band(s).len)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Fusion components under `region` (a forest node): `C` = children
+    /// holding ≥ `threshold` of the region's ops; returns (before, after)
+    /// component counts for the given heuristic.
+    pub fn fusion_components(
+        &self,
+        region: usize,
+        threshold: f64,
+        h: FusionHeuristic,
+    ) -> (usize, usize) {
+        let total = self.forest.node(region).ops.max(1);
+        let heavy: Vec<usize> = self
+            .forest
+            .node(region)
+            .children
+            .iter()
+            .copied()
+            .filter(|&c| self.forest.node(c).ops as f64 / total as f64 >= threshold)
+            .collect();
+        let before = heavy.len();
+        if heavy.len() <= 1 {
+            return (before, before);
+        }
+        // Greedy left-to-right fusion of consecutive components.
+        let mut after = 1usize;
+        for w in heavy.windows(2) {
+            if !self.fusible(w[0], w[1], h) {
+                after += 1;
+            }
+        }
+        (before, after)
+    }
+
+    /// Can sibling nests `a` (earlier) and `b` (later) be fused at their
+    /// shared dimension?
+    fn fusible(&self, a: usize, b: usize, h: FusionHeuristic) -> bool {
+        let sa: std::collections::HashSet<StmtId> =
+            self.forest.node(a).all_stmts.iter().copied().collect();
+        let sb: std::collections::HashSet<StmtId> =
+            self.forest.node(b).all_stmts.iter().copied().collect();
+        let dim = self.forest.node(a).dim;
+        let mut saw_dep = false;
+        for d in &self.deps {
+            let cross = sa.contains(&d.src) && sb.contains(&d.dst);
+            if !cross {
+                continue;
+            }
+            saw_dep = true;
+            // After fusion the two dim-`dim` loops align: legal iff the
+            // producer iteration never exceeds the consumer iteration,
+            // i.e. the positional distance at `dim` is non-negative.
+            let ok = matches!(d.dist_at(dim), Some(r) if r.is_nonneg());
+            if !ok {
+                return false;
+            }
+        }
+        match h {
+            FusionHeuristic::Max => true,
+            FusionHeuristic::Smart => saw_dep,
+        }
+    }
+
+    /// Per-node parallel flags as a map (for reporting).
+    pub fn parallel_loops(&self) -> HashMap<usize, bool> {
+        (0..self.node.len())
+            .map(|n| (n, self.node[n].parallel))
+            .collect()
+    }
+}
+
+/// Aggregate operation fractions (paper Table 5 columns).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpFractions {
+    /// `%||ops`.
+    pub parallel: f64,
+    /// `%simdops`.
+    pub simd: f64,
+    /// `%Tilops` (band ≥ 2).
+    pub tilable: f64,
+    /// Total dynamic ops considered.
+    pub total_ops: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyzed(p: &polyir::Program) -> (Analysis, FoldedDdg) {
+        let (mut ddg, interner, _) = polyfold::fold_program(p);
+        ddg.remove_scevs();
+        let a = Analysis::analyze(&ddg, &interner);
+        (a, ddg)
+    }
+
+    fn two_nests_program() -> polyir::Program {
+        use polyir::build::ProgramBuilder;
+        let mut pb = ProgramBuilder::new("t");
+        let a = pb.alloc(64);
+        let b = pb.alloc(64);
+        let mut f = pb.func("main", 0);
+        f.for_loop("L1", 0i64, 8i64, 1, |f, i| {
+            f.for_loop("L1j", 0i64, 4i64, 1, |f, j| {
+                let row = f.mul(i, 4i64);
+                let idx = f.add(row, j);
+                f.store(a as i64, idx, i);
+            });
+        });
+        f.for_loop("L2", 0i64, 32i64, 1, |f, i| {
+            let v = f.load(a as i64, i);
+            f.store(b as i64, i, v);
+        });
+        f.ret(None);
+        let fid = f.finish();
+        pb.set_entry(fid);
+        pb.finish()
+    }
+
+    #[test]
+    fn leaf_chains_cover_both_nests() {
+        let p = two_nests_program();
+        let (a, _) = analyzed(&p);
+        let chains = a.leaf_chains();
+        // one 2-deep chain (L1→L1j) and one 1-deep chain (L2)
+        let depths: Vec<usize> = chains.iter().map(|c| c.len()).collect();
+        assert!(depths.contains(&2), "{depths:?}");
+        assert!(depths.contains(&1), "{depths:?}");
+    }
+
+    #[test]
+    fn parallel_loops_map_is_total() {
+        let p = two_nests_program();
+        let (a, _) = analyzed(&p);
+        let m = a.parallel_loops();
+        assert_eq!(m.len(), a.forest.nodes.len());
+        // every loop here is parallel (disjoint writes, aligned reads)
+        for (&n, &par) in &m {
+            if n != a.forest.root() {
+                assert!(par, "node {n} unexpectedly serial");
+            }
+        }
+    }
+
+    #[test]
+    fn fusion_threshold_filters_small_components() {
+        let p = two_nests_program();
+        let (a, _) = analyzed(&p);
+        // with a 0% threshold both nests are components
+        let (c_all, _) = a.fusion_components(a.forest.root(), 0.0, FusionHeuristic::Max);
+        assert_eq!(c_all, 2);
+        // with an impossible threshold none are
+        let (c_none, after) =
+            a.fusion_components(a.forest.root(), 2.0, FusionHeuristic::Max);
+        assert_eq!(c_none, 0);
+        assert_eq!(after, 0);
+    }
+
+    #[test]
+    fn innermost_band_of_perfect_nest_is_full() {
+        let p = two_nests_program();
+        let (a, ddg) = analyzed(&p);
+        // find a depth-2 statement and check its innermost band spans both
+        let stmt = ddg
+            .stmts
+            .keys()
+            .find(|s| a.forest.chain_of[s].len() == 3)
+            .copied()
+            .unwrap();
+        let loops = &a.forest.chain_of[&stmt][1..];
+        let band = a.innermost_band(loops);
+        assert_eq!(band.len, 2);
+        assert!(!band.skewed);
+    }
+}

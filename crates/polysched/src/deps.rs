@@ -1,0 +1,377 @@
+//! Dependence distance analysis over folded dependence relations.
+//!
+//! Every folded dependence carries the consumer's iteration domain and an
+//! affine map to the producer's coordinates; the *distance* at a shared loop
+//! dimension `j` is the affine form `x_j − src_map_j(x)`, bounded exactly
+//! over the (rational relaxation of the) domain with `polylib`. The carried
+//! level — the first dimension with a non-zero distance — is what every
+//! legality question (parallelism, permutability, fusion) reduces to.
+
+use crate::nest::NestForest;
+use polyddg::DepKind;
+use polyfold::{FoldedDdg, LabelFold, RatAffine};
+use polyiiv::context::StmtId;
+use polylib::{AffineExpr, Bound, Polyhedron, Rat};
+
+/// Bounds of one distance component over the dependence domain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistRange {
+    /// Minimum (None = unbounded below).
+    pub min: Option<Rat>,
+    /// Maximum (None = unbounded above).
+    pub max: Option<Rat>,
+}
+
+impl DistRange {
+    /// Distance is exactly zero everywhere.
+    pub fn is_zero(&self) -> bool {
+        self.min == Some(Rat::ZERO) && self.max == Some(Rat::ZERO)
+    }
+
+    /// Distance is provably non-negative.
+    pub fn is_nonneg(&self) -> bool {
+        matches!(self.min, Some(m) if m >= Rat::ZERO)
+    }
+}
+
+/// Where a dependence is carried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Carried {
+    /// Distance is zero at every shared dimension (intra-iteration).
+    LoopIndependent,
+    /// First non-zero distance at this coordinate dimension (1-based).
+    Level(usize),
+    /// The producer map is not affine: conservatively carried everywhere.
+    Unknown,
+}
+
+/// One analyzed dependence.
+#[derive(Debug, Clone)]
+pub struct DepDist {
+    /// Index into `FoldedDdg::deps`.
+    pub dep_idx: usize,
+    /// Producer statement.
+    pub src: StmtId,
+    /// Consumer statement.
+    pub dst: StmtId,
+    /// Kind.
+    pub kind: DepKind,
+    /// Number of shared loop dimensions (coordinate dims `1..=shared`).
+    pub shared: usize,
+    /// Distance ranges for every comparable dim (index 0 ↔ dim 1; may
+    /// extend beyond `shared` for positional/fusion distances); empty when
+    /// the producer map is non-affine.
+    pub dist: Vec<DistRange>,
+    /// Carried classification.
+    pub carried: Carried,
+    /// Dynamic instances.
+    pub count: u64,
+}
+
+impl DepDist {
+    /// Distance range at coordinate dim `d` (1-based); None if unknown.
+    pub fn dist_at(&self, d: usize) -> Option<DistRange> {
+        self.dist.get(d.checked_sub(1)?).copied()
+    }
+}
+
+/// Bound `x_d − f(x)` over `domain`, where `f` has rational coefficients:
+/// scale by the coefficient LCM so polylib sees integers, then divide back.
+fn bound_distance(domain: &Polyhedron, d: usize, f: &RatAffine) -> DistRange {
+    let dim = domain.dim();
+    // LCM of denominators.
+    let mut l: i128 = 1;
+    for c in f.coeffs.iter().chain(std::iter::once(&f.c)) {
+        let den = c.den();
+        let g = polylib::rat::gcd(l, den);
+        l = l / g * den;
+    }
+    // e = L·x_d − L·f(x)
+    let mut coeffs = vec![0i64; dim];
+    coeffs[d] += l as i64;
+    for (i, c) in f.coeffs.iter().enumerate() {
+        if i < dim {
+            coeffs[i] -= (c.num() * l / c.den()) as i64;
+        }
+    }
+    let e = AffineExpr::new(coeffs, -((f.c.num() * l / f.c.den()) as i64));
+    let min = match domain.min_of(&e) {
+        Bound::Finite(r) => Some(r / Rat::int(l)),
+        Bound::Empty => Some(Rat::ZERO),
+        Bound::Unbounded => None,
+    };
+    let max = match domain.max_of(&e) {
+        Bound::Finite(r) => Some(r / Rat::int(l)),
+        Bound::Empty => Some(Rat::ZERO),
+        Bound::Unbounded => None,
+    };
+    DistRange { min, max }
+}
+
+/// Analyze every dependence of the folded DDG against the nest forest.
+pub fn compute_distances(ddg: &FoldedDdg, forest: &NestForest) -> Vec<DepDist> {
+    let mut out = Vec::with_capacity(ddg.deps.len());
+    for (idx, dep) in ddg.deps.iter().enumerate() {
+        // Statements removed by the SCEV filter may still appear if the
+        // caller skipped remove_scevs(); guard against missing chains.
+        let (Some(sc), Some(dc)) =
+            (forest.chain_of.get(&dep.src), forest.chain_of.get(&dep.dst))
+        else {
+            continue;
+        };
+        let shared_nodes = sc.iter().zip(dc).take_while(|(a, b)| a == b).count();
+        let shared = shared_nodes.saturating_sub(1); // minus the root
+        let (dist, carried) = match &dep.src_map {
+            LabelFold::Affine(fs) => {
+                // Distances are computable for every dimension where both
+                // the consumer domain and the producer map have a
+                // coordinate — beyond the *shared* dims this is the
+                // positional distance used by the fusion legality check.
+                let nd = dep.domain.poly.dim().min(fs.len());
+                let mut dist = Vec::with_capacity(nd.saturating_sub(1));
+                for d in 1..nd {
+                    // Producer coordinate dim d is component d of the map
+                    // (component 0 is the root dimension).
+                    dist.push(bound_distance(&dep.domain.poly, d, &fs[d]));
+                }
+                let mut carried = Carried::LoopIndependent;
+                for (i, r) in dist.iter().take(shared).enumerate() {
+                    if !r.is_zero() {
+                        carried = Carried::Level(i + 1);
+                        break;
+                    }
+                }
+                (dist, carried)
+            }
+            _ if dep.delta.len() > 1 => {
+                // Non-affine producer map: fall back to the *observed*
+                // per-dimension distance ranges. These are facts of the
+                // profiled execution (the paper's tool reasons about one
+                // run), and the carried-class stream split guarantees each
+                // folded relation has one well-defined carried level.
+                let dist: Vec<DistRange> = dep.delta[1..]
+                    .iter()
+                    .map(|&(lo, hi)| DistRange {
+                        min: Some(Rat::int(lo as i128)),
+                        max: Some(Rat::int(hi as i128)),
+                    })
+                    .collect();
+                let mut carried = Carried::LoopIndependent;
+                for (i, r) in dist.iter().take(shared).enumerate() {
+                    if !r.is_zero() {
+                        carried = Carried::Level(i + 1);
+                        break;
+                    }
+                }
+                (dist, carried)
+            }
+            _ => (Vec::new(), if shared > 0 { Carried::Unknown } else { Carried::LoopIndependent }),
+        };
+        out.push(DepDist {
+            dep_idx: idx,
+            src: dep.src,
+            dst: dep.dst,
+            kind: dep.kind,
+            shared,
+            dist,
+            carried,
+            count: dep.domain.count,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nest::NestForest;
+    use polyfold::fold_program;
+    use polyir::build::ProgramBuilder;
+
+    fn analyzed(p: &polyir::Program) -> (Vec<DepDist>, polyfold::FoldedDdg) {
+        let (mut ddg, interner, _) = fold_program(p);
+        ddg.remove_scevs();
+        let forest = NestForest::build(&ddg, &interner);
+        let dists = compute_distances(&ddg, &forest);
+        (dists, ddg)
+    }
+
+    /// a[i+1] = a[i] + 1: distance exactly 1 at the loop dim; carried there.
+    #[test]
+    fn unit_distance_carried() {
+        let mut pb = ProgramBuilder::new("t");
+        let base = pb.alloc(64);
+        let mut f = pb.func("main", 0);
+        f.for_loop("L", 0i64, 8i64, 1, |f, i| {
+            let prev = f.load(base as i64, i);
+            let v = f.add(prev, 1i64);
+            let i1 = f.add(i, 1i64);
+            f.store(base as i64, i1, v);
+        });
+        f.ret(None);
+        let fid = f.finish();
+        pb.set_entry(fid);
+        let p = pb.finish();
+        let (dists, _) = analyzed(&p);
+        let carried: Vec<_> = dists
+            .iter()
+            .filter(|d| d.kind == DepKind::Flow && d.carried == Carried::Level(1))
+            .collect();
+        assert!(!carried.is_empty());
+        let r = carried[0].dist_at(1).unwrap();
+        assert_eq!(r.min, Some(Rat::ONE));
+        assert_eq!(r.max, Some(Rat::ONE));
+        assert!(r.is_nonneg() && !r.is_zero());
+    }
+
+    /// b[i] = a[i]; c[i] = b[i]: loop-independent flow (distance 0).
+    #[test]
+    fn loop_independent_dep() {
+        let mut pb = ProgramBuilder::new("t");
+        let a = pb.array_f64(&[1.0; 8]);
+        let b = pb.alloc(8);
+        let c = pb.alloc(8);
+        let mut f = pb.func("main", 0);
+        f.for_loop("L", 0i64, 8i64, 1, |f, i| {
+            let v = f.load(a as i64, i);
+            f.store(b as i64, i, v);
+            let w = f.load(b as i64, i);
+            f.store(c as i64, i, w);
+        });
+        f.ret(None);
+        let fid = f.finish();
+        pb.set_entry(fid);
+        let p = pb.finish();
+        let (dists, _) = analyzed(&p);
+        let b_flow: Vec<_> = dists
+            .iter()
+            .filter(|d| d.kind == DepKind::Flow && d.count == 8)
+            .collect();
+        assert!(b_flow
+            .iter()
+            .any(|d| d.carried == Carried::LoopIndependent));
+    }
+
+    /// Stencil b[i] = a[i-1] + a[i+1] over a separate output array: flows
+    /// from the initialization loop share no loop → distance vector empty,
+    /// loop-independent at the root.
+    #[test]
+    fn cross_nest_dep_has_no_shared_loop() {
+        let mut pb = ProgramBuilder::new("t");
+        let a = pb.alloc(16);
+        let b = pb.alloc(16);
+        let mut f = pb.func("main", 0);
+        f.for_loop("Init", 0i64, 10i64, 1, |f, i| {
+            f.store(a as i64, i, i);
+        });
+        f.for_loop("L", 1i64, 9i64, 1, |f, i| {
+            let im = f.sub(i, 1i64);
+            let ip = f.add(i, 1i64);
+            let x = f.load(a as i64, im);
+            let y = f.load(a as i64, ip);
+            let s = f.add(x, y);
+            f.store(b as i64, i, s);
+        });
+        f.ret(None);
+        let fid = f.finish();
+        pb.set_entry(fid);
+        let p = pb.finish();
+        let (dists, _) = analyzed(&p);
+        let cross: Vec<_> = dists
+            .iter()
+            .filter(|d| d.kind == DepKind::Flow && d.shared == 0)
+            .collect();
+        assert!(!cross.is_empty(), "init→stencil deps share no loop");
+        assert!(cross.iter().all(|d| d.carried == Carried::LoopIndependent));
+    }
+
+    /// 2-D wavefront a[i][j] = a[i-1][j] + a[i][j-1]: two flow deps with
+    /// distance vectors (1,0) and (0,1).
+    #[test]
+    fn wavefront_distance_vectors() {
+        let n = 6i64;
+        let mut pb = ProgramBuilder::new("t");
+        let a = pb.alloc((n * n) as u64 + 64);
+        let mut f = pb.func("main", 0);
+        f.for_loop("Li", 1i64, n, 1, |f, i| {
+            f.for_loop("Lj", 1i64, n, 1, |f, j| {
+                let row = f.mul(i, n);
+                let idx = f.add(row, j);
+                let up = f.sub(idx, n);
+                let left = f.sub(idx, 1i64);
+                let x = f.load(a as i64, up);
+                let y = f.load(a as i64, left);
+                let s = f.add(x, y);
+                f.store(a as i64, idx, s);
+            });
+        });
+        f.ret(None);
+        let fid = f.finish();
+        pb.set_entry(fid);
+        let p = pb.finish();
+        let (dists, _) = analyzed(&p);
+        let mut saw_10 = false;
+        let mut saw_01 = false;
+        for d in dists.iter().filter(|d| d.kind == DepKind::Flow && d.shared == 2) {
+            let r1 = d.dist_at(1).unwrap();
+            let r2 = d.dist_at(2).unwrap();
+            if r1.min == Some(Rat::ONE) && r1.max == Some(Rat::ONE) && r2.is_zero() {
+                saw_10 = true;
+            }
+            if r1.is_zero() && r2.min == Some(Rat::ONE) && r2.max == Some(Rat::ONE) {
+                saw_01 = true;
+            }
+        }
+        assert!(saw_10, "(1,0) dependence expected");
+        assert!(saw_01, "(0,1) dependence expected");
+    }
+
+    /// Indirect writes (a[p[i]] = …) with *irregular* reuse distances give
+    /// non-affine producer maps → Carried::Unknown. (A periodic index
+    /// pattern would fold to an affine map — correctly! — so the pattern
+    /// here is i²·mod-like and aperiodic.)
+    #[test]
+    fn indirection_is_unknown_carried() {
+        let mut pb = ProgramBuilder::new("t");
+        let pattern: Vec<i64> = (0..16).map(|i: i64| (i * i) % 7).collect();
+        let idx = pb.array_i64(&pattern);
+        let a = pb.alloc(8);
+        let mut f = pb.func("main", 0);
+        f.for_loop("L", 0i64, 16i64, 1, |f, i| {
+            let k = f.load(idx as i64, i);
+            let v = f.load(a as i64, k);
+            let v1 = f.add(v, 1i64);
+            f.store(a as i64, k, v1);
+        });
+        f.ret(None);
+        let fid = f.finish();
+        pb.set_entry(fid);
+        let p = pb.finish();
+        let (dists, ddg) = analyzed(&p);
+        // The producer maps are non-affine (Range), but the carried-class
+        // split plus observed delta ranges still pin down where each folded
+        // relation is carried — no dependence needs to stay Unknown, yet
+        // none of them may claim an exact affine map.
+        let irregular: Vec<_> = dists
+            .iter()
+            .filter(|d| {
+                matches!(
+                    ddg.deps[d.dep_idx].src_map,
+                    polyfold::LabelFold::Range(_)
+                ) && d.shared > 0
+            })
+            .collect();
+        assert!(!irregular.is_empty(), "irregular deps must exist");
+        for d in &irregular {
+            assert!(
+                matches!(d.carried, Carried::Level(_)),
+                "carried level must be pinned by the class split: {:?}",
+                d.carried
+            );
+            // and the observed range at the carried level must be non-zero
+            let Carried::Level(l) = d.carried else { unreachable!() };
+            let r = d.dist_at(l).unwrap();
+            assert!(!r.is_zero());
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! # polysched — Pluto-style structured-transformation analysis (paper §6)
+//!
+//! The PoCC/PluTo substitute: operating on the folded DDG, it derives the
+//! properties the paper reports — per-loop parallelism, permutable bands
+//! (tilability, with skew detection for wavefront codes like GemsFDTD),
+//! SIMDizable inner loops, and the fusion/distribution structure — without
+//! generating code, exactly as Poly-Prof uses its scheduler: to produce
+//! *feedback*, not binaries.
+//!
+//! Pipeline:
+//! 1. [`nest::NestForest`] groups folded statements into interprocedural
+//!    loop nests keyed by context prefixes;
+//! 2. [`deps::compute_distances`] bounds dependence distance vectors
+//!    exactly over the folded domains (via `polylib`);
+//! 3. [`analysis::Analysis`] answers the legality questions.
+
+pub mod analysis;
+pub mod deps;
+pub mod nest;
+
+pub use analysis::{Analysis, Band, FusionHeuristic, NodeInfo, OpFractions};
+pub use deps::{Carried, DepDist, DistRange};
+pub use nest::{NestForest, NestNode};
+
+use polyfold::FoldedDdg;
+use polyiiv::context::ContextInterner;
+
+/// Convenience: fold a program, remove SCEVs, and analyze.
+pub fn analyze_program(
+    prog: &polyir::Program,
+) -> (Analysis, FoldedDdg, ContextInterner) {
+    let (mut ddg, interner, _) = polyfold::fold_program(prog);
+    ddg.remove_scevs();
+    let analysis = Analysis::analyze(&ddg, &interner);
+    (analysis, ddg, interner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyir::build::ProgramBuilder;
+    use polyir::FBinOp;
+
+    /// The backprop `bpnn_layerforward` shape (paper Fig. 6 / Table 3
+    /// L_layer): outer j over n2, inner k over n1, inner reduction into
+    /// `sum`. Expected findings: outer loop parallel, inner loop NOT
+    /// parallel (reduction), nest permutable → interchange possible.
+    fn layerforward(n2: i64, n1: i64) -> polyir::Program {
+        let mut pb = ProgramBuilder::new("layerforward");
+        let conn = pb.array_f64(&vec![0.5; (n1 * n2 + n1 + n2 + 2) as usize]);
+        let l1 = pb.array_f64(&vec![0.25; (n1 + 1) as usize]);
+        let l2 = pb.alloc((n2 + 2) as u64);
+        let mut f = pb.func("main", 0);
+        f.for_loop("Lj", 0i64, n2, 1, |f, j| {
+            let sum = f.const_f(0.0);
+            f.for_loop("Lk", 0i64, n1, 1, |f, k| {
+                let row = f.mul(k, n2);
+                let idx = f.add(row, j);
+                let w = f.load(conn as i64, idx); // conn[k][j]
+                let x = f.load(l1 as i64, k); // l1[k]
+                let prod = f.fmul(w, x);
+                f.fop_to(sum, FBinOp::Add, sum, prod);
+            });
+            let sq = f.un(polyir::UnOp::Sigmoid, sum);
+            f.store(l2 as i64, j, sq);
+        });
+        f.ret(None);
+        let fid = f.finish();
+        pb.set_entry(fid);
+        pb.finish()
+    }
+
+    #[test]
+    fn layerforward_outer_parallel_inner_reduction() {
+        let p = layerforward(8, 16);
+        let (a, ddg, _) = analyze_program(&p);
+        let tops = a.forest.top_nests();
+        assert_eq!(tops.len(), 1);
+        let outer = tops[0];
+        let inner = a.forest.node(outer).children[0];
+        assert!(a.node[outer].parallel, "outer j loop carries nothing");
+        assert!(
+            !a.node[inner].parallel,
+            "inner k loop is a reduction: carried register dependence"
+        );
+        // %||ops high (everything under a parallel loop). %simdops is also
+        // high — not because the inner loop is parallel in place, but
+        // because the j loop has all-zero distances and can be interchanged
+        // innermost (the paper's interchange+SIMD suggestion for L_layer,
+        // after scalar expansion of `sum`).
+        let fr = a.op_fractions(&ddg);
+        assert!(fr.parallel > 0.9, "%||ops = {}", fr.parallel);
+        assert!(fr.simd > 0.9, "interchange exposes SIMD: {}", fr.simd);
+    }
+
+    /// Interchange legality: the layerforward nest is fully permutable —
+    /// the reduction's dependence has distance (0,1) ≥ 0 in both dims.
+    #[test]
+    fn layerforward_nest_permutable() {
+        let p = layerforward(8, 16);
+        let (a, ddg, _) = analyze_program(&p);
+        let depth2_stmt = ddg
+            .stmts
+            .keys()
+            .find(|s| a.forest.chain_of[s].len() == 3)
+            .copied()
+            .expect("inner statement");
+        let band = a.stmt_tile_band(depth2_stmt);
+        assert_eq!(band.len, 2, "both loops form one permutable band");
+        assert!(!band.skewed);
+    }
+
+    /// Independent elementwise kernel: everything parallel and SIMDizable.
+    #[test]
+    fn elementwise_fully_parallel() {
+        let mut pb = ProgramBuilder::new("t");
+        let a = pb.array_f64(&[1.0; 64]);
+        let b = pb.alloc(64);
+        let mut f = pb.func("main", 0);
+        f.for_loop("Li", 0i64, 8i64, 1, |f, i| {
+            f.for_loop("Lj", 0i64, 8i64, 1, |f, j| {
+                let row = f.mul(i, 8i64);
+                let idx = f.add(row, j);
+                let v = f.load(a as i64, idx);
+                let w = f.fmul(v, 3.0f64);
+                f.store(b as i64, idx, w);
+            });
+        });
+        f.ret(None);
+        let fid = f.finish();
+        pb.set_entry(fid);
+        let p = pb.finish();
+        let (a, ddg, _) = analyze_program(&p);
+        let fr = a.op_fractions(&ddg);
+        assert!(fr.parallel > 0.9);
+        assert!(fr.simd > 0.9);
+        assert!(fr.tilable > 0.9);
+        assert!(!a.any_skew(&ddg));
+        assert_eq!(a.max_tile_depth(&ddg), 2);
+    }
+
+    /// Seidel-style wavefront a[i][j] += a[i-1][j] + a[i][j-1]: neither loop
+    /// parallel in place, but the nest is permutable (distances (1,0),(0,1)
+    /// are non-negative) → tilable, wavefront parallelism.
+    #[test]
+    fn wavefront_tilable_not_parallel() {
+        let n = 8i64;
+        let mut pb = ProgramBuilder::new("t");
+        let a = pb.alloc((n * n) as u64 + 64);
+        let mut f = pb.func("main", 0);
+        f.for_loop("Li", 1i64, n, 1, |f, i| {
+            f.for_loop("Lj", 1i64, n, 1, |f, j| {
+                let row = f.mul(i, n);
+                let idx = f.add(row, j);
+                let up = f.sub(idx, n);
+                let left = f.sub(idx, 1i64);
+                let x = f.load(a as i64, up);
+                let y = f.load(a as i64, left);
+                let s = f.fadd(x, y);
+                f.store(a as i64, idx, s);
+            });
+        });
+        f.ret(None);
+        let fid = f.finish();
+        pb.set_entry(fid);
+        let p = pb.finish();
+        let (an, ddg, _) = analyze_program(&p);
+        let tops = an.forest.top_nests();
+        let outer = tops[0];
+        let inner = an.forest.node(outer).children[0];
+        assert!(!an.node[outer].parallel);
+        assert!(!an.node[inner].parallel);
+        // Permutable band of 2 without skewing (distances already ≥ 0).
+        assert_eq!(an.max_tile_depth(&ddg), 2);
+        let fr = an.op_fractions(&ddg);
+        assert!(fr.tilable > 0.9, "%Tilops = {}", fr.tilable);
+        assert!(fr.parallel < 0.1, "no loop is parallel in place");
+    }
+
+    /// Skewed stencil a[i][j] = a[i-1][j+1] + a[i-1][j]: distance vectors
+    /// (1,-1) and (1,0) — the band needs skewing to become permutable.
+    #[test]
+    fn skew_detected_for_negative_distance() {
+        let n = 8i64;
+        let mut pb = ProgramBuilder::new("t");
+        let a = pb.alloc((n * n + n) as u64 + 64);
+        let mut f = pb.func("main", 0);
+        f.for_loop("Li", 1i64, n, 1, |f, i| {
+            f.for_loop("Lj", 0i64, n - 1, 1, |f, j| {
+                let row = f.mul(i, n);
+                let idx = f.add(row, j);
+                let up_right = f.sub(idx, n - 1); // a[i-1][j+1]
+                let up = f.sub(idx, n); // a[i-1][j]
+                let x = f.load(a as i64, up_right);
+                let y = f.load(a as i64, up);
+                let s = f.fadd(x, y);
+                f.store(a as i64, idx, s);
+            });
+        });
+        f.ret(None);
+        let fid = f.finish();
+        pb.set_entry(fid);
+        let p = pb.finish();
+        let (an, ddg, _) = analyze_program(&p);
+        // The 2-band must exist but require skewing.
+        let best = ddg
+            .stmts
+            .keys()
+            .map(|&s| an.stmt_tile_band(s))
+            .max_by_key(|b| b.len)
+            .unwrap();
+        assert_eq!(best.len, 2);
+        assert!(best.skewed, "negative j-distance requires a skew");
+        assert!(an.any_skew(&ddg));
+    }
+
+    /// Fusion: producer loop then consumer loop over the same array with
+    /// identical iteration spaces — smartfuse and maxfuse both fuse (2 → 1).
+    #[test]
+    fn fusion_of_producer_consumer_nests() {
+        let mut pb = ProgramBuilder::new("t");
+        let a = pb.alloc(32);
+        let b = pb.alloc(32);
+        let mut f = pb.func("main", 0);
+        f.for_loop("L1", 0i64, 16i64, 1, |f, i| {
+            f.store(a as i64, i, i);
+        });
+        f.for_loop("L2", 0i64, 16i64, 1, |f, i| {
+            let v = f.load(a as i64, i);
+            let w = f.add(v, 1i64);
+            f.store(b as i64, i, w);
+        });
+        f.ret(None);
+        let fid = f.finish();
+        pb.set_entry(fid);
+        let p = pb.finish();
+        let (an, _, _) = analyze_program(&p);
+        let root = an.forest.root();
+        let (c_before, c_after) =
+            an.fusion_components(root, 0.05, FusionHeuristic::Smart);
+        assert_eq!(c_before, 2);
+        assert_eq!(c_after, 1, "identity-aligned producer/consumer fuse");
+        let (_, c_max) = an.fusion_components(root, 0.05, FusionHeuristic::Max);
+        assert_eq!(c_max, 1);
+    }
+
+    /// Anti-aligned consumer (reads a[N-1-i]) cannot fuse: backward distance.
+    #[test]
+    fn fusion_rejected_on_backward_distance() {
+        let n = 16i64;
+        let mut pb = ProgramBuilder::new("t");
+        let a = pb.alloc(32);
+        let b = pb.alloc(32);
+        let mut f = pb.func("main", 0);
+        f.for_loop("L1", 0i64, n, 1, |f, i| {
+            f.store(a as i64, i, i);
+        });
+        f.for_loop("L2", 0i64, n, 1, |f, i| {
+            let rev = f.sub(n - 1, i);
+            let v = f.load(a as i64, rev);
+            f.store(b as i64, i, v);
+        });
+        f.ret(None);
+        let fid = f.finish();
+        pb.set_entry(fid);
+        let p = pb.finish();
+        let (an, _, _) = analyze_program(&p);
+        let (c_before, c_after) =
+            an.fusion_components(an.forest.root(), 0.05, FusionHeuristic::Max);
+        assert_eq!(c_before, 2);
+        assert_eq!(c_after, 2, "reversed access forbids fusion");
+    }
+
+    /// Independent nests: maxfuse fuses, smartfuse keeps them apart
+    /// (no reuse between them).
+    #[test]
+    fn fusion_heuristics_differ_without_reuse() {
+        let mut pb = ProgramBuilder::new("t");
+        let a = pb.alloc(32);
+        let b = pb.alloc(32);
+        let mut f = pb.func("main", 0);
+        f.for_loop("L1", 0i64, 16i64, 1, |f, i| {
+            f.store(a as i64, i, i);
+        });
+        f.for_loop("L2", 0i64, 16i64, 1, |f, i| {
+            f.store(b as i64, i, i);
+        });
+        f.ret(None);
+        let fid = f.finish();
+        pb.set_entry(fid);
+        let p = pb.finish();
+        let (an, _, _) = analyze_program(&p);
+        let (_, smart) = an.fusion_components(an.forest.root(), 0.05, FusionHeuristic::Smart);
+        let (_, max) = an.fusion_components(an.forest.root(), 0.05, FusionHeuristic::Max);
+        assert_eq!(smart, 2);
+        assert_eq!(max, 1);
+    }
+}

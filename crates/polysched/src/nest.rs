@@ -1,0 +1,257 @@
+//! The loop-nest forest over folded statements.
+//!
+//! Statements (context paths) sharing a context-prefix share loop
+//! dimensions; this module groups them into a forest whose nodes are loop
+//! *instances* (a loop reached through one specific calling context — the
+//! interprocedural view the paper builds). Dimension `k` of a statement's
+//! coordinate vector is controlled by the chain node at depth `k` (dimension
+//! 0 is the loop-free root).
+
+use polyfold::FoldedDdg;
+use polyiiv::context::{ContextInterner, StmtId};
+use polyiiv::CtxElem;
+use std::collections::HashMap;
+
+/// One node of the nest forest.
+#[derive(Debug, Clone)]
+pub struct NestNode {
+    /// Parent node (None only for the root).
+    pub parent: Option<usize>,
+    /// Child loops.
+    pub children: Vec<usize>,
+    /// Coordinate dimension this node controls (root = 0, loops ≥ 1).
+    pub dim: usize,
+    /// The loop context element that opened this dimension (None for root).
+    pub label: Option<CtxElem>,
+    /// Statements whose *innermost* enclosing node is this one.
+    pub stmts: Vec<StmtId>,
+    /// All statements anywhere under this node (subtree).
+    pub all_stmts: Vec<StmtId>,
+    /// Dynamic operations in the subtree.
+    pub ops: u64,
+}
+
+/// The loop-nest forest (node 0 is the synthetic root).
+#[derive(Debug, Clone)]
+pub struct NestForest {
+    /// All nodes.
+    pub nodes: Vec<NestNode>,
+    /// For each statement: its chain of enclosing nodes, outermost (root)
+    /// first — length = statement depth.
+    pub chain_of: HashMap<StmtId, Vec<usize>>,
+}
+
+impl NestForest {
+    /// Build the forest from a folded DDG.
+    pub fn build(ddg: &FoldedDdg, interner: &ContextInterner) -> NestForest {
+        let mut nodes = vec![NestNode {
+            parent: None,
+            children: Vec::new(),
+            dim: 0,
+            label: None,
+            stmts: Vec::new(),
+            all_stmts: Vec::new(),
+            ops: 0,
+        }];
+        let mut index: HashMap<Vec<Vec<CtxElem>>, usize> = HashMap::new();
+        let mut chain_of = HashMap::new();
+
+        let mut stmt_ids: Vec<StmtId> = ddg.stmts.keys().copied().collect();
+        stmt_ids.sort();
+        for stmt in stmt_ids {
+            let info = interner.stmt_info(stmt);
+            let path = interner.path(info.path);
+            let depth = path.len();
+            let ops = ddg.stmts[&stmt].domain.count;
+            let mut chain = vec![0usize];
+            let mut cur = 0usize;
+            nodes[0].ops += ops;
+            nodes[0].all_stmts.push(stmt);
+            // Loop at dim k is keyed by the first k context stacks.
+            for k in 1..depth {
+                let key: Vec<Vec<CtxElem>> = path[..k].to_vec();
+                let node = match index.get(&key) {
+                    Some(&n) => n,
+                    None => {
+                        let n = nodes.len();
+                        // The loop element is the last entry of stack k-1.
+                        let label = key[k - 1].last().copied();
+                        nodes.push(NestNode {
+                            parent: Some(cur),
+                            children: Vec::new(),
+                            dim: k,
+                            label,
+                            stmts: Vec::new(),
+                            all_stmts: Vec::new(),
+                            ops: 0,
+                        });
+                        nodes[cur].children.push(n);
+                        index.insert(key, n);
+                        n
+                    }
+                };
+                nodes[node].ops += ops;
+                nodes[node].all_stmts.push(stmt);
+                chain.push(node);
+                cur = node;
+            }
+            nodes[cur].stmts.push(stmt);
+            chain_of.insert(stmt, chain);
+        }
+        NestForest { nodes, chain_of }
+    }
+
+    /// Root node index.
+    pub fn root(&self) -> usize {
+        0
+    }
+
+    /// Node accessor.
+    pub fn node(&self, i: usize) -> &NestNode {
+        &self.nodes[i]
+    }
+
+    /// Number of shared chain nodes between two statements (≥ 1: the root).
+    pub fn shared_depth(&self, a: StmtId, b: StmtId) -> usize {
+        let ca = &self.chain_of[&a];
+        let cb = &self.chain_of[&b];
+        ca.iter().zip(cb).take_while(|(x, y)| x == y).count()
+    }
+
+    /// Maximum loop depth in the forest (0 = no loops).
+    pub fn max_loop_depth(&self) -> usize {
+        self.nodes.iter().map(|n| n.dim).max().unwrap_or(0)
+    }
+
+    /// Top-level loop nests (children of the root), heaviest first.
+    pub fn top_nests(&self) -> Vec<usize> {
+        let mut v = self.nodes[0].children.clone();
+        v.sort_by_key(|&n| std::cmp::Reverse(self.nodes[n].ops));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyfold::fold_program;
+    use polyir::build::ProgramBuilder;
+    use polyir::IBinOp;
+
+    #[test]
+    fn two_level_nest_forest() {
+        let mut pb = ProgramBuilder::new("t");
+        let mut f = pb.func("main", 0);
+        let acc = f.const_i(0);
+        f.for_loop("Li", 0i64, 4i64, 1, |f, i| {
+            f.for_loop("Lj", 0i64, 4i64, 1, |f, j| {
+                let v = f.mul(i, j);
+                f.iop_to(acc, IBinOp::Add, acc, v);
+            });
+        });
+        f.ret(Some(acc.into()));
+        let fid = f.finish();
+        pb.set_entry(fid);
+        let p = pb.finish();
+        let (ddg, interner, _) = fold_program(&p);
+        let forest = NestForest::build(&ddg, &interner);
+        assert_eq!(forest.max_loop_depth(), 2);
+        // root has exactly one top-level nest, which has one child
+        let tops = forest.top_nests();
+        assert_eq!(tops.len(), 1);
+        assert_eq!(forest.node(tops[0]).dim, 1);
+        assert_eq!(forest.node(tops[0]).children.len(), 1);
+        let inner = forest.node(tops[0]).children[0];
+        assert_eq!(forest.node(inner).dim, 2);
+        // inner loop holds the multiply+add statements
+        assert!(!forest.node(inner).stmts.is_empty());
+        // ops accumulate upward
+        assert!(forest.node(tops[0]).ops >= forest.node(inner).ops);
+    }
+
+    #[test]
+    fn sequential_nests_are_siblings() {
+        let mut pb = ProgramBuilder::new("t");
+        let a = pb.alloc(16);
+        let mut f = pb.func("main", 0);
+        f.for_loop("L1", 0i64, 4i64, 1, |f, i| {
+            f.store(a as i64, i, i);
+        });
+        f.for_loop("L2", 0i64, 4i64, 1, |f, i| {
+            f.load(a as i64, i);
+        });
+        f.ret(None);
+        let fid = f.finish();
+        pb.set_entry(fid);
+        let p = pb.finish();
+        let (ddg, interner, _) = fold_program(&p);
+        let forest = NestForest::build(&ddg, &interner);
+        assert_eq!(forest.top_nests().len(), 2);
+    }
+
+    #[test]
+    fn interprocedural_chain_includes_callee_loops() {
+        let mut pb = ProgramBuilder::new("t");
+        let a = pb.alloc(64);
+        let mut g = pb.func("inner", 1);
+        let base = g.param(0);
+        g.for_loop("Lj", 0i64, 4i64, 1, |g, j| {
+            g.store(base, j, j);
+        });
+        g.ret(None);
+        let g_id = g.finish();
+        let mut f = pb.func("main", 0);
+        f.for_loop("Li", 0i64, 4i64, 1, |f, i| {
+            let row = f.mul(i, 4i64);
+            let p = f.add(a as i64, row);
+            f.call_void(g_id, &[p.into()]);
+        });
+        f.ret(None);
+        let fid = f.finish();
+        pb.set_entry(fid);
+        let p = pb.finish();
+        let (ddg, interner, _) = fold_program(&p);
+        let forest = NestForest::build(&ddg, &interner);
+        // the interprocedural 2-D nest is visible: max depth 2
+        assert_eq!(forest.max_loop_depth(), 2);
+        // the store in the callee sits at depth 2 under main's loop
+        let store_chain = forest
+            .chain_of
+            .iter()
+            .find(|(s, _)| {
+                matches!(
+                    p.instr(interner.stmt_info(**s).instr),
+                    polyir::Instr::Store { .. }
+                )
+            })
+            .map(|(_, c)| c.clone())
+            .expect("store statement present");
+        assert_eq!(store_chain.len(), 3); // root + Li + Lj
+    }
+
+    #[test]
+    fn shared_depth_between_stmts() {
+        let mut pb = ProgramBuilder::new("t");
+        let a = pb.alloc(16);
+        let mut f = pb.func("main", 0);
+        f.for_loop("L", 0i64, 4i64, 1, |f, i| {
+            f.store(a as i64, i, i);
+            f.load(a as i64, i);
+        });
+        f.ret(None);
+        let fid = f.finish();
+        pb.set_entry(fid);
+        let p = pb.finish();
+        let (ddg, interner, _) = fold_program(&p);
+        let forest = NestForest::build(&ddg, &interner);
+        let mut mem_stmts: Vec<StmtId> = ddg
+            .stmts
+            .keys()
+            .copied()
+            .filter(|s| p.instr(interner.stmt_info(*s).instr).is_mem())
+            .collect();
+        mem_stmts.sort();
+        assert_eq!(mem_stmts.len(), 2);
+        assert_eq!(forest.shared_depth(mem_stmts[0], mem_stmts[1]), 2); // root + L
+    }
+}

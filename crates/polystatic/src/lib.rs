@@ -1,0 +1,664 @@
+//! # polystatic — the "Polly" static-analysis baseline (paper §8,
+//! Experiment II)
+//!
+//! A static affine-region modeler over `polyir`, reproducing the structural
+//! conditions under which LLVM Polly fails to model the Rodinia kernels.
+//! For every function it attempts to model the outermost loop nests as
+//! static control parts (SCoPs) and reports the paper's failure codes:
+//!
+//! * **R** — unhandled function call inside the region;
+//! * **C** — complex CFG (early return / break out of the loop);
+//! * **B** — non-affine loop bound or non-affine conditional;
+//! * **F** — non-affine access function (including pointer indirection and
+//!   modulo-linearized indexing);
+//! * **A** — possible aliasing between pointer parameters;
+//! * **P** — base pointer not loop invariant (loaded inside the region).
+//!
+//! The analysis is deliberately *static and conservative*, exactly the
+//! contrast the paper draws: it sees the whole CFG (not just executed
+//! paths), must assume the worst about pointers, and cannot look through
+//! calls — while Poly-Prof observes one execution and models it precisely.
+
+use polycfg::loop_forest::LoopForest;
+use polyir::*;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Why static modeling failed (paper Table 5 "Reasons why Polly failed").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Reason {
+    /// Unhandled function call.
+    R,
+    /// Complex CFG (break / early return).
+    C,
+    /// Non-affine loop bound or conditional.
+    B,
+    /// Non-affine access function.
+    F,
+    /// Possible pointer aliasing.
+    A,
+    /// Base pointer not loop invariant.
+    P,
+}
+
+impl fmt::Display for Reason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// Render a reason set like the paper ("RCBF").
+pub fn reasons_string(rs: &BTreeSet<Reason>) -> String {
+    rs.iter().map(|r| format!("{r}")).collect()
+}
+
+/// Verdict for one loop region.
+#[derive(Debug, Clone)]
+pub struct RegionVerdict {
+    /// Function containing the region.
+    pub func: FuncId,
+    /// Header block of the outermost loop of the region.
+    pub header: LocalBlockId,
+    /// Loop depth of the region.
+    pub depth: u32,
+    /// True if the region was fully modeled as affine.
+    pub modeled: bool,
+    /// Failure reasons (empty iff modeled).
+    pub reasons: BTreeSet<Reason>,
+}
+
+/// Whole-program static modeling report.
+#[derive(Debug, Clone, Default)]
+pub struct StaticReport {
+    /// Per-region verdicts.
+    pub regions: Vec<RegionVerdict>,
+}
+
+impl StaticReport {
+    /// True iff every region was modeled.
+    pub fn all_modeled(&self) -> bool {
+        self.regions.iter().all(|r| r.modeled)
+    }
+
+    /// Union of failure reasons over all regions.
+    pub fn reasons(&self) -> BTreeSet<Reason> {
+        self.regions
+            .iter()
+            .flat_map(|r| r.reasons.iter().copied())
+            .collect()
+    }
+
+    /// Paper-style summary string ("RCBF", or "-" when everything modeled).
+    pub fn summary(&self) -> String {
+        let rs = self.reasons();
+        if rs.is_empty() {
+            "-".into()
+        } else {
+            reasons_string(&rs)
+        }
+    }
+}
+
+/// A flow-insensitive symbolic value for static affine reasoning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Sym {
+    /// A compile-time constant.
+    Const(i64),
+    /// A linear form over parameters and induction variables: base symbols
+    /// with integer coefficients plus a constant.
+    Linear(BTreeMap<Base, i64>, i64),
+    /// Loaded from memory (indirection).
+    FromLoad,
+    /// Result of non-affine arithmetic (div/rem/mul of variables, float…).
+    NonAffine,
+    /// Result of a call.
+    FromCall,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Base {
+    /// Function parameter `i`.
+    Param(u32),
+    /// Induction variable of the loop headed at this block.
+    Iv(LocalBlockId),
+}
+
+/// Classify the registers of a function flow-insensitively.
+fn classify_registers(f: &Function, forest: &LoopForest) -> Vec<Sym> {
+    let n = f.n_regs as usize;
+    // Collect all defs per register.
+    let mut defs: Vec<Vec<(&Instr, LocalBlockId)>> = vec![Vec::new(); n];
+    for (bi, b) in f.blocks.iter().enumerate() {
+        for ins in &b.instrs {
+            if let Some(d) = ins.def() {
+                defs[d.0 as usize].push((ins, LocalBlockId(bi as u32)));
+            }
+        }
+    }
+
+    let mut sym: Vec<Sym> = (0..n)
+        .map(|i| {
+            if (i as u32) < f.n_params {
+                Sym::Linear([(Base::Param(i as u32), 1)].into_iter().collect(), 0)
+            } else {
+                Sym::NonAffine
+            }
+        })
+        .collect();
+
+    // Identify induction variables: one external init def plus self-increment
+    // defs `r = r + const` inside a loop.
+    let mut iv_of: BTreeMap<u32, LocalBlockId> = BTreeMap::new();
+    for r in 0..n as u32 {
+        if (r) < f.n_params {
+            continue;
+        }
+        let ds = &defs[r as usize];
+        if ds.is_empty() {
+            continue;
+        }
+        let mut init = 0usize;
+        let mut self_inc_blocks = Vec::new();
+        let mut other = 0usize;
+        for (ins, blk) in ds {
+            match ins {
+                Instr::IOp { dst, op: IBinOp::Add | IBinOp::Sub, a, b }
+                    if *dst == Reg(r)
+                        && ((*a == Operand::Reg(Reg(r)) && matches!(b, Operand::ImmI(_)))
+                            || (*b == Operand::Reg(Reg(r))
+                                && matches!(a, Operand::ImmI(_)))) =>
+                {
+                    self_inc_blocks.push(*blk);
+                }
+                Instr::Const { .. } | Instr::Move { .. } => init += 1,
+                _ => other += 1,
+            }
+        }
+        if !self_inc_blocks.is_empty() && other == 0 && init <= 1 {
+            // The IV belongs to the innermost loop containing its increment.
+            if let Some(l) = forest.innermost(self_inc_blocks[0]) {
+                let header = forest.info(l).header;
+                iv_of.insert(r, header);
+            }
+        }
+    }
+
+    // Fixpoint linear evaluation (few rounds suffice at our sizes).
+    for _ in 0..4 {
+        let mut changed = false;
+        for r in 0..n as u32 {
+            if r < f.n_params {
+                continue;
+            }
+            if let Some(h) = iv_of.get(&r) {
+                let v = Sym::Linear([(Base::Iv(*h), 1)].into_iter().collect(), 0);
+                if sym[r as usize] != v {
+                    sym[r as usize] = v;
+                    changed = true;
+                }
+                continue;
+            }
+            let ds = &defs[r as usize];
+            let v = if ds.is_empty() {
+                Sym::Const(0)
+            } else if ds.len() > 1 {
+                Sym::NonAffine
+            } else {
+                eval_instr(ds[0].0, &sym)
+            };
+            if sym[r as usize] != v {
+                sym[r as usize] = v;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    sym
+}
+
+fn eval_operand(o: &Operand, sym: &[Sym]) -> Sym {
+    match o {
+        Operand::Reg(r) => sym[r.0 as usize].clone(),
+        Operand::ImmI(v) => Sym::Const(*v),
+        Operand::ImmF(_) => Sym::NonAffine,
+    }
+}
+
+fn lin_of(s: &Sym) -> Option<(BTreeMap<Base, i64>, i64)> {
+    match s {
+        Sym::Const(c) => Some((BTreeMap::new(), *c)),
+        Sym::Linear(m, c) => Some((m.clone(), *c)),
+        _ => None,
+    }
+}
+
+fn eval_instr(ins: &Instr, sym: &[Sym]) -> Sym {
+    match ins {
+        Instr::Const { value: Value::I64(v), .. } => Sym::Const(*v),
+        Instr::Const { .. } => Sym::NonAffine,
+        Instr::Move { src, .. } => eval_operand(src, sym),
+        Instr::IOp { op, a, b, .. } => {
+            let (sa, sb) = (eval_operand(a, sym), eval_operand(b, sym));
+            match op {
+                IBinOp::Add | IBinOp::Sub => match (lin_of(&sa), lin_of(&sb)) {
+                    (Some((ma, ca)), Some((mb, cb))) => {
+                        let sign = if matches!(op, IBinOp::Add) { 1 } else { -1 };
+                        let mut m = ma;
+                        for (k, v) in mb {
+                            *m.entry(k).or_insert(0) += sign * v;
+                        }
+                        m.retain(|_, v| *v != 0);
+                        Sym::Linear(m, ca + sign * cb)
+                    }
+                    _ => propagate_worst(&sa, &sb),
+                },
+                IBinOp::Mul | IBinOp::Shl => {
+                    // linear × constant stays linear
+                    match (lin_of(&sa), lin_of(&sb)) {
+                        (Some((ma, ca)), Some((mb, cb))) => {
+                            let factor = |m: &BTreeMap<Base, i64>, c: i64| {
+                                if m.is_empty() {
+                                    Some(c)
+                                } else {
+                                    None
+                                }
+                            };
+                            let k = if matches!(op, IBinOp::Shl) {
+                                factor(&mb, cb).map(|s| 1i64 << (s.clamp(0, 62)))
+                            } else {
+                                factor(&mb, cb)
+                            };
+                            if let Some(k) = k {
+                                let m: BTreeMap<Base, i64> =
+                                    ma.into_iter().map(|(b, v)| (b, v * k)).collect();
+                                return Sym::Linear(m, ca * k);
+                            }
+                            if matches!(op, IBinOp::Mul) {
+                                if let Some(k) = factor(&ma, ca) {
+                                    let m: BTreeMap<Base, i64> =
+                                        mb.into_iter().map(|(b, v)| (b, v * k)).collect();
+                                    return Sym::Linear(m, cb * k);
+                                }
+                            }
+                            Sym::NonAffine
+                        }
+                        _ => propagate_worst(&sa, &sb),
+                    }
+                }
+                // Division / modulo / bit tricks: statically non-affine.
+                _ => Sym::NonAffine,
+            }
+        }
+        Instr::ICmp { .. } | Instr::FCmp { .. } => Sym::NonAffine,
+        Instr::FOp { .. } | Instr::Un { .. } => Sym::NonAffine,
+        Instr::Load { .. } => Sym::FromLoad,
+        Instr::Store { .. } => Sym::NonAffine,
+        Instr::Call { .. } => Sym::FromCall,
+    }
+}
+
+/// The worse of two non-linear classifications (FromLoad dominates, then
+/// FromCall, then NonAffine).
+fn propagate_worst(a: &Sym, b: &Sym) -> Sym {
+    for s in [a, b] {
+        if matches!(s, Sym::FromLoad) {
+            return Sym::FromLoad;
+        }
+    }
+    for s in [a, b] {
+        if matches!(s, Sym::FromCall) {
+            return Sym::FromCall;
+        }
+    }
+    Sym::NonAffine
+}
+
+/// Statically analyze one function's outermost loop regions.
+pub fn analyze_function(prog: &Program, fid: FuncId) -> Vec<RegionVerdict> {
+    let f = prog.func(fid);
+    // Static CFG.
+    let blocks: BTreeSet<LocalBlockId> =
+        (0..f.blocks.len() as u32).map(LocalBlockId).collect();
+    let mut edges = BTreeSet::new();
+    for (bi, b) in f.blocks.iter().enumerate() {
+        for s in b.term.successors() {
+            edges.insert((LocalBlockId(bi as u32), s));
+        }
+    }
+    let forest = LoopForest::build(&blocks, &edges, f.entry());
+    let sym = classify_registers(f, &forest);
+
+    // Pointer parameters: params used as access bases.
+    let mut outer: Vec<RegionVerdict> = Vec::new();
+    for (li, l) in forest.loops.iter().enumerate() {
+        if l.parent.is_some() {
+            continue; // analyze outermost regions; nested issues roll up
+        }
+        let mut reasons = BTreeSet::new();
+        let mut param_bases: BTreeSet<u32> = BTreeSet::new();
+        let mut param_store_bases: BTreeSet<u32> = BTreeSet::new();
+        for &bid in &l.blocks {
+            let b = f.block(bid);
+            // C: early return from inside the loop, or a branch that leaves
+            // the loop from a non-header block (break).
+            match &b.term {
+                Terminator::Ret(_) => {
+                    reasons.insert(Reason::C);
+                }
+                Terminator::Br { cond, then_, else_ } => {
+                    let exits = [then_, else_]
+                        .iter()
+                        .filter(|t| !l.blocks.contains(t))
+                        .count();
+                    if exits > 0 && bid != l.header {
+                        reasons.insert(Reason::C);
+                    }
+                    // B: header or guard condition must compare affine forms.
+                    if let Operand::Reg(r) = cond {
+                        // find the defining compare
+                        let aff = f
+                            .blocks
+                            .iter()
+                            .flat_map(|bb| &bb.instrs)
+                            .filter_map(|ins| match ins {
+                                Instr::ICmp { dst, a, b, .. } if dst == r => {
+                                    Some((eval_operand(a, &sym), eval_operand(b, &sym)))
+                                }
+                                Instr::FCmp { dst, .. } if dst == r => None,
+                                _ => None,
+                            })
+                            .next();
+                        match aff {
+                            Some((sa, sb)) => {
+                                for s in [sa, sb] {
+                                    match s {
+                                        Sym::Const(_) | Sym::Linear(..) => {}
+                                        _ => {
+                                            reasons.insert(Reason::B);
+                                        }
+                                    }
+                                }
+                            }
+                            None => {
+                                // float compare or opaque condition
+                                reasons.insert(Reason::B);
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+            for ins in &b.instrs {
+                match ins {
+                    Instr::Call { .. } => {
+                        reasons.insert(Reason::R);
+                    }
+                    Instr::Load { base, offset, .. }
+                    | Instr::Store { base, offset, .. } => {
+                        let sb = eval_operand(base, &sym);
+                        let so = eval_operand(offset, &sym);
+                        // Base classification.
+                        match &sb {
+                            Sym::Const(_) => {}
+                            Sym::Linear(m, _) => {
+                                for (k, _) in m {
+                                    if let Base::Param(p) = k {
+                                        param_bases.insert(*p);
+                                        if matches!(ins, Instr::Store { .. }) {
+                                            param_store_bases.insert(*p);
+                                        }
+                                    }
+                                }
+                            }
+                            Sym::FromLoad => {
+                                reasons.insert(Reason::P);
+                            }
+                            Sym::FromCall => {
+                                reasons.insert(Reason::R);
+                            }
+                            Sym::NonAffine => {
+                                reasons.insert(Reason::F);
+                            }
+                        }
+                        // Offset classification.
+                        match &so {
+                            Sym::Const(_) | Sym::Linear(..) => {}
+                            Sym::FromLoad => {
+                                reasons.insert(Reason::F);
+                            }
+                            _ => {
+                                reasons.insert(Reason::F);
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // A: stores through a pointer parameter while other pointer params
+        // are accessed — without alias information Polly must assume overlap.
+        if !param_store_bases.is_empty() && param_bases.len() >= 2 {
+            reasons.insert(Reason::A);
+        }
+        outer.push(RegionVerdict {
+            func: fid,
+            header: l.header,
+            depth: forest
+                .loops
+                .iter()
+                .filter(|x| x.blocks.is_subset(&l.blocks))
+                .map(|x| x.depth)
+                .max()
+                .unwrap_or(1),
+            modeled: reasons.is_empty(),
+            reasons,
+        });
+        let _ = li;
+    }
+    outer
+}
+
+/// Statically analyze the whole program.
+pub fn analyze_program(prog: &Program) -> StaticReport {
+    let mut regions = Vec::new();
+    for fi in 0..prog.funcs.len() as u32 {
+        regions.extend(analyze_function(prog, FuncId(fi)));
+    }
+    StaticReport { regions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyir::build::ProgramBuilder;
+
+    /// A clean affine kernel over global arrays: fully modeled.
+    #[test]
+    fn clean_affine_kernel_modeled() {
+        let mut pb = ProgramBuilder::new("t");
+        let a = pb.alloc(64);
+        let b = pb.alloc(64);
+        let mut f = pb.func("main", 0);
+        f.for_loop("Li", 0i64, 8i64, 1, |f, i| {
+            f.for_loop("Lj", 0i64, 8i64, 1, |f, j| {
+                let row = f.mul(i, 8i64);
+                let idx = f.add(row, j);
+                let v = f.load(a as i64, idx);
+                let w = f.fmul(v, 2.0f64);
+                f.store(b as i64, idx, w);
+            });
+        });
+        f.ret(None);
+        let fid = f.finish();
+        pb.set_entry(fid);
+        let p = pb.finish();
+        let rep = analyze_program(&p);
+        assert!(rep.all_modeled(), "reasons: {}", rep.summary());
+        assert_eq!(rep.summary(), "-");
+    }
+
+    /// A call inside the loop → R.
+    #[test]
+    fn call_in_loop_gives_r() {
+        let mut pb = ProgramBuilder::new("t");
+        let mut g = pb.func("g", 0);
+        g.const_i(1);
+        g.ret(None);
+        let g_id = g.finish();
+        let mut f = pb.func("main", 0);
+        f.for_loop("L", 0i64, 8i64, 1, |f, _| {
+            f.call_void(g_id, &[]);
+        });
+        f.ret(None);
+        let fid = f.finish();
+        pb.set_entry(fid);
+        let p = pb.finish();
+        let rep = analyze_program(&p);
+        assert!(rep.reasons().contains(&Reason::R));
+        assert!(!rep.all_modeled());
+    }
+
+    /// Early return from a loop → C.
+    #[test]
+    fn early_return_gives_c() {
+        let mut pb = ProgramBuilder::new("t");
+        let a = pb.alloc(16);
+        let mut f = pb.func("main", 0);
+        let iv = f.const_i(0);
+        let header = f.block("h");
+        let body = f.block("b");
+        let out = f.block("out");
+        f.jump(header);
+        f.switch_to(header);
+        let c = f.icmp(CmpOp::Lt, iv, 10i64);
+        f.br(c, body, out);
+        f.switch_to(body);
+        let v = f.load(a as i64, iv);
+        let stop = f.icmp(CmpOp::Gt, v, 100i64);
+        let retb = f.block("ret");
+        let cont = f.block("cont");
+        f.br(stop, retb, cont);
+        f.switch_to(retb);
+        f.ret(None);
+        f.switch_to(cont);
+        f.iop_to(iv, IBinOp::Add, iv, 1i64);
+        f.jump(header);
+        f.switch_to(out);
+        f.ret(None);
+        let fid = f.finish();
+        pb.set_entry(fid);
+        let p = pb.finish();
+        let rep = analyze_program(&p);
+        assert!(rep.reasons().contains(&Reason::C), "{}", rep.summary());
+    }
+
+    /// Loop bound loaded from memory → B.
+    #[test]
+    fn data_dependent_bound_gives_b() {
+        let mut pb = ProgramBuilder::new("t");
+        let nbase = pb.array_i64(&[8]);
+        let mut f = pb.func("main", 0);
+        let n = f.load(nbase as i64, 0i64);
+        f.for_loop("L", 0i64, n, 1, |f, i| {
+            f.add(i, 1i64);
+        });
+        f.ret(None);
+        let fid = f.finish();
+        pb.set_entry(fid);
+        let p = pb.finish();
+        let rep = analyze_program(&p);
+        assert!(rep.reasons().contains(&Reason::B), "{}", rep.summary());
+    }
+
+    /// Indirect access a[b[i]] → F.
+    #[test]
+    fn indirection_gives_f() {
+        let mut pb = ProgramBuilder::new("t");
+        let idx = pb.array_i64(&[1, 0, 3, 2]);
+        let a = pb.alloc(8);
+        let mut f = pb.func("main", 0);
+        f.for_loop("L", 0i64, 4i64, 1, |f, i| {
+            let k = f.load(idx as i64, i);
+            f.load(a as i64, k);
+        });
+        f.ret(None);
+        let fid = f.finish();
+        pb.set_entry(fid);
+        let p = pb.finish();
+        let rep = analyze_program(&p);
+        assert!(rep.reasons().contains(&Reason::F), "{}", rep.summary());
+    }
+
+    /// Modulo indexing → F (hand-linearized loops of heartwall/hotspot/lud).
+    #[test]
+    fn modulo_indexing_gives_f() {
+        let mut pb = ProgramBuilder::new("t");
+        let a = pb.alloc(16);
+        let mut f = pb.func("main", 0);
+        f.for_loop("L", 0i64, 16i64, 1, |f, i| {
+            let m = f.rem(i, 5i64);
+            f.load(a as i64, m);
+        });
+        f.ret(None);
+        let fid = f.finish();
+        pb.set_entry(fid);
+        let p = pb.finish();
+        let rep = analyze_program(&p);
+        assert!(rep.reasons().contains(&Reason::F), "{}", rep.summary());
+    }
+
+    /// Two pointer parameters with a store → A (possible aliasing).
+    #[test]
+    fn pointer_params_give_a() {
+        let mut pb = ProgramBuilder::new("t");
+        let mut g = pb.func("kernel", 2);
+        let src = g.param(0);
+        let dst = g.param(1);
+        g.for_loop("L", 0i64, 8i64, 1, |g, i| {
+            let v = g.load(src, i);
+            g.store(dst, i, v);
+        });
+        g.ret(None);
+        let g_id = g.finish();
+        let a = pb.alloc(16);
+        let b = pb.alloc(16);
+        let mut m = pb.func("main", 0);
+        m.call_void(g_id, &[Operand::ImmI(a as i64), Operand::ImmI(b as i64)]);
+        m.ret(None);
+        let mid = m.finish();
+        pb.set_entry(mid);
+        let p = pb.finish();
+        let rep = analyze_program(&p);
+        assert!(rep.reasons().contains(&Reason::A), "{}", rep.summary());
+    }
+
+    /// Pointer loaded inside the loop used as a base → P.
+    #[test]
+    fn loaded_base_gives_p() {
+        let mut pb = ProgramBuilder::new("t");
+        let table = pb.array_i64(&[0x2000, 0x3000]);
+        let mut f = pb.func("main", 0);
+        f.for_loop("L", 0i64, 2i64, 1, |f, i| {
+            let base = f.load(table as i64, i); // base pointer from memory
+            f.load(base, 0i64);
+        });
+        f.ret(None);
+        let fid = f.finish();
+        pb.set_entry(fid);
+        let p = pb.finish();
+        let rep = analyze_program(&p);
+        assert!(rep.reasons().contains(&Reason::P), "{}", rep.summary());
+    }
+
+    #[test]
+    fn reasons_string_is_sorted() {
+        let rs: BTreeSet<Reason> =
+            [Reason::F, Reason::R, Reason::B].into_iter().collect();
+        assert_eq!(reasons_string(&rs), "RCBFAP"
+            .chars()
+            .filter(|c| "RBF".contains(*c))
+            .collect::<String>());
+    }
+}

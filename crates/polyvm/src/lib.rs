@@ -1,0 +1,665 @@
+//! # polyvm — instrumenting interpreter for the PolyVM ISA
+//!
+//! Stand-in for the paper's QEMU-plugin dynamic binary instrumentation
+//! (§3, "Instrumentation I/II"). The interpreter executes a
+//! [`polyir::Program`] and reports, through the [`EventSink`] trait, exactly
+//! the observables the paper's plugins report:
+//!
+//! * **control events** — local jumps, calls (with the call-site block and
+//!   the callee entry block) and returns (with the block execution resumes
+//!   in), the raw alphabet consumed by Alg. 1/2 of the paper;
+//! * **instruction events** — every dynamic instruction with the value it
+//!   produced (used for SCEV recognition and folding labels);
+//! * **memory events** — every load/store with its word address (used by the
+//!   shadow memory to derive data dependences, and by the stride analysis).
+//!
+//! Profiling is *streaming*: no trace is ever materialized, mirroring the
+//! paper's online pipeline. Stages are composed by nesting sinks.
+
+use polyir::*;
+use std::collections::HashMap;
+
+pub mod sinks;
+
+/// Receives the instrumentation event stream during execution.
+///
+/// All methods default to no-ops so sinks only implement what they need.
+/// Method order within one dynamic instruction: `mem` (for loads: before the
+/// value is produced; for stores: after operands are read) then `exec`.
+pub trait EventSink {
+    /// A local (intra-procedural) control transfer `from → to` caused by a
+    /// `Jump` or `Br` terminator.
+    fn local_jump(&mut self, from: BlockRef, to: BlockRef) {
+        let _ = (from, to);
+    }
+    /// A call: `callsite` is the block containing the `Call` instruction,
+    /// `entry` the callee's entry block.
+    fn call(&mut self, callsite: BlockRef, callee: FuncId, entry: BlockRef) {
+        let _ = (callsite, callee, entry);
+    }
+    /// A return from `from`; `to` is the caller block where execution
+    /// resumes (`None` when the program's entry function returns).
+    fn ret(&mut self, from: FuncId, to: Option<BlockRef>) {
+        let _ = (from, to);
+    }
+    /// A dynamic instruction; `value` is what it wrote to its destination
+    /// register, if any. Emitted after the instruction's effects.
+    fn exec(&mut self, instr: InstrRef, value: Option<Value>) {
+        let _ = (instr, value);
+    }
+    /// A memory access performed by `instr` at word address `addr`.
+    fn mem(&mut self, instr: InstrRef, addr: u64, is_write: bool) {
+        let _ = (instr, addr, is_write);
+    }
+}
+
+/// A sink that ignores everything (un-instrumented execution).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+impl EventSink for NullSink {}
+
+/// Why execution stopped abnormally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// The dynamic instruction budget ran out.
+    FuelExhausted,
+    /// An `Unreachable` terminator executed (block name attached).
+    Unreachable(String),
+    /// Call stack exceeded the configured limit.
+    StackOverflow,
+    /// The program has no entry function.
+    NoEntry,
+}
+
+impl std::fmt::Display for VmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VmError::FuelExhausted => write!(f, "dynamic instruction budget exhausted"),
+            VmError::Unreachable(b) => write!(f, "reached unreachable terminator in {b}"),
+            VmError::StackOverflow => write!(f, "call stack overflow"),
+            VmError::NoEntry => write!(f, "program has no entry function"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+const PAGE_BITS: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_BITS;
+
+/// Sparse, paged word-addressed memory. Uninitialized cells read as `I64(0)`.
+#[derive(Debug, Default)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[Value; PAGE_SIZE]>>,
+}
+
+impl Memory {
+    /// Fresh empty memory.
+    pub fn new() -> Self {
+        Memory::default()
+    }
+
+    /// Read the cell at `addr`.
+    pub fn read(&self, addr: u64) -> Value {
+        match self.pages.get(&(addr >> PAGE_BITS)) {
+            Some(p) => p[(addr as usize) & (PAGE_SIZE - 1)],
+            None => Value::I64(0),
+        }
+    }
+
+    /// Write the cell at `addr`.
+    pub fn write(&mut self, addr: u64, v: Value) {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_BITS)
+            .or_insert_with(|| Box::new([Value::I64(0); PAGE_SIZE]));
+        page[(addr as usize) & (PAGE_SIZE - 1)] = v;
+    }
+
+    /// Number of resident pages (for overhead statistics).
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+struct Frame {
+    func: FuncId,
+    block: LocalBlockId,
+    idx: usize,
+    regs: Vec<Value>,
+    /// Where to put the return value in the caller.
+    ret_reg: Option<Reg>,
+}
+
+/// Result of a completed execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutcome {
+    /// Return value of the entry function.
+    pub ret: Option<Value>,
+    /// Number of dynamic (non-terminator) instructions executed.
+    pub dyn_instrs: u64,
+}
+
+/// Interpreter configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct VmConfig {
+    /// Maximum dynamic instructions before `FuelExhausted` (default 2^40).
+    pub fuel: u64,
+    /// Maximum call-stack depth (default 1 << 16).
+    pub max_stack: usize,
+}
+
+impl Default for VmConfig {
+    fn default() -> Self {
+        VmConfig { fuel: 1 << 40, max_stack: 1 << 16 }
+    }
+}
+
+/// The PolyVM interpreter.
+pub struct Vm<'p> {
+    prog: &'p Program,
+    /// Program memory, exposed so harnesses can pre-load inputs and inspect
+    /// outputs around [`Vm::run`].
+    pub mem: Memory,
+    cfg: VmConfig,
+}
+
+impl<'p> Vm<'p> {
+    /// Create a VM over `prog` with the default configuration; the program's
+    /// data segment is loaded into memory.
+    pub fn new(prog: &'p Program) -> Self {
+        Self::with_config(prog, VmConfig::default())
+    }
+
+    /// Create a VM with an explicit configuration.
+    pub fn with_config(prog: &'p Program, cfg: VmConfig) -> Self {
+        let mut mem = Memory::new();
+        for &(addr, v) in &prog.data {
+            mem.write(addr, v);
+        }
+        Vm { prog, mem, cfg }
+    }
+
+    fn eval(regs: &[Value], o: &Operand) -> Value {
+        match o {
+            Operand::Reg(r) => regs[r.0 as usize],
+            Operand::ImmI(v) => Value::I64(*v),
+            Operand::ImmF(v) => Value::F64(*v),
+        }
+    }
+
+    /// Execute the entry function with `args`, streaming events to `sink`.
+    pub fn run<S: EventSink>(
+        &mut self,
+        args: &[Value],
+        sink: &mut S,
+    ) -> Result<RunOutcome, VmError> {
+        let entry = self.prog.entry.ok_or(VmError::NoEntry)?;
+        self.run_func(entry, args, sink)
+    }
+
+    /// Execute an arbitrary function as the root frame.
+    pub fn run_func<S: EventSink>(
+        &mut self,
+        root: FuncId,
+        args: &[Value],
+        sink: &mut S,
+    ) -> Result<RunOutcome, VmError> {
+        let rootf = self.prog.func(root);
+        assert_eq!(args.len(), rootf.n_params as usize, "root arity mismatch");
+        let mut regs = vec![Value::I64(0); rootf.n_regs as usize];
+        regs[..args.len()].copy_from_slice(args);
+        let mut stack = vec![Frame {
+            func: root,
+            block: rootf.entry(),
+            idx: 0,
+            regs,
+            ret_reg: None,
+        }];
+        let mut fuel = self.cfg.fuel;
+        let mut executed: u64 = 0;
+
+        'outer: loop {
+            // Execute instructions of the current frame until a control event.
+            let (func, block, idx) = {
+                let f = stack.last().expect("non-empty stack");
+                (f.func, f.block, f.idx)
+            };
+            let blk = self.prog.func(func).block(block);
+            let here = BlockRef { func, block };
+
+            if idx < blk.instrs.len() {
+                let ins = &blk.instrs[idx];
+                if fuel == 0 {
+                    return Err(VmError::FuelExhausted);
+                }
+                fuel -= 1;
+                executed += 1;
+                let iref = InstrRef { block: here, idx: idx as u32 };
+                match ins {
+                    Instr::Call { dst, func: callee, args } => {
+                        if stack.len() >= self.cfg.max_stack {
+                            return Err(VmError::StackOverflow);
+                        }
+                        let frame = stack.last_mut().expect("frame");
+                        let vals: Vec<Value> =
+                            args.iter().map(|a| Self::eval(&frame.regs, a)).collect();
+                        frame.idx = idx + 1;
+                        let calleef = self.prog.func(*callee);
+                        let mut regs = vec![Value::I64(0); calleef.n_regs as usize];
+                        regs[..vals.len()].copy_from_slice(&vals);
+                        let entry = BlockRef { func: *callee, block: calleef.entry() };
+                        sink.exec(iref, None);
+                        sink.call(here, *callee, entry);
+                        stack.push(Frame {
+                            func: *callee,
+                            block: calleef.entry(),
+                            idx: 0,
+                            regs,
+                            ret_reg: *dst,
+                        });
+                        continue 'outer;
+                    }
+                    _ => {
+                        let frame = stack.last_mut().expect("frame");
+                        let value = step_instr(ins, frame, &mut self.mem, iref, sink);
+                        frame.idx = idx + 1;
+                        sink.exec(iref, value);
+                        continue 'outer;
+                    }
+                }
+            }
+
+            // Terminator.
+            match &blk.term {
+                Terminator::Jump(t) => {
+                    let to = BlockRef { func, block: *t };
+                    sink.local_jump(here, to);
+                    let frame = stack.last_mut().expect("frame");
+                    frame.block = *t;
+                    frame.idx = 0;
+                }
+                Terminator::Br { cond, then_, else_ } => {
+                    let frame = stack.last_mut().expect("frame");
+                    let c = Self::eval(&frame.regs, cond).is_truthy();
+                    let t = if c { *then_ } else { *else_ };
+                    let to = BlockRef { func, block: t };
+                    frame.block = t;
+                    frame.idx = 0;
+                    sink.local_jump(here, to);
+                }
+                Terminator::Ret(v) => {
+                    let frame = stack.last().expect("frame");
+                    let rv = v.as_ref().map(|o| Self::eval(&frame.regs, o));
+                    let ret_reg = frame.ret_reg;
+                    stack.pop();
+                    match stack.last_mut() {
+                        Some(caller) => {
+                            if let (Some(r), Some(val)) = (ret_reg, rv) {
+                                caller.regs[r.0 as usize] = val;
+                            }
+                            let to = BlockRef { func: caller.func, block: caller.block };
+                            sink.ret(func, Some(to));
+                        }
+                        None => {
+                            sink.ret(func, None);
+                            return Ok(RunOutcome { ret: rv, dyn_instrs: executed });
+                        }
+                    }
+                }
+                Terminator::Unreachable => {
+                    return Err(VmError::Unreachable(blk.name.clone()));
+                }
+            }
+        }
+    }
+}
+
+/// Execute one non-call instruction; returns the produced value.
+fn step_instr<S: EventSink>(
+    ins: &Instr,
+    frame: &mut Frame,
+    mem: &mut Memory,
+    iref: InstrRef,
+    sink: &mut S,
+) -> Option<Value> {
+    let ev = |regs: &[Value], o: &Operand| -> Value {
+        match o {
+            Operand::Reg(r) => regs[r.0 as usize],
+            Operand::ImmI(v) => Value::I64(*v),
+            Operand::ImmF(v) => Value::F64(*v),
+        }
+    };
+    match ins {
+        Instr::Const { dst, value } => {
+            frame.regs[dst.0 as usize] = *value;
+            Some(*value)
+        }
+        Instr::Move { dst, src } => {
+            let v = ev(&frame.regs, src);
+            frame.regs[dst.0 as usize] = v;
+            Some(v)
+        }
+        Instr::IOp { dst, op, a, b } => {
+            let x = ev(&frame.regs, a).as_i64();
+            let y = ev(&frame.regs, b).as_i64();
+            let v = Value::I64(ibinop(*op, x, y));
+            frame.regs[dst.0 as usize] = v;
+            Some(v)
+        }
+        Instr::FOp { dst, op, a, b } => {
+            let x = ev(&frame.regs, a).as_f64();
+            let y = ev(&frame.regs, b).as_f64();
+            let v = Value::F64(fbinop(*op, x, y));
+            frame.regs[dst.0 as usize] = v;
+            Some(v)
+        }
+        Instr::ICmp { dst, op, a, b } => {
+            let x = ev(&frame.regs, a).as_i64();
+            let y = ev(&frame.regs, b).as_i64();
+            let v = Value::I64(cmp(*op, &x, &y) as i64);
+            frame.regs[dst.0 as usize] = v;
+            Some(v)
+        }
+        Instr::FCmp { dst, op, a, b } => {
+            let x = ev(&frame.regs, a).as_f64();
+            let y = ev(&frame.regs, b).as_f64();
+            let v = Value::I64(cmp(*op, &x, &y) as i64);
+            frame.regs[dst.0 as usize] = v;
+            Some(v)
+        }
+        Instr::Un { dst, op, a } => {
+            let x = ev(&frame.regs, a);
+            let v = unop(*op, x);
+            frame.regs[dst.0 as usize] = v;
+            Some(v)
+        }
+        Instr::Load { dst, base, offset } => {
+            let addr =
+                (ev(&frame.regs, base).as_i64().wrapping_add(ev(&frame.regs, offset).as_i64()))
+                    as u64;
+            sink.mem(iref, addr, false);
+            let v = mem.read(addr);
+            frame.regs[dst.0 as usize] = v;
+            Some(v)
+        }
+        Instr::Store { base, offset, src } => {
+            let addr =
+                (ev(&frame.regs, base).as_i64().wrapping_add(ev(&frame.regs, offset).as_i64()))
+                    as u64;
+            let v = ev(&frame.regs, src);
+            sink.mem(iref, addr, true);
+            mem.write(addr, v);
+            None
+        }
+        Instr::Call { .. } => unreachable!("calls handled by the main loop"),
+    }
+}
+
+fn ibinop(op: IBinOp, a: i64, b: i64) -> i64 {
+    match op {
+        IBinOp::Add => a.wrapping_add(b),
+        IBinOp::Sub => a.wrapping_sub(b),
+        IBinOp::Mul => a.wrapping_mul(b),
+        IBinOp::Div => {
+            if b == 0 {
+                0
+            } else {
+                a.wrapping_div(b)
+            }
+        }
+        IBinOp::Rem => {
+            if b == 0 {
+                0
+            } else {
+                a.wrapping_rem(b)
+            }
+        }
+        IBinOp::And => a & b,
+        IBinOp::Or => a | b,
+        IBinOp::Xor => a ^ b,
+        IBinOp::Shl => a.wrapping_shl(b as u32 & 63),
+        IBinOp::Shr => a.wrapping_shr(b as u32 & 63),
+        IBinOp::Min => a.min(b),
+        IBinOp::Max => a.max(b),
+    }
+}
+
+fn fbinop(op: FBinOp, a: f64, b: f64) -> f64 {
+    match op {
+        FBinOp::Add => a + b,
+        FBinOp::Sub => a - b,
+        FBinOp::Mul => a * b,
+        FBinOp::Div => a / b,
+        FBinOp::Min => a.min(b),
+        FBinOp::Max => a.max(b),
+    }
+}
+
+fn cmp<T: PartialOrd>(op: CmpOp, a: &T, b: &T) -> bool {
+    match op {
+        CmpOp::Eq => a == b,
+        CmpOp::Ne => a != b,
+        CmpOp::Lt => a < b,
+        CmpOp::Le => a <= b,
+        CmpOp::Gt => a > b,
+        CmpOp::Ge => a >= b,
+    }
+}
+
+fn unop(op: UnOp, a: Value) -> Value {
+    match op {
+        UnOp::Sqrt => Value::F64(a.as_f64().sqrt()),
+        UnOp::Exp => Value::F64(a.as_f64().exp()),
+        UnOp::Log => {
+            let x = a.as_f64().abs();
+            Value::F64(if x == 0.0 { 0.0 } else { x.ln() })
+        }
+        UnOp::Abs => match a {
+            Value::I64(v) => Value::I64(v.wrapping_abs()),
+            Value::F64(v) => Value::F64(v.abs()),
+        },
+        UnOp::Neg => match a {
+            Value::I64(v) => Value::I64(v.wrapping_neg()),
+            Value::F64(v) => Value::F64(-v),
+        },
+        UnOp::Sigmoid => Value::F64(1.0 / (1.0 + (-a.as_f64()).exp())),
+        UnOp::Sin => Value::F64(a.as_f64().sin()),
+        UnOp::Cos => Value::F64(a.as_f64().cos()),
+        UnOp::F2I => Value::I64(a.as_f64() as i64),
+        UnOp::I2F => Value::F64(a.as_i64() as f64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyir::build::ProgramBuilder;
+    use sinks::{CountingSink, RecordingSink, TraceEvent};
+
+    fn sum_to_10() -> Program {
+        let mut pb = ProgramBuilder::new("sum");
+        let mut f = pb.func("main", 0);
+        let acc = f.const_i(0);
+        f.for_loop("L", 0i64, 10i64, 1, |f, i| {
+            f.iop_to(acc, IBinOp::Add, acc, i);
+        });
+        f.ret(Some(acc.into()));
+        let fid = f.finish();
+        pb.set_entry(fid);
+        pb.finish()
+    }
+
+    #[test]
+    fn runs_simple_loop() {
+        let p = sum_to_10();
+        let mut vm = Vm::new(&p);
+        let out = vm.run(&[], &mut NullSink).unwrap();
+        assert_eq!(out.ret, Some(Value::I64(45)));
+    }
+
+    #[test]
+    fn counts_dynamic_instructions() {
+        let p = sum_to_10();
+        let mut vm = Vm::new(&p);
+        let mut c = CountingSink::default();
+        let out = vm.run(&[], &mut c).unwrap();
+        assert_eq!(c.instrs, out.dyn_instrs);
+        // const + mov + 11 cmps + 10 adds(acc) + 10 adds(iv)
+        assert_eq!(out.dyn_instrs, 2 + 11 + 20);
+        // 10 iterations => header->body 10x, body->latch 10x, latch->header 10x,
+        // header->exit 1x, entry->header 1x
+        assert_eq!(c.jumps, 32);
+    }
+
+    #[test]
+    fn calls_and_returns() {
+        let mut pb = ProgramBuilder::new("call");
+        let mut sq = pb.func("square", 1);
+        let x = sq.param(0);
+        let y = sq.mul(x, x);
+        sq.ret(Some(y.into()));
+        let sq_id = sq.finish();
+        let mut f = pb.func("main", 0);
+        let a = f.const_i(7);
+        let r = f.call(sq_id, &[a.into()]);
+        f.ret(Some(r.into()));
+        let fid = f.finish();
+        pb.set_entry(fid);
+        let p = pb.finish();
+        let mut vm = Vm::new(&p);
+        let mut rec = RecordingSink::default();
+        let out = vm.run(&[], &mut rec).unwrap();
+        assert_eq!(out.ret, Some(Value::I64(49)));
+        let calls = rec
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Call { .. }))
+            .count();
+        let rets = rec
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Ret { .. }))
+            .count();
+        assert_eq!(calls, 1);
+        assert_eq!(rets, 2); // callee return + entry return
+    }
+
+    #[test]
+    fn memory_roundtrip_and_events() {
+        let mut pb = ProgramBuilder::new("mem");
+        let base = pb.array_f64(&[1.5, 2.5]);
+        let mut f = pb.func("main", 0);
+        let v0 = f.load(base as i64, 0i64);
+        let v1 = f.load(base as i64, 1i64);
+        let s = f.fadd(v0, v1);
+        f.store(base as i64, 0i64, s);
+        let back = f.load(base as i64, 0i64);
+        f.ret(Some(back.into()));
+        let fid = f.finish();
+        pb.set_entry(fid);
+        let p = pb.finish();
+        let mut vm = Vm::new(&p);
+        let mut c = CountingSink::default();
+        let out = vm.run(&[], &mut c).unwrap();
+        assert_eq!(out.ret, Some(Value::F64(4.0)));
+        assert_eq!(c.loads, 3);
+        assert_eq!(c.stores, 1);
+        // fadd + the three float loads all produce F64 values
+        assert_eq!(c.fp_ops, 4);
+    }
+
+    #[test]
+    fn fuel_exhaustion() {
+        let mut pb = ProgramBuilder::new("spin");
+        let mut f = pb.func("main", 0);
+        let b = f.block("loop");
+        f.jump(b);
+        f.switch_to(b);
+        f.const_i(1);
+        f.jump(b);
+        let fid = f.finish();
+        pb.set_entry(fid);
+        let p = pb.finish();
+        let mut vm = Vm::with_config(&p, VmConfig { fuel: 1000, max_stack: 64 });
+        assert_eq!(vm.run(&[], &mut NullSink), Err(VmError::FuelExhausted));
+    }
+
+    #[test]
+    fn stack_overflow_detected() {
+        let mut pb = ProgramBuilder::new("deep");
+        let rec = pb.declare("r", 1);
+        let mut f = pb.func("r", 1);
+        let n = f.param(0);
+        let n1 = f.add(n, 1i64);
+        let v = f.call(rec, &[n1.into()]);
+        f.ret(Some(v.into()));
+        f.finish();
+        let mut m = pb.func("main", 0);
+        let z = m.const_i(0);
+        let r = m.call(rec, &[z.into()]);
+        m.ret(Some(r.into()));
+        let mid = m.finish();
+        pb.set_entry(mid);
+        let p = pb.finish();
+        let mut vm = Vm::with_config(&p, VmConfig { fuel: 1 << 30, max_stack: 100 });
+        assert_eq!(vm.run(&[], &mut NullSink), Err(VmError::StackOverflow));
+    }
+
+    #[test]
+    fn recursion_computes_fib() {
+        let mut pb = ProgramBuilder::new("fib");
+        let fib = pb.declare("fib", 1);
+        let mut f = pb.func("fib", 1);
+        let n = f.param(0);
+        let c = f.icmp(CmpOp::Lt, n, 2i64);
+        let bb = f.block("base");
+        let rb = f.block("rec");
+        f.br(c, bb, rb);
+        f.switch_to(bb);
+        f.ret(Some(n.into()));
+        f.switch_to(rb);
+        let n1 = f.sub(n, 1i64);
+        let n2 = f.sub(n, 2i64);
+        let a = f.call(fib, &[n1.into()]);
+        let b = f.call(fib, &[n2.into()]);
+        let s = f.add(a, b);
+        f.ret(Some(s.into()));
+        f.finish();
+        let mut m = pb.func("main", 0);
+        let ten = m.const_i(10);
+        let r = m.call(fib, &[ten.into()]);
+        m.ret(Some(r.into()));
+        let mid = m.finish();
+        pb.set_entry(mid);
+        let p = pb.finish();
+        let mut vm = Vm::new(&p);
+        let out = vm.run(&[], &mut NullSink).unwrap();
+        assert_eq!(out.ret, Some(Value::I64(55)));
+    }
+
+    #[test]
+    fn division_by_zero_is_total() {
+        let mut pb = ProgramBuilder::new("div0");
+        let mut f = pb.func("main", 0);
+        let a = f.div(5i64, 0i64);
+        let b = f.rem(5i64, 0i64);
+        let s = f.add(a, b);
+        f.ret(Some(s.into()));
+        let fid = f.finish();
+        pb.set_entry(fid);
+        let p = pb.finish();
+        let mut vm = Vm::new(&p);
+        assert_eq!(vm.run(&[], &mut NullSink).unwrap().ret, Some(Value::I64(0)));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let p = sum_to_10();
+        let mut r1 = RecordingSink::default();
+        let mut r2 = RecordingSink::default();
+        Vm::new(&p).run(&[], &mut r1).unwrap();
+        Vm::new(&p).run(&[], &mut r2).unwrap();
+        assert_eq!(r1.events, r2.events);
+    }
+}

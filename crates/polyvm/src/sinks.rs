@@ -1,0 +1,168 @@
+//! Reusable [`EventSink`] implementations: counting,
+//! recording (for tests), fan-out composition, and filtering.
+
+use crate::EventSink;
+use polyir::{BlockRef, FuncId, InstrRef, Value};
+
+/// Counts event classes; cheap enough for full-program runs.
+#[derive(Debug, Default, Clone)]
+pub struct CountingSink {
+    /// Dynamic instructions executed.
+    pub instrs: u64,
+    /// Local jumps taken.
+    pub jumps: u64,
+    /// Calls performed.
+    pub calls: u64,
+    /// Returns performed.
+    pub rets: u64,
+    /// Loads.
+    pub loads: u64,
+    /// Stores.
+    pub stores: u64,
+    /// Dynamic instructions that produced an `F64` value (includes float
+    /// loads/moves; use the feedback crate's program-aware classification
+    /// for the paper's `%FPops` metric).
+    pub fp_ops: u64,
+}
+
+impl EventSink for CountingSink {
+    fn local_jump(&mut self, _: BlockRef, _: BlockRef) {
+        self.jumps += 1;
+    }
+    fn call(&mut self, _: BlockRef, _: FuncId, _: BlockRef) {
+        self.calls += 1;
+    }
+    fn ret(&mut self, _: FuncId, _: Option<BlockRef>) {
+        self.rets += 1;
+    }
+    fn exec(&mut self, _: InstrRef, value: Option<Value>) {
+        self.instrs += 1;
+        if matches!(value, Some(Value::F64(_))) {
+            self.fp_ops += 1;
+        }
+    }
+    fn mem(&mut self, _: InstrRef, _: u64, is_write: bool) {
+        if is_write {
+            self.stores += 1;
+        } else {
+            self.loads += 1;
+        }
+    }
+}
+
+/// A fully materialized trace event (testing / small programs only).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// Local jump.
+    Jump {
+        /// Source block.
+        from: BlockRef,
+        /// Target block.
+        to: BlockRef,
+    },
+    /// Call.
+    Call {
+        /// Block containing the call site.
+        callsite: BlockRef,
+        /// Callee function.
+        callee: FuncId,
+        /// Callee entry block.
+        entry: BlockRef,
+    },
+    /// Return.
+    Ret {
+        /// Function returned from.
+        from: FuncId,
+        /// Caller block resumed in (`None` at program exit).
+        to: Option<BlockRef>,
+    },
+    /// Dynamic instruction.
+    Exec {
+        /// Static instruction.
+        instr: InstrRef,
+        /// Produced value.
+        value: Option<Value>,
+    },
+    /// Memory access.
+    Mem {
+        /// Accessing instruction.
+        instr: InstrRef,
+        /// Word address.
+        addr: u64,
+        /// Store?
+        is_write: bool,
+    },
+}
+
+/// Records the complete event stream (use only on small programs).
+#[derive(Debug, Default, Clone)]
+pub struct RecordingSink {
+    /// The recorded stream, in emission order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl EventSink for RecordingSink {
+    fn local_jump(&mut self, from: BlockRef, to: BlockRef) {
+        self.events.push(TraceEvent::Jump { from, to });
+    }
+    fn call(&mut self, callsite: BlockRef, callee: FuncId, entry: BlockRef) {
+        self.events.push(TraceEvent::Call { callsite, callee, entry });
+    }
+    fn ret(&mut self, from: FuncId, to: Option<BlockRef>) {
+        self.events.push(TraceEvent::Ret { from, to });
+    }
+    fn exec(&mut self, instr: InstrRef, value: Option<Value>) {
+        self.events.push(TraceEvent::Exec { instr, value });
+    }
+    fn mem(&mut self, instr: InstrRef, addr: u64, is_write: bool) {
+        self.events.push(TraceEvent::Mem { instr, addr, is_write });
+    }
+}
+
+/// Broadcasts every event to two sinks (compose for more). This is how the
+/// paper's "multiple interacting plugins" stack is modelled.
+#[derive(Debug, Default)]
+pub struct Tee<A, B>(pub A, pub B);
+
+impl<A: EventSink, B: EventSink> EventSink for Tee<A, B> {
+    fn local_jump(&mut self, from: BlockRef, to: BlockRef) {
+        self.0.local_jump(from, to);
+        self.1.local_jump(from, to);
+    }
+    fn call(&mut self, callsite: BlockRef, callee: FuncId, entry: BlockRef) {
+        self.0.call(callsite, callee, entry);
+        self.1.call(callsite, callee, entry);
+    }
+    fn ret(&mut self, from: FuncId, to: Option<BlockRef>) {
+        self.0.ret(from, to);
+        self.1.ret(from, to);
+    }
+    fn exec(&mut self, instr: InstrRef, value: Option<Value>) {
+        self.0.exec(instr, value);
+        self.1.exec(instr, value);
+    }
+    fn mem(&mut self, instr: InstrRef, addr: u64, is_write: bool) {
+        self.0.mem(instr, addr, is_write);
+        self.1.mem(instr, addr, is_write);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tee_broadcasts() {
+        let mut t = Tee(CountingSink::default(), CountingSink::default());
+        t.exec(
+            InstrRef { block: BlockRef::new(FuncId(0), 0), idx: 0 },
+            Some(Value::F64(1.0)),
+        );
+        t.mem(InstrRef { block: BlockRef::new(FuncId(0), 0), idx: 0 }, 42, true);
+        assert_eq!(t.0.instrs, 1);
+        assert_eq!(t.1.instrs, 1);
+        assert_eq!(t.0.fp_ops, 1);
+        assert_eq!(t.0.stores, 1);
+        assert_eq!(t.1.stores, 1);
+    }
+}

@@ -1,0 +1,169 @@
+//! `backprop` — supervised neural-network training (paper case study I,
+//! Tables 1–3).
+//!
+//! Two 2-D kernels, both called from `main` (the `facetrain.c:25` region of
+//! Table 5):
+//!
+//! * `bpnn_layerforward` — Fig. 6's kernel: `l2[j] = squash(Σ_k conn[k][j]
+//!   · l1[k])`. Column-major access to `conn` (stride n2 along the inner k
+//!   loop), an inner *reduction* into `sum`, and a `squash` call. The
+//!   paper's suggested transformation: interchange + SIMD, outer loop
+//!   parallel.
+//! * `bpnn_adjust_weights` — elementwise 2-D update, fully parallel, also
+//!   interchange+SIMD material.
+//!
+//! Arrays are passed as pointer parameters, so static analysis must assume
+//! aliasing — the paper's Polly failure code **A** for this benchmark.
+
+use crate::{PaperRow, Workload};
+use polyir::build::ProgramBuilder;
+use polyir::{FBinOp, Operand, UnOp};
+
+/// Layer sizes (paper: n2 = 16 for the interesting call).
+pub const N1: i64 = 16;
+/// Output layer size.
+pub const N2: i64 = 16;
+
+/// Build the workload.
+pub fn build() -> Workload {
+    let mut pb = ProgramBuilder::new("backprop");
+
+    // conn[k][j] row-major (n1+1 rows × n2+1 cols), l1[n1+1], l2[n2+1],
+    // delta[n2+1], oldw similarly.
+    let conn = pb.array_f64(&vec![0.1; ((N1 + 1) * (N2 + 1)) as usize]);
+    let l1 = pb.array_f64(&vec![0.5; (N1 + 1) as usize]);
+    let l2 = pb.alloc((N2 + 1) as u64);
+    let delta = pb.array_f64(&vec![0.01; (N2 + 1) as usize]);
+    let oldw = pb.array_f64(&vec![0.2; ((N1 + 1) * (N2 + 1)) as usize]);
+    let w = pb.array_f64(&vec![0.3; ((N1 + 1) * (N2 + 1)) as usize]);
+
+    // squash(x) = 1/(1+e^-x): a real function so the region is
+    // interprocedural (Polly, however, can handle such "simple" calls — the
+    // paper reports only A for backprop, so the static baseline sees the
+    // sigmoid as an intrinsic inside squash, not an opaque call chain).
+    let mut sq = pb.func("squash", 1);
+    let x = sq.param(0);
+    let s = sq.un(UnOp::Sigmoid, x);
+    sq.ret(Some(s.into()));
+    let squash = sq.finish();
+
+    // bpnn_layerforward(l1, l2, conn, n1, n2)
+    let mut lf = pb.func("bpnn_layerforward", 5);
+    {
+        let (l1p, l2p, connp, n1, n2) =
+            (lf.param(0), lf.param(1), lf.param(2), lf.param(3), lf.param(4));
+        lf.at_line(253);
+        lf.for_loop("Lj", 1i64, n2, 1, |f, j| {
+            let sum = f.const_f(0.0);
+            f.at_line(254);
+            f.for_loop("Lk", 0i64, n1, 1, |f, k| {
+                // conn[k][j]: stride n2+1 along k (column access)
+                let row = f.mul(k, N2 + 1);
+                let idx = f.add(row, j);
+                let wv = f.load(connp, idx);
+                let xv = f.load(l1p, k);
+                let prod = f.fmul(wv, xv);
+                f.fop_to(sum, FBinOp::Add, sum, prod);
+            });
+            let out = f.call(squash, &[sum.into()]);
+            f.store(l2p, j, out);
+        });
+        lf.ret(None);
+    }
+    let layerforward = lf.finish();
+
+    // bpnn_adjust_weights(delta, ndelta, ly, nly, w, oldw)
+    let mut aw = pb.func("bpnn_adjust_weights", 4);
+    {
+        let (deltap, lyp, wp, oldwp) =
+            (aw.param(0), aw.param(1), aw.param(2), aw.param(3));
+        aw.at_line(320);
+        aw.for_loop("Lj", 1i64, N2, 1, |f, j| {
+            f.at_line(322);
+            f.for_loop("Lk", 0i64, N1, 1, |f, k| {
+                let row = f.mul(k, N2 + 1);
+                let idx = f.add(row, j);
+                let d = f.load(deltap, j);
+                let y = f.load(lyp, k);
+                let old = f.load(oldwp, idx);
+                let eta = f.fmul(d, 0.3f64);
+                let t1 = f.fmul(eta, y);
+                let t2 = f.fmul(old, 0.3f64);
+                let upd = f.fadd(t1, t2);
+                let cur = f.load(wp, idx);
+                let neww = f.fadd(cur, upd);
+                f.store(wp, idx, neww);
+                f.store(oldwp, idx, upd);
+            });
+        });
+        aw.ret(None);
+    }
+    let adjust = aw.finish();
+
+    let mut m = pb.func("main", 0);
+    m.at_line(25);
+    m.call_void(
+        layerforward,
+        &[
+            Operand::ImmI(l1 as i64),
+            Operand::ImmI(l2 as i64),
+            Operand::ImmI(conn as i64),
+            Operand::ImmI(N1),
+            Operand::ImmI(N2),
+        ],
+    );
+    m.call_void(
+        adjust,
+        &[
+            Operand::ImmI(delta as i64),
+            Operand::ImmI(l1 as i64),
+            Operand::ImmI(w as i64),
+            Operand::ImmI(oldw as i64),
+        ],
+    );
+    m.ret(None);
+    let mid = m.finish();
+    pb.set_entry(mid);
+
+    Workload {
+        name: "backprop",
+        program: pb.finish(),
+        description: "NN training: 2-D reduction kernel + 2-D elementwise update, \
+                      pointer-parameter arrays (Polly: A), interchange+SIMD potential",
+        paper: PaperRow {
+            pct_aff: 0.85,
+            polly_reasons: "A",
+            skew: false,
+            pct_parallel: 1.0,
+            pct_simd: 1.0,
+            ld_src: 2,
+            ld_bin: 2,
+            tile_d: 2,
+            interproc: true,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyvm::{sinks::CountingSink, Vm};
+
+    #[test]
+    fn runs_and_produces_output() {
+        let w = build();
+        assert!(w.program.validate().is_empty());
+        let mut vm = Vm::new(&w.program);
+        let mut c = CountingSink::default();
+        vm.run(&[], &mut c).unwrap();
+        assert!(c.calls >= 2 + (N2 as u64 - 1)); // two kernels + squash per j
+        // l2[1] holds a sigmoid output in (0.5, 1): sigmoid(Σ 16·0.1·0.5) ≈ 0.69.
+        // conn starts at 0x1000 with (N1+1)*(N2+1) cells, l1 after, l2 after l1.
+        let l2_addr = 0x1000
+            + ((N1 + 1) * (N2 + 1)) as u64
+            + (N1 + 1) as u64
+            + 1;
+        let v = vm.mem.read(l2_addr).as_f64();
+        assert!(v > 0.5 && v < 1.0, "sigmoid output expected, got {v}");
+    }
+}

@@ -1,0 +1,143 @@
+//! `bfs` — breadth-first search (Table 5 row 2).
+//!
+//! Level-synchronous BFS over a CSR graph: an outer `while` over frontier
+//! levels, a middle loop over nodes, and an inner loop over each node's
+//! edges with *indirect* neighbor accesses. Statically non-affine (Polly:
+//! **B** data-dependent bounds, **F** indirection); dynamically Poly-Prof
+//! still folds the node loop and finds the per-level parallelism the paper
+//! reports (bfs.cpp:137).
+
+use crate::{PaperRow, Workload};
+use polyir::build::ProgramBuilder;
+use polyir::{CmpOp, IBinOp};
+
+/// Node count.
+pub const NODES: i64 = 64;
+
+/// Build the workload.
+pub fn build() -> Workload {
+    let mut pb = ProgramBuilder::new("bfs");
+
+    // Ring-with-chords graph in CSR: each node i has edges to (i+1)%n and
+    // (i*7+3)%n — connected, irregular enough to defeat affine fitting.
+    let n = NODES;
+    let mut offsets = Vec::new();
+    let mut edges = Vec::new();
+    for i in 0..n {
+        offsets.push(edges.len() as i64);
+        edges.push((i + 1) % n);
+        edges.push((i * 7 + 3) % n);
+    }
+    offsets.push(edges.len() as i64);
+    let off = pb.array_i64(&offsets);
+    let edg = pb.array_i64(&edges);
+    // cost[i] = -1 (unvisited); mask arrays like the Rodinia kernel.
+    let mut cost_init = vec![-1i64; n as usize];
+    cost_init[0] = 0;
+    let cost = pb.array_i64(&cost_init);
+    let mut mask_init = vec![0i64; n as usize];
+    mask_init[0] = 1;
+    let mask = pb.array_i64(&mask_init);
+    let updating = pb.array_i64(&vec![0i64; n as usize]);
+
+    let mut f = pb.func("main", 0);
+    f.at_line(137);
+    let stop = f.const_i(1);
+    f.while_loop(
+        "levels",
+        |f| f.icmp(CmpOp::Ne, stop, 0i64),
+        |f| {
+            f.mov_to(stop, 0i64);
+            // Kernel 1: expand the frontier.
+            f.for_loop("Lnodes", 0i64, NODES, 1, |f, tid| {
+                let m = f.load(mask as i64, tid);
+                f.if_else(
+                    m,
+                    |f| {
+                        f.store(mask as i64, tid, 0i64);
+                        let my_cost = f.load(cost as i64, tid);
+                        let lo = f.load(off as i64, tid);
+                        let tid1 = f.add(tid, 1i64);
+                        let hi = f.load(off as i64, tid1);
+                        let e = f.mov(lo);
+                        f.while_loop(
+                            "Ledges",
+                            |f| f.icmp(CmpOp::Lt, e, hi),
+                            |f| {
+                                let nb = f.load(edg as i64, e); // indirection
+                                let nc = f.load(cost as i64, nb);
+                                let unvisited = f.icmp(CmpOp::Lt, nc, 0i64);
+                                f.if_else(
+                                    unvisited,
+                                    |f| {
+                                        let c1 = f.add(my_cost, 1i64);
+                                        f.store(cost as i64, nb, c1);
+                                        f.store(updating as i64, nb, 1i64);
+                                    },
+                                    |_| {},
+                                );
+                                f.iop_to(e, IBinOp::Add, e, 1i64);
+                            },
+                        );
+                    },
+                    |_| {},
+                );
+            });
+            // Kernel 2: commit the new frontier.
+            f.for_loop("Lcommit", 0i64, NODES, 1, |f, tid| {
+                let u = f.load(updating as i64, tid);
+                f.if_else(
+                    u,
+                    |f| {
+                        f.store(mask as i64, tid, 1i64);
+                        f.store(updating as i64, tid, 0i64);
+                        f.mov_to(stop, 1i64);
+                    },
+                    |_| {},
+                );
+            });
+        },
+    );
+    f.ret(None);
+    let fid = f.finish();
+    pb.set_entry(fid);
+
+    Workload {
+        name: "bfs",
+        program: pb.finish(),
+        description: "level-synchronous BFS over CSR: while over levels, node loop, \
+                      indirect edge loop (Polly: BF; low %Aff)",
+        paper: PaperRow {
+            pct_aff: 0.21,
+            polly_reasons: "BF",
+            skew: false,
+            pct_parallel: 1.0,
+            pct_simd: 0.01,
+            ld_src: 3,
+            ld_bin: 3,
+            tile_d: 2,
+            interproc: false,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyvm::{NullSink, Vm};
+
+    #[test]
+    fn bfs_labels_all_nodes() {
+        let w = build();
+        assert!(w.program.validate().is_empty());
+        let mut vm = Vm::new(&w.program);
+        vm.run(&[], &mut NullSink).unwrap();
+        // cost array base: after offsets (n+1) and edges (2n).
+        let cost_base = 0x1000 + (NODES + 1) as u64 + (2 * NODES) as u64;
+        for i in 0..NODES as u64 {
+            let c = vm.mem.read(cost_base + i).as_i64();
+            assert!(c >= 0, "node {i} unreached");
+            assert!(c <= NODES, "cost {c} out of range");
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! `cfd` — Euler solver on an unstructured mesh (Table 5 row 4,
+//! euler3d_cpu.cpp:480).
+//!
+//! `compute_flux`: per element, loop over the 4 faces, gather neighbor
+//! state through an *index array* (unstructured mesh → indirection, Polly
+//! **F**), then per-variable flux updates. The element and variable loops
+//! are parallel; the paper reports 98% affine (the gather is a small part)
+//! and an unrolled source dimension (`ld-src 5D` vs `ld-bin 4D` — the
+//! compiler fully unrolled the variables loop; we mirror that by unrolling
+//! the 5-variable update in the "binary").
+
+use crate::{PaperRow, Workload};
+use polyir::build::ProgramBuilder;
+
+/// Mesh elements.
+pub const NELR: i64 = 48;
+/// Faces per element.
+pub const NFACES: i64 = 4;
+/// Conserved variables (density, 3 momentum, energy).
+pub const NVAR: i64 = 5;
+
+/// Build the workload.
+pub fn build() -> Workload {
+    let mut pb = ProgramBuilder::new("cfd");
+    let variables = pb.array_f64(&vec![1.0; (NELR * NVAR) as usize]);
+    let fluxes = pb.alloc((NELR * NVAR) as u64);
+    // neighbor table: irregular but valid element ids
+    let nb: Vec<i64> = (0..NELR * NFACES)
+        .map(|i| ((i * 31 + 7) % NELR) * NVAR)
+        .collect();
+    let neighbors = pb.array_i64(&nb);
+    let normals = pb.array_f64(&vec![0.25; (NELR * NFACES) as usize]);
+
+    let mut f = pb.func("compute_flux", 4);
+    {
+        let (varp, fluxp, nbp, nrmp) =
+            (f.param(0), f.param(1), f.param(2), f.param(3));
+        f.at_line(480);
+        f.for_loop("Lelem", 0i64, NELR, 1, |f, el| {
+            let base = f.mul(el, NVAR);
+            // accumulators per variable (unrolled "binary" form)
+            let acc: Vec<_> = (0..NVAR).map(|_| f.const_f(0.0)).collect();
+            f.for_loop("Lface", 0i64, NFACES, 1, |f, face| {
+                let fi = f.mul(el, NFACES);
+                let fidx = f.add(fi, face);
+                let nb_base = f.load(nbp, fidx); // indirection: neighbor id
+                let w = f.load(nrmp, fidx);
+                for v in 0..NVAR {
+                    let my_idx = f.add(base, v);
+                    let their_idx = f.add(nb_base, v);
+                    let mine = f.load(varp, my_idx);
+                    let theirs = f.load(varp, their_idx);
+                    let d = f.fsub(theirs, mine);
+                    let contrib = f.fmul(d, w);
+                    f.fop_to(acc[v as usize], polyir::FBinOp::Add, acc[v as usize], contrib);
+                }
+            });
+            for v in 0..NVAR {
+                let idx = f.add(base, v);
+                f.store(fluxp, idx, acc[v as usize]);
+            }
+        });
+        f.ret(None);
+    }
+    let flux = f.finish();
+
+    let mut m = pb.func("main", 0);
+    // two sweep iterations (RK steps)
+    m.for_loop("Lrk", 0i64, 2i64, 1, |f, _| {
+        f.call_void(
+            flux,
+            &[
+                polyir::Operand::ImmI(variables as i64),
+                polyir::Operand::ImmI(fluxes as i64),
+                polyir::Operand::ImmI(neighbors as i64),
+                polyir::Operand::ImmI(normals as i64),
+            ],
+        );
+    });
+    m.ret(None);
+    let mid = m.finish();
+    pb.set_entry(mid);
+
+    Workload {
+        name: "cfd",
+        program: pb.finish(),
+        description: "unstructured-mesh flux kernel: parallel element loop, indirect \
+                      neighbor gather, unrolled variable dimension (Polly: F)",
+        paper: PaperRow {
+            pct_aff: 0.98,
+            polly_reasons: "F",
+            skew: false,
+            pct_parallel: 1.0,
+            pct_simd: 0.18,
+            ld_src: 5,
+            ld_bin: 4,
+            tile_d: 3,
+            interproc: true,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyvm::{NullSink, Vm};
+
+    #[test]
+    fn cfd_runs_and_writes_fluxes() {
+        let w = build();
+        assert!(w.program.validate().is_empty());
+        let mut vm = Vm::new(&w.program);
+        vm.run(&[], &mut NullSink).unwrap();
+        // all variables equal ⇒ all fluxes must be 0 — a semantic check of
+        // the gather.
+        let flux_base = 0x1000 + (NELR * NVAR) as u64;
+        for i in 0..(NELR * NVAR) as u64 {
+            assert_eq!(vm.mem.read(flux_base + i).as_f64(), 0.0);
+        }
+    }
+}

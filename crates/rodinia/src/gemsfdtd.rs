@@ -1,0 +1,177 @@
+//! `GemsFDTD` — finite-difference time-domain solver (paper case study II,
+//! Table 4).
+//!
+//! The paper's regions of interest are the five hottest loop nests inside
+//! `updateH_homo` / `updateE_homo` (update.F90:106 / update.F90:240): 3-D
+//! stencils swept by an outer time loop. Poly-Prof annotates them *fully
+//! parallel and tilable*; the suggested transformation is tiling all
+//! dimensions (size 32) plus OMP PARALLEL DO on the outermost loop, for a
+//! 1.9–2.6× speedup.
+//!
+//! Here: staggered-grid E/H updates over an N³ grid, T time steps, arrays
+//! passed as pointer parameters (Fortran arrays are alias-free, so the
+//! static baseline is *expected* to model the kernels when given the same
+//! no-alias guarantee — the paper does not list GemsFDTD in Table 5).
+
+use crate::{PaperRow, Workload};
+use polyir::build::ProgramBuilder;
+use polyir::Operand;
+
+/// Grid edge.
+pub const N: i64 = 6;
+/// Time steps.
+pub const T: i64 = 3;
+
+/// Build the workload.
+pub fn build() -> Workload {
+    let mut pb = ProgramBuilder::new("gemsfdtd");
+    let cells = (N * N * N) as usize;
+    let hx = pb.array_f64(&vec![0.0; cells]);
+    let hy = pb.array_f64(&vec![0.0; cells]);
+    let ex = pb.array_f64(&(0..cells).map(|i| (i % 5) as f64 * 0.2).collect::<Vec<_>>());
+    let ey = pb.array_f64(&(0..cells).map(|i| (i % 3) as f64 * 0.3).collect::<Vec<_>>());
+
+    // updateH_homo(hx, hy, ex, ey): H += c·(∂E) — 3-D stencil, all spatial
+    // dims parallel.
+    let mut uh = pb.func("updateH_homo", 4);
+    {
+        let (hxp, hyp, exp_, eyp) =
+            (uh.param(0), uh.param(1), uh.param(2), uh.param(3));
+        uh.at_line(106);
+        uh.for_loop("Li", 0i64, N - 1, 1, |f, i| {
+            f.at_line(107);
+            f.for_loop("Lj", 0i64, N - 1, 1, |f, j| {
+                f.at_line(121);
+                f.for_loop("Lk", 0i64, N - 1, 1, |f, k| {
+                    let plane = f.mul(i, N * N);
+                    let row = f.mul(j, N);
+                    let pr = f.add(plane, row);
+                    let idx = f.add(pr, k);
+                    let idx_k1 = f.add(idx, 1i64);
+                    let idx_j1 = f.add(idx, N);
+                    let e0 = f.load(exp_, idx);
+                    let e1 = f.load(exp_, idx_k1);
+                    let de = f.fsub(e1, e0);
+                    let h = f.load(hxp, idx);
+                    let d = f.fmul(de, 0.5f64);
+                    let hn = f.fadd(h, d);
+                    f.store(hxp, idx, hn);
+                    let f0 = f.load(eyp, idx);
+                    let f1 = f.load(eyp, idx_j1);
+                    let df = f.fsub(f1, f0);
+                    let h2 = f.load(hyp, idx);
+                    let d2 = f.fmul(df, 0.5f64);
+                    let h2n = f.fadd(h2, d2);
+                    f.store(hyp, idx, h2n);
+                });
+            });
+        });
+        uh.ret(None);
+    }
+    let update_h = uh.finish();
+
+    // updateE_homo(ex, ey, hx, hy): E += c·(∂H).
+    let mut ue = pb.func("updateE_homo", 4);
+    {
+        let (exp_, eyp, hxp, hyp) =
+            (ue.param(0), ue.param(1), ue.param(2), ue.param(3));
+        ue.at_line(240);
+        ue.for_loop("Li", 1i64, N, 1, |f, i| {
+            f.at_line(241);
+            f.for_loop("Lj", 1i64, N, 1, |f, j| {
+                f.at_line(244);
+                f.for_loop("Lk", 1i64, N, 1, |f, k| {
+                    let plane = f.mul(i, N * N);
+                    let row = f.mul(j, N);
+                    let pr = f.add(plane, row);
+                    let idx = f.add(pr, k);
+                    let idx_k1 = f.sub(idx, 1i64);
+                    let idx_j1 = f.sub(idx, N);
+                    let h0 = f.load(hxp, idx);
+                    let h1 = f.load(hxp, idx_k1);
+                    let dh = f.fsub(h0, h1);
+                    let e = f.load(exp_, idx);
+                    let d = f.fmul(dh, 0.5f64);
+                    let en = f.fadd(e, d);
+                    f.store(exp_, idx, en);
+                    let g0 = f.load(hyp, idx);
+                    let g1 = f.load(hyp, idx_j1);
+                    let dg = f.fsub(g0, g1);
+                    let e2 = f.load(eyp, idx);
+                    let d2 = f.fmul(dg, 0.5f64);
+                    let e2n = f.fadd(e2, d2);
+                    f.store(eyp, idx, e2n);
+                });
+            });
+        });
+        ue.ret(None);
+    }
+    let update_e = ue.finish();
+
+    let mut m = pb.func("main", 0);
+    m.for_loop("Lt", 0i64, T, 1, |f, _t| {
+        f.call_void(
+            update_h,
+            &[
+                Operand::ImmI(hx as i64),
+                Operand::ImmI(hy as i64),
+                Operand::ImmI(ex as i64),
+                Operand::ImmI(ey as i64),
+            ],
+        );
+        f.call_void(
+            update_e,
+            &[
+                Operand::ImmI(ex as i64),
+                Operand::ImmI(ey as i64),
+                Operand::ImmI(hx as i64),
+                Operand::ImmI(hy as i64),
+            ],
+        );
+    });
+    m.ret(None);
+    let mid = m.finish();
+    pb.set_entry(mid);
+
+    Workload {
+        name: "gemsfdtd",
+        program: pb.finish(),
+        description: "FDTD E/H staggered 3-D stencils under a time loop: fully \
+                      parallel spatial dims, 3-D tiling + OMP parallel (Table 4)",
+        paper: PaperRow {
+            pct_aff: 0.95,
+            polly_reasons: "A",
+            skew: false,
+            pct_parallel: 1.0,
+            pct_simd: 1.0,
+            ld_src: 4,
+            ld_bin: 4,
+            tile_d: 3,
+            interproc: true,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyvm::{NullSink, Vm};
+
+    #[test]
+    fn stencil_updates_fields() {
+        let w = build();
+        assert!(w.program.validate().is_empty());
+        let mut vm = Vm::new(&w.program);
+        vm.run(&[], &mut NullSink).unwrap();
+        // hx base is the first array: some interior cell must have moved
+        // away from its initial 0.0.
+        let mut changed = false;
+        for a in 0x1000..0x1000 + (N * N * N) as u64 {
+            if vm.mem.read(a).as_f64() != 0.0 {
+                changed = true;
+                break;
+            }
+        }
+        assert!(changed, "H field must be updated by the stencil");
+    }
+}

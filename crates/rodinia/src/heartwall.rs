@@ -1,0 +1,110 @@
+//! `heartwall` — heart-wall tracking (Table 5 row 5, main.c:536).
+//!
+//! Deep nest (the paper reports 7-D source loops): frames × points ×
+//! template rows × template cols correlation, with *hand-linearized* index
+//! arithmetic using modulo expressions — the reason the paper gives for
+//! heartwall's low 1% `%Aff` ("not supporting lattices at folding time")
+//! and Polly's **RCBF** failure (helper call, early bail, modulo bounds,
+//! non-affine accesses).
+
+use crate::{PaperRow, Workload};
+use polyir::build::ProgramBuilder;
+use polyir::{CmpOp, Operand};
+
+/// Frames processed.
+pub const FRAMES: i64 = 2;
+/// Tracking points.
+pub const POINTS: i64 = 4;
+/// Template edge.
+pub const TPL: i64 = 5;
+
+/// Build the workload.
+pub fn build() -> Workload {
+    let mut pb = ProgramBuilder::new("heartwall");
+    let img = pb.array_f64(
+        &(0..(TPL * TPL * 4)).map(|i| (i % 9) as f64 * 0.1).collect::<Vec<_>>(),
+    );
+    let tpl = pb.array_f64(&vec![0.3; (TPL * TPL) as usize]);
+    let out = pb.alloc((FRAMES * POINTS) as u64);
+
+    // helper called per point (Polly: R)
+    let mut h = pb.func("normalize", 1);
+    let x = h.param(0);
+    let s = h.un(polyir::UnOp::Sqrt, x);
+    h.ret(Some(s.into()));
+    let norm = h.finish();
+
+    let mut f = pb.func("main", 0);
+    f.at_line(536);
+    f.for_loop("Lframe", 0i64, FRAMES, 1, |f, fr| {
+        f.for_loop("Lpoint", 0i64, POINTS, 1, |f, pt| {
+            let acc = f.const_f(0.0);
+            f.for_loop("Lrow", 0i64, TPL, 1, |f, r| {
+                f.for_loop("Lcol", 0i64, TPL, 1, |f, c| {
+                    // hand-linearized with modulo (the lattice pattern)
+                    let lin = f.mul(r, TPL);
+                    let lin2 = f.add(lin, c);
+                    let shift = f.add(lin2, pt);
+                    let wrapped = f.rem(shift, TPL * TPL); // modulo indexing
+                    let frame_off = f.mul(fr, TPL * TPL);
+                    let idx = f.add(frame_off, wrapped);
+                    let iv = f.load(img as i64, idx);
+                    let tidx = f.add(lin, c);
+                    let tv = f.load(tpl as i64, tidx);
+                    let p = f.fmul(iv, tv);
+                    f.fop_to(acc, polyir::FBinOp::Add, acc, p);
+                    // early bail when correlation is already hopeless (C)
+                    let bad = f.fcmp(CmpOp::Lt, acc, -1.0e6f64);
+                    let bail = f.block("bail");
+                    let cont = f.block("cont");
+                    f.br(bad, bail, cont);
+                    f.switch_to(bail);
+                    f.ret(None); // early return from deep inside the nest
+                    f.switch_to(cont);
+                });
+            });
+            let n = f.call(norm, &[Operand::Reg(acc)]);
+            let oidx = f.mul(fr, POINTS);
+            let oidx2 = f.add(oidx, pt);
+            f.store(out as i64, oidx2, n);
+        });
+    });
+    f.ret(None);
+    let fid = f.finish();
+    pb.set_entry(fid);
+
+    Workload {
+        name: "heartwall",
+        program: pb.finish(),
+        description: "frames × points × template correlation with modulo-linearized \
+                      indexing, early bail, helper call (Polly: RCBF; %Aff ≈ 1%)",
+        paper: PaperRow {
+            pct_aff: 0.01,
+            polly_reasons: "RCBF",
+            skew: false,
+            pct_parallel: 1.0,
+            pct_simd: 0.0,
+            ld_src: 7,
+            ld_bin: 6,
+            tile_d: 5,
+            interproc: true,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyvm::{NullSink, Vm};
+
+    #[test]
+    fn heartwall_runs() {
+        let w = build();
+        assert!(w.program.validate().is_empty());
+        let mut vm = Vm::new(&w.program);
+        vm.run(&[], &mut NullSink).unwrap();
+        let out_base = 0x1000 + (TPL * TPL * 4) as u64 + (TPL * TPL) as u64;
+        let v = vm.mem.read(out_base).as_f64();
+        assert!(v > 0.0, "correlation output must be positive, got {v}");
+    }
+}

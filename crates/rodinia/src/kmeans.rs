@@ -1,0 +1,147 @@
+//! `kmeans` — clustering (Table 5 row 8, kmeans_clustering.c:160).
+//!
+//! One assignment + recentering iteration: for each point, compute the
+//! distance to every cluster (through a `euclid_dist_2` call — Polly **R**),
+//! pick the argmin, then scatter into per-cluster sums *indexed by the
+//! computed membership* (indirect store — **F**); points/clusters passed as
+//! pointer parameters (**A**). The point loop is parallel; the paper
+//! reports ~97% `%Aff`.
+
+use crate::{PaperRow, Workload};
+use polyir::build::ProgramBuilder;
+use polyir::{CmpOp, Operand};
+
+/// Points.
+pub const NPOINTS: i64 = 32;
+/// Clusters.
+pub const NCLUSTERS: i64 = 4;
+/// Feature dimensions.
+pub const NDIMS: i64 = 4;
+
+/// Build the workload.
+pub fn build() -> Workload {
+    let mut pb = ProgramBuilder::new("kmeans");
+    let feats: Vec<f64> = (0..NPOINTS * NDIMS)
+        .map(|i| ((i * 37) % 19) as f64 * 0.5)
+        .collect();
+    let features = pb.array_f64(&feats);
+    let clusters = pb.array_f64(
+        &(0..NCLUSTERS * NDIMS).map(|i| (i % 7) as f64).collect::<Vec<_>>(),
+    );
+    let membership = pb.alloc(NPOINTS as u64);
+    let new_centers = pb.alloc((NCLUSTERS * NDIMS) as u64);
+    let new_counts = pb.alloc(NCLUSTERS as u64);
+
+    // euclid_dist_2(feat_ptr, clust_ptr): squared distance over NDIMS.
+    let mut d = pb.func("euclid_dist_2", 2);
+    {
+        let (fp, cp) = (d.param(0), d.param(1));
+        let acc = d.const_f(0.0);
+        d.for_loop("Ld", 0i64, NDIMS, 1, |f, k| {
+            let a = f.load(fp, k);
+            let b = f.load(cp, k);
+            let diff = f.fsub(a, b);
+            let sq = f.fmul(diff, diff);
+            f.fop_to(acc, polyir::FBinOp::Add, acc, sq);
+        });
+        d.ret(Some(acc.into()));
+    }
+    let dist = d.finish();
+
+    let mut f = pb.func("kmeans_clustering", 2);
+    {
+        let (featp, clustp) = (f.param(0), f.param(1));
+        f.at_line(160);
+        f.for_loop("Lpt", 0i64, NPOINTS, 1, |f, pt| {
+            let foff = f.mul(pt, NDIMS);
+            let fptr = f.add(featp, foff);
+            let best = f.const_f(1.0e30);
+            let best_c = f.const_i(0);
+            f.for_loop("Lc", 0i64, NCLUSTERS, 1, |f, c| {
+                let coff = f.mul(c, NDIMS);
+                let cptr = f.add(clustp, coff);
+                let dd = f.call(dist, &[fptr.into(), cptr.into()]);
+                let closer = f.fcmp(CmpOp::Lt, dd, best);
+                f.if_else(
+                    closer,
+                    |f| {
+                        f.mov_to(best, dd);
+                        f.mov_to(best_c, c);
+                    },
+                    |_| {},
+                );
+            });
+            f.store(membership as i64, pt, best_c);
+            // scatter into the chosen cluster's running sums (indirect)
+            let cbase = f.mul(best_c, NDIMS);
+            f.for_loop("Lacc", 0i64, NDIMS, 1, |f, k| {
+                let fi = f.add(foff, k);
+                let v = f.load(featp, fi);
+                let ci = f.add(cbase, k);
+                let cur = f.load(new_centers as i64, ci);
+                let s = f.fadd(cur, v);
+                f.store(new_centers as i64, ci, s);
+            });
+            let cnt = f.load(new_counts as i64, best_c);
+            let cnt1 = f.add(cnt, 1i64);
+            f.store(new_counts as i64, best_c, cnt1);
+        });
+        f.ret(None);
+    }
+    let kmeans = f.finish();
+
+    let mut m = pb.func("main", 0);
+    m.call_void(
+        kmeans,
+        &[
+            Operand::ImmI(features as i64),
+            Operand::ImmI(clusters as i64),
+        ],
+    );
+    m.ret(None);
+    let mid = m.finish();
+    pb.set_entry(mid);
+
+    Workload {
+        name: "kmeans",
+        program: pb.finish(),
+        description: "k-means assignment + scatter: distance call per cluster, \
+                      membership-indexed accumulation (Polly: RFA)",
+        paper: PaperRow {
+            pct_aff: 0.97,
+            polly_reasons: "RFA",
+            skew: false,
+            pct_parallel: 1.0,
+            pct_simd: 0.46,
+            ld_src: 4,
+            ld_bin: 4,
+            tile_d: 4,
+            interproc: true,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyvm::{NullSink, Vm};
+
+    #[test]
+    fn kmeans_assigns_all_points() {
+        let w = build();
+        assert!(w.program.validate().is_empty());
+        let mut vm = Vm::new(&w.program);
+        vm.run(&[], &mut NullSink).unwrap();
+        let mem_base = 0x1000 + (NPOINTS * NDIMS) as u64 + (NCLUSTERS * NDIMS) as u64;
+        for i in 0..NPOINTS as u64 {
+            let c = vm.mem.read(mem_base + i).as_i64();
+            assert!((0..NCLUSTERS).contains(&c), "bad membership {c}");
+        }
+        // counts sum to NPOINTS
+        let counts_base = mem_base + NPOINTS as u64 + (NCLUSTERS * NDIMS) as u64;
+        let total: i64 = (0..NCLUSTERS as u64)
+            .map(|i| vm.mem.read(counts_base + i).as_i64())
+            .sum();
+        assert_eq!(total, NPOINTS);
+    }
+}

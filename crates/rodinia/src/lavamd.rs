@@ -1,0 +1,103 @@
+//! `lavaMD` — molecular dynamics over boxed particles (Table 5 row 9,
+//! kernel_cpu.c:123).
+//!
+//! For each home box, loop over its neighbor list (*indices loaded from a
+//! neighbor table* — Polly **F**), then the all-pairs particle interaction
+//! with an exp() cutoff. The paper reports 0% `%Aff` (neighbor indirection
+//! everywhere) yet 100% parallel ops — the home-box loop is independent.
+
+use crate::{PaperRow, Workload};
+use polyir::build::ProgramBuilder;
+
+/// Boxes per side (1-D box lattice for compactness).
+pub const NBOXES: i64 = 6;
+/// Particles per box.
+pub const PERBOX: i64 = 4;
+/// Neighbors per box.
+pub const NNEI: i64 = 3;
+
+/// Build the workload.
+pub fn build() -> Workload {
+    let mut pb = ProgramBuilder::new("lavaMD");
+    let pos: Vec<f64> = (0..NBOXES * PERBOX)
+        .map(|i| ((i * 13) % 11) as f64 * 0.3)
+        .collect();
+    let positions = pb.array_f64(&pos);
+    let charges = pb.array_f64(&vec![0.8; (NBOXES * PERBOX) as usize]);
+    // neighbor table: irregular box ids
+    let nei: Vec<i64> = (0..NBOXES * NNEI)
+        .map(|i| (i * 5 + 2) % NBOXES)
+        .collect();
+    let neighbors = pb.array_i64(&nei);
+    let forces = pb.alloc((NBOXES * PERBOX) as u64);
+
+    let mut f = pb.func("main", 0);
+    f.at_line(123);
+    f.for_loop("Lbox", 0i64, NBOXES, 1, |f, b| {
+        let home_base = f.mul(b, PERBOX);
+        f.for_loop("Lnei", 0i64, NNEI, 1, |f, k| {
+            let ni = f.mul(b, NNEI);
+            let nidx = f.add(ni, k);
+            let nb = f.load(neighbors as i64, nidx); // indirect box id
+            let nb_base = f.mul(nb, PERBOX);
+            f.for_loop("Li", 0i64, PERBOX, 1, |f, i| {
+                let ii = f.add(home_base, i);
+                let xi = f.load(positions as i64, ii);
+                let acc = f.const_f(0.0);
+                f.for_loop("Lj", 0i64, PERBOX, 1, |f, j| {
+                    let jj = f.add(nb_base, j);
+                    let xj = f.load(positions as i64, jj);
+                    let qj = f.load(charges as i64, jj);
+                    let dx = f.fsub(xi, xj);
+                    let r2 = f.fmul(dx, dx);
+                    let nr2 = f.un(polyir::UnOp::Neg, r2);
+                    let e = f.un(polyir::UnOp::Exp, nr2);
+                    let contrib = f.fmul(e, qj);
+                    f.fop_to(acc, polyir::FBinOp::Add, acc, contrib);
+                });
+                let cur = f.load(forces as i64, ii);
+                let nf = f.fadd(cur, acc);
+                f.store(forces as i64, ii, nf);
+            });
+        });
+    });
+    f.ret(None);
+    let fid = f.finish();
+    pb.set_entry(fid);
+
+    Workload {
+        name: "lavaMD",
+        program: pb.finish(),
+        description: "boxed MD: neighbor-table indirection around an all-pairs \
+                      interaction (Polly: BF; paper %Aff 0%)",
+        paper: PaperRow {
+            pct_aff: 0.0,
+            polly_reasons: "BF",
+            skew: false,
+            pct_parallel: 1.0,
+            pct_simd: 0.0,
+            ld_src: 4,
+            ld_bin: 4,
+            tile_d: 3,
+            interproc: false,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyvm::{NullSink, Vm};
+
+    #[test]
+    fn forces_accumulate() {
+        let w = build();
+        assert!(w.program.validate().is_empty());
+        let mut vm = Vm::new(&w.program);
+        vm.run(&[], &mut NullSink).unwrap();
+        let forces_base =
+            0x1000 + 2 * (NBOXES * PERBOX) as u64 + (NBOXES * NNEI) as u64;
+        let v = vm.mem.read(forces_base).as_f64();
+        assert!(v > 0.0, "gaussian-weighted force must be positive: {v}");
+    }
+}

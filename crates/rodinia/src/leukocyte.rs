@@ -1,0 +1,130 @@
+//! `leukocyte` — cell detection & tracking (Table 5 row 10,
+//! detect_main.c:51).
+//!
+//! The worst case for static modeling: per-cell GICOV computation calling
+//! helpers (sin/cos via call — **R**), early termination (**C**),
+//! data-dependent bounds (**B**), matrix accesses through row pointers
+//! (**P**, **F**) and aliased parameter arrays (**A**). The paper reports
+//! RCBFAP with 39% `%Aff`, still finding 100% parallel ops across cells.
+
+use crate::{PaperRow, Workload};
+use polyir::build::ProgramBuilder;
+use polyir::{CmpOp, Operand};
+
+/// Candidate cells.
+pub const CELLS: i64 = 6;
+/// Sample directions per cell.
+pub const DIRS: i64 = 8;
+/// Points per direction.
+pub const PTS: i64 = 5;
+
+/// Build the workload.
+pub fn build() -> Workload {
+    let mut pb = ProgramBuilder::new("leukocyte");
+    // image rows accessed through a row-pointer table (P)
+    let mut rows = Vec::new();
+    for r in 0..16 {
+        let row = pb.array_f64(
+            &(0..16).map(|c| ((r * 16 + c) % 13) as f64 * 0.2).collect::<Vec<_>>(),
+        );
+        rows.push(row as i64);
+    }
+    let rowtab = pb.array_i64(&rows);
+    let out = pb.alloc(CELLS as u64);
+
+    // helper: grad_m(x) — called per sample point (R)
+    let mut g = pb.func("grad_m", 1);
+    let x = g.param(0);
+    let s = g.un(polyir::UnOp::Sin, x);
+    let a = g.un(polyir::UnOp::Abs, s);
+    g.ret(Some(a.into()));
+    let grad = g.finish();
+
+    // gicov(rowtab, out): the detection kernel, arrays via params (A)
+    let mut k = pb.func("gicov_kernel", 2);
+    {
+        let (tab, outp) = (k.param(0), k.param(1));
+        k.at_line(51);
+        k.for_loop("Lcell", 0i64, CELLS, 1, |f, cell| {
+            let best = f.const_f(0.0);
+            f.for_loop("Ldir", 0i64, DIRS, 1, |f, d| {
+                let acc = f.const_f(0.0);
+                f.for_loop("Lpt", 0i64, PTS, 1, |f, t| {
+                    // sample coordinates: data-dependent walk
+                    let rr = {
+                        let a = f.mul(cell, 2i64);
+                        let b = f.add(a, d);
+                        f.rem(b, 16i64)
+                    };
+                    let cc = {
+                        let a = f.mul(t, 3i64);
+                        let b = f.add(a, d);
+                        f.rem(b, 16i64)
+                    };
+                    let rowp = f.load(tab, rr); // row pointer (P)
+                    let v = f.load(rowp, cc);
+                    let gv = f.call(grad, &[Operand::Reg(v)]);
+                    f.fop_to(acc, polyir::FBinOp::Add, acc, gv);
+                    // early bail on hopeless direction (C)
+                    let hopeless = f.fcmp(CmpOp::Lt, acc, -1.0f64);
+                    let bail = f.block("bail");
+                    let cont = f.block("cont");
+                    f.br(hopeless, bail, cont);
+                    f.switch_to(bail);
+                    f.ret(None);
+                    f.switch_to(cont);
+                });
+                let better = f.fcmp(CmpOp::Gt, acc, best);
+                f.if_else(better, |f| f.mov_to(best, acc), |_| {});
+            });
+            f.store(outp, cell, best);
+        });
+        k.ret(None);
+    }
+    let kern = k.finish();
+
+    let mut m = pb.func("main", 0);
+    m.call_void(
+        kern,
+        &[Operand::ImmI(rowtab as i64), Operand::ImmI(out as i64)],
+    );
+    m.ret(None);
+    let mid = m.finish();
+    pb.set_entry(mid);
+
+    Workload {
+        name: "leukocyte",
+        program: pb.finish(),
+        description: "per-cell GICOV with helper calls, early bail, modulo sampling, \
+                      row-pointer image (Polly: RCBFAP)",
+        paper: PaperRow {
+            pct_aff: 0.39,
+            polly_reasons: "RCBFAP",
+            skew: false,
+            pct_parallel: 1.0,
+            pct_simd: 0.63,
+            ld_src: 4,
+            ld_bin: 4,
+            tile_d: 3,
+            interproc: true,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyvm::{NullSink, Vm};
+
+    #[test]
+    fn leukocyte_scores_cells() {
+        let w = build();
+        assert!(w.program.validate().is_empty());
+        let mut vm = Vm::new(&w.program);
+        vm.run(&[], &mut NullSink).unwrap();
+        // out sits after 16 rows of 16 and the 16-entry pointer table
+        let out_base = 0x1000 + 16 * 16 + 16;
+        let v = vm.mem.read(out_base).as_f64();
+        assert!(v >= 0.0, "GICOV score must be non-negative: {v}");
+    }
+}

@@ -1,0 +1,116 @@
+//! `lud` — blocked LU decomposition (Table 5 row 11, lud.c:121).
+//!
+//! The classic 3-D Gaussian-elimination nest `a[i][j] -= a[i][k]·a[k][j]`
+//! with *hand-linearized* indexing through a single flat buffer — the
+//! modulo/offset arithmetic of the blocked Rodinia source is why the paper
+//! reports only 4% `%Aff` and Polly **BF**. Polly modeled the inner 3-D
+//! nest but not the outer block loop; our static baseline sees the same
+//! structure.
+
+use crate::{PaperRow, Workload};
+use polyir::build::ProgramBuilder;
+
+/// Matrix edge.
+pub const N: i64 = 10;
+
+/// Build the workload.
+pub fn build() -> Workload {
+    let mut pb = ProgramBuilder::new("lud");
+    // diagonally dominant matrix to keep the elimination stable
+    let a: Vec<f64> = (0..N * N)
+        .map(|i| {
+            let (r, c) = (i / N, i % N);
+            if r == c {
+                10.0
+            } else {
+                ((r * 7 + c * 3) % 5) as f64 * 0.2
+            }
+        })
+        .collect();
+    let mat = pb.array_f64(&a);
+
+    let mut f = pb.func("main", 0);
+    f.at_line(121);
+    f.for_loop("Lk", 0i64, N, 1, |f, k| {
+        // scale the pivot column below the diagonal
+        let k1 = f.add(k, 1i64);
+        f.for_loop("Li", k1, N, 1, |f, i| {
+            let ik = {
+                let r = f.mul(i, N);
+                f.add(r, k)
+            };
+            let kk = {
+                let r = f.mul(k, N);
+                f.add(r, k)
+            };
+            let aik = f.load(mat as i64, ik);
+            let akk = f.load(mat as i64, kk);
+            let l = f.fdiv(aik, akk);
+            f.store(mat as i64, ik, l);
+            f.for_loop("Lj", k1, N, 1, |f, j| {
+                // the Rodinia source hand-linearizes block offsets with
+                // modulo arithmetic — statically non-affine (Polly: F),
+                // dynamically semantically the identity at this scale
+                let ij = {
+                    let r = f.mul(i, N);
+                    let lin = f.add(r, j);
+                    f.rem(lin, N * N)
+                };
+                let kj = {
+                    let r = f.mul(k, N);
+                    f.add(r, j)
+                };
+                let aij = f.load(mat as i64, ij);
+                let akj = f.load(mat as i64, kj);
+                let prod = f.fmul(l, akj);
+                let upd = f.fsub(aij, prod);
+                f.store(mat as i64, ij, upd);
+            });
+        });
+    });
+    f.ret(None);
+    let fid = f.finish();
+    pb.set_entry(fid);
+
+    Workload {
+        name: "lud",
+        program: pb.finish(),
+        description: "in-place LU elimination: triangular 3-D nest, i/j loops \
+                      parallel per k step (Polly: BF; paper %Aff 4%)",
+        paper: PaperRow {
+            pct_aff: 0.04,
+            polly_reasons: "BF",
+            skew: false,
+            pct_parallel: 0.99,
+            pct_simd: 0.98,
+            ld_src: 5,
+            ld_bin: 5,
+            tile_d: 3,
+            interproc: true,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyvm::{NullSink, Vm};
+
+    #[test]
+    fn lud_factors_in_place() {
+        let w = build();
+        assert!(w.program.validate().is_empty());
+        let mut vm = Vm::new(&w.program);
+        vm.run(&[], &mut NullSink).unwrap();
+        // L·U must reproduce the original matrix; spot-check a[1][0]·a[0][1]
+        // + a[1][1]-after = a[1][1]-before … simpler: multipliers below the
+        // diagonal are small (diagonally dominant).
+        let a10 = vm.mem.read(0x1000 + N as u64).as_f64();
+        assert!(a10.abs() < 1.0, "multiplier out of range: {a10}");
+        // diagonal stays positive
+        for d in 0..N as u64 {
+            let v = vm.mem.read(0x1000 + d * N as u64 + d).as_f64();
+            assert!(v > 0.0, "pivot {d} not positive: {v}");
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! `nn` — nearest neighbors (Table 5 row 13, nn_openmp.c:119).
+//!
+//! A single 1-D loop over records computing a Euclidean distance with a
+//! `sqrt` call and tracking the running minimum (a loop-carried min
+//! reduction). Polly: **R** (the distance call) and **F** (records loaded
+//! through a struct-of-pointers layout). The paper's row is the outlier:
+//! 1-D, no tiling beyond 1D, and the min reduction serializes the loop
+//! (`%||ops` low).
+
+use crate::{PaperRow, Workload};
+use polyir::build::ProgramBuilder;
+use polyir::{CmpOp, Operand};
+
+/// Number of records.
+pub const RECORDS: i64 = 128;
+
+/// Build the workload.
+pub fn build() -> Workload {
+    let mut pb = ProgramBuilder::new("nn");
+    // records are (lat, lng) pairs reached through a per-record pointer
+    // table, like the hurricane-record structs of the Rodinia source — the
+    // paper's F failure code and its ~1% %Aff come from this layout
+    let mut recs = Vec::new();
+    for i in 0..RECORDS {
+        let lat = ((i * 23) % 90) as f64;
+        let lng = ((i * 41) % 180) as f64;
+        recs.push(pb.array_f64(&[lat, lng]) as i64);
+        // irregular allocator padding: record addresses are not an affine
+        // function of the record index (heap-allocated structs)
+        pb.alloc(((i * 7) % 3 + 1) as u64);
+    }
+    let rectab = pb.array_i64(&recs);
+    let best_out = pb.alloc(2);
+
+    let mut d = pb.func("distance", 2);
+    {
+        let (a, b) = (d.param(0), d.param(1));
+        let s1 = d.fmul(a, a);
+        let s2 = d.fmul(b, b);
+        let s = d.fadd(s1, s2);
+        let r = d.un(polyir::UnOp::Sqrt, s);
+        d.ret(Some(r.into()));
+    }
+    let dist = d.finish();
+
+    let mut f = pb.func("main", 0);
+    f.at_line(119);
+    let target_lat = f.const_f(30.0);
+    let target_lng = f.const_f(90.0);
+    let best = f.const_f(1.0e30);
+    let best_i = f.const_i(-1);
+    f.for_loop("Lrec", 0i64, RECORDS, 1, |f, i| {
+        let rec = f.load(rectab as i64, i); // record pointer
+        let la = f.load(rec, 0i64);
+        let lo = f.load(rec, 1i64);
+        let dla = f.fsub(la, target_lat);
+        let dlo = f.fsub(lo, target_lng);
+        let dd = f.call(dist, &[Operand::Reg(dla), Operand::Reg(dlo)]);
+        let closer = f.fcmp(CmpOp::Lt, dd, best);
+        f.if_else(
+            closer,
+            |f| {
+                f.mov_to(best, dd);
+                f.mov_to(best_i, i);
+            },
+            |_| {},
+        );
+    });
+    f.store(best_out as i64, 0i64, best);
+    f.store(best_out as i64, 1i64, best_i);
+    f.ret(None);
+    let fid = f.finish();
+    pb.set_entry(fid);
+
+    Workload {
+        name: "nn",
+        program: pb.finish(),
+        description: "1-D nearest-neighbor scan with sqrt call and running-min \
+                      reduction (Polly: RF; 1D, min-reduction serializes)",
+        paper: PaperRow {
+            pct_aff: 0.01,
+            polly_reasons: "RF",
+            skew: false,
+            pct_parallel: 0.0,
+            pct_simd: 0.0,
+            ld_src: 1,
+            ld_bin: 1,
+            tile_d: 1,
+            interproc: true,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyvm::{NullSink, Vm};
+
+    #[test]
+    fn finds_a_neighbor() {
+        let w = build();
+        assert!(w.program.validate().is_empty());
+        let mut vm = Vm::new(&w.program);
+        vm.run(&[], &mut NullSink).unwrap();
+        // best_out was allocated right after the last record + padding and
+        // before the table; recover it by scanning from the table backwards:
+        // simplest robust check — find the stored index in memory.
+        let base = {
+            let mut found = None;
+            for a in 0x1000..0x4000u64 {
+                let v0 = vm.mem.read(a).as_f64();
+                let v1 = vm.mem.read(a + 1).as_i64();
+                if v0 > 0.0 && v0 < 1.0e29 && (0..RECORDS).contains(&v1) && v1 != 0 {
+                    // distance then index pair
+                    found = Some(a);
+                    break;
+                }
+            }
+            found.expect("best_out pair present")
+        };
+        let best = vm.mem.read(base).as_f64();
+        let idx = vm.mem.read(base + 1).as_i64();
+        assert!(best < 1.0e30, "no neighbor found");
+        assert!((0..RECORDS).contains(&idx));
+    }
+}

@@ -1,0 +1,124 @@
+//! `nw` — Needleman-Wunsch sequence alignment (Table 5 row 14,
+//! needle.cpp:308).
+//!
+//! The Rodinia source iterates the DP matrix by *anti-diagonals* (its own
+//! hand-made wavefront): for each diagonal, the cells along it update from
+//! the north, west and north-west neighbors. In diagonal coordinates the
+//! dependence distances are (1,0), (1,−1) and (2,−1) — tiling the nest
+//! requires a skew, which is exactly why the paper's Table 5 marks `skew =
+//! Y` for nw. Polly fails with **RF** (the max3 helper call + the
+//! diagonal-linearized accesses).
+
+use crate::{PaperRow, Workload};
+use polyir::build::ProgramBuilder;
+use polyir::{IBinOp, Operand};
+
+/// Sequence length (DP matrix is (N+1)²).
+pub const N: i64 = 10;
+
+/// Build the workload.
+pub fn build() -> Workload {
+    let mut pb = ProgramBuilder::new("nw");
+    let dim = N + 1;
+    // reference similarity matrix and gap penalty
+    let sims: Vec<f64> = (0..dim * dim)
+        .map(|i| if (i / dim) % 3 == (i % dim) % 3 { 2.0 } else { -1.0 })
+        .collect();
+    let sim = pb.array_f64(&sims);
+    // DP score matrix with initialized first row/column
+    let mut init = vec![0.0f64; (dim * dim) as usize];
+    for i in 0..dim {
+        init[(i * dim) as usize] = -(i as f64);
+        init[i as usize] = -(i as f64);
+    }
+    let score = pb.array_f64(&init);
+
+    let mut mx = pb.func("max3", 3);
+    {
+        let (a, b, c) = (mx.param(0), mx.param(1), mx.param(2));
+        let m1 = mx.fop(polyir::FBinOp::Max, a, b);
+        let m2 = mx.fop(polyir::FBinOp::Max, m1, c);
+        mx.ret(Some(m2.into()));
+    }
+    let max3 = mx.finish();
+
+    let mut f = pb.func("main", 0);
+    f.at_line(308);
+    // top-left triangle of anti-diagonals: d = 2..=2N, cells (i, d-i)
+    f.for_loop("Ldiag", 2i64, 2 * N + 1, 1, |f, d| {
+        // i from max(1, d-N) to min(N, d-1)
+        let d_minus_n = f.sub(d, N);
+        let lo = f.iop(IBinOp::Max, 1i64, d_minus_n);
+        let d_minus_1 = f.sub(d, 1i64);
+        let hi = f.iop(IBinOp::Min, N, d_minus_1);
+        let hi1 = f.add(hi, 1i64);
+        f.for_loop("Lcell", lo, hi1, 1, |f, i| {
+            let j = f.sub(d, i);
+            let idx = {
+                let r = f.mul(i, dim);
+                f.add(r, j)
+            };
+            let nw_ = {
+                let x = f.sub(idx, dim);
+                f.sub(x, 1i64)
+            };
+            let north = f.sub(idx, dim);
+            let west = f.sub(idx, 1i64);
+            let s_nw = f.load(score as i64, nw_);
+            let s_n = f.load(score as i64, north);
+            let s_w = f.load(score as i64, west);
+            let sv = f.load(sim as i64, idx);
+            let diag = f.fadd(s_nw, sv);
+            let up = f.fsub(s_n, 1.0f64);
+            let left = f.fsub(s_w, 1.0f64);
+            let best = f.call(
+                max3,
+                &[Operand::Reg(diag), Operand::Reg(up), Operand::Reg(left)],
+            );
+            f.store(score as i64, idx, best);
+        });
+    });
+    f.ret(None);
+    let fid = f.finish();
+    pb.set_entry(fid);
+
+    Workload {
+        name: "nw",
+        program: pb.finish(),
+        description: "Needleman-Wunsch DP swept by anti-diagonals: skewed wavefront \
+                      dependences, max3 helper call (Polly: RF; skew = Y)",
+        paper: PaperRow {
+            pct_aff: 0.99,
+            polly_reasons: "RF",
+            skew: true,
+            pct_parallel: 1.0,
+            pct_simd: 0.77,
+            ld_src: 4,
+            ld_bin: 4,
+            tile_d: 2,
+            interproc: true,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyvm::{NullSink, Vm};
+
+    #[test]
+    fn alignment_scores_filled() {
+        let w = build();
+        assert!(w.program.validate().is_empty());
+        let mut vm = Vm::new(&w.program);
+        vm.run(&[], &mut NullSink).unwrap();
+        let dim = (N + 1) as u64;
+        let score_base = 0x1000 + dim * dim;
+        // the final cell must have been written (non-zero for this input)
+        let last = vm.mem.read(score_base + dim * dim - 1).as_f64();
+        assert!(last != 0.0, "DP corner cell untouched");
+        // matching diagonal scores dominate: score grows along the diagonal
+        let mid = vm.mem.read(score_base + (dim + 1) * (N as u64 / 2)).as_f64();
+        assert!(mid > -(N as f64), "unexpectedly bad mid-diagonal score {mid}");
+    }
+}

@@ -1,0 +1,104 @@
+//! `pathfinder` — grid shortest path DP (Table 5 row 16, pathfinder.cpp:99).
+//!
+//! Row-by-row dynamic programming: `dst[j] = wall[t][j] + min(src[j-1],
+//! src[j], src[j+1])`. The (1,−1) neighbor distance means tiling the
+//! time×column nest needs a *skew* — the paper marks skew = Y and the
+//! transformation is the classic trapezoid/diamond tiling of pathfinder.
+//! Polly: **B** (boundary clamping conditionals) and **P** (the ping-pong
+//! `src`/`dst` row pointers are swapped in the loop, so the base pointer is
+//! not loop invariant).
+
+use crate::{PaperRow, Workload};
+use polyir::build::ProgramBuilder;
+use polyir::IBinOp;
+
+/// Grid columns.
+pub const COLS: i64 = 24;
+/// Grid rows (time steps).
+pub const ROWS: i64 = 8;
+
+/// Build the workload.
+pub fn build() -> Workload {
+    let mut pb = ProgramBuilder::new("pathfinder");
+    let wall: Vec<f64> = (0..ROWS * COLS)
+        .map(|i| ((i * 29 + 5) % 10) as f64)
+        .collect();
+    let wallarr = pb.array_f64(&wall);
+    let bufa = pb.array_f64(&wall[..COLS as usize].to_vec());
+    let bufb = pb.alloc(COLS as u64);
+
+    let mut f = pb.func("main", 0);
+    f.at_line(99);
+    f.for_loop("Lt", 1i64, ROWS, 1, |f, t| {
+        // ping-pong buffers: base pointers swap with parity (P)
+        let parity = f.rem(t, 2i64);
+        let src = f.mov(bufa as i64);
+        let dst = f.mov(bufb as i64);
+        f.if_else(
+            parity,
+            |_| {},
+            |f| {
+                f.mov_to(src, bufb as i64);
+                f.mov_to(dst, bufa as i64);
+            },
+        );
+        f.for_loop("Lc", 0i64, COLS, 1, |f, c| {
+            let cm0 = f.sub(c, 1i64);
+            let cm = f.iop(IBinOp::Max, cm0, 0i64);
+            let cp0 = f.add(c, 1i64);
+            let cp = f.iop(IBinOp::Min, cp0, COLS - 1);
+            let left = f.load(src, cm);
+            let mid = f.load(src, c);
+            let right = f.load(src, cp);
+            let m1 = f.fop(polyir::FBinOp::Min, left, mid);
+            let m = f.fop(polyir::FBinOp::Min, m1, right);
+            let widx = {
+                let r = f.mul(t, COLS);
+                f.add(r, c)
+            };
+            let wv = f.load(wallarr as i64, widx);
+            let total = f.fadd(m, wv);
+            f.store(dst, c, total);
+        });
+    });
+    f.ret(None);
+    let fid = f.finish();
+    pb.set_entry(fid);
+
+    Workload {
+        name: "pathfinder",
+        program: pb.finish(),
+        description: "row DP with 3-neighbor min: (1,±1) distances need skewed \
+                      tiling; ping-pong base pointers (Polly: BP; skew = Y)",
+        paper: PaperRow {
+            pct_aff: 0.67,
+            polly_reasons: "BP",
+            skew: true,
+            pct_parallel: 1.0,
+            pct_simd: 0.0,
+            ld_src: 2,
+            ld_bin: 2,
+            tile_d: 2,
+            interproc: false,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyvm::{NullSink, Vm};
+
+    #[test]
+    fn dp_costs_accumulate() {
+        let w = build();
+        assert!(w.program.validate().is_empty());
+        let mut vm = Vm::new(&w.program);
+        vm.run(&[], &mut NullSink).unwrap();
+        // after ROWS-1 updates, costs are ≥ number of accumulated rows' min
+        // and bounded by 10·ROWS
+        let bufa_base = 0x1000 + (ROWS * COLS) as u64;
+        let v = vm.mem.read(bufa_base).as_f64();
+        assert!(v >= 0.0 && v < 10.0 * ROWS as f64, "cost {v} out of range");
+    }
+}

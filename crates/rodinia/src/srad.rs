@@ -1,0 +1,156 @@
+//! `srad` v1 and v2 — speckle-reducing anisotropic diffusion (Table 5 rows
+//! 17–18, main.c:241 / srad.cpp:114).
+//!
+//! Both versions: a sweep computing diffusion coefficients from local
+//! gradients (with an `exp`/division helper call in v1 — Polly **R**) and a
+//! second sweep applying them. The two image sweeps are fully parallel;
+//! the paper reports ~99% `%Aff`, 3-D regions (iteration × 2-D image),
+//! tiling depth 2. v2 differs by inlining the coefficient computation and
+//! using precomputed neighbor index arrays (**F** stays: the Rodinia source
+//! indexes via `iN[i]`, `iS[i]` arrays — indirection).
+
+use crate::{PaperRow, Workload};
+use polyir::build::ProgramBuilder;
+use polyir::Operand;
+
+/// Image edge.
+pub const N: i64 = 10;
+/// Diffusion iterations.
+pub const ITER: i64 = 2;
+
+fn build_common(name: &'static str, v1: bool) -> Workload {
+    let mut pb = ProgramBuilder::new(name);
+    let img: Vec<f64> = (0..N * N)
+        .map(|i| 1.0 + ((i * 31) % 17) as f64 * 0.1)
+        .collect();
+    let image = pb.array_f64(&img);
+    let coeff = pb.alloc((N * N) as u64);
+    // v2-style neighbor index arrays (clamped): iN[i] = max(i-1,0) etc.
+    let in_idx: Vec<i64> = (0..N).map(|i| (i - 1).max(0)).collect();
+    let is_idx: Vec<i64> = (0..N).map(|i| (i + 1).min(N - 1)).collect();
+    let i_n = pb.array_i64(&in_idx);
+    let i_s = pb.array_i64(&is_idx);
+
+    // v1's helper: c = 1 / (1 + g)
+    let mut h = pb.func("diff_coef", 1);
+    let g = h.param(0);
+    let d = h.fadd(1.0f64, g);
+    let c = h.fdiv(1.0f64, d);
+    h.ret(Some(c.into()));
+    let helper = h.finish();
+
+    let mut f = pb.func("main", 0);
+    f.at_line(if v1 { 241 } else { 114 });
+    f.for_loop("Liter", 0i64, ITER, 1, |f, _it| {
+        // sweep 1: coefficients from gradient magnitude
+        f.for_loop("Li", 0i64, N, 1, |f, i| {
+            f.for_loop("Lj", 0i64, N, 1, |f, j| {
+                let ni = f.load(i_n as i64, i); // indirection via index array
+                let si = f.load(i_s as i64, i);
+                let row = f.mul(i, N);
+                let idx = f.add(row, j);
+                let nidx = {
+                    let r = f.mul(ni, N);
+                    f.add(r, j)
+                };
+                let sidx = {
+                    let r = f.mul(si, N);
+                    f.add(r, j)
+                };
+                let c0 = f.load(image as i64, idx);
+                let cn = f.load(image as i64, nidx);
+                let cs = f.load(image as i64, sidx);
+                let dn = f.fsub(cn, c0);
+                let ds = f.fsub(cs, c0);
+                let g1 = f.fmul(dn, dn);
+                let g2 = f.fmul(ds, ds);
+                let g = f.fadd(g1, g2);
+                let cv = if v1 {
+                    f.call(helper, &[Operand::Reg(g)])
+                } else {
+                    let d = f.fadd(1.0f64, g);
+                    f.fdiv(1.0f64, d)
+                };
+                f.store(coeff as i64, idx, cv);
+            });
+        });
+        // sweep 2: apply diffusion
+        f.for_loop("Li2", 0i64, N, 1, |f, i| {
+            f.for_loop("Lj2", 0i64, N, 1, |f, j| {
+                let si = f.load(i_s as i64, i);
+                let row = f.mul(i, N);
+                let idx = f.add(row, j);
+                let sidx = {
+                    let r = f.mul(si, N);
+                    f.add(r, j)
+                };
+                let c0 = f.load(coeff as i64, idx);
+                let cs = f.load(coeff as i64, sidx);
+                let v0 = f.load(image as i64, idx);
+                let vs = f.load(image as i64, sidx);
+                let dvs = f.fsub(vs, v0);
+                let cc = f.fadd(c0, cs);
+                let flux = f.fmul(cc, dvs);
+                let upd = f.fmul(flux, 0.05f64);
+                let nv = f.fadd(v0, upd);
+                f.store(image as i64, idx, nv);
+            });
+        });
+    });
+    f.ret(None);
+    let fid = f.finish();
+    pb.set_entry(fid);
+
+    Workload {
+        name,
+        program: pb.finish(),
+        description: if v1 {
+            "SRAD v1: gradient → coefficient (helper call) → diffusion sweeps \
+             with neighbor index arrays (Polly: RF)"
+        } else {
+            "SRAD v2: inlined coefficients, same index-array indirection \
+             (Polly: RF)"
+        },
+        paper: PaperRow {
+            pct_aff: if v1 { 0.99 } else { 0.98 },
+            polly_reasons: "RF",
+            skew: false,
+            pct_parallel: 1.0,
+            pct_simd: if v1 { 0.18 } else { 0.14 },
+            ld_src: 3,
+            ld_bin: 3,
+            tile_d: 2,
+            interproc: v1,
+        },
+    }
+}
+
+/// SRAD version 1 (with the coefficient helper call).
+pub fn build_v1() -> Workload {
+    build_common("srad_v1", true)
+}
+
+/// SRAD version 2 (inlined coefficients).
+pub fn build_v2() -> Workload {
+    build_common("srad_v2", false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyvm::{NullSink, Vm};
+
+    #[test]
+    fn diffusion_smooths_image() {
+        for w in [build_v1(), build_v2()] {
+            assert!(w.program.validate().is_empty(), "{}", w.name);
+            let mut vm = Vm::new(&w.program);
+            vm.run(&[], &mut NullSink).unwrap();
+            // variance must not explode; all pixels finite and positive
+            for a in 0x1000..0x1000 + (N * N) as u64 {
+                let v = vm.mem.read(a).as_f64();
+                assert!(v.is_finite() && v > 0.0, "{}: pixel {v}", w.name);
+            }
+        }
+    }
+}

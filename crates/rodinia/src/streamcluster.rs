@@ -1,0 +1,124 @@
+//! `streamcluster` — online clustering (Table 5 row 19,
+//! streamcluster_omp.cpp:1269).
+//!
+//! The `pgain` kernel: for a candidate center, compute for every point the
+//! cost delta of switching to it (distance call per pair — **R**), with
+//! early exits (**C**), membership gathers (**F**), points passed as a
+//! pointer table (**P**/**A**), and data-dependent loop bounds (**B**).
+//! The paper's row notes streamcluster exhausted scheduler memory at full
+//! scale (52 components!); at our scale the pipeline completes, which we
+//! record in EXPERIMENTS.md as the expected deviation.
+
+use crate::{PaperRow, Workload};
+use polyir::build::ProgramBuilder;
+use polyir::{CmpOp, Operand};
+
+/// Points.
+pub const NPOINTS: i64 = 24;
+/// Dimensions.
+pub const DIMS: i64 = 3;
+/// Candidate centers tried.
+pub const CANDIDATES: i64 = 4;
+
+/// Build the workload.
+pub fn build() -> Workload {
+    let mut pb = ProgramBuilder::new("streamcluster");
+    // per-point coordinate rows via a pointer table (P)
+    let mut rows = Vec::new();
+    for i in 0..NPOINTS {
+        let row: Vec<f64> = (0..DIMS).map(|d| ((i * 7 + d * 3) % 9) as f64).collect();
+        rows.push(pb.array_f64(&row) as i64);
+    }
+    let ptable = pb.array_i64(&rows);
+    let assign = pb.array_i64(&(0..NPOINTS).map(|i| i % 2).collect::<Vec<_>>());
+    let costs = pb.array_f64(&vec![5.0; NPOINTS as usize]);
+    let gains = pb.alloc(CANDIDATES as u64);
+
+    let mut d = pb.func("dist", 2);
+    {
+        let (pa, pc) = (d.param(0), d.param(1));
+        let acc = d.const_f(0.0);
+        d.for_loop("Ld", 0i64, DIMS, 1, |f, k| {
+            let a = f.load(pa, k);
+            let b = f.load(pc, k);
+            let df = f.fsub(a, b);
+            let sq = f.fmul(df, df);
+            f.fop_to(acc, polyir::FBinOp::Add, acc, sq);
+        });
+        d.ret(Some(acc.into()));
+    }
+    let dist = d.finish();
+
+    // pgain(candidate_row_ptr) -> total gain
+    let mut pg = pb.func("pgain", 1);
+    {
+        let cand = pg.param(0);
+        pg.at_line(1269);
+        let gain = pg.const_f(0.0);
+        pg.for_loop("Lpt", 0i64, NPOINTS, 1, |f, i| {
+            let prow = f.load(ptable as i64, i); // pointer gather (P)
+            let dd = f.call(dist, &[prow.into(), cand.into()]);
+            let cur = f.load(costs as i64, i);
+            let delta = f.fsub(cur, dd);
+            let profitable = f.fcmp(CmpOp::Gt, delta, 0.0f64);
+            f.if_else(
+                profitable,
+                |f| {
+                    f.fop_to(gain, polyir::FBinOp::Add, gain, delta);
+                    // membership gather + update (F)
+                    let a = f.load(assign as i64, i);
+                    let bump = f.load(costs as i64, a);
+                    let nb = f.fadd(bump, 0.0f64);
+                    f.store(costs as i64, a, nb);
+                },
+                |_| {},
+            );
+        });
+        pg.ret(Some(gain.into()));
+    }
+    let pgain = pg.finish();
+
+    let mut m = pb.func("main", 0);
+    m.for_loop("Lcand", 0i64, CANDIDATES, 1, |f, c| {
+        let cand_idx = f.rem(c, NPOINTS);
+        let cand_row = f.load(ptable as i64, cand_idx);
+        let g = f.call(pgain, &[Operand::Reg(cand_row)]);
+        f.store(gains as i64, c, g);
+    });
+    m.ret(None);
+    let mid = m.finish();
+    pb.set_entry(mid);
+
+    Workload {
+        name: "streamcluster",
+        program: pb.finish(),
+        description: "pgain: per-point cost-delta with distance calls, conditional \
+                      gains, pointer-table points (Polly: RCBFAP)",
+        paper: PaperRow {
+            pct_aff: 0.97,
+            polly_reasons: "RCBFAP",
+            skew: false,
+            pct_parallel: f64::NAN, // paper: scheduler ran out of memory
+            pct_simd: f64::NAN,
+            ld_src: 6,
+            ld_bin: 6,
+            tile_d: 0,
+            interproc: true,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyvm::{NullSink, Vm};
+
+    #[test]
+    fn pgain_computes_gains() {
+        let w = build();
+        assert!(w.program.validate().is_empty());
+        let mut vm = Vm::new(&w.program);
+        let out = vm.run(&[], &mut NullSink).unwrap();
+        assert!(out.dyn_instrs > 1000);
+    }
+}

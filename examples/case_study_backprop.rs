@@ -1,0 +1,64 @@
+//! Case study I (paper §7): backprop. Profiles the workload, prints the
+//! per-region feedback, writes the annotated flame graph, and contrasts
+//! the dynamic findings with the static Polly-style baseline.
+//!
+//! ```sh
+//! cargo run -p polyprof-core --example case_study_backprop
+//! ```
+
+use polyprof_core::profile;
+
+fn main() {
+    let w = rodinia::backprop::build();
+    println!("{}: {}", w.name, w.description);
+
+    let report = profile(&w.program);
+
+    println!("\n─── dynamic feedback (Poly-Prof) ───");
+    for r in &report.feedback.regions {
+        println!(
+            "region {} — {:.0}% ops, {}D loops, interprocedural: {}",
+            r.name,
+            100.0 * r.pct_ops,
+            r.loop_depth,
+            r.interproc
+        );
+        println!(
+            "  parallel {:.0}% | simd {:.0}% | reuse {:.0}% → {:.0}% after permutation | tile {}D",
+            100.0 * r.pct_parallel,
+            100.0 * r.pct_simd,
+            100.0 * r.pct_reuse,
+            100.0 * r.pct_preuse,
+            r.tile_depth
+        );
+        for (i, s) in r.suggestions.iter().enumerate() {
+            println!("  {}. {s}", i + 1);
+        }
+    }
+
+    println!("\n─── static baseline (Polly-style) ───");
+    for v in &report.static_report.regions {
+        println!(
+            "  region at {}: {}",
+            v.header,
+            if v.modeled {
+                "modeled".to_string()
+            } else {
+                format!("FAILED ({})", polyprof_core::polystatic::reasons_string(&v.reasons))
+            }
+        );
+    }
+    println!(
+        "whole program modeled statically: {} — the paper's Experiment II contrast",
+        report.static_report.all_modeled()
+    );
+
+    let path = "target/case_study_backprop_flamegraph.svg";
+    std::fs::create_dir_all("target").ok();
+    std::fs::write(path, &report.flamegraph_svg).expect("write flame graph");
+    println!("\nflame graph written to {path}");
+    println!(
+        "paper reference (Table 3): interchange+SIMD; only the outer loop of L_layer \
+         parallel; both nests fully permutable; 5.3×/7.8× after transformation"
+    );
+}

@@ -1,0 +1,50 @@
+//! Wavefront / skewed-tiling feedback (paper case study II and the nw /
+//! pathfinder rows of Table 5): dependences with negative spatial
+//! components block straight tiling; Poly-Prof detects that a skew repairs
+//! the band.
+//!
+//! ```sh
+//! cargo run -p polyprof-core --example wavefront_tiling
+//! ```
+
+use polyprof_core::profile;
+
+fn main() {
+    println!("── pathfinder: row DP with 3-neighbor min ──");
+    let w = rodinia::pathfinder::build();
+    let report = profile(&w.program);
+    let r = &report.feedback.regions[0];
+    println!(
+        "  dependences force (1,-1) distances; tile depth {}D, skew needed: {}",
+        r.tile_depth, r.skew
+    );
+    for (i, s) in r.suggestions.iter().enumerate() {
+        println!("  {}. {s}", i + 1);
+    }
+    assert!(r.skew, "pathfinder requires a skew (paper Table 5: skew = Y)");
+    assert!(r.tile_depth >= 2);
+
+    println!("\n── nw: anti-diagonal DP sweep ──");
+    let w = rodinia::nw::build();
+    let report = profile(&w.program);
+    let r = &report.feedback.regions[0];
+    println!(
+        "  diagonal iteration already encodes a wavefront; tile depth {}D, skew: {}",
+        r.tile_depth, r.skew
+    );
+    assert!(r.skew, "nw requires a skew (paper Table 5: skew = Y)");
+
+    println!("\n── gemsfdtd: time-stepped 3-D stencils ──");
+    let w = rodinia::gemsfdtd::build();
+    let report = profile(&w.program);
+    let r = &report.feedback.regions[0];
+    println!(
+        "  spatial band tiles without skew: tile depth {}D, skew: {}, parallel {:.0}%",
+        r.tile_depth,
+        r.skew,
+        100.0 * r.pct_parallel
+    );
+    assert!(!r.skew, "spatial tiling of FDTD needs no skew");
+    assert!(r.tile_depth >= 3);
+    println!("\nThe skew column of Table 5 falls out of the permutable-band search.");
+}

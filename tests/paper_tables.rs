@@ -1,0 +1,145 @@
+//! Integration tests reproducing the paper's tables: Table 1/2 (the Fig. 6
+//! kernel's dependence streams and their folded form), Table 3 (backprop
+//! feedback shape), Table 4 (GemsFDTD feedback shape).
+
+use polyprof_core::polyddg::DepKind;
+use polyprof_core::polyfold::{fold_program, LabelFold};
+use polyprof_core::polylib::Rat;
+use polyprof_core::profile;
+use rodinia::paper_examples::fig6_kernel;
+
+/// Table 2: the three dependence relations of the Fig. 6 kernel fold into
+/// exactly the paper's domains and affine maps (n1 = 42, n2 = 15).
+#[test]
+fn table2_folded_dependences() {
+    let p = fig6_kernel(42, 15);
+    let (ddg, _, _) = fold_program(&p);
+
+    // Collect affine register-dep relations over depth-3 consumers.
+    let reg_deps: Vec<_> = ddg
+        .deps
+        .iter()
+        .filter(|d| d.kind == DepKind::Reg && d.domain.dim == 3)
+        .collect();
+    assert!(!reg_deps.is_empty());
+
+    // Same-iteration relations (I1→I2, I2→I4 shape): map cj'=cj, ck'=ck on
+    // the full rectangle 15×42.
+    let same_iter: Vec<_> = reg_deps
+        .iter()
+        .filter(|d| {
+            d.class.is_none()
+                && d.domain.exact
+                && d.domain.count == 15 * 42
+        })
+        .collect();
+    assert!(
+        !same_iter.is_empty(),
+        "full-rectangle intra-iteration dependences must fold exactly"
+    );
+    for d in &same_iter {
+        let map = d.affine_src_map().expect("affine producer map");
+        // cj' = cj
+        assert_eq!(map[1].coeffs[1], Rat::ONE);
+        assert_eq!(map[1].c, Rat::ZERO);
+        // ck' = ck
+        assert_eq!(map[2].coeffs[2], Rat::ONE);
+        assert_eq!(map[2].c, Rat::ZERO);
+    }
+
+    // The loop-carried reduction (I4→I4 shape): domain 1 ≤ ck < 42 per cj,
+    // map ck' = ck − 1.
+    let carried: Vec<_> = reg_deps
+        .iter()
+        .filter(|d| d.class == Some(2) && d.src == d.dst && d.domain.exact)
+        .collect();
+    assert!(!carried.is_empty(), "the sum reduction must fold");
+    for d in &carried {
+        assert_eq!(d.domain.count, 15 * 41);
+        assert_eq!(*d.domain.box_lo.last().unwrap(), 1, "first iteration excluded");
+        let map = d.affine_src_map().expect("affine producer map");
+        assert_eq!(map[2].coeffs[2], Rat::ONE);
+        assert_eq!(map[2].c, -Rat::ONE);
+    }
+}
+
+/// §5 SCEV example: I5 (k++) and I8 (j++) are recognized and removed.
+#[test]
+fn scev_i5_i8_removed() {
+    let p = fig6_kernel(42, 15);
+    let (mut ddg, interner, _) = fold_program(&p);
+    let scevs = ddg.scev_stmts();
+    // At least the two latch increments and the two header compares.
+    assert!(scevs.len() >= 4, "got {}", scevs.len());
+    let mut saw_latch_add = 0;
+    for s in &scevs {
+        if matches!(
+            p.instr(interner.stmt_info(*s).instr),
+            polyprof_core::polyir::Instr::IOp {
+                op: polyprof_core::polyir::IBinOp::Add,
+                ..
+            }
+        ) {
+            saw_latch_add += 1;
+        }
+    }
+    assert!(saw_latch_add >= 2, "both loop counters must be SCEVs");
+    let (sr, dr) = ddg.remove_scevs();
+    assert!(sr >= 4 && dr > 0);
+}
+
+/// Table 3 shape: backprop's two kernels — outer parallel, permutable 2-D
+/// bands, big reuse improvement via permutation, interchange suggested.
+#[test]
+fn table3_backprop_shape() {
+    let report = profile(&rodinia::backprop::build().program);
+    assert_eq!(report.feedback.regions.len(), 2);
+    for r in &report.feedback.regions {
+        assert!(r.outer_parallel, "{}: outer loop parallel", r.name);
+        assert_eq!(r.tile_depth, 2, "{}: fully permutable 2-D nest", r.name);
+        assert!(!r.skew);
+        assert!(
+            r.pct_preuse > r.pct_reuse,
+            "{}: permutation must improve stride-0/1 ({} → {})",
+            r.name,
+            r.pct_reuse,
+            r.pct_preuse
+        );
+        assert!(r.suggestions.iter().any(|s| s.contains("interchange")));
+    }
+    // L_adjust (elementwise) is the bigger region in ops, like the paper's
+    // 46% vs 14%.
+    assert!(report.feedback.regions[0].ops > report.feedback.regions[1].ops);
+}
+
+/// Table 4 shape: GemsFDTD updates are fully parallel, tilable ≥ 3-D
+/// without skew, and ~100% of region ops are tilable.
+#[test]
+fn table4_gemsfdtd_shape() {
+    let report = profile(&rodinia::gemsfdtd::build().program);
+    let r = &report.feedback.regions[0];
+    assert!(r.tile_depth >= 3);
+    assert!(!r.skew);
+    assert!(r.pct_parallel > 0.9);
+    assert!(r.pct_tilops > 0.9);
+    assert!(r.suggestions.iter().any(|s| s.contains("tile")));
+}
+
+/// Table 2 textual rendering sanity (the bench binary's core path).
+#[test]
+fn table2_display_format() {
+    let p = fig6_kernel(8, 4);
+    let (ddg, _, _) = fold_program(&p);
+    let any_affine = ddg
+        .deps
+        .iter()
+        .find(|d| d.kind == DepKind::Reg && d.affine_src_map().is_some())
+        .expect("affine dep");
+    let s = polyprof_core::polyfold::display_dep(
+        any_affine,
+        &["c0", "cj", "ck"],
+        &["c0'", "cj'", "ck'"],
+    );
+    assert!(s.contains(">= 0"));
+    assert!(s.contains("="));
+}
