@@ -14,21 +14,15 @@ fn bench_layerforward(c: &mut Criterion) {
         let (conn, l1, l2) = make_inputs(n, n);
         let mut out = l2.clone();
         g.bench_with_input(BenchmarkId::new("original", n), &n, |b, &n| {
-            b.iter(|| {
-                layerforward_original(black_box(&l1), &mut out, black_box(&conn), n, n)
-            })
+            b.iter(|| layerforward_original(black_box(&l1), &mut out, black_box(&conn), n, n))
         });
         let mut out2 = l2.clone();
         g.bench_with_input(BenchmarkId::new("interchanged", n), &n, |b, &n| {
-            b.iter(|| {
-                layerforward_interchanged(black_box(&l1), &mut out2, black_box(&conn), n, n)
-            })
+            b.iter(|| layerforward_interchanged(black_box(&l1), &mut out2, black_box(&conn), n, n))
         });
         let mut out3 = l2;
         g.bench_with_input(BenchmarkId::new("parallel", n), &n, |b, &n| {
-            b.iter(|| {
-                layerforward_parallel(black_box(&l1), &mut out3, black_box(&conn), n, n)
-            })
+            b.iter(|| layerforward_parallel(black_box(&l1), &mut out3, black_box(&conn), n, n))
         });
     }
     g.finish();

@@ -9,8 +9,8 @@
 //! Prints `%||ops`, `%simdops` and tile depth for representative workloads
 //! under each configuration.
 
-use polyprof_bench::pct;
 use polyfold::{FoldOptions, FoldingSink};
+use polyprof_bench::pct;
 use polysched::Analysis;
 
 struct Config {
@@ -23,8 +23,9 @@ fn run(prog: &polyir::Program, cfg: &Config) -> (f64, f64, usize) {
     let mut rec = polycfg::StructureRecorder::new();
     polyvm::Vm::new(prog).run(&[], &mut rec).unwrap();
     let structure = polycfg::StaticStructure::analyze(prog, rec);
-    let sink =
-        FoldingSink::with_options(FoldOptions { split_classes: cfg.split_classes });
+    let sink = FoldingSink::with_options(FoldOptions {
+        split_classes: cfg.split_classes,
+    });
     let mut prof = polyddg::DdgProfiler::new(prog, &structure, sink);
     polyvm::Vm::new(prog).run(&[], &mut prof).unwrap();
     let (sink, interner) = prof.finish();
@@ -82,10 +83,26 @@ fn memreduce() -> rodinia::Workload {
 
 fn main() {
     let configs = [
-        Config { name: "full pipeline", split_classes: true, remove_scevs: true },
-        Config { name: "no class split", split_classes: false, remove_scevs: true },
-        Config { name: "no SCEV removal", split_classes: true, remove_scevs: false },
-        Config { name: "neither", split_classes: false, remove_scevs: false },
+        Config {
+            name: "full pipeline",
+            split_classes: true,
+            remove_scevs: true,
+        },
+        Config {
+            name: "no class split",
+            split_classes: false,
+            remove_scevs: true,
+        },
+        Config {
+            name: "no SCEV removal",
+            split_classes: true,
+            remove_scevs: false,
+        },
+        Config {
+            name: "neither",
+            split_classes: false,
+            remove_scevs: false,
+        },
     ];
     let workloads = [
         rodinia::backprop::build(),
@@ -100,9 +117,17 @@ fn main() {
         "{:<14} {:<18} {:>8} {:>10} {:>7}",
         "workload", "config", "%||ops", "%simdops", "TileD"
     );
-    for w in &workloads {
-        for cfg in &configs {
-            let (par, simd, tile) = run(&w.program, cfg);
+    // Fan the full (workload × config) grid across threads, then print
+    // serially in grid order.
+    let jobs: Vec<(usize, usize)> = (0..workloads.len())
+        .flat_map(|wi| (0..configs.len()).map(move |ci| (wi, ci)))
+        .collect();
+    let results = polyprof_core::profile_all_with(&jobs, |&(wi, ci)| {
+        run(&workloads[wi].program, &configs[ci])
+    });
+    for (wi, w) in workloads.iter().enumerate() {
+        for (ci, cfg) in configs.iter().enumerate() {
+            let (par, simd, tile) = results[wi * configs.len() + ci];
             println!(
                 "{:<14} {:<18} {:>8} {:>10} {:>6}D",
                 w.name,

@@ -22,8 +22,7 @@ fn main() {
     let forest = LoopForest::build(&blocks, &edges, LocalBlockId(0));
     println!("\nLoop-nesting-tree:");
     for (i, l) in forest.loops.iter().enumerate() {
-        let members: Vec<&str> =
-            l.blocks.iter().map(|b| names[b.0 as usize]).collect();
+        let members: Vec<&str> = l.blocks.iter().map(|b| names[b.0 as usize]).collect();
         let backs: Vec<String> = l
             .back_edges
             .iter()

@@ -40,15 +40,31 @@ impl<'p> TracePrinter<'p> {
             self.iiv.apply(&ev);
             self.step += 1;
             let evs = match ev {
-                LoopEvent::Enter { block, .. } => format!("E(L, {})", namer(&polyiiv::CtxElem::Block(block))),
-                LoopEvent::EnterRec { block, .. } => format!("Ec(L, {})", namer(&polyiiv::CtxElem::Block(block))),
-                LoopEvent::Iter { block, .. } => format!("I(L, {})", namer(&polyiiv::CtxElem::Block(block))),
-                LoopEvent::IterCall { block, .. } => format!("Ic(L, {})", namer(&polyiiv::CtxElem::Block(block))),
-                LoopEvent::IterRet { block, .. } => format!("Ir(L, {})", namer(&polyiiv::CtxElem::Block(block))),
-                LoopEvent::Exit { block, .. } => format!("X(L, {})", namer(&polyiiv::CtxElem::Block(block))),
-                LoopEvent::ExitRec { block, .. } => format!("Xr(L, {})", namer(&polyiiv::CtxElem::Block(block))),
+                LoopEvent::Enter { block, .. } => {
+                    format!("E(L, {})", namer(&polyiiv::CtxElem::Block(block)))
+                }
+                LoopEvent::EnterRec { block, .. } => {
+                    format!("Ec(L, {})", namer(&polyiiv::CtxElem::Block(block)))
+                }
+                LoopEvent::Iter { block, .. } => {
+                    format!("I(L, {})", namer(&polyiiv::CtxElem::Block(block)))
+                }
+                LoopEvent::IterCall { block, .. } => {
+                    format!("Ic(L, {})", namer(&polyiiv::CtxElem::Block(block)))
+                }
+                LoopEvent::IterRet { block, .. } => {
+                    format!("Ir(L, {})", namer(&polyiiv::CtxElem::Block(block)))
+                }
+                LoopEvent::Exit { block, .. } => {
+                    format!("X(L, {})", namer(&polyiiv::CtxElem::Block(block)))
+                }
+                LoopEvent::ExitRec { block, .. } => {
+                    format!("Xr(L, {})", namer(&polyiiv::CtxElem::Block(block)))
+                }
                 LoopEvent::Block(b) => format!("N({})", namer(&polyiiv::CtxElem::Block(b))),
-                LoopEvent::Call { block, .. } => format!("C({})", namer(&polyiiv::CtxElem::Block(block))),
+                LoopEvent::Call { block, .. } => {
+                    format!("C({})", namer(&polyiiv::CtxElem::Block(block)))
+                }
                 LoopEvent::Ret(b) => format!("R({})", namer(&polyiiv::CtxElem::Block(b))),
             };
             println!(
@@ -117,6 +133,12 @@ fn trace(p: &Program, title: &str) {
 }
 
 fn main() {
-    trace(&rodinia::paper_examples::fig3_example1(2, 2), "Figure 3 Ex. 1 (loops across calls)");
-    trace(&rodinia::paper_examples::fig3_example2(3), "Figure 3 Ex. 2 (recursion folds to one dimension)");
+    trace(
+        &rodinia::paper_examples::fig3_example1(2, 2),
+        "Figure 3 Ex. 1 (loops across calls)",
+    );
+    trace(
+        &rodinia::paper_examples::fig3_example2(3),
+        "Figure 3 Ex. 2 (recursion folds to one dimension)",
+    );
 }

@@ -65,7 +65,5 @@ fn main() {
         instantiate(&ks2, &[9, 9]),
         instantiate(&kt2, &[0, 0])
     );
-    println!(
-        "\nLexicographic order of instantiated vectors = original execution order."
-    );
+    println!("\nLexicographic order of instantiated vectors = original execution order.");
 }

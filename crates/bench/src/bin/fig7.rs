@@ -16,7 +16,11 @@ fn main() {
         let report = profile(&workload.program);
         let svg_path = out_dir.join(format!("{tag}.svg"));
         fs::write(&svg_path, &report.flamegraph_svg).expect("write svg");
-        println!("wrote {} ({} bytes)", svg_path.display(), report.flamegraph_svg.len());
+        println!(
+            "wrote {} ({} bytes)",
+            svg_path.display(),
+            report.flamegraph_svg.len()
+        );
 
         let txt_path = out_dir.join(format!("{tag}_report.txt"));
         fs::write(&txt_path, &report.full_text).expect("write report");

@@ -34,13 +34,23 @@ fn main() {
                     i2 = Some(id); // register base: tmp1 + j
                 }
             }
-            polyir::Instr::FOp { op: polyir::FBinOp::Mul, .. } => i4m = Some(id),
-            polyir::Instr::FOp { op: polyir::FBinOp::Add, .. } => i4 = Some(id),
+            polyir::Instr::FOp {
+                op: polyir::FBinOp::Mul,
+                ..
+            } => i4m = Some(id),
+            polyir::Instr::FOp {
+                op: polyir::FBinOp::Add,
+                ..
+            } => i4 = Some(id),
             _ => {}
         }
     }
-    let (i1, i2, i4m, i4) =
-        (i1.expect("I1"), i2.expect("I2"), i4m.expect("I4 mul"), i4.expect("I4"));
+    let (i1, i2, i4m, i4) = (
+        i1.expect("I1"),
+        i2.expect("I2"),
+        i4m.expect("I4 mul"),
+        i4.expect("I4"),
+    );
     let name = move |s: polyiiv::context::StmtId| -> &'static str {
         if s == i1 {
             "I1"
@@ -61,10 +71,7 @@ fn main() {
         for (kind, s, sc, d, dc) in &sink.deps {
             if *kind == DepKind::Reg && *s == src && *d == dst && shown < 3 {
                 // coordinates: (root, cj, ck) — print the loop dims
-                println!(
-                    "    ({}, {})    ({}, {})",
-                    dc[1], dc[2], sc[1], sc[2]
-                );
+                println!("    ({}, {})    ({}, {})", dc[1], dc[2], sc[1], sc[2]);
                 shown += 1;
             }
         }
@@ -76,17 +83,13 @@ fn main() {
     // NB: keep SCEVs here — Table 2 lists the register deps pre-removal;
     // the folded I5/I8 rows are what the SCEV filter then deletes.
     println!(
-        "  {:<8} {:<56} {}",
-        "dep", "polyhedron (over c0, cj, ck)", "label expression"
+        "  {:<8} {:<56} label expression",
+        "dep", "polyhedron (over c0, cj, ck)"
     );
     for (src, dst) in [(i1, i2), (i2, i4m), (i4, i4)] {
         for dep in &ddg.deps {
             if dep.kind == DepKind::Reg && dep.src == src && dep.dst == dst {
-                let row = polyfold::display_dep(
-                    dep,
-                    &["c0", "cj", "ck"],
-                    &["c0'", "cj'", "ck'"],
-                );
+                let row = polyfold::display_dep(dep, &["c0", "cj", "ck"], &["c0'", "cj'", "ck'"]);
                 println!("  {:<8} {}", format!("{}->{}", name(src), name(dst)), row);
             }
         }

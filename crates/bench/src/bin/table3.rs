@@ -24,7 +24,11 @@ fn main() {
             pct(r.pct_ops),
             if interchange { "(yes)" } else { "(no)" },
             if r.outer_parallel { "yes" } else { "no" },
-            if r.tile_depth >= 2 { "yes,yes" } else { "partial" },
+            if r.tile_depth >= 2 {
+                "yes,yes"
+            } else {
+                "partial"
+            },
             pct(r.pct_reuse),
             pct(r.pct_preuse),
         );
@@ -55,8 +59,14 @@ fn main() {
     assert!(kernels::max_abs_diff(&out_a, &out_b) < 1e-9);
     assert!(kernels::max_abs_diff(&out_a, &out_c) < 1e-9);
     println!("measured speedups (n1 = n2 = {n1}):");
-    println!("{}", speedup_line("bpnn_layerforward interchange+SIMD", t_orig, t_ix));
-    println!("{}", speedup_line("bpnn_layerforward + parallel", t_orig, t_par));
+    println!(
+        "{}",
+        speedup_line("bpnn_layerforward interchange+SIMD", t_orig, t_ix)
+    );
+    println!(
+        "{}",
+        speedup_line("bpnn_layerforward + parallel", t_orig, t_par)
+    );
 
     let ld = n2 + 1;
     let delta: Vec<f64> = (0..ld).map(|i| (i % 9) as f64 * 0.01).collect();
@@ -73,7 +83,11 @@ fn main() {
     });
     println!(
         "{}",
-        speedup_line("bpnn_adjust_weights interchange+parallel", t_aw_orig, t_aw_tr)
+        speedup_line(
+            "bpnn_adjust_weights interchange+parallel",
+            t_aw_orig,
+            t_aw_tr
+        )
     );
     println!("\n(paper: 5.3x / 7.8x on a 2×6-core Xeon with icc — shape target: transformed wins by a factor of a few)");
 }

@@ -57,6 +57,65 @@ pub fn pct(x: f64) -> String {
     }
 }
 
+/// Minimal hand-rolled JSON object builder for machine-readable bench
+/// artifacts (`BENCH_pipeline.json`): flat or one-level-nested objects of
+/// strings and numbers. No escaping beyond quotes/backslashes — keys and
+/// values here are identifiers and numbers.
+#[derive(Debug, Default)]
+pub struct JsonObj {
+    fields: Vec<(String, String)>,
+}
+
+impl JsonObj {
+    /// Empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&mut self, k: &str, raw: String) -> &mut Self {
+        self.fields.push((k.to_string(), raw));
+        self
+    }
+
+    /// Add a string field.
+    pub fn str_field(&mut self, k: &str, v: &str) -> &mut Self {
+        let escaped = v.replace('\\', "\\\\").replace('"', "\\\"");
+        self.push(k, format!("\"{escaped}\""))
+    }
+
+    /// Add an integer field.
+    pub fn int_field(&mut self, k: &str, v: u64) -> &mut Self {
+        self.push(k, v.to_string())
+    }
+
+    /// Add a float field (JSON has no NaN/Inf; those render as null).
+    pub fn num_field(&mut self, k: &str, v: f64) -> &mut Self {
+        if v.is_finite() {
+            self.push(k, format!("{v}"))
+        } else {
+            self.push(k, "null".to_string())
+        }
+    }
+
+    /// Add a nested object field.
+    pub fn obj_field(&mut self, k: &str, f: impl FnOnce(&mut JsonObj)) -> &mut Self {
+        let mut inner = JsonObj::new();
+        f(&mut inner);
+        let rendered = inner.render();
+        self.push(k, rendered)
+    }
+
+    /// Render as a JSON object string.
+    pub fn render(&self) -> String {
+        let body: Vec<String> = self
+            .fields
+            .iter()
+            .map(|(k, v)| format!("\"{k}\": {v}"))
+            .collect();
+        format!("{{{}}}", body.join(", "))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

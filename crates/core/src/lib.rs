@@ -74,8 +74,7 @@ pub fn profile(prog: &Program) -> Report {
     let structure = polycfg::StaticStructure::analyze(prog, rec);
 
     // Pass 2: DDG streaming into the folding sink.
-    let mut prof =
-        polyddg::DdgProfiler::new(prog, &structure, polyfold::FoldingSink::new());
+    let mut prof = polyddg::DdgProfiler::new(prog, &structure, polyfold::FoldingSink::new());
     polyvm::Vm::new(prog)
         .run(&[], &mut prof)
         .expect("pass-2 execution failed");
@@ -108,6 +107,29 @@ pub fn profile(prog: &Program) -> Report {
     }
 }
 
+/// Run [`profile`] over a whole suite, fanning the workloads across threads.
+///
+/// Every profiling run owns its VM, shadow memory, and folding state, so
+/// workloads are embarrassingly parallel; results come back in input order,
+/// identical to a serial `progs.iter().map(profile)` loop. This is the
+/// driver behind the Table 5 / ablation suite runs.
+pub fn profile_all<P: std::borrow::Borrow<Program> + Sync>(progs: &[P]) -> Vec<Report> {
+    profile_all_with(progs, |p| profile(p.borrow()))
+}
+
+/// Generalized suite driver: apply `f` to each item in parallel, preserving
+/// input order. Use this when the per-workload step needs more than
+/// [`profile`] (extra configs, paired metadata, custom sinks).
+pub fn profile_all_with<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    use rayon::prelude::*;
+    items.par_iter().map(&f).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -133,5 +155,33 @@ mod tests {
         let workload = rodinia::backprop::build();
         let report = profile(&workload.program);
         assert!(report.feedback.regions[0].pct_parallel > 0.9);
+    }
+
+    /// The rayon suite driver must produce the same reports, in the same
+    /// order, as a serial loop. (Full text is excluded: hash-map iteration
+    /// order varies between map instances; the comparison uses the metric
+    /// fields that feed the tables.)
+    #[test]
+    fn profile_all_matches_serial() {
+        let workloads = [
+            rodinia::backprop::build(),
+            rodinia::nw::build(),
+            rodinia::pathfinder::build(),
+        ];
+        let progs: Vec<&Program> = workloads.iter().map(|w| &w.program).collect();
+        let par = profile_all(&progs);
+        let ser: Vec<Report> = progs.iter().map(|p| profile(p)).collect();
+        assert_eq!(par.len(), ser.len());
+        for (p, s) in par.iter().zip(&ser) {
+            assert_eq!(p.folded_stats, s.folded_stats);
+            assert_eq!(p.scev_removed, s.scev_removed);
+            assert_eq!(p.feedback.pct_aff, s.feedback.pct_aff);
+            assert_eq!(p.feedback.regions.len(), s.feedback.regions.len());
+            for (pr, sr) in p.feedback.regions.iter().zip(&s.feedback.regions) {
+                assert_eq!(pr.pct_parallel, sr.pct_parallel);
+                assert_eq!(pr.pct_simd, sr.pct_simd);
+            }
+            assert_eq!(p.annotated_ast, s.annotated_ast);
+        }
     }
 }

@@ -31,13 +31,7 @@ pub fn layerforward_original(l1: &[f64], l2: &mut [f64], conn: &[f64], n1: usize
 /// Transformed `bpnn_layerforward`: interchange (k outer, j inner) with
 /// `sum` array-expanded into `l2` — the inner loop is stride-1 over a row
 /// of `conn` and auto-vectorizes.
-pub fn layerforward_interchanged(
-    l1: &[f64],
-    l2: &mut [f64],
-    conn: &[f64],
-    n1: usize,
-    n2: usize,
-) {
+pub fn layerforward_interchanged(l1: &[f64], l2: &mut [f64], conn: &[f64], n1: usize, n2: usize) {
     let ld = n2 + 1;
     for x in l2[1..=n2].iter_mut() {
         *x = 0.0;
@@ -58,15 +52,12 @@ pub fn layerforward_interchanged(
 /// across threads (outer loop parallel after interchange back — each chunk
 /// reduces columns independently but walks rows in the cache-friendly
 /// order via blocking).
-pub fn layerforward_parallel(
-    l1: &[f64],
-    l2: &mut [f64],
-    conn: &[f64],
-    n1: usize,
-    n2: usize,
-) {
+#[allow(clippy::needless_range_loop)] // indexed loops mirror the C kernel
+pub fn layerforward_parallel(l1: &[f64], l2: &mut [f64], conn: &[f64], n1: usize, n2: usize) {
     let ld = n2 + 1;
-    let chunk = 256.max(n2 / (4 * rayon::current_num_threads().max(1))).max(1);
+    let chunk = 256
+        .max(n2 / (4 * rayon::current_num_threads().max(1)))
+        .max(1);
     l2[1..=n2]
         .par_chunks_mut(chunk)
         .enumerate()
@@ -90,6 +81,7 @@ pub fn layerforward_parallel(
 
 /// Original `bpnn_adjust_weights`: j-outer, k-inner; `w[k][j]` and
 /// `oldw[k][j]` are walked with stride `ndelta+1` in the inner loop.
+#[allow(clippy::needless_range_loop)] // indexed loops mirror the C kernel
 pub fn adjust_weights_original(
     delta: &[f64],
     ndelta: usize,
@@ -144,7 +136,9 @@ pub fn make_inputs(n1: usize, n2: usize) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
     let conn: Vec<f64> = (0..(n1 + 1) * ld)
         .map(|i| ((i * 37 + 11) % 100) as f64 / 100.0 - 0.5)
         .collect();
-    let l1: Vec<f64> = (0..=n1).map(|i| ((i * 13 + 7) % 50) as f64 / 50.0).collect();
+    let l1: Vec<f64> = (0..=n1)
+        .map(|i| ((i * 13 + 7) % 50) as f64 / 50.0)
+        .collect();
     let l2 = vec![0.0; ld];
     (conn, l1, l2)
 }

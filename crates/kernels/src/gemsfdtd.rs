@@ -42,8 +42,12 @@ impl Grid {
             n,
             hx: vec![0.0; cells],
             hy: vec![0.0; cells],
-            ex: (0..cells).map(|i| ((i * 31 + 3) % 17) as f64 * 0.05).collect(),
-            ey: (0..cells).map(|i| ((i * 13 + 5) % 23) as f64 * 0.04).collect(),
+            ex: (0..cells)
+                .map(|i| ((i * 31 + 3) % 17) as f64 * 0.05)
+                .collect(),
+            ey: (0..cells)
+                .map(|i| ((i * 13 + 5) % 23) as f64 * 0.04)
+                .collect(),
         }
     }
 }
@@ -95,30 +99,33 @@ pub fn update_h_transformed(g: &mut Grid) {
     // chunk by k-planes: each chunk covers TILE planes of hx/hy
     let hx_chunks = g.hx[..(n - 1) * plane + plane].par_chunks_mut(plane * TILE);
     let hy_chunks = g.hy.par_chunks_mut(plane * TILE);
-    hx_chunks.zip(hy_chunks).enumerate().for_each(|(t, (hx, hy))| {
-        let k0 = t * TILE;
-        let kend = (k0 + TILE).min(n - 1);
-        if k0 >= n - 1 {
-            return;
-        }
-        for j0 in (0..n - 1).step_by(TILE) {
-            for i0 in (0..n - 1).step_by(TILE) {
-                for k in k0..kend {
-                    let klocal = k - k0;
-                    for j in j0..(j0 + TILE).min(n - 1) {
-                        let base = j * n + klocal * plane; // chunk-local
-                        let gbase = j * n + k * plane; // global
-                        for i in i0..(i0 + TILE).min(n - 1) {
-                            let l = base + i;
-                            let c = gbase + i;
-                            hx[l] += 0.5 * (ex[c + 1] - ex[c]);
-                            hy[l] += 0.5 * (ey[c + n] - ey[c]);
+    hx_chunks
+        .zip(hy_chunks)
+        .enumerate()
+        .for_each(|(t, (hx, hy))| {
+            let k0 = t * TILE;
+            let kend = (k0 + TILE).min(n - 1);
+            if k0 >= n - 1 {
+                return;
+            }
+            for j0 in (0..n - 1).step_by(TILE) {
+                for i0 in (0..n - 1).step_by(TILE) {
+                    for k in k0..kend {
+                        let klocal = k - k0;
+                        for j in j0..(j0 + TILE).min(n - 1) {
+                            let base = j * n + klocal * plane; // chunk-local
+                            let gbase = j * n + k * plane; // global
+                            for i in i0..(i0 + TILE).min(n - 1) {
+                                let l = base + i;
+                                let c = gbase + i;
+                                hx[l] += 0.5 * (ex[c + 1] - ex[c]);
+                                hy[l] += 0.5 * (ey[c + n] - ey[c]);
+                            }
                         }
                     }
                 }
             }
-        }
-    });
+        });
 }
 
 /// Transformed `updateE_homo` (reads H at `i-1`/`j-1`, same k-plane:
@@ -130,30 +137,33 @@ pub fn update_e_transformed(g: &mut Grid) {
     let hy = &g.hy;
     let ex_chunks = g.ex.par_chunks_mut(plane * TILE);
     let ey_chunks = g.ey.par_chunks_mut(plane * TILE);
-    ex_chunks.zip(ey_chunks).enumerate().for_each(|(t, (ex, ey))| {
-        let k0 = (t * TILE).max(1);
-        let kend = ((t * TILE) + TILE).min(n);
-        if k0 >= n {
-            return;
-        }
-        for j0 in (1..n).step_by(TILE) {
-            for i0 in (1..n).step_by(TILE) {
-                for k in k0..kend {
-                    let klocal = k - t * TILE;
-                    for j in j0..(j0 + TILE).min(n) {
-                        let base = j * n + klocal * plane;
-                        let gbase = j * n + k * plane;
-                        for i in i0..(i0 + TILE).min(n) {
-                            let l = base + i;
-                            let c = gbase + i;
-                            ex[l] += 0.5 * (hx[c] - hx[c - 1]);
-                            ey[l] += 0.5 * (hy[c] - hy[c - n]);
+    ex_chunks
+        .zip(ey_chunks)
+        .enumerate()
+        .for_each(|(t, (ex, ey))| {
+            let k0 = (t * TILE).max(1);
+            let kend = ((t * TILE) + TILE).min(n);
+            if k0 >= n {
+                return;
+            }
+            for j0 in (1..n).step_by(TILE) {
+                for i0 in (1..n).step_by(TILE) {
+                    for k in k0..kend {
+                        let klocal = k - t * TILE;
+                        for j in j0..(j0 + TILE).min(n) {
+                            let base = j * n + klocal * plane;
+                            let gbase = j * n + k * plane;
+                            for i in i0..(i0 + TILE).min(n) {
+                                let l = base + i;
+                                let c = gbase + i;
+                                ex[l] += 0.5 * (hx[c] - hx[c - 1]);
+                                ey[l] += 0.5 * (hy[c] - hy[c - n]);
+                            }
                         }
                     }
                 }
             }
-        }
-    });
+        });
 }
 
 /// Run `steps` time steps with the original kernels.

@@ -176,7 +176,10 @@ impl<'s> LoopEventGen<'s> {
             if self.structure.rcs.is_entry(callee) && state.entry.is_none() {
                 self.rec[comp.0 as usize].entry = Some(callee);
                 self.in_loops.push(lref);
-                out.push(LoopEvent::EnterRec { l: lref, block: entry });
+                out.push(LoopEvent::EnterRec {
+                    l: lref,
+                    block: entry,
+                });
                 return;
             }
             if self.structure.rcs.is_header(callee) {
@@ -188,17 +191,26 @@ impl<'s> LoopEventGen<'s> {
                         LoopRef::Cfg(f, l) if members.contains(&f) => {
                             self.visiting.insert((f, l), false);
                             self.in_loops.pop();
-                            out.push(LoopEvent::Exit { l: top, block: entry });
+                            out.push(LoopEvent::Exit {
+                                l: top,
+                                block: entry,
+                            });
                         }
                         _ => break,
                     }
                 }
                 self.rec[comp.0 as usize].stackcount += 1;
-                out.push(LoopEvent::IterCall { l: lref, block: entry });
+                out.push(LoopEvent::IterCall {
+                    l: lref,
+                    block: entry,
+                });
                 return;
             }
         }
-        out.push(LoopEvent::Call { callee, block: entry });
+        out.push(LoopEvent::Call {
+            callee,
+            block: entry,
+        });
     }
 
     /// Alg. 2 (return half): process a return from `from`; `to` is the
@@ -278,15 +290,27 @@ mod tests {
         let mut rec = StructureRecorder::new();
         Vm::new(p).run(&[], &mut rec).unwrap();
         let s = StaticStructure::analyze(p, rec);
-        let mut c = Collect { gen: LoopEventGen::new(&s), out: Vec::new() };
+        let mut c = Collect {
+            gen: LoopEventGen::new(&s),
+            out: Vec::new(),
+        };
         Vm::new(p).run(&[], &mut c).unwrap();
         c.out
     }
 
     fn counts(evs: &[LoopEvent]) -> (usize, usize, usize) {
-        let e = evs.iter().filter(|e| matches!(e, LoopEvent::Enter { .. })).count();
-        let i = evs.iter().filter(|e| matches!(e, LoopEvent::Iter { .. })).count();
-        let x = evs.iter().filter(|e| matches!(e, LoopEvent::Exit { .. })).count();
+        let e = evs
+            .iter()
+            .filter(|e| matches!(e, LoopEvent::Enter { .. }))
+            .count();
+        let i = evs
+            .iter()
+            .filter(|e| matches!(e, LoopEvent::Iter { .. }))
+            .count();
+        let x = evs
+            .iter()
+            .filter(|e| matches!(e, LoopEvent::Exit { .. }))
+            .count();
         (e, i, x)
     }
 
@@ -399,10 +423,22 @@ mod tests {
         pb.set_entry(mid);
         let p = pb.finish();
         let evs = loop_events(&p);
-        let ec = evs.iter().filter(|e| matches!(e, LoopEvent::EnterRec { .. })).count();
-        let ic = evs.iter().filter(|e| matches!(e, LoopEvent::IterCall { .. })).count();
-        let ir = evs.iter().filter(|e| matches!(e, LoopEvent::IterRet { .. })).count();
-        let xr = evs.iter().filter(|e| matches!(e, LoopEvent::ExitRec { .. })).count();
+        let ec = evs
+            .iter()
+            .filter(|e| matches!(e, LoopEvent::EnterRec { .. }))
+            .count();
+        let ic = evs
+            .iter()
+            .filter(|e| matches!(e, LoopEvent::IterCall { .. }))
+            .count();
+        let ir = evs
+            .iter()
+            .filter(|e| matches!(e, LoopEvent::IterRet { .. }))
+            .count();
+        let xr = evs
+            .iter()
+            .filter(|e| matches!(e, LoopEvent::ExitRec { .. }))
+            .count();
         assert_eq!((ec, ic, ir, xr), (1, 3, 3, 1));
     }
 
@@ -444,7 +480,10 @@ mod tests {
             .filter(|e| matches!(e, LoopEvent::Call { callee, .. } if *callee == c_id))
             .count();
         assert_eq!(plain_calls_to_c, 4); // once from main, once per B activation
-        let ec = evs.iter().filter(|e| matches!(e, LoopEvent::EnterRec { .. })).count();
+        let ec = evs
+            .iter()
+            .filter(|e| matches!(e, LoopEvent::EnterRec { .. }))
+            .count();
         assert_eq!(ec, 1);
     }
 

@@ -15,7 +15,9 @@ pub struct DiGraph {
 impl DiGraph {
     /// An edgeless graph with `n` nodes.
     pub fn new(n: usize) -> Self {
-        DiGraph { succs: vec![Vec::new(); n] }
+        DiGraph {
+            succs: vec![Vec::new(); n],
+        }
     }
 
     /// Number of nodes.

@@ -180,7 +180,8 @@ impl LoopForest {
                     // guarantees outer-before-inner.
                     self.innermost.insert(*b, loop_idx);
                 }
-                self.static_index.insert(SchedNodeKey::Loop(loop_idx), static_idx as u32);
+                self.static_index
+                    .insert(SchedNodeKey::Loop(loop_idx), static_idx as u32);
 
                 // Recurse with back-edges (all edges to the header) removed.
                 let inner_nodes: Vec<usize> = members.iter().map(|&m| nodes[m]).collect();
@@ -201,7 +202,8 @@ impl LoopForest {
                 );
             } else {
                 let b = ids[nodes[members[0]]];
-                self.static_index.insert(SchedNodeKey::Block(b), static_idx as u32);
+                self.static_index
+                    .insert(SchedNodeKey::Block(b), static_idx as u32);
             }
         }
     }
@@ -395,11 +397,7 @@ mod tests {
     /// Header membership: contains() includes the header and nested blocks.
     #[test]
     fn contains_region_semantics() {
-        let f = build(
-            &[0, 1, 2, 3],
-            &[(0, 1), (1, 2), (2, 2), (2, 3), (3, 1)],
-            0,
-        );
+        let f = build(&[0, 1, 2, 3], &[(0, 1), (1, 2), (2, 2), (2, 3), (3, 1)], 0);
         let outer = f.loop_of_header(bb(1)).unwrap();
         let inner = f.loop_of_header(bb(2)).unwrap();
         assert!(f.contains(outer, bb(1)));

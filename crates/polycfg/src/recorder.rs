@@ -104,7 +104,11 @@ impl StaticStructure {
         }
         let root = prog.entry.unwrap_or(FuncId(0));
         let rcs = RecursiveComponentSet::build(&rec.funcs, &rec.cg_edges, root);
-        StaticStructure { forests, rcs, cfgs: rec.cfgs }
+        StaticStructure {
+            forests,
+            rcs,
+            cfgs: rec.cfgs,
+        }
     }
 
     /// Forest lookup; panics if the function never executed.
@@ -116,7 +120,11 @@ impl StaticStructure {
     /// derived later from the interprocedural schedule tree; this is the
     /// intraprocedural bound).
     pub fn max_cfg_loop_depth(&self) -> u32 {
-        self.forests.values().map(|f| f.max_depth()).max().unwrap_or(0)
+        self.forests
+            .values()
+            .map(|f| f.max_depth())
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -172,7 +180,10 @@ mod tests {
         let s = profiled(&p);
         let cfg = &s.cfgs[&fid];
         assert!(cfg.blocks.contains(&LocalBlockId(1)));
-        assert!(!cfg.blocks.contains(&LocalBlockId(2)), "untaken branch must be absent");
+        assert!(
+            !cfg.blocks.contains(&LocalBlockId(2)),
+            "untaken branch must be absent"
+        );
     }
 
     #[test]

@@ -179,8 +179,7 @@ mod tests {
 
     fn build(funcs: &[u32], edges: &[(u32, u32)], root: u32) -> RecursiveComponentSet {
         let fs: BTreeSet<FuncId> = funcs.iter().map(|&f| fid(f)).collect();
-        let es: BTreeSet<(FuncId, FuncId)> =
-            edges.iter().map(|&(u, v)| (fid(u), fid(v))).collect();
+        let es: BTreeSet<(FuncId, FuncId)> = edges.iter().map(|&(u, v)| (fid(u), fid(v))).collect();
         RecursiveComponentSet::build(&fs, &es, fid(root))
     }
 
@@ -214,9 +213,15 @@ mod tests {
         let r = build(&[0, 1, 2], &[(0, 1), (1, 2), (2, 1), (2, 2)], 0);
         assert_eq!(r.components.len(), 1);
         let c = r.info(RecCompIdx(0));
-        assert_eq!(c.members.iter().map(|f| f.0).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(
+            c.members.iter().map(|f| f.0).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
         assert_eq!(c.entries.iter().map(|f| f.0).collect::<Vec<_>>(), vec![1]);
-        assert_eq!(c.headers.iter().map(|f| f.0).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(
+            c.headers.iter().map(|f| f.0).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
     }
 
     /// Mutual recursion A↔B: one header suffices.
@@ -241,7 +246,11 @@ mod tests {
     /// Two independent recursive components.
     #[test]
     fn two_components() {
-        let r = build(&[0, 1, 2, 3, 4], &[(0, 1), (1, 1), (0, 3), (3, 4), (4, 3)], 0);
+        let r = build(
+            &[0, 1, 2, 3, 4],
+            &[(0, 1), (1, 1), (0, 3), (3, 4), (4, 3)],
+            0,
+        );
         assert_eq!(r.components.len(), 2);
         let ca = r.component_of(fid(1)).unwrap();
         let cb = r.component_of(fid(3)).unwrap();

@@ -1,0 +1,216 @@
+//! Interned IIV coordinate snapshots — the allocation-free backbone of the
+//! stage-2 hot path.
+//!
+//! The dynamic IIV changes only on loop events (enter/iterate/exit,
+//! call/ret); between two loop events every executed instruction shares one
+//! coordinate vector. The profiler therefore captures the vector **once per
+//! change** as a [`CoordSnap`] and hands copies of that snapshot to every
+//! writer record, instead of boxing a fresh `Box<[i64]>` per register
+//! definition and memory access.
+//!
+//! Two representations back a snapshot:
+//! * up to [`INLINE_DIMS`] dimensions live inline in the `Copy` value — this
+//!   covers every Rodinia kernel in the suite and never touches the arena;
+//! * deeper vectors spill into a [`CoordArena`], a flat append-only store
+//!   addressed by [`CoordId`] (`u32` index + generation tag).
+//!
+//! The arena deliberately does **not** deduplicate: IIV snapshots are
+//! lexicographically monotone during a run, so no value ever repeats —
+//! "interning" here means *sharing one id across the many writers created
+//! between two loop events*, which the profiler achieves by caching the
+//! snapshot of the current vector. The generation tag catches use of a stale
+//! id after [`CoordArena::clear`] in debug builds.
+
+/// Coordinate vectors up to this many dimensions are stored inline in a
+/// [`CoordSnap`] and never touch the arena.
+pub const INLINE_DIMS: usize = 4;
+
+/// Handle to a spilled coordinate vector in a [`CoordArena`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CoordId {
+    idx: u32,
+    gen: u32,
+}
+
+/// Flat append-only arena for coordinate vectors deeper than
+/// [`INLINE_DIMS`]. One entry per *coordinate change* (loop event), not per
+/// profiled instruction.
+#[derive(Debug, Clone)]
+pub struct CoordArena {
+    storage: Vec<i64>,
+    /// `(start, len)` spans into `storage`, indexed by `CoordId::idx`.
+    spans: Vec<(u32, u32)>,
+    gen: u32,
+}
+
+impl Default for CoordArena {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CoordArena {
+    /// Empty arena (generation 1; generation 0 is never valid, so a
+    /// zero-initialized `CoordId` can't alias a live entry).
+    pub fn new() -> Self {
+        CoordArena {
+            storage: Vec::new(),
+            spans: Vec::new(),
+            gen: 1,
+        }
+    }
+
+    /// Append a snapshot of `coords` and return its id.
+    pub fn intern(&mut self, coords: &[i64]) -> CoordId {
+        let start = self.storage.len() as u32;
+        self.storage.extend_from_slice(coords);
+        let idx = self.spans.len() as u32;
+        self.spans.push((start, coords.len() as u32));
+        CoordId { idx, gen: self.gen }
+    }
+
+    /// Resolve an id back to its slice.
+    ///
+    /// Debug builds panic on a stale id (interned before the last
+    /// [`clear`](Self::clear)); release builds index out of the current
+    /// spans, which at worst panics on out-of-bounds.
+    #[inline]
+    pub fn resolve(&self, id: CoordId) -> &[i64] {
+        debug_assert_eq!(id.gen, self.gen, "stale CoordId across arena clear");
+        let (start, len) = self.spans[id.idx as usize];
+        &self.storage[start as usize..(start + len) as usize]
+    }
+
+    /// Number of interned vectors.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True if nothing was interned since creation / the last clear.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Heap footprint of the stored coordinates in bytes (statistics).
+    pub fn bytes(&self) -> usize {
+        self.storage.len() * std::mem::size_of::<i64>()
+            + self.spans.len() * std::mem::size_of::<(u32, u32)>()
+    }
+
+    /// Drop all entries and invalidate every outstanding [`CoordId`] by
+    /// bumping the generation. Capacity is retained.
+    pub fn clear(&mut self) {
+        self.storage.clear();
+        self.spans.clear();
+        self.gen += 1;
+    }
+}
+
+/// A `Copy` snapshot of one IIV coordinate vector: inline for shallow nests,
+/// an arena id for deep ones.
+#[derive(Debug, Clone, Copy)]
+pub enum CoordSnap {
+    /// `len` coordinates stored directly in the value.
+    Inline {
+        /// Number of live dimensions in `buf`.
+        len: u8,
+        /// The coordinates (`buf[..len]`).
+        buf: [i64; INLINE_DIMS],
+    },
+    /// Vector deeper than [`INLINE_DIMS`], spilled to the arena.
+    Spilled(CoordId),
+}
+
+impl CoordSnap {
+    /// Capture `coords`, spilling into `arena` only when it doesn't fit
+    /// inline.
+    #[inline]
+    pub fn capture(coords: &[i64], arena: &mut CoordArena) -> Self {
+        if coords.len() <= INLINE_DIMS {
+            let mut buf = [0i64; INLINE_DIMS];
+            buf[..coords.len()].copy_from_slice(coords);
+            CoordSnap::Inline {
+                len: coords.len() as u8,
+                buf,
+            }
+        } else {
+            CoordSnap::Spilled(arena.intern(coords))
+        }
+    }
+
+    /// The captured slice. `arena` must be the arena passed to
+    /// [`capture`](Self::capture) (only consulted for spilled snapshots).
+    #[inline]
+    pub fn resolve<'a>(&'a self, arena: &'a CoordArena) -> &'a [i64] {
+        match self {
+            CoordSnap::Inline { len, buf } => &buf[..*len as usize],
+            CoordSnap::Spilled(id) => arena.resolve(*id),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_roundtrip() {
+        let mut arena = CoordArena::new();
+        for dims in 0..=INLINE_DIMS {
+            let v: Vec<i64> = (0..dims as i64).map(|i| i * 7 - 3).collect();
+            let s = CoordSnap::capture(&v, &mut arena);
+            assert!(matches!(s, CoordSnap::Inline { .. }));
+            assert_eq!(s.resolve(&arena), &v[..]);
+        }
+        assert!(
+            arena.is_empty(),
+            "inline snapshots must not touch the arena"
+        );
+    }
+
+    #[test]
+    fn spill_roundtrip() {
+        let mut arena = CoordArena::new();
+        let a: Vec<i64> = (0..7).collect();
+        let b: Vec<i64> = (10..16).collect();
+        let sa = CoordSnap::capture(&a, &mut arena);
+        let sb = CoordSnap::capture(&b, &mut arena);
+        assert!(matches!(sa, CoordSnap::Spilled(_)));
+        assert_eq!(sa.resolve(&arena), &a[..]);
+        assert_eq!(sb.resolve(&arena), &b[..]);
+        assert_eq!(arena.len(), 2);
+        assert!(arena.bytes() > 0);
+    }
+
+    #[test]
+    fn snapshots_are_copy_and_shared() {
+        let mut arena = CoordArena::new();
+        let v: Vec<i64> = (0..6).collect();
+        let s = CoordSnap::capture(&v, &mut arena);
+        let t = s; // Copy — both resolve to the same span
+        assert_eq!(s.resolve(&arena), t.resolve(&arena));
+        assert_eq!(arena.len(), 1, "sharing does not re-intern");
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "stale CoordId")]
+    fn stale_id_detected_in_debug() {
+        let mut arena = CoordArena::new();
+        let v: Vec<i64> = (0..8).collect();
+        let s = CoordSnap::capture(&v, &mut arena);
+        arena.clear();
+        let _ = s.resolve(&arena);
+    }
+
+    #[test]
+    fn clear_retains_capacity_and_invalidates() {
+        let mut arena = CoordArena::new();
+        let v: Vec<i64> = (0..8).collect();
+        arena.intern(&v);
+        arena.clear();
+        assert!(arena.is_empty());
+        let id = arena.intern(&v);
+        assert_eq!(arena.resolve(id), &v[..]);
+    }
+}

@@ -20,9 +20,32 @@
 //! is the writer of its destination register (callee-internal memory
 //! dependences are still exact). This only coarsens chains that the SCEV
 //! filter would usually delete anyway.
+//!
+//! ## Hot-path architecture
+//!
+//! Stage 2 sees every dynamic instruction, so the per-event cost here
+//! dominates whole-suite profiling time (paper §8). The profiler is
+//! allocation-free at steady state:
+//!
+//! * IIV coordinates change only on loop events; the current vector is
+//!   captured **once per change** as a `Copy` [`coords::CoordSnap`]
+//!   (inline for ≤ [`coords::INLINE_DIMS`] dims, arena-interned beyond),
+//!   and every writer record shares that snapshot instead of boxing its
+//!   own `Box<[i64]>`.
+//! * [`shadow::ShadowMemory`] keeps last-writer and last-reader in one
+//!   cell per word behind an MRU page cache: a memory event resolves its
+//!   page once instead of probing two hash tables repeatedly.
+//! * Register frames are pooled across call/ret, and statement lookup goes
+//!   through a small direct-mapped cache keyed by instruction.
+//!
+//! The pre-optimization implementation is retained in [`baseline`] for
+//! differential tests and benchmark comparison.
 
+pub mod baseline;
+pub mod coords;
 pub mod shadow;
 
+use coords::{CoordArena, CoordSnap};
 use polycfg::{LoopEventGen, StaticStructure};
 use polyiiv::context::{ContextInterner, CtxPathId, StmtId};
 use polyiiv::IivTracker;
@@ -74,7 +97,11 @@ pub struct DdgConfig {
 
 impl Default for DdgConfig {
     fn default() -> Self {
-        DdgConfig { track_anti: true, track_output: true, track_reg: true }
+        DdgConfig {
+            track_anti: true,
+            track_output: true,
+            track_reg: true,
+        }
     }
 }
 
@@ -88,14 +115,36 @@ pub struct DdgProfiler<'p, F: FoldSink> {
     /// Context/statement interner, exposed after the run for reporting.
     pub interner: ContextInterner,
     shadow: ShadowMemory,
+    arena: CoordArena,
     reg_frames: Vec<Vec<Option<Writer>>>,
+    /// Retired register frames, recycled on the next call (steady-state
+    /// call/ret does not allocate).
+    frame_pool: Vec<Vec<Option<Writer>>>,
     out: F,
     cfg: DdgConfig,
+    /// Current coordinate vector, refreshed copy-on-change.
     coords: Vec<i64>,
+    /// Shared snapshot of `coords`, captured lazily after each change.
+    cur_snap: Option<CoordSnap>,
+    /// Set when loop events changed the IIV since `coords` was refreshed.
+    coords_dirty: bool,
     loop_buf: Vec<polycfg::LoopEvent>,
-    stmt_cache: Option<(CtxPathId, InstrRef, StmtId)>,
+    stmt_cache: [Option<(CtxPathId, InstrRef, StmtId)>; STMT_CACHE_SLOTS],
     /// Dynamic instruction count (all ops).
     pub dyn_ops: u64,
+}
+
+/// Direct-mapped statement-cache size; must be a power of two. Multi-block
+/// loop bodies alternate between a handful of instructions per context, so a
+/// small cache captures virtually all lookups.
+const STMT_CACHE_SLOTS: usize = 64;
+
+#[inline]
+fn stmt_cache_slot(instr: InstrRef) -> usize {
+    (instr.idx as usize
+        ^ ((instr.block.block.0 as usize) << 2)
+        ^ ((instr.block.func.0 as usize) << 5))
+        & (STMT_CACHE_SLOTS - 1)
 }
 
 impl<'p, F: FoldSink> DdgProfiler<'p, F> {
@@ -113,7 +162,10 @@ impl<'p, F: FoldSink> DdgProfiler<'p, F> {
         cfg: DdgConfig,
     ) -> Self {
         let entry_fn = prog.entry.expect("program must have an entry");
-        let entry = BlockRef { func: entry_fn, block: prog.func(entry_fn).entry() };
+        let entry = BlockRef {
+            func: entry_fn,
+            block: prog.func(entry_fn).entry(),
+        };
         let n_regs = prog.func(entry_fn).n_regs as usize;
         DdgProfiler {
             prog,
@@ -121,12 +173,16 @@ impl<'p, F: FoldSink> DdgProfiler<'p, F> {
             iiv: IivTracker::new(entry),
             interner: ContextInterner::new(),
             shadow: ShadowMemory::new(),
+            arena: CoordArena::new(),
             reg_frames: vec![vec![None; n_regs]],
+            frame_pool: Vec::new(),
             out,
             cfg,
             coords: Vec::with_capacity(8),
+            cur_snap: None,
+            coords_dirty: true,
             loop_buf: Vec::with_capacity(8),
-            stmt_cache: None,
+            stmt_cache: [None; STMT_CACHE_SLOTS],
             dyn_ops: 0,
         }
     }
@@ -141,22 +197,77 @@ impl<'p, F: FoldSink> DdgProfiler<'p, F> {
         &self.out
     }
 
+    /// Resident shadow pages (overhead statistics for benchmarks).
+    pub fn resident_shadow_pages(&self) -> usize {
+        self.shadow.resident_pages()
+    }
+
+    /// Heap footprint of spilled (> [`coords::INLINE_DIMS`]-dim) coordinate
+    /// snapshots in bytes.
+    pub fn arena_bytes(&self) -> usize {
+        self.arena.bytes()
+    }
+
     fn drain_loop_events(&mut self) {
+        if self.loop_buf.is_empty() {
+            return;
+        }
         for ev in self.loop_buf.drain(..) {
             self.iiv.apply(&ev);
         }
+        self.coords_dirty = true;
     }
 
+    /// Refresh the coordinate buffer if loop events moved the IIV. The old
+    /// snapshot stays valid for all writer records that captured it.
+    #[inline]
+    fn refresh_coords(&mut self) {
+        if self.coords_dirty {
+            self.iiv.coords_into(&mut self.coords);
+            self.cur_snap = None;
+            self.coords_dirty = false;
+        }
+    }
+
+    /// The shared snapshot of the current coordinates, captured on first
+    /// use after a change.
+    #[inline]
+    fn snapshot(&mut self) -> CoordSnap {
+        match self.cur_snap {
+            Some(s) => s,
+            None => {
+                let s = CoordSnap::capture(&self.coords, &mut self.arena);
+                self.cur_snap = Some(s);
+                s
+            }
+        }
+    }
+
+    #[inline]
     fn current_stmt(&mut self, instr: InstrRef) -> StmtId {
         let path = self.interner.current_path(&self.iiv);
-        if let Some((p, i, s)) = self.stmt_cache {
+        let slot = stmt_cache_slot(instr);
+        if let Some((p, i, s)) = self.stmt_cache[slot] {
             if p == path && i == instr {
                 return s;
             }
         }
         let s = self.interner.stmt(path, instr);
-        self.stmt_cache = Some((path, instr, s));
+        self.stmt_cache[slot] = Some((path, instr, s));
         s
+    }
+
+    fn push_frame(&mut self, n_regs: usize) {
+        let mut f = self.frame_pool.pop().unwrap_or_default();
+        f.clear();
+        f.resize(n_regs, None);
+        self.reg_frames.push(f);
+    }
+
+    fn pop_frame(&mut self) {
+        if let Some(f) = self.reg_frames.pop() {
+            self.frame_pool.push(f);
+        }
     }
 }
 
@@ -167,38 +278,42 @@ impl<'p, F: FoldSink> EventSink for DdgProfiler<'p, F> {
     }
 
     fn call(&mut self, callsite: BlockRef, callee: FuncId, entry: BlockRef) {
-        self.gen.on_call(callsite, callee, entry, &mut self.loop_buf);
+        self.gen
+            .on_call(callsite, callee, entry, &mut self.loop_buf);
         self.drain_loop_events();
         let n_regs = self.prog.func(callee).n_regs as usize;
-        self.reg_frames.push(vec![None; n_regs]);
+        self.push_frame(n_regs);
     }
 
     fn ret(&mut self, from: FuncId, to: Option<BlockRef>) {
         self.gen.on_ret(from, to, &mut self.loop_buf);
         self.drain_loop_events();
-        self.reg_frames.pop();
+        self.pop_frame();
     }
 
     fn exec(&mut self, instr: InstrRef, value: Option<Value>) {
         self.dyn_ops += 1;
         let stmt = self.current_stmt(instr);
-        self.iiv.coords_into(&mut self.coords);
+        self.refresh_coords();
         let ins = self.prog.instr(instr);
 
         if self.cfg.track_reg {
+            // Disjoint field borrows: the writer records are `Copy`, so no
+            // clone is needed to emit across the sink call.
             let frame = self.reg_frames.last().expect("live frame");
-            // Collect to avoid holding a borrow across the sink call.
-            for r in ins.uses() {
-                if let Some(w) = &frame[r.0 as usize] {
-                    let (ws, wc) = (w.stmt, w.coords.clone());
-                    self.out.dependence(DepKind::Reg, ws, &wc, stmt, &self.coords);
+            let arena = &self.arena;
+            let coords = &self.coords;
+            let out = &mut self.out;
+            ins.for_each_use(|r| {
+                if let Some(w) = frame[r.0 as usize] {
+                    out.dependence(DepKind::Reg, w.stmt, w.coords.resolve(arena), stmt, coords);
                 }
-            }
+            });
         }
         if let Some(d) = ins.def() {
-            let coords = self.coords.clone().into_boxed_slice();
+            let snap = self.snapshot();
             let frame = self.reg_frames.last_mut().expect("live frame");
-            frame[d.0 as usize] = Some(Writer { stmt, coords });
+            frame[d.0 as usize] = Some(Writer { stmt, coords: snap });
         }
 
         let label = match value {
@@ -210,39 +325,63 @@ impl<'p, F: FoldSink> EventSink for DdgProfiler<'p, F> {
 
     fn mem(&mut self, instr: InstrRef, addr: u64, is_write: bool) {
         let stmt = self.current_stmt(instr);
-        self.iiv.coords_into(&mut self.coords);
+        self.refresh_coords();
+        // Resolve the shadow cell once; prior records are copied out so the
+        // update and the dependence emission don't contend for borrows.
+        let (prev_write, prev_read) = if is_write {
+            let snap = self.snapshot();
+            let cell = self.shadow.cell_mut(addr);
+            let prev = (cell.write, cell.read);
+            cell.write = Some(Writer { stmt, coords: snap });
+            cell.read = None;
+            prev
+        } else if self.cfg.track_anti {
+            let snap = self.snapshot();
+            let cell = self.shadow.cell_mut(addr);
+            let prev = (cell.write, None);
+            cell.read = Some(Writer { stmt, coords: snap });
+            prev
+        } else {
+            (self.shadow.last_write(addr).copied(), None)
+        };
         if is_write {
             if self.cfg.track_output {
-                if let Some(w) = self.shadow.last_write(addr) {
-                    let (ws, wc) = (w.stmt, w.coords.clone());
-                    self.out.dependence(DepKind::Output, ws, &wc, stmt, &self.coords);
+                if let Some(w) = prev_write {
+                    self.out.dependence(
+                        DepKind::Output,
+                        w.stmt,
+                        w.coords.resolve(&self.arena),
+                        stmt,
+                        &self.coords,
+                    );
                 }
             }
             if self.cfg.track_anti {
-                if let Some(r) = self.shadow.last_read(addr) {
-                    let (rs, rc) = (r.stmt, r.coords.clone());
-                    self.out.dependence(DepKind::Anti, rs, &rc, stmt, &self.coords);
+                if let Some(r) = prev_read {
+                    self.out.dependence(
+                        DepKind::Anti,
+                        r.stmt,
+                        r.coords.resolve(&self.arena),
+                        stmt,
+                        &self.coords,
+                    );
                 }
             }
-            self.shadow.record_write(
-                addr,
-                Writer { stmt, coords: self.coords.clone().into_boxed_slice() },
+        } else if let Some(w) = prev_write {
+            self.out.dependence(
+                DepKind::Flow,
+                w.stmt,
+                w.coords.resolve(&self.arena),
+                stmt,
+                &self.coords,
             );
-        } else {
-            if let Some(w) = self.shadow.last_write(addr) {
-                let (ws, wc) = (w.stmt, w.coords.clone());
-                self.out.dependence(DepKind::Flow, ws, &wc, stmt, &self.coords);
-            }
-            if self.cfg.track_anti {
-                self.shadow.record_read(
-                    addr,
-                    Writer { stmt, coords: self.coords.clone().into_boxed_slice() },
-                );
-            }
         }
         self.out.mem_access(stmt, &self.coords, addr, is_write);
     }
 }
+
+/// One collected dependence: kind, producer + coords, consumer + coords.
+pub type DepRecord = (DepKind, StmtId, Vec<i64>, StmtId, Vec<i64>);
 
 /// A [`FoldSink`] that materializes everything (tests / Table 1 printing —
 /// small programs only).
@@ -253,7 +392,7 @@ pub struct CollectSink {
     /// Memory accesses.
     pub accesses: Vec<(StmtId, Vec<i64>, u64, bool)>,
     /// Dependences.
-    pub deps: Vec<(DepKind, StmtId, Vec<i64>, StmtId, Vec<i64>)>,
+    pub deps: Vec<DepRecord>,
 }
 
 impl FoldSink for CollectSink {
@@ -278,9 +417,7 @@ impl FoldSink for CollectSink {
 
 /// Convenience: run both profiling passes over `prog` and return the
 /// collected raw streams plus structure and interner (test/report helper).
-pub fn profile_collected(
-    prog: &Program,
-) -> (CollectSink, ContextInterner, StaticStructure) {
+pub fn profile_collected(prog: &Program) -> (CollectSink, ContextInterner, StaticStructure) {
     use polycfg::StructureRecorder;
     let mut rec = StructureRecorder::new();
     polyvm::Vm::new(prog)
@@ -373,15 +510,24 @@ mod tests {
         let p = pb.finish();
         let (sink, _, _) = profile_collected(&p);
         assert_eq!(
-            sink.deps.iter().filter(|(k, ..)| *k == DepKind::Output).count(),
+            sink.deps
+                .iter()
+                .filter(|(k, ..)| *k == DepKind::Output)
+                .count(),
             1
         );
         assert_eq!(
-            sink.deps.iter().filter(|(k, ..)| *k == DepKind::Anti).count(),
+            sink.deps
+                .iter()
+                .filter(|(k, ..)| *k == DepKind::Anti)
+                .count(),
             1
         );
         assert_eq!(
-            sink.deps.iter().filter(|(k, ..)| *k == DepKind::Flow).count(),
+            sink.deps
+                .iter()
+                .filter(|(k, ..)| *k == DepKind::Flow)
+                .count(),
             1
         );
     }
@@ -421,8 +567,7 @@ mod tests {
         // find the latch add (value = iv + 1): points with increasing labels
         let mut found = false;
         for (stmt, info) in interner.stmts() {
-            let pts: Vec<_> =
-                sink.points.iter().filter(|(s, ..)| *s == stmt).collect();
+            let pts: Vec<_> = sink.points.iter().filter(|(s, ..)| *s == stmt).collect();
             if pts.len() == 4 {
                 let labels: Vec<_> = pts.iter().filter_map(|(_, _, l)| *l).collect();
                 if labels == vec![1, 2, 3, 4] {

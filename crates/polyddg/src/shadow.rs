@@ -2,141 +2,262 @@
 //! storage location holding the last dynamic instruction that wrote it (and,
 //! for anti-dependence tracking, the last that read it).
 //!
-//! Pages of 4096 cells keep the common dense-array case allocation-friendly,
-//! like Umbra-style shadow schemes the paper cites.
+//! Layout is tuned for the per-event cost of stage 2:
+//!
+//! * Writer records are `Copy` ([`CoordSnap`] instead of `Box<[i64]>`), so
+//!   recording never allocates.
+//! * Last-writer and last-reader live in one [`Cell`] per word, in shared
+//!   pages of 4096 cells — a memory *write* event (read prev writer, read
+//!   prev reader, store new writer, clear reader) resolves its page **once**
+//!   instead of probing separate write/read page tables four times.
+//! * An MRU (last-page) cache in front of the page table turns the
+//!   overwhelmingly common same-page access streams of dense kernels into
+//!   a compare + index, no hashing at all.
 
+use crate::coords::CoordSnap;
 use polyiiv::context::StmtId;
 use std::collections::HashMap;
 
 /// The producer record: a statement at specific coordinates.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy)]
 pub struct Writer {
     /// The statement (context + instruction).
     pub stmt: StmtId,
-    /// Its iteration-vector coordinates.
-    pub coords: Box<[i64]>,
+    /// Its iteration-vector coordinates (resolve via the profiler's arena).
+    pub coords: CoordSnap,
+}
+
+/// Per-word shadow state: last writer and last reader (reader is cleared on
+/// every write).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Cell {
+    /// Last write to this word.
+    pub write: Option<Writer>,
+    /// Last read since that write.
+    pub read: Option<Writer>,
 }
 
 const PAGE_BITS: u32 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_BITS;
+/// Sentinel page number that can never equal `addr >> PAGE_BITS`.
+const NO_PAGE: u64 = u64::MAX;
 
-type Page = Box<[Option<Writer>]>;
+type Page = Box<[Cell]>;
 
 fn new_page() -> Page {
-    let mut v = Vec::with_capacity(PAGE_SIZE);
-    v.resize(PAGE_SIZE, None);
-    v.into_boxed_slice()
+    vec![Cell::default(); PAGE_SIZE].into_boxed_slice()
 }
 
 /// Paged shadow memory: last writer and last reader per word address.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ShadowMemory {
-    writes: HashMap<u64, Page>,
-    reads: HashMap<u64, Page>,
+    /// Page storage; stable indices handed out by `index`.
+    pages: Vec<Page>,
+    /// Page number (`addr >> PAGE_BITS`) → index into `pages`.
+    index: HashMap<u64, u32>,
+    /// MRU cache: the last page touched by `page_slot`.
+    mru: (u64, u32),
+}
+
+impl Default for ShadowMemory {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl ShadowMemory {
     /// Empty shadow memory.
     pub fn new() -> Self {
-        Self::default()
+        ShadowMemory {
+            pages: Vec::new(),
+            index: HashMap::new(),
+            mru: (NO_PAGE, 0),
+        }
+    }
+
+    /// Index of the page holding `page_num`, allocating it if absent.
+    /// Updates the MRU cache.
+    #[inline]
+    fn page_slot(&mut self, page_num: u64) -> u32 {
+        if self.mru.0 == page_num {
+            return self.mru.1;
+        }
+        let slot = match self.index.entry(page_num) {
+            std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let slot = self.pages.len() as u32;
+                self.pages.push(new_page());
+                e.insert(slot);
+                slot
+            }
+        };
+        self.mru = (page_num, slot);
+        slot
+    }
+
+    /// The shadow cell for `addr`, allocating its page on first touch.
+    ///
+    /// This is the single-resolution hot path: one MRU compare (or one hash
+    /// probe on a page switch) serves the whole event — previous writer,
+    /// previous reader, and the update.
+    #[inline]
+    pub fn cell_mut(&mut self, addr: u64) -> &mut Cell {
+        let slot = self.page_slot(addr >> PAGE_BITS);
+        &mut self.pages[slot as usize][(addr as usize) & (PAGE_SIZE - 1)]
+    }
+
+    /// The shadow cell for `addr` if its page is resident (read-only; checks
+    /// the MRU cache first, does not update it).
+    #[inline]
+    pub fn cell(&self, addr: u64) -> Option<&Cell> {
+        let page_num = addr >> PAGE_BITS;
+        let slot = if self.mru.0 == page_num {
+            self.mru.1
+        } else {
+            *self.index.get(&page_num)?
+        };
+        Some(&self.pages[slot as usize][(addr as usize) & (PAGE_SIZE - 1)])
     }
 
     /// Last writer of `addr`, if any.
     pub fn last_write(&self, addr: u64) -> Option<&Writer> {
-        self.writes
-            .get(&(addr >> PAGE_BITS))?
-            .get((addr as usize) & (PAGE_SIZE - 1))?
-            .as_ref()
+        self.cell(addr)?.write.as_ref()
     }
 
     /// Last reader of `addr`, if any (cleared on write).
     pub fn last_read(&self, addr: u64) -> Option<&Writer> {
-        self.reads
-            .get(&(addr >> PAGE_BITS))?
-            .get((addr as usize) & (PAGE_SIZE - 1))?
-            .as_ref()
+        self.cell(addr)?.read.as_ref()
     }
 
     /// Record a write: updates the writer and clears the reader.
     pub fn record_write(&mut self, addr: u64, w: Writer) {
-        let page = self.writes.entry(addr >> PAGE_BITS).or_insert_with(new_page);
-        page[(addr as usize) & (PAGE_SIZE - 1)] = Some(w);
-        if let Some(rp) = self.reads.get_mut(&(addr >> PAGE_BITS)) {
-            rp[(addr as usize) & (PAGE_SIZE - 1)] = None;
-        }
+        let cell = self.cell_mut(addr);
+        cell.write = Some(w);
+        cell.read = None;
     }
 
     /// Record a read (for last-reader anti-dependence tracking).
     pub fn record_read(&mut self, addr: u64, r: Writer) {
-        let page = self.reads.entry(addr >> PAGE_BITS).or_insert_with(new_page);
-        page[(addr as usize) & (PAGE_SIZE - 1)] = Some(r);
+        self.cell_mut(addr).read = Some(r);
     }
 
     /// Number of resident shadow pages (overhead statistics).
     pub fn resident_pages(&self) -> usize {
-        self.writes.len() + self.reads.len()
+        self.pages.len()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::coords::CoordArena;
 
-    fn w(stmt: u32, coords: &[i64]) -> Writer {
-        Writer { stmt: StmtId(stmt), coords: coords.to_vec().into_boxed_slice() }
+    fn w(arena: &mut CoordArena, stmt: u32, coords: &[i64]) -> Writer {
+        Writer {
+            stmt: StmtId(stmt),
+            coords: CoordSnap::capture(coords, arena),
+        }
     }
 
     #[test]
     fn write_then_read_back() {
+        let mut arena = CoordArena::new();
         let mut s = ShadowMemory::new();
         assert!(s.last_write(100).is_none());
-        s.record_write(100, w(1, &[0, 3]));
+        s.record_write(100, w(&mut arena, 1, &[0, 3]));
         let got = s.last_write(100).unwrap();
         assert_eq!(got.stmt, StmtId(1));
-        assert_eq!(&*got.coords, &[0, 3]);
+        assert_eq!(got.coords.resolve(&arena), &[0, 3]);
         assert!(s.last_write(101).is_none());
     }
 
     #[test]
     fn write_overwrites() {
+        let mut arena = CoordArena::new();
         let mut s = ShadowMemory::new();
-        s.record_write(5, w(1, &[0]));
-        s.record_write(5, w(2, &[1]));
+        s.record_write(5, w(&mut arena, 1, &[0]));
+        s.record_write(5, w(&mut arena, 2, &[1]));
         assert_eq!(s.last_write(5).unwrap().stmt, StmtId(2));
     }
 
     #[test]
     fn write_clears_reader() {
+        let mut arena = CoordArena::new();
         let mut s = ShadowMemory::new();
-        s.record_read(7, w(1, &[0]));
+        s.record_read(7, w(&mut arena, 1, &[0]));
         assert!(s.last_read(7).is_some());
-        s.record_write(7, w(2, &[1]));
+        s.record_write(7, w(&mut arena, 2, &[1]));
         assert!(s.last_read(7).is_none());
     }
 
     #[test]
     fn cross_page_addresses() {
+        let mut arena = CoordArena::new();
         let mut s = ShadowMemory::new();
         let far = 1u64 << 40;
-        s.record_write(far, w(9, &[2]));
-        s.record_write(far + PAGE_SIZE as u64, w(10, &[3]));
+        s.record_write(far, w(&mut arena, 9, &[2]));
+        s.record_write(far + PAGE_SIZE as u64, w(&mut arena, 10, &[3]));
         assert_eq!(s.last_write(far).unwrap().stmt, StmtId(9));
-        assert_eq!(s.last_write(far + PAGE_SIZE as u64).unwrap().stmt, StmtId(10));
+        assert_eq!(
+            s.last_write(far + PAGE_SIZE as u64).unwrap().stmt,
+            StmtId(10)
+        );
         assert_eq!(s.resident_pages(), 2);
+    }
+
+    /// The MRU cache must stay coherent across page switches, including
+    /// reads that race ahead of the cached write page.
+    #[test]
+    fn mru_cache_coherent_across_page_switches() {
+        let mut arena = CoordArena::new();
+        let mut s = ShadowMemory::new();
+        let a = 10u64; // page 0
+        let b = 10u64 + (PAGE_SIZE as u64) * 3; // page 3
+        s.record_write(a, w(&mut arena, 1, &[0]));
+        s.record_write(b, w(&mut arena, 2, &[1]));
+        // MRU now points at b's page; reads of a must still resolve.
+        assert_eq!(s.last_write(a).unwrap().stmt, StmtId(1));
+        assert_eq!(s.last_write(b).unwrap().stmt, StmtId(2));
+        s.record_write(a, w(&mut arena, 3, &[2]));
+        assert_eq!(s.last_write(a).unwrap().stmt, StmtId(3));
+        assert_eq!(s.last_write(b).unwrap().stmt, StmtId(2));
+        assert_eq!(s.resident_pages(), 2);
+    }
+
+    /// One cell carries both roles: a combined write+read probe sequence
+    /// through `cell_mut` matches the individual record/query API.
+    #[test]
+    fn combined_cell_roundtrip() {
+        let mut arena = CoordArena::new();
+        let mut s = ShadowMemory::new();
+        s.record_read(42, w(&mut arena, 5, &[1]));
+        let cell = s.cell_mut(42);
+        assert!(cell.write.is_none());
+        assert_eq!(cell.read.unwrap().stmt, StmtId(5));
+        cell.write = Some(Writer {
+            stmt: StmtId(6),
+            coords: cell.read.unwrap().coords,
+        });
+        cell.read = None;
+        assert_eq!(s.last_write(42).unwrap().stmt, StmtId(6));
+        assert!(s.last_read(42).is_none());
     }
 
     /// Differential check against a naive map (the property-test invariant).
     #[test]
     fn matches_naive_map() {
         use std::collections::HashMap as Naive;
+        let mut arena = CoordArena::new();
         let mut s = ShadowMemory::new();
         let mut naive: Naive<u64, u32> = Naive::new();
         // pseudo-random-ish address pattern without rand dependency
         let mut x = 12345u64;
         for i in 0..10_000u32 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let addr = x % 8192;
-            s.record_write(addr, w(i, &[i as i64]));
+            s.record_write(addr, w(&mut arena, i, &[i as i64]));
             naive.insert(addr, i);
         }
         for addr in 0..8192u64 {

@@ -45,8 +45,7 @@ pub fn feedback_for_program(prog: &polyir::Program) -> ProgramFeedback {
         .run(&[], &mut rec)
         .expect("pass-1 execution failed");
     let structure = polycfg::StaticStructure::analyze(prog, rec);
-    let mut prof =
-        polyddg::DdgProfiler::new(prog, &structure, polyfold::FoldingSink::new());
+    let mut prof = polyddg::DdgProfiler::new(prog, &structure, polyfold::FoldingSink::new());
     polyvm::Vm::new(prog)
         .run(&[], &mut prof)
         .expect("pass-2 execution failed");
@@ -111,7 +110,10 @@ mod tests {
         assert!(r.pct_parallel > 0.9, "%||ops = {}", r.pct_parallel);
         assert!(r.tile_depth >= 2, "fully permutable 2-D nest");
         assert!(!r.skew);
-        assert!(r.pct_preuse >= r.pct_reuse, "permutation can only improve reuse");
+        assert!(
+            r.pct_preuse >= r.pct_reuse,
+            "permutation can only improve reuse"
+        );
         // The kernel reads conn[k][j] with stride n2 along k (innermost):
         // reuse improves when j moves innermost.
         assert!(r.pct_preuse > 0.6, "%Preuse = {}", r.pct_preuse);
@@ -132,8 +134,7 @@ mod tests {
         let mut rec = polycfg::StructureRecorder::new();
         polyvm::Vm::new(&p).run(&[], &mut rec).unwrap();
         let structure = polycfg::StaticStructure::analyze(&p, rec);
-        let mut prof =
-            polyddg::DdgProfiler::new(&p, &structure, polyfold::FoldingSink::new());
+        let mut prof = polyddg::DdgProfiler::new(&p, &structure, polyfold::FoldingSink::new());
         polyvm::Vm::new(&p).run(&[], &mut prof).unwrap();
         let (sink, interner) = prof.finish();
         let mut ddg = sink.finalize(&p, &interner);
@@ -163,7 +164,11 @@ mod tests {
         // 32nd hop (node 25, the last in the walk from 0).
         let nodes: Vec<i64> = (0..32)
             .flat_map(|i: i64| {
-                let next = if i == 25 { -1 } else { 0x1000 + (((i + 7) % 32) * 2) };
+                let next = if i == 25 {
+                    -1
+                } else {
+                    0x1000 + (((i + 7) % 32) * 2)
+                };
                 [next, i]
             })
             .collect();

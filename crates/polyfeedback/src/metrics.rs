@@ -86,8 +86,7 @@ pub fn compute(input: &FeedbackInput<'_>) -> ProgramFeedback {
     let total_ops = ddg.total_ops;
     let src_ops = scev_removed;
 
-    let (c, smart) =
-        a.fusion_components(forest.root(), 0.05, FusionHeuristic::Smart);
+    let (c, smart) = a.fusion_components(forest.root(), 0.05, FusionHeuristic::Smart);
     let (_, maxf) = a.fusion_components(forest.root(), 0.05, FusionHeuristic::Max);
 
     let mut regions: Vec<RegionReport> = forest
@@ -154,7 +153,11 @@ fn region_report(input: &FeedbackInput<'_>, nest: usize) -> RegionReport {
     let mut par = 0u64;
     let mut simd = 0u64;
     let mut til = 0u64;
-    let mut best_band = polysched::Band { start: 1, len: 0, skewed: false };
+    let mut best_band = polysched::Band {
+        start: 1,
+        len: 0,
+        skewed: false,
+    };
     for s in &stmts {
         let w = ddg.stmts[s].domain.count;
         if a.stmt_parallelizable(*s) {
@@ -230,10 +233,7 @@ fn region_report(input: &FeedbackInput<'_>, nest: usize) -> RegionReport {
 }
 
 /// (%reuse, %Preuse, total access ops) for the statements of one region.
-fn reuse_metrics(
-    input: &FeedbackInput<'_>,
-    stmts: &HashSet<StmtId>,
-) -> (f64, f64, u64) {
+fn reuse_metrics(input: &FeedbackInput<'_>, stmts: &HashSet<StmtId>) -> (f64, f64, u64) {
     let a = input.analysis;
     let ddg = input.ddg;
     let mut total = 0u64;
@@ -253,34 +253,32 @@ fn reuse_metrics(
             continue;
         }
         let innermost_dim = chain.len() - 1;
-        match &acc.addr {
-            LabelFold::Affine(_) => {
-                if acc
-                    .stride(innermost_dim)
-                    .map(unit_stride)
-                    .unwrap_or(false)
-                {
-                    reuse += w;
-                }
-                // Permutations may move any dim of the innermost permutable
-                // band innermost.
-                let loops = &chain[1..];
-                let band = a.innermost_band(loops);
-                let candidates = band.start..band.start + band.len;
-                if candidates
-                    .clone()
-                    .any(|d| acc.stride(d).map(unit_stride).unwrap_or(false))
-                {
-                    preuse += w;
-                }
+        // Non-affine accesses carry no (provable) spatial reuse.
+        if let LabelFold::Affine(_) = &acc.addr {
+            if acc.stride(innermost_dim).map(unit_stride).unwrap_or(false) {
+                reuse += w;
             }
-            _ => {} // non-affine: no (provable) spatial reuse
+            // Permutations may move any dim of the innermost permutable
+            // band innermost.
+            let loops = &chain[1..];
+            let band = a.innermost_band(loops);
+            let candidates = band.start..band.start + band.len;
+            if candidates
+                .clone()
+                .any(|d| acc.stride(d).map(unit_stride).unwrap_or(false))
+            {
+                preuse += w;
+            }
         }
     }
     if total == 0 {
         (0.0, 0.0, 0)
     } else {
-        (reuse as f64 / total as f64, preuse as f64 / total as f64, total)
+        (
+            reuse as f64 / total as f64,
+            preuse as f64 / total as f64,
+            total,
+        )
     }
 }
 

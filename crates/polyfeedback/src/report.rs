@@ -65,20 +65,16 @@ pub fn flamegraph_svg(input: &FeedbackInput<'_>, title: &str) -> String {
         }
         gray
     };
-    tree.render_svg(
-        title,
-        &|e| ctx_name(input, e),
-        &|e| {
-            if nonaffine.contains(e) {
-                "#bbbbbb".into()
-            } else {
-                match e {
-                    CtxElem::Loop(_) => "#e8743b".into(),
-                    CtxElem::Block(_) => "#f2b134".into(),
-                }
+    tree.render_svg(title, &|e| ctx_name(input, e), &|e| {
+        if nonaffine.contains(e) {
+            "#bbbbbb".into()
+        } else {
+            match e {
+                CtxElem::Loop(_) => "#e8743b".into(),
+                CtxElem::Block(_) => "#f2b134".into(),
             }
-        },
-    )
+        }
+    })
 }
 
 /// Render the simplified annotated AST of the whole nest forest: loop
@@ -87,12 +83,7 @@ pub fn flamegraph_svg(input: &FeedbackInput<'_>, title: &str) -> String {
 pub fn annotated_ast(input: &FeedbackInput<'_>) -> String {
     let mut out = String::new();
     let a = input.analysis;
-    fn rec(
-        input: &FeedbackInput<'_>,
-        node: usize,
-        indent: usize,
-        out: &mut String,
-    ) {
+    fn rec(input: &FeedbackInput<'_>, node: usize, indent: usize, out: &mut String) {
         let a = input.analysis;
         let n = a.forest.node(node);
         let pad = "  ".repeat(indent);
@@ -183,17 +174,6 @@ pub fn table5_header() -> String {
     )
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn header_and_row_align() {
-        let h = table5_header();
-        assert!(h.contains("%Aff") && h.contains("TileD") && h.contains("Comp."));
-    }
-}
-
 /// The complete textual feedback document for one program — the paper's §6
 /// "extensive textual length" output (shown only in its supplementary
 /// material): per-region statistics, the dependence summary, the suggested
@@ -267,4 +247,15 @@ pub fn full_report(input: &FeedbackInput<'_>, fb: &ProgramFeedback) -> String {
     let _ = writeln!(s, "─── annotated AST (post-analysis loop structure) ───");
     s.push_str(&annotated_ast(input));
     s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_and_row_align() {
+        let h = table5_header();
+        assert!(h.contains("%Aff") && h.contains("TileD") && h.contains("Comp."));
+    }
 }

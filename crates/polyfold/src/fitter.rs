@@ -74,9 +74,9 @@ impl RatAffine {
         let mut s = String::new();
         for (i, p) in parts.iter().enumerate() {
             if i > 0 {
-                if p.starts_with('-') {
+                if let Some(rest) = p.strip_prefix('-') {
                     s.push_str(" - ");
-                    s.push_str(&p[1..]);
+                    s.push_str(rest);
                     continue;
                 }
                 s.push_str(" + ");
@@ -88,6 +88,7 @@ impl RatAffine {
 }
 
 /// Rank of the affine sample matrix `[x | 1]` (rows = samples).
+#[allow(clippy::needless_range_loop)] // elimination reads one row while mutating another
 fn affine_rank(samples: &[(Vec<i64>, i64)], dim: usize) -> usize {
     let cols = dim + 1;
     let mut m: Vec<Vec<Rat>> = samples
@@ -230,11 +231,17 @@ impl OnlineAffineFitter {
             return FitResult::Empty;
         }
         if self.failed {
-            return FitResult::Range { min: self.vmin, max: self.vmax };
+            return FitResult::Range {
+                min: self.vmin,
+                max: self.vmax,
+            };
         }
         match &self.fit {
             Some(f) => FitResult::Affine(f.clone()),
-            None => FitResult::Range { min: self.vmin, max: self.vmax },
+            None => FitResult::Range {
+                min: self.vmin,
+                max: self.vmax,
+            },
         }
     }
 

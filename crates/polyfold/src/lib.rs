@@ -132,9 +132,7 @@ impl FoldedDdg {
                     Some(a) => a.addr.is_affine(),
                     None => true,
                 };
-                s.domain.exact
-                    && !matches!(s.values, LabelFold::Range(_))
-                    && access_affine
+                s.domain.exact && !matches!(s.values, LabelFold::Range(_)) && access_affine
             })
             .map(|s| s.domain.count)
             .sum::<u64>()
@@ -154,8 +152,7 @@ impl FoldedDdg {
     /// Remove SCEV statements and every dependence touching them (the
     /// paper's post-fold DDG cleanup). Returns (stmts removed, deps removed).
     pub fn remove_scevs(&mut self) -> (usize, usize) {
-        let scev: std::collections::HashSet<StmtId> =
-            self.scev_stmts().into_iter().collect();
+        let scev: std::collections::HashSet<StmtId> = self.scev_stmts().into_iter().collect();
         self.removed_affine_ops += self
             .stmts
             .values()
@@ -192,20 +189,43 @@ pub struct FoldOptions {
 
 impl Default for FoldOptions {
     fn default() -> Self {
-        FoldOptions { split_classes: true }
+        FoldOptions {
+            split_classes: true,
+        }
     }
 }
 
 /// The folding sink: implements the `polyddg` folding interface, folding
 /// each context's stream online.
+///
+/// Statement ids are dense (handed out in order by the interner), so
+/// per-statement folders live in flat vectors indexed by `StmtId` — the
+/// per-event folder lookup is an array index, not a hash probe. Dependence
+/// streams still key on `(kind, src, dst, class)`; an MRU cache in front of
+/// that table serves the common case of consecutive events hitting the same
+/// relation without hashing.
 #[derive(Debug, Default)]
 pub struct FoldingSink {
-    stmts: HashMap<StmtId, StreamFolder>,
-    accesses: HashMap<StmtId, (StreamFolder, bool)>,
-    deps: HashMap<(DepKind, StmtId, StmtId, u8), (StreamFolder, Vec<(i64, i64)>)>,
+    /// Statement folders, indexed by `StmtId::0`.
+    stmts: Vec<Option<StreamFolder>>,
+    /// Access folders (+ is_write), indexed by `StmtId::0`.
+    accesses: Vec<Option<(StreamFolder, bool)>>,
+    /// Dependence folders + per-dimension distance ranges, appended in
+    /// first-seen order; `dep_index` maps keys to slots.
+    deps: Vec<DepEntry>,
+    dep_index: HashMap<DepKey, u32>,
+    /// Last dependence key resolved (consecutive events overwhelmingly hit
+    /// the same relation).
+    dep_mru: Option<(DepKey, u32)>,
     total_ops: u64,
     options: FoldOptions,
 }
+
+/// Dependence stream key: kind, producer, consumer, carried class.
+type DepKey = (DepKind, StmtId, StmtId, u8);
+
+/// One dependence stream: key, folder, per-dimension distance ranges.
+type DepEntry = (DepKey, StreamFolder, Vec<(i64, i64)>);
 
 /// Carried-class tag for loop-independent dependences.
 const CLASS_NONE: u8 = u8::MAX;
@@ -218,14 +238,25 @@ impl FoldingSink {
 
     /// Fresh sink with explicit options (ablation studies).
     pub fn with_options(options: FoldOptions) -> Self {
-        FoldingSink { options, ..Self::default() }
+        FoldingSink {
+            options,
+            ..Self::default()
+        }
     }
 
     /// Finalize all folders into a [`FoldedDdg`], classifying SCEVs using
     /// the program (only register-arithmetic instructions qualify).
     pub fn finalize(self, prog: &Program, interner: &ContextInterner) -> FoldedDdg {
-        let mut out = FoldedDdg { total_ops: self.total_ops, ..Default::default() };
-        for (stmt, folder) in self.stmts {
+        let mut out = FoldedDdg {
+            total_ops: self.total_ops,
+            ..Default::default()
+        };
+        let stmts = self
+            .stmts
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, f)| Some((StmtId(i as u32), f?)));
+        for (stmt, folder) in stmts {
             let folded = folder.finalize();
             let instr = prog.instr(interner.stmt_info(stmt).instr);
             let scev_eligible = matches!(
@@ -254,29 +285,52 @@ impl FoldingSink {
                     || (*b == polyir::Operand::Reg(*dst)
                         && matches!(a, polyir::Operand::ImmI(_)))
             );
-            let values = if is_cmp { LabelFold::None } else { folded.labels };
+            let values = if is_cmp {
+                LabelFold::None
+            } else {
+                folded.labels
+            };
             let is_scev = is_cmp
                 || is_self_increment
                 || (folded.domain.exact && scev_eligible && values.is_affine());
             out.stmts.insert(
                 stmt,
-                FoldedStmt { stmt, domain: folded.domain, values, is_scev },
+                FoldedStmt {
+                    stmt,
+                    domain: folded.domain,
+                    values,
+                    is_scev,
+                },
             );
         }
-        for (stmt, (folder, is_write)) in self.accesses {
+        let accesses = self
+            .accesses
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, f)| Some((StmtId(i as u32), f?)));
+        for (stmt, (folder, is_write)) in accesses {
             let folded = folder.finalize();
             out.accesses.insert(
                 stmt,
-                FoldedAccess { stmt, domain: folded.domain, addr: folded.labels, is_write },
+                FoldedAccess {
+                    stmt,
+                    domain: folded.domain,
+                    addr: folded.labels,
+                    is_write,
+                },
             );
         }
-        for ((kind, src, dst, class), (folder, delta)) in self.deps {
+        for ((kind, src, dst, class), folder, delta) in self.deps {
             let folded = folder.finalize();
             out.deps.push(FoldedDep {
                 kind,
                 src,
                 dst,
-                class: if class == CLASS_NONE { None } else { Some(class as usize) },
+                class: if class == CLASS_NONE {
+                    None
+                } else {
+                    Some(class as usize)
+                },
                 domain: folded.domain,
                 src_map: folded.labels,
                 delta,
@@ -288,13 +342,23 @@ impl FoldingSink {
     }
 }
 
+impl FoldingSink {
+    /// Dense per-statement slot, growing the table on first sight.
+    #[inline]
+    fn stmt_slot<T>(v: &mut Vec<Option<T>>, stmt: StmtId) -> &mut Option<T> {
+        let idx = stmt.0 as usize;
+        if idx >= v.len() {
+            v.resize_with(idx + 1, || None);
+        }
+        &mut v[idx]
+    }
+}
+
 impl FoldSink for FoldingSink {
     fn instr_point(&mut self, stmt: StmtId, coords: &[i64], value: Option<i64>) {
         self.total_ops += 1;
-        let folder = self
-            .stmts
-            .entry(stmt)
-            .or_insert_with(|| StreamFolder::new(coords.len()));
+        let folder = Self::stmt_slot(&mut self.stmts, stmt)
+            .get_or_insert_with(|| StreamFolder::new(coords.len()));
         match value {
             Some(v) => folder.push(coords, Some(&[v])),
             None => folder.push(coords, None),
@@ -302,10 +366,8 @@ impl FoldSink for FoldingSink {
     }
 
     fn mem_access(&mut self, stmt: StmtId, coords: &[i64], addr: u64, is_write: bool) {
-        let (folder, _) = self
-            .accesses
-            .entry(stmt)
-            .or_insert_with(|| (StreamFolder::new(coords.len()), is_write));
+        let (folder, _) = Self::stmt_slot(&mut self.accesses, stmt)
+            .get_or_insert_with(|| (StreamFolder::new(coords.len()), is_write));
         folder.push(coords, Some(&[addr as i64]));
     }
 
@@ -326,12 +388,28 @@ impl FoldSink for FoldingSink {
         } else {
             0
         };
-        let (folder, delta) = self
-            .deps
-            .entry((kind, src, dst, class))
-            .or_insert_with(|| {
-                (StreamFolder::new(dst_coords.len()), vec![(i64::MAX, i64::MIN); common])
-            });
+        let key = (kind, src, dst, class);
+        let slot = match self.dep_mru {
+            Some((k, s)) if k == key => s,
+            _ => {
+                let slot = match self.dep_index.entry(key) {
+                    std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        let slot = self.deps.len() as u32;
+                        self.deps.push((
+                            key,
+                            StreamFolder::new(dst_coords.len()),
+                            vec![(i64::MAX, i64::MIN); common],
+                        ));
+                        e.insert(slot);
+                        slot
+                    }
+                };
+                self.dep_mru = Some((key, slot));
+                slot
+            }
+        };
+        let (_, folder, delta) = &mut self.deps[slot as usize];
         for (i, d) in delta.iter_mut().enumerate().take(common) {
             let v = dst_coords[i] - src_coords[i];
             d.0 = d.0.min(v);
@@ -343,9 +421,7 @@ impl FoldSink for FoldingSink {
 
 /// Fold a whole program end-to-end: pass 1 (structure), pass 2 (DDG →
 /// folding). Returns the folded DDG, the interner, and the structure.
-pub fn fold_program(
-    prog: &Program,
-) -> (FoldedDdg, ContextInterner, polycfg::StaticStructure) {
+pub fn fold_program(prog: &Program) -> (FoldedDdg, ContextInterner, polycfg::StaticStructure) {
     let mut rec = polycfg::StructureRecorder::new();
     polyvm::Vm::new(prog)
         .run(&[], &mut rec)
@@ -412,7 +488,10 @@ mod tests {
         let has_latch_add = scevs.iter().any(|s| {
             matches!(
                 p.instr(interner.stmt_info(*s).instr),
-                Instr::IOp { op: IBinOp::Add, .. }
+                Instr::IOp {
+                    op: IBinOp::Add,
+                    ..
+                }
             )
         });
         assert!(has_latch_add, "loop counter increment must be SCEV");
@@ -424,10 +503,10 @@ mod tests {
         assert_eq!(ddg.n_stmts(), stmts_before - sr);
         assert_eq!(ddg.deps.len(), deps_before - dr);
         // The float accumulation chain (Flow through a register) survives.
-        assert!(ddg
-            .deps
-            .iter()
-            .any(|d| d.kind == DepKind::Reg), "reduction chain must survive");
+        assert!(
+            ddg.deps.iter().any(|d| d.kind == DepKind::Reg),
+            "reduction chain must survive"
+        );
     }
 
     /// Strided accesses fold to affine address functions: a[2i] has stride 2.
@@ -539,9 +618,7 @@ mod tests {
         let nonaffine_loads = ddg
             .accesses
             .values()
-            .filter(|a| {
-                !a.is_write && matches!(a.addr, LabelFold::Range(_))
-            })
+            .filter(|a| !a.is_write && matches!(a.addr, LabelFold::Range(_)))
             .count();
         assert!(nonaffine_loads >= 1, "indirect access must fold to a range");
         let _ = interner;

@@ -62,7 +62,10 @@ pub struct FoldedStream {
 pub struct StreamFolder {
     dim: usize,
     count: u64,
-    prev: Option<Vec<i64>>,
+    /// Previous point, in a buffer retained across pushes (steady-state
+    /// pushes never allocate).
+    prev_buf: Vec<i64>,
+    has_prev: bool,
     monotone: bool,
     holes: bool,
     /// Per-dimension open-group first/last values.
@@ -84,7 +87,8 @@ impl StreamFolder {
         StreamFolder {
             dim,
             count: 0,
-            prev: None,
+            prev_buf: Vec::with_capacity(dim),
+            has_prev: false,
             monotone: true,
             holes: false,
             open_first: vec![0; dim],
@@ -117,49 +121,50 @@ impl StreamFolder {
         assert_eq!(coords.len(), self.dim, "stream changed dimensionality");
         // Exact duplicate of the previous point (e.g. a twice-used operand
         // producing the same dependence twice): ignore.
-        if self.prev.as_deref() == Some(coords) {
+        if self.has_prev && self.prev_buf == coords {
             // Labels of duplicates still verified for consistency.
             self.push_labels(coords, labels);
             return;
         }
         self.count += 1;
-        for k in 0..self.dim {
-            self.box_lo[k] = self.box_lo[k].min(coords[k]);
-            self.box_hi[k] = self.box_hi[k].max(coords[k]);
+        for (k, &c) in coords.iter().enumerate().take(self.dim) {
+            self.box_lo[k] = self.box_lo[k].min(c);
+            self.box_hi[k] = self.box_hi[k].max(c);
         }
-        match self.prev.take() {
-            None => {
-                self.open_first.copy_from_slice(coords);
-                self.open_last.copy_from_slice(coords);
-            }
-            Some(prev) => {
-                let j = (0..self.dim).find(|&k| coords[k] != prev[k]);
-                match j {
-                    None => unreachable!("duplicates handled above"),
-                    Some(j) if coords[j] < prev[j] => {
-                        // Lexicographic decrease: loop re-entry under an
-                        // unmodelled repetition — over-approximate.
-                        self.monotone = false;
-                        // Close everything and restart groups.
-                        self.close_groups(&prev, 0);
-                        self.open_first.copy_from_slice(coords);
-                        self.open_last.copy_from_slice(coords);
+        if !self.has_prev {
+            self.open_first.copy_from_slice(coords);
+            self.open_last.copy_from_slice(coords);
+        } else {
+            // Take the buffer out so `close_groups` can borrow self mutably;
+            // it is put back (and refilled) below.
+            let prev = std::mem::take(&mut self.prev_buf);
+            let j = (0..self.dim).find(|&k| coords[k] != prev[k]);
+            match j {
+                None => unreachable!("duplicates handled above"),
+                Some(j) if coords[j] < prev[j] => {
+                    // Lexicographic decrease: loop re-entry under an
+                    // unmodelled repetition — over-approximate.
+                    self.monotone = false;
+                    // Close everything and restart groups.
+                    self.close_groups(&prev, 0);
+                    self.open_first.copy_from_slice(coords);
+                    self.open_last.copy_from_slice(coords);
+                }
+                Some(j) => {
+                    if coords[j] != prev[j] + 1 {
+                        self.holes = true;
                     }
-                    Some(j) => {
-                        if coords[j] != prev[j] + 1 {
-                            self.holes = true;
-                        }
-                        self.close_groups(&prev, j + 1);
-                        self.open_last[j] = coords[j];
-                        for k in (j + 1)..self.dim {
-                            self.open_first[k] = coords[k];
-                            self.open_last[k] = coords[k];
-                        }
-                    }
+                    self.close_groups(&prev, j + 1);
+                    self.open_last[j] = coords[j];
+                    self.open_first[j + 1..self.dim].copy_from_slice(&coords[j + 1..self.dim]);
+                    self.open_last[j + 1..self.dim].copy_from_slice(&coords[j + 1..self.dim]);
                 }
             }
+            self.prev_buf = prev;
         }
-        self.prev = Some(coords.to_vec());
+        self.prev_buf.clear();
+        self.prev_buf.extend_from_slice(coords);
+        self.has_prev = true;
         self.push_labels(coords, labels);
     }
 
@@ -169,8 +174,9 @@ impl StreamFolder {
                 match self.label_arity {
                     None => {
                         self.label_arity = Some(ls.len());
-                        self.label_fitters =
-                            (0..ls.len()).map(|_| OnlineAffineFitter::new(self.dim)).collect();
+                        self.label_fitters = (0..ls.len())
+                            .map(|_| OnlineAffineFitter::new(self.dim))
+                            .collect();
                         self.labels_present = true;
                     }
                     Some(a) if a != ls.len() => {
@@ -205,7 +211,8 @@ impl StreamFolder {
 
     /// Finalize: close open groups and assemble the folded result.
     pub fn finalize(mut self) -> FoldedStream {
-        if let Some(prev) = self.prev.take() {
+        if self.has_prev {
+            let prev = std::mem::take(&mut self.prev_buf);
             self.close_groups(&prev, 0);
         }
         let mut poly = Polyhedron::universe(self.dim);
@@ -243,12 +250,9 @@ impl StreamFolder {
         let labels = if !self.labels_present {
             LabelFold::None
         } else if !self.labels_consistent {
-            LabelFold::Range(
-                self.label_fitters.iter().map(|f| f.range()).collect(),
-            )
+            LabelFold::Range(self.label_fitters.iter().map(|f| f.range()).collect())
         } else {
-            let results: Vec<FitResult> =
-                self.label_fitters.iter().map(|f| f.result()).collect();
+            let results: Vec<FitResult> = self.label_fitters.iter().map(|f| f.result()).collect();
             if results.iter().all(|r| matches!(r, FitResult::Affine(_))) {
                 LabelFold::Affine(
                     results
@@ -260,9 +264,7 @@ impl StreamFolder {
                         .collect(),
                 )
             } else {
-                LabelFold::Range(
-                    self.label_fitters.iter().map(|f| f.range()).collect(),
-                )
+                LabelFold::Range(self.label_fitters.iter().map(|f| f.range()).collect())
             }
         };
         FoldedStream {

@@ -198,7 +198,15 @@ mod tests {
         let p = pb.finish();
         let mut cct = Cct::new(mid);
         Vm::new(&p).run(&[], &mut cct).unwrap();
-        assert_eq!(cct.len(), 2, "100 calls from one site fold into one context");
-        assert_eq!(cct.node(1).weight, 100, "helper executes 1 instr × 100 calls");
+        assert_eq!(
+            cct.len(),
+            2,
+            "100 calls from one site fold into one context"
+        );
+        assert_eq!(
+            cct.node(1).weight,
+            100,
+            "helper executes 1 instr × 100 calls"
+        );
     }
 }

@@ -33,7 +33,11 @@ pub struct StmtInfo {
 #[derive(Debug, Default)]
 pub struct ContextInterner {
     paths: Vec<Vec<Vec<CtxElem>>>,
-    path_map: HashMap<Vec<Vec<CtxElem>>, CtxPathId>,
+    /// Content hash of a path → candidate ids (collision bucket). Lookups
+    /// hash the tracker's dims directly and compare against stored paths, so
+    /// re-interning a known path never allocates — the version cache misses
+    /// on every in-loop block transition, making this a per-iteration path.
+    path_index: HashMap<u64, Vec<CtxPathId>>,
     stmts: Vec<StmtInfo>,
     stmt_map: HashMap<(CtxPathId, InstrRef), StmtId>,
     cache: Option<(u64, CtxPathId)>,
@@ -52,13 +56,28 @@ impl ContextInterner {
                 return id;
             }
         }
-        let key: Vec<Vec<CtxElem>> = t.dims().iter().map(|d| d.ctx.clone()).collect();
-        let id = match self.path_map.get(&key) {
-            Some(&id) => id,
+        let h = {
+            use std::hash::{Hash, Hasher};
+            let mut hasher = std::collections::hash_map::DefaultHasher::new();
+            for d in t.dims() {
+                d.ctx.hash(&mut hasher);
+            }
+            hasher.finish()
+        };
+        let known = self.path_index.get(&h).and_then(|cands| {
+            cands.iter().copied().find(|&id| {
+                let p = &self.paths[id.0 as usize];
+                p.len() == t.dims().len()
+                    && p.iter().zip(t.dims()).all(|(stack, d)| *stack == d.ctx)
+            })
+        });
+        let id = match known {
+            Some(id) => id,
             None => {
+                let key: Vec<Vec<CtxElem>> = t.dims().iter().map(|d| d.ctx.clone()).collect();
                 let id = CtxPathId(self.paths.len() as u32);
-                self.paths.push(key.clone());
-                self.path_map.insert(key, id);
+                self.paths.push(key);
+                self.path_index.entry(h).or_default().push(id);
                 id
             }
         };
@@ -122,10 +141,16 @@ mod tests {
     use polyir::{BlockRef, FuncId, LocalBlockId};
 
     fn blk(f: u32, b: u32) -> BlockRef {
-        BlockRef { func: FuncId(f), block: LocalBlockId(b) }
+        BlockRef {
+            func: FuncId(f),
+            block: LocalBlockId(b),
+        }
     }
     fn iref(f: u32, b: u32, i: u32) -> InstrRef {
-        InstrRef { block: blk(f, b), idx: i }
+        InstrRef {
+            block: blk(f, b),
+            idx: i,
+        }
     }
 
     #[test]
@@ -134,12 +159,18 @@ mod tests {
         let mut int = ContextInterner::new();
         let p1 = int.current_path(&t);
         let l = LoopRef::Cfg(FuncId(0), LoopIdx(0));
-        t.apply(&LoopEvent::Enter { l, block: blk(0, 1) });
+        t.apply(&LoopEvent::Enter {
+            l,
+            block: blk(0, 1),
+        });
         let p2 = int.current_path(&t);
         assert_ne!(p1, p2);
         // Iterating changes the IV but the ctx.last update is idempotent
         // after N; the path from the same header block stays interned once.
-        t.apply(&LoopEvent::Iter { l, block: blk(0, 1) });
+        t.apply(&LoopEvent::Iter {
+            l,
+            block: blk(0, 1),
+        });
         let p3 = int.current_path(&t);
         assert_eq!(p2, p3);
         assert_eq!(int.n_paths(), 2);
@@ -165,12 +196,18 @@ mod tests {
         // two different statement ids (the CCT disambiguation property).
         let mut t = IivTracker::new(blk(0, 0));
         let mut int = ContextInterner::new();
-        t.apply(&LoopEvent::Call { callee: FuncId(2), block: blk(2, 0) });
+        t.apply(&LoopEvent::Call {
+            callee: FuncId(2),
+            block: blk(2, 0),
+        });
         let p_a = int.current_path(&t);
         let s_a = int.stmt(p_a, iref(2, 0, 0));
         t.apply(&LoopEvent::Ret(blk(0, 0)));
         t.apply(&LoopEvent::Block(blk(0, 1)));
-        t.apply(&LoopEvent::Call { callee: FuncId(2), block: blk(2, 0) });
+        t.apply(&LoopEvent::Call {
+            callee: FuncId(2),
+            block: blk(2, 0),
+        });
         let p_b = int.current_path(&t);
         let s_b = int.stmt(p_b, iref(2, 0, 0));
         assert_ne!(p_a, p_b);
@@ -182,7 +219,10 @@ mod tests {
         let mut t = IivTracker::new(blk(0, 0));
         let mut int = ContextInterner::new();
         let l = LoopRef::Cfg(FuncId(0), LoopIdx(0));
-        t.apply(&LoopEvent::Enter { l, block: blk(0, 1) });
+        t.apply(&LoopEvent::Enter {
+            l,
+            block: blk(0, 1),
+        });
         let p = int.current_path(&t);
         let flat = int.flat_path(p);
         assert_eq!(flat.len(), 2); // [Loop(L), Block(header)]

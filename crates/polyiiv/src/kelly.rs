@@ -34,7 +34,9 @@ pub fn kelly_vector(forest: &LoopForest, block: LocalBlockId) -> Option<Vec<Kell
 
     let mut v = Vec::with_capacity(chain.len() * 2 + 1);
     for &l in &chain {
-        v.push(KellyElem::Static(forest.static_index_of(SchedNodeKey::Loop(l))?));
+        v.push(KellyElem::Static(
+            forest.static_index_of(SchedNodeKey::Loop(l))?,
+        ));
         v.push(KellyElem::Iv(l));
     }
     v.push(KellyElem::Static(

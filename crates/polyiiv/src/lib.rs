@@ -60,7 +60,10 @@ impl IivTracker {
     /// Start tracking at the program entry block.
     pub fn new(entry: BlockRef) -> Self {
         IivTracker {
-            dims: vec![Dim { iv: 0, ctx: vec![CtxElem::Block(entry)] }],
+            dims: vec![Dim {
+                iv: 0,
+                ctx: vec![CtxElem::Block(entry)],
+            }],
             version: 0,
         }
     }
@@ -92,7 +95,9 @@ impl IivTracker {
     }
 
     fn innermost(&mut self) -> &mut Dim {
-        self.dims.last_mut().expect("IIV always has a root dimension")
+        self.dims
+            .last_mut()
+            .expect("IIV always has a root dimension")
     }
 
     fn set_ctx_last(&mut self, e: CtxElem) {
@@ -115,14 +120,20 @@ impl IivTracker {
             // Ec(L,B): push the recursive loop, then open a new dimension.
             LoopEvent::EnterRec { l, block } => {
                 self.innermost().ctx.push(CtxElem::Loop(l));
-                self.dims.push(Dim { iv: 0, ctx: vec![CtxElem::Block(block)] });
+                self.dims.push(Dim {
+                    iv: 0,
+                    ctx: vec![CtxElem::Block(block)],
+                });
                 self.version += 1;
             }
             // E(L,H): replace the current block with the loop id, then open
             // a new dimension whose context starts at the header.
             LoopEvent::Enter { l, block } => {
                 self.set_ctx_last(CtxElem::Loop(l));
-                self.dims.push(Dim { iv: 0, ctx: vec![CtxElem::Block(block)] });
+                self.dims.push(Dim {
+                    iv: 0,
+                    ctx: vec![CtxElem::Block(block)],
+                });
                 self.version += 1;
             }
             // X(L,B): close the dimension; execution continues at B. The
@@ -192,7 +203,10 @@ mod tests {
     use polyir::{FuncId, LocalBlockId};
 
     fn blk(f: u32, b: u32) -> BlockRef {
-        BlockRef { func: FuncId(f), block: LocalBlockId(b) }
+        BlockRef {
+            func: FuncId(f),
+            block: LocalBlockId(b),
+        }
     }
     fn cfg_loop(f: u32, l: u32) -> LoopRef {
         LoopRef::Cfg(FuncId(f), LoopIdx(l))
@@ -214,33 +228,54 @@ mod tests {
         assert_eq!(t.coords(), vec![0]);
 
         // C(A0): call into A
-        t.apply(&LoopEvent::Call { callee: FuncId(1), block: blk(1, 0) });
+        t.apply(&LoopEvent::Call {
+            callee: FuncId(1),
+            block: blk(1, 0),
+        });
         assert_eq!(t.dims()[0].ctx.len(), 2); // M0/A0
 
         // E(L1, A1): enter A's loop
-        t.apply(&LoopEvent::Enter { l: cfg_loop(1, 0), block: blk(1, 1) });
+        t.apply(&LoopEvent::Enter {
+            l: cfg_loop(1, 0),
+            block: blk(1, 1),
+        });
         assert_eq!(t.depth(), 2);
         assert_eq!(t.coords(), vec![0, 0]);
 
         // C(B0): call into B from inside the loop
-        t.apply(&LoopEvent::Call { callee: FuncId(2), block: blk(2, 0) });
+        t.apply(&LoopEvent::Call {
+            callee: FuncId(2),
+            block: blk(2, 0),
+        });
         // E(L2, B1): B's loop
-        t.apply(&LoopEvent::Enter { l: cfg_loop(2, 0), block: blk(2, 1) });
+        t.apply(&LoopEvent::Enter {
+            l: cfg_loop(2, 0),
+            block: blk(2, 1),
+        });
         assert_eq!(t.depth(), 3);
         assert_eq!(t.coords(), vec![0, 0, 0]);
 
         // I(L2, B1): iterate inner loop
-        t.apply(&LoopEvent::Iter { l: cfg_loop(2, 0), block: blk(2, 1) });
+        t.apply(&LoopEvent::Iter {
+            l: cfg_loop(2, 0),
+            block: blk(2, 1),
+        });
         assert_eq!(t.coords(), vec![0, 0, 1]);
 
         // X(L2, B3): exit inner loop
-        t.apply(&LoopEvent::Exit { l: cfg_loop(2, 0), block: blk(2, 3) });
+        t.apply(&LoopEvent::Exit {
+            l: cfg_loop(2, 0),
+            block: blk(2, 3),
+        });
         assert_eq!(t.depth(), 2);
 
         // R(A1): return to A
         t.apply(&LoopEvent::Ret(blk(1, 1)));
         // I(L1, A1): outer loop iterates
-        t.apply(&LoopEvent::Iter { l: cfg_loop(1, 0), block: blk(1, 1) });
+        t.apply(&LoopEvent::Iter {
+            l: cfg_loop(1, 0),
+            block: blk(1, 1),
+        });
         assert_eq!(t.coords(), vec![0, 1]);
         let s = t.display_with(&namer);
         assert_eq!(s, "(B0_0/L1_0, 1, B1_1)");
@@ -254,7 +289,10 @@ mod tests {
         let mut t = IivTracker::new(blk(0, 0)); // (M1)
 
         // Ec(L1, B0): first call to the component entry
-        t.apply(&LoopEvent::EnterRec { l: rec, block: blk(1, 0) });
+        t.apply(&LoopEvent::EnterRec {
+            l: rec,
+            block: blk(1, 0),
+        });
         assert_eq!(t.depth(), 2);
         assert_eq!(t.coords(), vec![0, 0]);
         // ctx of outer dim = M/L1
@@ -262,28 +300,46 @@ mod tests {
 
         // N(B1), C(C0), R(B2): helper call inside the recursion
         t.apply(&LoopEvent::Block(blk(1, 1)));
-        t.apply(&LoopEvent::Call { callee: FuncId(2), block: blk(2, 0) });
+        t.apply(&LoopEvent::Call {
+            callee: FuncId(2),
+            block: blk(2, 0),
+        });
         assert_eq!(t.dims()[1].ctx.len(), 2); // B1/C0
         t.apply(&LoopEvent::Ret(blk(1, 2)));
         assert_eq!(t.dims()[1].ctx.len(), 1); // B2
 
         // Ic(L1, B0): recursive call — same depth, IV advances.
-        t.apply(&LoopEvent::IterCall { l: rec, block: blk(1, 0) });
+        t.apply(&LoopEvent::IterCall {
+            l: rec,
+            block: blk(1, 0),
+        });
         assert_eq!(t.depth(), 2);
         assert_eq!(t.coords(), vec![0, 1]);
 
         // Ic again (deeper recursion): IV keeps increasing.
-        t.apply(&LoopEvent::IterCall { l: rec, block: blk(1, 0) });
+        t.apply(&LoopEvent::IterCall {
+            l: rec,
+            block: blk(1, 0),
+        });
         assert_eq!(t.coords(), vec![0, 2]);
 
         // Ir on inner returns: IV still increases (paper steps 20–21).
-        t.apply(&LoopEvent::IterRet { l: rec, block: blk(1, 5) });
+        t.apply(&LoopEvent::IterRet {
+            l: rec,
+            block: blk(1, 5),
+        });
         assert_eq!(t.coords(), vec![0, 3]);
-        t.apply(&LoopEvent::IterRet { l: rec, block: blk(1, 5) });
+        t.apply(&LoopEvent::IterRet {
+            l: rec,
+            block: blk(1, 5),
+        });
         assert_eq!(t.coords(), vec![0, 4]);
 
         // Xr: loop exits; back to (M2).
-        t.apply(&LoopEvent::ExitRec { l: rec, block: blk(0, 2) });
+        t.apply(&LoopEvent::ExitRec {
+            l: rec,
+            block: blk(0, 2),
+        });
         assert_eq!(t.depth(), 1);
         assert_eq!(t.coords(), vec![0]);
         assert_eq!(t.display_with(&namer), "(B0_2)");
@@ -303,9 +359,15 @@ mod tests {
     #[test]
     fn iterate_keeps_depth() {
         let mut t = IivTracker::new(blk(0, 0));
-        t.apply(&LoopEvent::Enter { l: cfg_loop(0, 0), block: blk(0, 1) });
+        t.apply(&LoopEvent::Enter {
+            l: cfg_loop(0, 0),
+            block: blk(0, 1),
+        });
         for i in 1..100 {
-            t.apply(&LoopEvent::Iter { l: cfg_loop(0, 0), block: blk(0, 1) });
+            t.apply(&LoopEvent::Iter {
+                l: cfg_loop(0, 0),
+                block: blk(0, 1),
+            });
             assert_eq!(t.coords(), vec![0, i]);
         }
         assert_eq!(t.depth(), 2);
@@ -316,10 +378,16 @@ mod tests {
     #[test]
     fn lexicographic_monotonicity_within_loop() {
         let mut t = IivTracker::new(blk(0, 0));
-        t.apply(&LoopEvent::Enter { l: cfg_loop(0, 0), block: blk(0, 1) });
+        t.apply(&LoopEvent::Enter {
+            l: cfg_loop(0, 0),
+            block: blk(0, 1),
+        });
         let mut prev = t.coords();
         for _ in 0..10 {
-            t.apply(&LoopEvent::Iter { l: cfg_loop(0, 0), block: blk(0, 1) });
+            t.apply(&LoopEvent::Iter {
+                l: cfg_loop(0, 0),
+                block: blk(0, 1),
+            });
             let cur = t.coords();
             assert!(cur > prev, "{cur:?} must be lex-greater than {prev:?}");
             prev = cur;

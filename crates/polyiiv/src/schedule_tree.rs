@@ -226,7 +226,11 @@ impl SchedTree {
                 c,
                 cx,
                 cw,
-                if node.label.is_some() { depth + 1 } else { depth },
+                if node.label.is_some() {
+                    depth + 1
+                } else {
+                    depth
+                },
                 base_y,
                 row,
                 total,
@@ -240,7 +244,9 @@ impl SchedTree {
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]

@@ -23,7 +23,10 @@ impl ProgramBuilder {
     /// Create an empty program with the given name.
     pub fn new(name: &str) -> Self {
         ProgramBuilder {
-            prog: Program { name: name.to_string(), ..Program::default() },
+            prog: Program {
+                name: name.to_string(),
+                ..Program::default()
+            },
             next_addr: 0x1000,
         }
     }
@@ -190,39 +193,61 @@ impl<'a> FuncBuilder<'a> {
     /// `dst = value` into a fresh register.
     pub fn const_i(&mut self, v: i64) -> Reg {
         let dst = self.reg();
-        self.raw_instr(Instr::Const { dst, value: Value::I64(v) });
+        self.raw_instr(Instr::Const {
+            dst,
+            value: Value::I64(v),
+        });
         dst
     }
 
     /// `dst = value` (float) into a fresh register.
     pub fn const_f(&mut self, v: f64) -> Reg {
         let dst = self.reg();
-        self.raw_instr(Instr::Const { dst, value: Value::F64(v) });
+        self.raw_instr(Instr::Const {
+            dst,
+            value: Value::F64(v),
+        });
         dst
     }
 
     /// Copy an operand into a fresh register.
     pub fn mov(&mut self, src: impl Into<Operand>) -> Reg {
         let dst = self.reg();
-        self.raw_instr(Instr::Move { dst, src: src.into() });
+        self.raw_instr(Instr::Move {
+            dst,
+            src: src.into(),
+        });
         dst
     }
 
     /// Copy an operand into an existing register.
     pub fn mov_to(&mut self, dst: Reg, src: impl Into<Operand>) {
-        self.raw_instr(Instr::Move { dst, src: src.into() });
+        self.raw_instr(Instr::Move {
+            dst,
+            src: src.into(),
+        });
     }
 
     /// Integer binary operation into a fresh register.
     pub fn iop(&mut self, op: IBinOp, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
         let dst = self.reg();
-        self.raw_instr(Instr::IOp { dst, op, a: a.into(), b: b.into() });
+        self.raw_instr(Instr::IOp {
+            dst,
+            op,
+            a: a.into(),
+            b: b.into(),
+        });
         dst
     }
 
     /// Integer binary operation into an existing register.
     pub fn iop_to(&mut self, dst: Reg, op: IBinOp, a: impl Into<Operand>, b: impl Into<Operand>) {
-        self.raw_instr(Instr::IOp { dst, op, a: a.into(), b: b.into() });
+        self.raw_instr(Instr::IOp {
+            dst,
+            op,
+            a: a.into(),
+            b: b.into(),
+        });
     }
 
     /// `a + b` (integers).
@@ -253,13 +278,23 @@ impl<'a> FuncBuilder<'a> {
     /// Float binary operation into a fresh register.
     pub fn fop(&mut self, op: FBinOp, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
         let dst = self.reg();
-        self.raw_instr(Instr::FOp { dst, op, a: a.into(), b: b.into() });
+        self.raw_instr(Instr::FOp {
+            dst,
+            op,
+            a: a.into(),
+            b: b.into(),
+        });
         dst
     }
 
     /// Float binary operation into an existing register.
     pub fn fop_to(&mut self, dst: Reg, op: FBinOp, a: impl Into<Operand>, b: impl Into<Operand>) {
-        self.raw_instr(Instr::FOp { dst, op, a: a.into(), b: b.into() });
+        self.raw_instr(Instr::FOp {
+            dst,
+            op,
+            a: a.into(),
+            b: b.into(),
+        });
     }
 
     /// `a + b` (floats).
@@ -285,28 +320,46 @@ impl<'a> FuncBuilder<'a> {
     /// Integer comparison producing 0/1.
     pub fn icmp(&mut self, op: CmpOp, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
         let dst = self.reg();
-        self.raw_instr(Instr::ICmp { dst, op, a: a.into(), b: b.into() });
+        self.raw_instr(Instr::ICmp {
+            dst,
+            op,
+            a: a.into(),
+            b: b.into(),
+        });
         dst
     }
 
     /// Float comparison producing 0/1.
     pub fn fcmp(&mut self, op: CmpOp, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
         let dst = self.reg();
-        self.raw_instr(Instr::FCmp { dst, op, a: a.into(), b: b.into() });
+        self.raw_instr(Instr::FCmp {
+            dst,
+            op,
+            a: a.into(),
+            b: b.into(),
+        });
         dst
     }
 
     /// Unary operation / intrinsic.
     pub fn un(&mut self, op: UnOp, a: impl Into<Operand>) -> Reg {
         let dst = self.reg();
-        self.raw_instr(Instr::Un { dst, op, a: a.into() });
+        self.raw_instr(Instr::Un {
+            dst,
+            op,
+            a: a.into(),
+        });
         dst
     }
 
     /// `mem[base + offset]` into a fresh register.
     pub fn load(&mut self, base: impl Into<Operand>, offset: impl Into<Operand>) -> Reg {
         let dst = self.reg();
-        self.raw_instr(Instr::Load { dst, base: base.into(), offset: offset.into() });
+        self.raw_instr(Instr::Load {
+            dst,
+            base: base.into(),
+            offset: offset.into(),
+        });
         dst
     }
 
@@ -327,13 +380,21 @@ impl<'a> FuncBuilder<'a> {
     /// Call with a return value.
     pub fn call(&mut self, func: FuncId, args: &[Operand]) -> Reg {
         let dst = self.reg();
-        self.raw_instr(Instr::Call { dst: Some(dst), func, args: args.to_vec() });
+        self.raw_instr(Instr::Call {
+            dst: Some(dst),
+            func,
+            args: args.to_vec(),
+        });
         dst
     }
 
     /// Call ignoring any return value.
     pub fn call_void(&mut self, func: FuncId, args: &[Operand]) {
-        self.raw_instr(Instr::Call { dst: None, func, args: args.to_vec() });
+        self.raw_instr(Instr::Call {
+            dst: None,
+            func,
+            args: args.to_vec(),
+        });
     }
 
     /// Terminate the current block with an unconditional jump.
@@ -343,8 +404,11 @@ impl<'a> FuncBuilder<'a> {
 
     /// Terminate the current block with a conditional branch.
     pub fn br(&mut self, cond: impl Into<Operand>, then_: LocalBlockId, else_: LocalBlockId) {
-        self.func.blocks[self.cur.0 as usize].term =
-            Terminator::Br { cond: cond.into(), then_, else_ };
+        self.func.blocks[self.cur.0 as usize].term = Terminator::Br {
+            cond: cond.into(),
+            then_,
+            else_,
+        };
     }
 
     /// Terminate the current block with a return.
@@ -520,11 +584,7 @@ mod tests {
         let x = f.const_i(5);
         let c = f.icmp(CmpOp::Gt, x, 3i64);
         let out = f.const_i(0);
-        f.if_else(
-            c,
-            |f| f.mov_to(out, 1i64),
-            |f| f.mov_to(out, 2i64),
-        );
+        f.if_else(c, |f| f.mov_to(out, 1i64), |f| f.mov_to(out, 2i64));
         f.ret(Some(out.into()));
         let fid = f.finish();
         pb.set_entry(fid);

@@ -33,7 +33,12 @@ fn instr_str(p: &Program, i: &Instr) -> String {
             format!("r{} = load [{} + {}]", dst.0, op_str(base), op_str(offset))
         }
         Instr::Store { base, offset, src } => {
-            format!("store [{} + {}] = {}", op_str(base), op_str(offset), op_str(src))
+            format!(
+                "store [{} + {}] = {}",
+                op_str(base),
+                op_str(offset),
+                op_str(src)
+            )
         }
         Instr::Call { dst, func, args } => {
             let args = args.iter().map(op_str).collect::<Vec<_>>().join(", ");
@@ -120,7 +125,10 @@ mod tests {
         let fid = f.finish();
         pb.set_entry(fid);
         let p = pb.finish();
-        let iref = InstrRef { block: BlockRef::new(fid, 0), idx: 0 };
+        let iref = InstrRef {
+            block: BlockRef::new(fid, 0),
+            idx: 0,
+        };
         assert!(dump_instr(&p, iref).contains("const 42"));
     }
 }

@@ -40,7 +40,10 @@ pub struct BlockRef {
 impl BlockRef {
     /// Convenience constructor.
     pub fn new(func: FuncId, block: u32) -> Self {
-        BlockRef { func, block: LocalBlockId(block) }
+        BlockRef {
+            func,
+            block: LocalBlockId(block),
+        }
     }
 }
 
@@ -342,39 +345,46 @@ impl Instr {
 
     /// All registers read by this instruction, in operand order.
     pub fn uses(&self) -> Vec<Reg> {
-        fn push(v: &mut Vec<Reg>, o: &Operand) {
-            if let Operand::Reg(r) = o {
-                v.push(*r);
-            }
-        }
         let mut v = Vec::new();
+        self.for_each_use(|r| v.push(r));
+        v
+    }
+
+    /// Visit every register read by this instruction, in operand order,
+    /// without allocating (the hot-path form of [`Instr::uses`]).
+    #[inline]
+    pub fn for_each_use(&self, mut f: impl FnMut(Reg)) {
+        let mut visit = |o: &Operand| {
+            if let Operand::Reg(r) = o {
+                f(*r);
+            }
+        };
         match self {
             Instr::Const { .. } => {}
-            Instr::Move { src, .. } => push(&mut v, src),
+            Instr::Move { src, .. } => visit(src),
             Instr::IOp { a, b, .. }
             | Instr::FOp { a, b, .. }
             | Instr::ICmp { a, b, .. }
             | Instr::FCmp { a, b, .. } => {
-                push(&mut v, a);
-                push(&mut v, b);
+                visit(a);
+                visit(b);
             }
-            Instr::Un { a, .. } => push(&mut v, a),
+            Instr::Un { a, .. } => visit(a),
             Instr::Load { base, offset, .. } => {
-                push(&mut v, base);
-                push(&mut v, offset);
+                visit(base);
+                visit(offset);
             }
             Instr::Store { base, offset, src } => {
-                push(&mut v, base);
-                push(&mut v, offset);
-                push(&mut v, src);
+                visit(base);
+                visit(offset);
+                visit(src);
             }
             Instr::Call { args, .. } => {
                 for a in args {
-                    push(&mut v, a);
+                    visit(a);
                 }
             }
         }
-        v
     }
 
     /// True for `Load`/`Store`.
@@ -389,12 +399,7 @@ impl Instr {
             Instr::FOp { .. }
                 | Instr::FCmp { .. }
                 | Instr::Un {
-                    op: UnOp::Sqrt
-                        | UnOp::Exp
-                        | UnOp::Log
-                        | UnOp::Sigmoid
-                        | UnOp::Sin
-                        | UnOp::Cos,
+                    op: UnOp::Sqrt | UnOp::Exp | UnOp::Log | UnOp::Sigmoid | UnOp::Sin | UnOp::Cos,
                     ..
                 }
         )
@@ -574,10 +579,8 @@ impl Program {
                     }
                 }
                 match &b.term {
-                    Terminator::Jump(t) => {
-                        if t.0 as usize >= f.blocks.len() {
-                            errs.push(format!("{}: jump to missing block b{}", f.name, t.0));
-                        }
+                    Terminator::Jump(t) if t.0 as usize >= f.blocks.len() => {
+                        errs.push(format!("{}: jump to missing block b{}", f.name, t.0));
                     }
                     Terminator::Br { cond, then_, else_ } => {
                         check_op(cond, &mut errs);
@@ -681,9 +684,17 @@ mod tests {
             b: Operand::ImmF(2.0),
         };
         assert!(f.is_fp());
-        let e = Instr::Un { dst: Reg(0), op: UnOp::Exp, a: Operand::ImmF(1.0) };
+        let e = Instr::Un {
+            dst: Reg(0),
+            op: UnOp::Exp,
+            a: Operand::ImmF(1.0),
+        };
         assert!(e.is_fp());
-        let n = Instr::Un { dst: Reg(0), op: UnOp::I2F, a: Operand::ImmI(1) };
+        let n = Instr::Un {
+            dst: Reg(0),
+            op: UnOp::I2F,
+            a: Operand::ImmI(1),
+        };
         assert!(!n.is_fp());
     }
 
@@ -691,7 +702,10 @@ mod tests {
     fn validate_catches_bad_register() {
         let mut pb = ProgramBuilder::new("t");
         let mut f = pb.func("main", 0);
-        f.raw_instr(Instr::Move { dst: Reg(999), src: Operand::ImmI(0) });
+        f.raw_instr(Instr::Move {
+            dst: Reg(999),
+            src: Operand::ImmI(0),
+        });
         f.ret(None);
         let fid = f.finish();
         pb.set_entry(fid);
@@ -718,7 +732,11 @@ mod tests {
         callee.ret(None);
         let callee_id = callee.finish();
         let mut f = pb.func("main", 0);
-        f.raw_instr(Instr::Call { dst: None, func: callee_id, args: vec![Operand::ImmI(1)] });
+        f.raw_instr(Instr::Call {
+            dst: None,
+            func: callee_id,
+            args: vec![Operand::ImmI(1)],
+        });
         f.ret(None);
         let fid = f.finish();
         pb.set_entry(fid);
@@ -728,7 +746,10 @@ mod tests {
 
     #[test]
     fn terminator_successors() {
-        assert_eq!(Terminator::Jump(LocalBlockId(2)).successors(), vec![LocalBlockId(2)]);
+        assert_eq!(
+            Terminator::Jump(LocalBlockId(2)).successors(),
+            vec![LocalBlockId(2)]
+        );
         assert_eq!(Terminator::Ret(None).successors(), vec![]);
         let br = Terminator::Br {
             cond: Operand::ImmI(1),

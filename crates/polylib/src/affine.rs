@@ -21,7 +21,10 @@ pub struct AffineExpr {
 impl AffineExpr {
     /// The constant expression `c` over `n` variables.
     pub fn constant(n: usize, c: i64) -> AffineExpr {
-        AffineExpr { coeffs: vec![0; n], c }
+        AffineExpr {
+            coeffs: vec![0; n],
+            c,
+        }
     }
 
     /// The variable `xᵢ` over `n` variables.
@@ -95,7 +98,10 @@ impl AffineExpr {
 
     /// Scale by an integer.
     pub fn scale(&self, k: i64) -> AffineExpr {
-        AffineExpr { coeffs: self.coeffs.iter().map(|a| a * k).collect(), c: self.c * k }
+        AffineExpr {
+            coeffs: self.coeffs.iter().map(|a| a * k).collect(),
+            c: self.c * k,
+        }
     }
 
     /// Extend with zero coefficients to `n` variables.
@@ -113,7 +119,11 @@ impl AffineExpr {
             if a == 0 {
                 continue;
             }
-            let name = names.get(i).copied().map(str::to_string).unwrap_or(format!("x{i}"));
+            let name = names
+                .get(i)
+                .copied()
+                .map(str::to_string)
+                .unwrap_or(format!("x{i}"));
             parts.push(match a {
                 1 => name,
                 -1 => format!("-{name}"),
@@ -128,7 +138,7 @@ impl AffineExpr {
             if i > 0 && !p.starts_with('-') {
                 s.push_str(" + ");
             } else if i > 0 {
-                s.push_str(" ");
+                s.push(' ');
             }
             s.push_str(p);
         }

@@ -12,6 +12,7 @@ use crate::rat::Rat;
 ///
 /// Returns one solution if the system is consistent (free variables are set
 /// to zero), `None` if inconsistent.
+#[allow(clippy::needless_range_loop)] // row elimination needs two rows of `m` at once
 pub fn solve_rational(a: &[Vec<Rat>], b: &[Rat]) -> Option<Vec<Rat>> {
     let rows = a.len();
     if rows == 0 {
@@ -58,8 +59,8 @@ pub fn solve_rational(a: &[Vec<Rat>], b: &[Rat]) -> Option<Vec<Rat>> {
         }
     }
     // Inconsistency: zero row with non-zero rhs.
-    for r in rank..rows {
-        if m[r][..cols].iter().all(|&v| v == Rat::ZERO) && m[r][cols] != Rat::ZERO {
+    for row in m.iter().take(rows).skip(rank) {
+        if row[..cols].iter().all(|&v| v == Rat::ZERO) && row[cols] != Rat::ZERO {
             return None;
         }
     }
@@ -76,9 +77,7 @@ pub fn solve_rational(a: &[Vec<Rat>], b: &[Rat]) -> Option<Vec<Rat>> {
 /// `(point, value)`. Returns `(a, b)` if a consistent affine fit exists for
 /// *all* given samples, `None` otherwise.
 pub fn fit_affine(samples: &[(Vec<i64>, i64)]) -> Option<(Vec<Rat>, Rat)> {
-    let Some((first, _)) = samples.first() else {
-        return None;
-    };
+    let (first, _) = samples.first()?;
     let d = first.len();
     let a: Vec<Vec<Rat>> = samples
         .iter()
@@ -160,8 +159,7 @@ mod tests {
     #[test]
     fn fit_affine_rejects_nonaffine() {
         // f(i) = i²
-        let samples: Vec<(Vec<i64>, i64)> =
-            (0..5).map(|i| (vec![i], i * i)).collect();
+        let samples: Vec<(Vec<i64>, i64)> = (0..5).map(|i| (vec![i], i * i)).collect();
         assert_eq!(fit_affine(&samples), None);
     }
 

@@ -94,7 +94,10 @@ pub struct Polyhedron {
 impl Polyhedron {
     /// The whole space.
     pub fn universe(dim: usize) -> Polyhedron {
-        Polyhedron { dim, cons: Vec::new() }
+        Polyhedron {
+            dim,
+            cons: Vec::new(),
+        }
     }
 
     /// Dimension (number of variables).
@@ -149,7 +152,10 @@ impl Polyhedron {
         assert_eq!(self.dim, other.dim);
         let mut cons = self.cons.clone();
         cons.extend(other.cons.iter().cloned());
-        Polyhedron { dim: self.dim, cons }
+        Polyhedron {
+            dim: self.dim,
+            cons,
+        }
     }
 
     /// Expand equalities into pairs of inequalities.
@@ -157,7 +163,11 @@ impl Polyhedron {
         let mut out = Vec::with_capacity(self.cons.len());
         for c in &self.cons {
             if c.eq {
-                out.push(Constraint { coeffs: c.coeffs.clone(), c: c.c, eq: false });
+                out.push(Constraint {
+                    coeffs: c.coeffs.clone(),
+                    c: c.c,
+                    eq: false,
+                });
                 out.push(Constraint {
                     coeffs: c.coeffs.iter().map(|a| -a).collect(),
                     c: -c.c,
@@ -224,7 +234,10 @@ impl Polyhedron {
     /// `var` are zero but the dimension is preserved for index stability).
     pub fn eliminate(&self, var: usize) -> Polyhedron {
         let cons = Self::fm_eliminate(&self.inequalities(), var);
-        Polyhedron { dim: self.dim, cons }
+        Polyhedron {
+            dim: self.dim,
+            cons,
+        }
     }
 
     /// Emptiness of the rational relaxation (conservative for integers:
@@ -268,7 +281,11 @@ impl Polyhedron {
             .collect();
         let mut te: Vec<i128> = expr.coeffs.iter().map(|&a| -(a as i128)).collect();
         te.push(1);
-        cons.push(Constraint { coeffs: te.clone(), c: -(expr.c as i128), eq: false }); // t - e >= 0
+        cons.push(Constraint {
+            coeffs: te.clone(),
+            c: -(expr.c as i128),
+            eq: false,
+        }); // t - e >= 0
         cons.push(Constraint {
             coeffs: te.iter().map(|a| -a).collect(),
             c: expr.c as i128,
@@ -316,7 +333,10 @@ impl Polyhedron {
                 n
             })
             .collect();
-        Polyhedron { dim: self.dim, cons }
+        Polyhedron {
+            dim: self.dim,
+            cons,
+        }
     }
 
     /// Count integer points, up to `cap` (None if unbounded or cap blown).
@@ -380,10 +400,7 @@ impl Polyhedron {
             .cons
             .iter()
             .map(|c| {
-                let e = AffineExpr::new(
-                    c.coeffs.iter().map(|&a| a as i64).collect(),
-                    c.c as i64,
-                );
+                let e = AffineExpr::new(c.coeffs.iter().map(|&a| a as i64).collect(), c.c as i64);
                 format!("{} {} 0", e.display(names), if c.eq { "=" } else { ">=" })
             })
             .collect();

@@ -67,12 +67,15 @@ impl Analysis {
         let mut node: Vec<NodeInfo> = forest
             .nodes
             .iter()
-            .map(|_| NodeInfo { parallel: true, zero_dist: true, ..Default::default() })
+            .map(|_| NodeInfo {
+                parallel: true,
+                zero_dist: true,
+                ..Default::default()
+            })
             .collect();
         for (di, d) in deps.iter().enumerate() {
             let chain = &forest.chain_of[&d.dst]; // shared prefix == src's
-            for dim in 1..=d.shared {
-                let n = chain[dim];
+            for (dim, &n) in chain.iter().enumerate().take(d.shared + 1).skip(1) {
                 node[n].deps.push(di);
                 match d.carried {
                     Carried::Unknown => {
@@ -193,7 +196,11 @@ impl Analysis {
             }
             len = j - start_idx + 1;
         }
-        Band { start: start_dim, len: len.max(1).min(chain.len() - start_idx), skewed }
+        Band {
+            start: start_dim,
+            len: len.max(1).min(chain.len() - start_idx),
+            skewed,
+        }
     }
 
     /// Statement-level: any enclosing loop parallel (in place or via
@@ -232,7 +239,11 @@ impl Analysis {
 
     /// The maximal band ending at the innermost dimension of `loops`.
     pub fn innermost_band(&self, loops: &[usize]) -> Band {
-        let mut best = Band { start: loops.len(), len: 1, skewed: false };
+        let mut best = Band {
+            start: loops.len(),
+            len: 1,
+            skewed: false,
+        };
         for s in (0..loops.len()).rev() {
             let b = self.band(loops, s);
             if s + b.len >= loops.len() {
@@ -250,13 +261,25 @@ impl Analysis {
     /// avoid skewing unless it really provides improvements".
     pub fn stmt_tile_band(&self, stmt: StmtId) -> Band {
         let Some(chain) = self.forest.chain_of.get(&stmt) else {
-            return Band { start: 1, len: 0, skewed: false };
+            return Band {
+                start: 1,
+                len: 0,
+                skewed: false,
+            };
         };
         if chain.len() <= 1 {
-            return Band { start: 1, len: 0, skewed: false };
+            return Band {
+                start: 1,
+                len: 0,
+                skewed: false,
+            };
         }
         let loops = &chain[1..];
-        let mut best_noskew = Band { start: 1, len: 0, skewed: false };
+        let mut best_noskew = Band {
+            start: 1,
+            len: 0,
+            skewed: false,
+        };
         for s in 0..loops.len() {
             let b = self.band_with(loops, s, false);
             if b.len > best_noskew.len {
@@ -296,7 +319,13 @@ impl Analysis {
                 tile += w;
             }
         }
-        let frac = |x: u64| if total == 0 { 0.0 } else { x as f64 / total as f64 };
+        let frac = |x: u64| {
+            if total == 0 {
+                0.0
+            } else {
+                x as f64 / total as f64
+            }
+        };
         OpFractions {
             parallel: frac(par),
             simd: frac(simd),
@@ -468,8 +497,7 @@ mod tests {
         let (c_all, _) = a.fusion_components(a.forest.root(), 0.0, FusionHeuristic::Max);
         assert_eq!(c_all, 2);
         // with an impossible threshold none are
-        let (c_none, after) =
-            a.fusion_components(a.forest.root(), 2.0, FusionHeuristic::Max);
+        let (c_none, after) = a.fusion_components(a.forest.root(), 2.0, FusionHeuristic::Max);
         assert_eq!(c_none, 0);
         assert_eq!(after, 0);
     }

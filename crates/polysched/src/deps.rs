@@ -114,8 +114,7 @@ pub fn compute_distances(ddg: &FoldedDdg, forest: &NestForest) -> Vec<DepDist> {
     for (idx, dep) in ddg.deps.iter().enumerate() {
         // Statements removed by the SCEV filter may still appear if the
         // caller skipped remove_scevs(); guard against missing chains.
-        let (Some(sc), Some(dc)) =
-            (forest.chain_of.get(&dep.src), forest.chain_of.get(&dep.dst))
+        let (Some(sc), Some(dc)) = (forest.chain_of.get(&dep.src), forest.chain_of.get(&dep.dst))
         else {
             continue;
         };
@@ -129,10 +128,10 @@ pub fn compute_distances(ddg: &FoldedDdg, forest: &NestForest) -> Vec<DepDist> {
                 // positional distance used by the fusion legality check.
                 let nd = dep.domain.poly.dim().min(fs.len());
                 let mut dist = Vec::with_capacity(nd.saturating_sub(1));
-                for d in 1..nd {
+                for (d, f) in fs.iter().enumerate().take(nd).skip(1) {
                     // Producer coordinate dim d is component d of the map
                     // (component 0 is the root dimension).
-                    dist.push(bound_distance(&dep.domain.poly, d, &fs[d]));
+                    dist.push(bound_distance(&dep.domain.poly, d, f));
                 }
                 let mut carried = Carried::LoopIndependent;
                 for (i, r) in dist.iter().take(shared).enumerate() {
@@ -165,7 +164,14 @@ pub fn compute_distances(ddg: &FoldedDdg, forest: &NestForest) -> Vec<DepDist> {
                 }
                 (dist, carried)
             }
-            _ => (Vec::new(), if shared > 0 { Carried::Unknown } else { Carried::LoopIndependent }),
+            _ => (
+                Vec::new(),
+                if shared > 0 {
+                    Carried::Unknown
+                } else {
+                    Carried::LoopIndependent
+                },
+            ),
         };
         out.push(DepDist {
             dep_idx: idx,
@@ -247,9 +253,7 @@ mod tests {
             .iter()
             .filter(|d| d.kind == DepKind::Flow && d.count == 8)
             .collect();
-        assert!(b_flow
-            .iter()
-            .any(|d| d.carried == Carried::LoopIndependent));
+        assert!(b_flow.iter().any(|d| d.carried == Carried::LoopIndependent));
     }
 
     /// Stencil b[i] = a[i-1] + a[i+1] over a separate output array: flows
@@ -312,7 +316,10 @@ mod tests {
         let (dists, _) = analyzed(&p);
         let mut saw_10 = false;
         let mut saw_01 = false;
-        for d in dists.iter().filter(|d| d.kind == DepKind::Flow && d.shared == 2) {
+        for d in dists
+            .iter()
+            .filter(|d| d.kind == DepKind::Flow && d.shared == 2)
+        {
             let r1 = d.dist_at(1).unwrap();
             let r2 = d.dist_at(2).unwrap();
             if r1.min == Some(Rat::ONE) && r1.max == Some(Rat::ONE) && r2.is_zero() {
@@ -355,10 +362,7 @@ mod tests {
         let irregular: Vec<_> = dists
             .iter()
             .filter(|d| {
-                matches!(
-                    ddg.deps[d.dep_idx].src_map,
-                    polyfold::LabelFold::Range(_)
-                ) && d.shared > 0
+                matches!(ddg.deps[d.dep_idx].src_map, polyfold::LabelFold::Range(_)) && d.shared > 0
             })
             .collect();
         assert!(!irregular.is_empty(), "irregular deps must exist");
@@ -369,7 +373,9 @@ mod tests {
                 d.carried
             );
             // and the observed range at the carried level must be non-zero
-            let Carried::Level(l) = d.carried else { unreachable!() };
+            let Carried::Level(l) = d.carried else {
+                unreachable!()
+            };
             let r = d.dist_at(l).unwrap();
             assert!(!r.is_zero());
         }

@@ -26,9 +26,7 @@ use polyfold::FoldedDdg;
 use polyiiv::context::ContextInterner;
 
 /// Convenience: fold a program, remove SCEVs, and analyze.
-pub fn analyze_program(
-    prog: &polyir::Program,
-) -> (Analysis, FoldedDdg, ContextInterner) {
+pub fn analyze_program(prog: &polyir::Program) -> (Analysis, FoldedDdg, ContextInterner) {
     let (mut ddg, interner, _) = polyfold::fold_program(prog);
     ddg.remove_scevs();
     let analysis = Analysis::analyze(&ddg, &interner);
@@ -236,8 +234,7 @@ mod tests {
         let p = pb.finish();
         let (an, _, _) = analyze_program(&p);
         let root = an.forest.root();
-        let (c_before, c_after) =
-            an.fusion_components(root, 0.05, FusionHeuristic::Smart);
+        let (c_before, c_after) = an.fusion_components(root, 0.05, FusionHeuristic::Smart);
         assert_eq!(c_before, 2);
         assert_eq!(c_after, 1, "identity-aligned producer/consumer fuse");
         let (_, c_max) = an.fusion_components(root, 0.05, FusionHeuristic::Max);

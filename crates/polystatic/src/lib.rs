@@ -162,11 +162,14 @@ fn classify_registers(f: &Function, forest: &LoopForest) -> Vec<Sym> {
         let mut other = 0usize;
         for (ins, blk) in ds {
             match ins {
-                Instr::IOp { dst, op: IBinOp::Add | IBinOp::Sub, a, b }
-                    if *dst == Reg(r)
-                        && ((*a == Operand::Reg(Reg(r)) && matches!(b, Operand::ImmI(_)))
-                            || (*b == Operand::Reg(Reg(r))
-                                && matches!(a, Operand::ImmI(_)))) =>
+                Instr::IOp {
+                    dst,
+                    op: IBinOp::Add | IBinOp::Sub,
+                    a,
+                    b,
+                } if *dst == Reg(r)
+                    && ((*a == Operand::Reg(Reg(r)) && matches!(b, Operand::ImmI(_)))
+                        || (*b == Operand::Reg(Reg(r)) && matches!(a, Operand::ImmI(_)))) =>
                 {
                     self_inc_blocks.push(*blk);
                 }
@@ -236,7 +239,10 @@ fn lin_of(s: &Sym) -> Option<(BTreeMap<Base, i64>, i64)> {
 
 fn eval_instr(ins: &Instr, sym: &[Sym]) -> Sym {
     match ins {
-        Instr::Const { value: Value::I64(v), .. } => Sym::Const(*v),
+        Instr::Const {
+            value: Value::I64(v),
+            ..
+        } => Sym::Const(*v),
         Instr::Const { .. } => Sym::NonAffine,
         Instr::Move { src, .. } => eval_operand(src, sym),
         Instr::IOp { op, a, b, .. } => {
@@ -319,8 +325,7 @@ fn propagate_worst(a: &Sym, b: &Sym) -> Sym {
 pub fn analyze_function(prog: &Program, fid: FuncId) -> Vec<RegionVerdict> {
     let f = prog.func(fid);
     // Static CFG.
-    let blocks: BTreeSet<LocalBlockId> =
-        (0..f.blocks.len() as u32).map(LocalBlockId).collect();
+    let blocks: BTreeSet<LocalBlockId> = (0..f.blocks.len() as u32).map(LocalBlockId).collect();
     let mut edges = BTreeSet::new();
     for (bi, b) in f.blocks.iter().enumerate() {
         for s in b.term.successors() {
@@ -395,15 +400,14 @@ pub fn analyze_function(prog: &Program, fid: FuncId) -> Vec<RegionVerdict> {
                     Instr::Call { .. } => {
                         reasons.insert(Reason::R);
                     }
-                    Instr::Load { base, offset, .. }
-                    | Instr::Store { base, offset, .. } => {
+                    Instr::Load { base, offset, .. } | Instr::Store { base, offset, .. } => {
                         let sb = eval_operand(base, &sym);
                         let so = eval_operand(offset, &sym);
                         // Base classification.
                         match &sb {
                             Sym::Const(_) => {}
                             Sym::Linear(m, _) => {
-                                for (k, _) in m {
+                                for k in m.keys() {
                                     if let Base::Param(p) = k {
                                         param_bases.insert(*p);
                                         if matches!(ins, Instr::Store { .. }) {
@@ -654,11 +658,13 @@ mod tests {
 
     #[test]
     fn reasons_string_is_sorted() {
-        let rs: BTreeSet<Reason> =
-            [Reason::F, Reason::R, Reason::B].into_iter().collect();
-        assert_eq!(reasons_string(&rs), "RCBFAP"
-            .chars()
-            .filter(|c| "RBF".contains(*c))
-            .collect::<String>());
+        let rs: BTreeSet<Reason> = [Reason::F, Reason::R, Reason::B].into_iter().collect();
+        assert_eq!(
+            reasons_string(&rs),
+            "RCBFAP"
+                .chars()
+                .filter(|c| "RBF".contains(*c))
+                .collect::<String>()
+        );
     }
 }

@@ -87,10 +87,30 @@ impl std::error::Error for VmError {}
 const PAGE_BITS: u32 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_BITS;
 
+/// Sentinel page number that can never equal `addr >> PAGE_BITS`.
+const NO_PAGE: u64 = u64::MAX;
+
 /// Sparse, paged word-addressed memory. Uninitialized cells read as `I64(0)`.
-#[derive(Debug, Default)]
+///
+/// Pages live in a flat vector behind a page-number index; an MRU (last-page)
+/// cache serves the same-page access streams of dense kernels without
+/// hashing. The MRU is interior-mutable so reads stay `&self`; this makes
+/// `Memory` non-`Sync`, which is fine — each interpreter thread owns its VM.
+#[derive(Debug)]
 pub struct Memory {
-    pages: HashMap<u64, Box<[Value; PAGE_SIZE]>>,
+    pages: Vec<Box<[Value; PAGE_SIZE]>>,
+    index: HashMap<u64, u32>,
+    mru: std::cell::Cell<(u64, u32)>,
+}
+
+impl Default for Memory {
+    fn default() -> Self {
+        Memory {
+            pages: Vec::new(),
+            index: HashMap::new(),
+            mru: std::cell::Cell::new((NO_PAGE, 0)),
+        }
+    }
 }
 
 impl Memory {
@@ -100,20 +120,43 @@ impl Memory {
     }
 
     /// Read the cell at `addr`.
+    #[inline]
     pub fn read(&self, addr: u64) -> Value {
-        match self.pages.get(&(addr >> PAGE_BITS)) {
-            Some(p) => p[(addr as usize) & (PAGE_SIZE - 1)],
-            None => Value::I64(0),
-        }
+        let page_num = addr >> PAGE_BITS;
+        let slot = if self.mru.get().0 == page_num {
+            self.mru.get().1
+        } else {
+            match self.index.get(&page_num) {
+                Some(&s) => {
+                    self.mru.set((page_num, s));
+                    s
+                }
+                None => return Value::I64(0),
+            }
+        };
+        self.pages[slot as usize][(addr as usize) & (PAGE_SIZE - 1)]
     }
 
     /// Write the cell at `addr`.
+    #[inline]
     pub fn write(&mut self, addr: u64, v: Value) {
-        let page = self
-            .pages
-            .entry(addr >> PAGE_BITS)
-            .or_insert_with(|| Box::new([Value::I64(0); PAGE_SIZE]));
-        page[(addr as usize) & (PAGE_SIZE - 1)] = v;
+        let page_num = addr >> PAGE_BITS;
+        let slot = if self.mru.get().0 == page_num {
+            self.mru.get().1
+        } else {
+            let slot = match self.index.entry(page_num) {
+                std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    let slot = self.pages.len() as u32;
+                    self.pages.push(Box::new([Value::I64(0); PAGE_SIZE]));
+                    e.insert(slot);
+                    slot
+                }
+            };
+            self.mru.set((page_num, slot));
+            slot
+        };
+        self.pages[slot as usize][(addr as usize) & (PAGE_SIZE - 1)] = v;
     }
 
     /// Number of resident pages (for overhead statistics).
@@ -151,7 +194,10 @@ pub struct VmConfig {
 
 impl Default for VmConfig {
     fn default() -> Self {
-        VmConfig { fuel: 1 << 40, max_stack: 1 << 16 }
+        VmConfig {
+            fuel: 1 << 40,
+            max_stack: 1 << 16,
+        }
     }
 }
 
@@ -180,6 +226,7 @@ impl<'p> Vm<'p> {
         Vm { prog, mem, cfg }
     }
 
+    #[inline]
     fn eval(regs: &[Value], o: &Operand) -> Value {
         match o {
             Operand::Reg(r) => regs[r.0 as usize],
@@ -235,9 +282,16 @@ impl<'p> Vm<'p> {
                 }
                 fuel -= 1;
                 executed += 1;
-                let iref = InstrRef { block: here, idx: idx as u32 };
+                let iref = InstrRef {
+                    block: here,
+                    idx: idx as u32,
+                };
                 match ins {
-                    Instr::Call { dst, func: callee, args } => {
+                    Instr::Call {
+                        dst,
+                        func: callee,
+                        args,
+                    } => {
                         if stack.len() >= self.cfg.max_stack {
                             return Err(VmError::StackOverflow);
                         }
@@ -248,7 +302,10 @@ impl<'p> Vm<'p> {
                         let calleef = self.prog.func(*callee);
                         let mut regs = vec![Value::I64(0); calleef.n_regs as usize];
                         regs[..vals.len()].copy_from_slice(&vals);
-                        let entry = BlockRef { func: *callee, block: calleef.entry() };
+                        let entry = BlockRef {
+                            func: *callee,
+                            block: calleef.entry(),
+                        };
                         sink.exec(iref, None);
                         sink.call(here, *callee, entry);
                         stack.push(Frame {
@@ -298,12 +355,18 @@ impl<'p> Vm<'p> {
                             if let (Some(r), Some(val)) = (ret_reg, rv) {
                                 caller.regs[r.0 as usize] = val;
                             }
-                            let to = BlockRef { func: caller.func, block: caller.block };
+                            let to = BlockRef {
+                                func: caller.func,
+                                block: caller.block,
+                            };
                             sink.ret(func, Some(to));
                         }
                         None => {
                             sink.ret(func, None);
-                            return Ok(RunOutcome { ret: rv, dyn_instrs: executed });
+                            return Ok(RunOutcome {
+                                ret: rv,
+                                dyn_instrs: executed,
+                            });
                         }
                     }
                 }
@@ -375,18 +438,18 @@ fn step_instr<S: EventSink>(
             Some(v)
         }
         Instr::Load { dst, base, offset } => {
-            let addr =
-                (ev(&frame.regs, base).as_i64().wrapping_add(ev(&frame.regs, offset).as_i64()))
-                    as u64;
+            let addr = (ev(&frame.regs, base)
+                .as_i64()
+                .wrapping_add(ev(&frame.regs, offset).as_i64())) as u64;
             sink.mem(iref, addr, false);
             let v = mem.read(addr);
             frame.regs[dst.0 as usize] = v;
             Some(v)
         }
         Instr::Store { base, offset, src } => {
-            let addr =
-                (ev(&frame.regs, base).as_i64().wrapping_add(ev(&frame.regs, offset).as_i64()))
-                    as u64;
+            let addr = (ev(&frame.regs, base)
+                .as_i64()
+                .wrapping_add(ev(&frame.regs, offset).as_i64())) as u64;
             let v = ev(&frame.regs, src);
             sink.mem(iref, addr, true);
             mem.write(addr, v);
@@ -581,7 +644,13 @@ mod tests {
         let fid = f.finish();
         pb.set_entry(fid);
         let p = pb.finish();
-        let mut vm = Vm::with_config(&p, VmConfig { fuel: 1000, max_stack: 64 });
+        let mut vm = Vm::with_config(
+            &p,
+            VmConfig {
+                fuel: 1000,
+                max_stack: 64,
+            },
+        );
         assert_eq!(vm.run(&[], &mut NullSink), Err(VmError::FuelExhausted));
     }
 
@@ -602,7 +671,13 @@ mod tests {
         let mid = m.finish();
         pb.set_entry(mid);
         let p = pb.finish();
-        let mut vm = Vm::with_config(&p, VmConfig { fuel: 1 << 30, max_stack: 100 });
+        let mut vm = Vm::with_config(
+            &p,
+            VmConfig {
+                fuel: 1 << 30,
+                max_stack: 100,
+            },
+        );
         assert_eq!(vm.run(&[], &mut NullSink), Err(VmError::StackOverflow));
     }
 

@@ -106,7 +106,11 @@ impl EventSink for RecordingSink {
         self.events.push(TraceEvent::Jump { from, to });
     }
     fn call(&mut self, callsite: BlockRef, callee: FuncId, entry: BlockRef) {
-        self.events.push(TraceEvent::Call { callsite, callee, entry });
+        self.events.push(TraceEvent::Call {
+            callsite,
+            callee,
+            entry,
+        });
     }
     fn ret(&mut self, from: FuncId, to: Option<BlockRef>) {
         self.events.push(TraceEvent::Ret { from, to });
@@ -115,7 +119,11 @@ impl EventSink for RecordingSink {
         self.events.push(TraceEvent::Exec { instr, value });
     }
     fn mem(&mut self, instr: InstrRef, addr: u64, is_write: bool) {
-        self.events.push(TraceEvent::Mem { instr, addr, is_write });
+        self.events.push(TraceEvent::Mem {
+            instr,
+            addr,
+            is_write,
+        });
     }
 }
 
@@ -155,10 +163,20 @@ mod tests {
     fn tee_broadcasts() {
         let mut t = Tee(CountingSink::default(), CountingSink::default());
         t.exec(
-            InstrRef { block: BlockRef::new(FuncId(0), 0), idx: 0 },
+            InstrRef {
+                block: BlockRef::new(FuncId(0), 0),
+                idx: 0,
+            },
             Some(Value::F64(1.0)),
         );
-        t.mem(InstrRef { block: BlockRef::new(FuncId(0), 0), idx: 0 }, 42, true);
+        t.mem(
+            InstrRef {
+                block: BlockRef::new(FuncId(0), 0),
+                idx: 0,
+            },
+            42,
+            true,
+        );
         assert_eq!(t.0.instrs, 1);
         assert_eq!(t.1.instrs, 1);
         assert_eq!(t.0.fp_ops, 1);

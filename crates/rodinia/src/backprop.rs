@@ -50,8 +50,13 @@ pub fn build() -> Workload {
     // bpnn_layerforward(l1, l2, conn, n1, n2)
     let mut lf = pb.func("bpnn_layerforward", 5);
     {
-        let (l1p, l2p, connp, n1, n2) =
-            (lf.param(0), lf.param(1), lf.param(2), lf.param(3), lf.param(4));
+        let (l1p, l2p, connp, n1, n2) = (
+            lf.param(0),
+            lf.param(1),
+            lf.param(2),
+            lf.param(3),
+            lf.param(4),
+        );
         lf.at_line(253);
         lf.for_loop("Lj", 1i64, n2, 1, |f, j| {
             let sum = f.const_f(0.0);
@@ -75,8 +80,7 @@ pub fn build() -> Workload {
     // bpnn_adjust_weights(delta, ndelta, ly, nly, w, oldw)
     let mut aw = pb.func("bpnn_adjust_weights", 4);
     {
-        let (deltap, lyp, wp, oldwp) =
-            (aw.param(0), aw.param(1), aw.param(2), aw.param(3));
+        let (deltap, lyp, wp, oldwp) = (aw.param(0), aw.param(1), aw.param(2), aw.param(3));
         aw.at_line(320);
         aw.for_loop("Lj", 1i64, N2, 1, |f, j| {
             f.at_line(322);
@@ -157,12 +161,9 @@ mod tests {
         let mut c = CountingSink::default();
         vm.run(&[], &mut c).unwrap();
         assert!(c.calls >= 2 + (N2 as u64 - 1)); // two kernels + squash per j
-        // l2[1] holds a sigmoid output in (0.5, 1): sigmoid(Σ 16·0.1·0.5) ≈ 0.69.
-        // conn starts at 0x1000 with (N1+1)*(N2+1) cells, l1 after, l2 after l1.
-        let l2_addr = 0x1000
-            + ((N1 + 1) * (N2 + 1)) as u64
-            + (N1 + 1) as u64
-            + 1;
+                                                 // l2[1] holds a sigmoid output in (0.5, 1): sigmoid(Σ 16·0.1·0.5) ≈ 0.69.
+                                                 // conn starts at 0x1000 with (N1+1)*(N2+1) cells, l1 after, l2 after l1.
+        let l2_addr = 0x1000 + ((N1 + 1) * (N2 + 1)) as u64 + (N1 + 1) as u64 + 1;
         let v = vm.mem.read(l2_addr).as_f64();
         assert!(v > 0.5 && v < 1.0, "sigmoid output expected, got {v}");
     }

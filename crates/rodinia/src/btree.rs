@@ -34,7 +34,7 @@ pub fn build() -> Workload {
             words.push(key);
             key += 1;
         }
-        words.extend(std::iter::repeat(0).take(FANOUT as usize));
+        words.extend(std::iter::repeat_n(0, FANOUT as usize));
         level_nodes.push(pb.array_i64(&words) as i64);
     }
     let mut level = level_nodes;
@@ -133,7 +133,11 @@ mod tests {
     #[test]
     fn btree_runs() {
         let w = build();
-        assert!(w.program.validate().is_empty(), "{:?}", w.program.validate());
+        assert!(
+            w.program.validate().is_empty(),
+            "{:?}",
+            w.program.validate()
+        );
         let mut vm = Vm::new(&w.program);
         let out = vm.run(&[], &mut NullSink).unwrap();
         assert!(out.dyn_instrs > 1000);

@@ -33,8 +33,7 @@ pub fn build() -> Workload {
 
     let mut f = pb.func("compute_flux", 4);
     {
-        let (varp, fluxp, nbp, nrmp) =
-            (f.param(0), f.param(1), f.param(2), f.param(3));
+        let (varp, fluxp, nbp, nrmp) = (f.param(0), f.param(1), f.param(2), f.param(3));
         f.at_line(480);
         f.for_loop("Lelem", 0i64, NELR, 1, |f, el| {
             let base = f.mul(el, NVAR);
@@ -52,7 +51,12 @@ pub fn build() -> Workload {
                     let theirs = f.load(varp, their_idx);
                     let d = f.fsub(theirs, mine);
                     let contrib = f.fmul(d, w);
-                    f.fop_to(acc[v as usize], polyir::FBinOp::Add, acc[v as usize], contrib);
+                    f.fop_to(
+                        acc[v as usize],
+                        polyir::FBinOp::Add,
+                        acc[v as usize],
+                        contrib,
+                    );
                 }
             });
             for v in 0..NVAR {

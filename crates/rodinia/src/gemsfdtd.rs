@@ -35,8 +35,7 @@ pub fn build() -> Workload {
     // dims parallel.
     let mut uh = pb.func("updateH_homo", 4);
     {
-        let (hxp, hyp, exp_, eyp) =
-            (uh.param(0), uh.param(1), uh.param(2), uh.param(3));
+        let (hxp, hyp, exp_, eyp) = (uh.param(0), uh.param(1), uh.param(2), uh.param(3));
         uh.at_line(106);
         uh.for_loop("Li", 0i64, N - 1, 1, |f, i| {
             f.at_line(107);
@@ -73,8 +72,7 @@ pub fn build() -> Workload {
     // updateE_homo(ex, ey, hx, hy): E += c·(∂H).
     let mut ue = pb.func("updateE_homo", 4);
     {
-        let (exp_, eyp, hxp, hyp) =
-            (ue.param(0), ue.param(1), ue.param(2), ue.param(3));
+        let (exp_, eyp, hxp, hyp) = (ue.param(0), ue.param(1), ue.param(2), ue.param(3));
         ue.at_line(240);
         ue.for_loop("Li", 1i64, N, 1, |f, i| {
             f.at_line(241);

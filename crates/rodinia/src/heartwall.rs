@@ -22,7 +22,9 @@ pub const TPL: i64 = 5;
 pub fn build() -> Workload {
     let mut pb = ProgramBuilder::new("heartwall");
     let img = pb.array_f64(
-        &(0..(TPL * TPL * 4)).map(|i| (i % 9) as f64 * 0.1).collect::<Vec<_>>(),
+        &(0..(TPL * TPL * 4))
+            .map(|i| (i % 9) as f64 * 0.1)
+            .collect::<Vec<_>>(),
     );
     let tpl = pb.array_f64(&vec![0.3; (TPL * TPL) as usize]);
     let out = pb.alloc((FRAMES * POINTS) as u64);

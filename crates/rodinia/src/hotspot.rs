@@ -20,7 +20,9 @@ pub const STEPS: i64 = 3;
 pub fn build() -> Workload {
     let mut pb = ProgramBuilder::new("hotspot");
     let temp = pb.array_f64(
-        &(0..N * N).map(|i| 320.0 + (i % 7) as f64).collect::<Vec<_>>(),
+        &(0..N * N)
+            .map(|i| 320.0 + (i % 7) as f64)
+            .collect::<Vec<_>>(),
     );
     let power = pb.array_f64(&vec![0.05; (N * N) as usize]);
     let result = pb.alloc((N * N) as u64);

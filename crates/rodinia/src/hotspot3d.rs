@@ -18,7 +18,9 @@ pub const STEPS: i64 = 2;
 pub fn build() -> Workload {
     let mut pb = ProgramBuilder::new("hotspot3D");
     let a = pb.array_f64(
-        &(0..N * N * N).map(|i| 300.0 + (i % 5) as f64).collect::<Vec<_>>(),
+        &(0..N * N * N)
+            .map(|i| 300.0 + (i % 5) as f64)
+            .collect::<Vec<_>>(),
     );
     let b = pb.alloc((N * N * N) as u64);
     let power = pb.array_f64(&vec![0.02; (N * N * N) as usize]);

@@ -26,7 +26,9 @@ pub fn build() -> Workload {
         .collect();
     let features = pb.array_f64(&feats);
     let clusters = pb.array_f64(
-        &(0..NCLUSTERS * NDIMS).map(|i| (i % 7) as f64).collect::<Vec<_>>(),
+        &(0..NCLUSTERS * NDIMS)
+            .map(|i| (i % 7) as f64)
+            .collect::<Vec<_>>(),
     );
     let membership = pb.alloc(NPOINTS as u64);
     let new_centers = pb.alloc((NCLUSTERS * NDIMS) as u64);

@@ -25,9 +25,7 @@ pub fn build() -> Workload {
     let positions = pb.array_f64(&pos);
     let charges = pb.array_f64(&vec![0.8; (NBOXES * PERBOX) as usize]);
     // neighbor table: irregular box ids
-    let nei: Vec<i64> = (0..NBOXES * NNEI)
-        .map(|i| (i * 5 + 2) % NBOXES)
-        .collect();
+    let nei: Vec<i64> = (0..NBOXES * NNEI).map(|i| (i * 5 + 2) % NBOXES).collect();
     let neighbors = pb.array_i64(&nei);
     let forces = pb.alloc((NBOXES * PERBOX) as u64);
 
@@ -95,8 +93,7 @@ mod tests {
         assert!(w.program.validate().is_empty());
         let mut vm = Vm::new(&w.program);
         vm.run(&[], &mut NullSink).unwrap();
-        let forces_base =
-            0x1000 + 2 * (NBOXES * PERBOX) as u64 + (NBOXES * NNEI) as u64;
+        let forces_base = 0x1000 + 2 * (NBOXES * PERBOX) as u64 + (NBOXES * NNEI) as u64;
         let v = vm.mem.read(forces_base).as_f64();
         assert!(v > 0.0, "gaussian-weighted force must be positive: {v}");
     }

@@ -25,7 +25,9 @@ pub fn build() -> Workload {
     let mut rows = Vec::new();
     for r in 0..16 {
         let row = pb.array_f64(
-            &(0..16).map(|c| ((r * 16 + c) % 13) as f64 * 0.2).collect::<Vec<_>>(),
+            &(0..16)
+                .map(|c| ((r * 16 + c) % 13) as f64 * 0.2)
+                .collect::<Vec<_>>(),
         );
         rows.push(row as i64);
     }

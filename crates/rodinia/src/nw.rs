@@ -22,7 +22,13 @@ pub fn build() -> Workload {
     let dim = N + 1;
     // reference similarity matrix and gap penalty
     let sims: Vec<f64> = (0..dim * dim)
-        .map(|i| if (i / dim) % 3 == (i % dim) % 3 { 2.0 } else { -1.0 })
+        .map(|i| {
+            if (i / dim) % 3 == (i % dim) % 3 {
+                2.0
+            } else {
+                -1.0
+            }
+        })
         .collect();
     let sim = pb.array_f64(&sims);
     // DP score matrix with initialized first row/column
@@ -118,7 +124,13 @@ mod tests {
         let last = vm.mem.read(score_base + dim * dim - 1).as_f64();
         assert!(last != 0.0, "DP corner cell untouched");
         // matching diagonal scores dominate: score grows along the diagonal
-        let mid = vm.mem.read(score_base + (dim + 1) * (N as u64 / 2)).as_f64();
-        assert!(mid > -(N as f64), "unexpectedly bad mid-diagonal score {mid}");
+        let mid = vm
+            .mem
+            .read(score_base + (dim + 1) * (N as u64 / 2))
+            .as_f64();
+        assert!(
+            mid > -(N as f64),
+            "unexpectedly bad mid-diagonal score {mid}"
+        );
     }
 }

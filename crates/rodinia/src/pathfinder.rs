@@ -24,7 +24,7 @@ pub fn build() -> Workload {
         .map(|i| ((i * 29 + 5) % 10) as f64)
         .collect();
     let wallarr = pb.array_f64(&wall);
-    let bufa = pb.array_f64(&wall[..COLS as usize].to_vec());
+    let bufa = pb.array_f64(&wall[..COLS as usize]);
     let bufb = pb.alloc(COLS as u64);
 
     let mut f = pb.func("main", 0);

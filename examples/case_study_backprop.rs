@@ -44,7 +44,10 @@ fn main() {
             if v.modeled {
                 "modeled".to_string()
             } else {
-                format!("FAILED ({})", polyprof_core::polystatic::reasons_string(&v.reasons))
+                format!(
+                    "FAILED ({})",
+                    polyprof_core::polystatic::reasons_string(&v.reasons)
+                )
             }
         );
     }

@@ -40,12 +40,19 @@ fn main() {
         report.feedback.total_ops,
         report.feedback.total_ops - report.feedback.src_ops
     );
-    println!("affine fraction (%Aff): {:.0}%", 100.0 * report.feedback.pct_aff);
+    println!(
+        "affine fraction (%Aff): {:.0}%",
+        100.0 * report.feedback.pct_aff
+    );
     let (stmts, deps, ops) = report.folded_stats;
     println!("folded: {ops} dynamic ops → {stmts} statements, {deps} dependence relations");
 
     let region = &report.feedback.regions[0];
-    println!("\nhottest region: {} ({:.0}% of ops)", region.name, 100.0 * region.pct_ops);
+    println!(
+        "\nhottest region: {} ({:.0}% of ops)",
+        region.name,
+        100.0 * region.pct_ops
+    );
     println!("  %||ops    = {:.0}%", 100.0 * region.pct_parallel);
     println!("  %simdops  = {:.0}%", 100.0 * region.pct_simd);
     println!("  tile depth = {}D", region.tile_depth);
@@ -57,6 +64,12 @@ fn main() {
     println!("\nannotated AST:");
     print!("{}", report.annotated_ast);
 
-    println!("\nstatic (Polly-style) baseline: {}", report.static_report.summary());
-    assert!(report.static_report.all_modeled(), "this kernel is a clean SCoP");
+    println!(
+        "\nstatic (Polly-style) baseline: {}",
+        report.static_report.summary()
+    );
+    assert!(
+        report.static_report.all_modeled(),
+        "this kernel is a clean SCoP"
+    );
 }

@@ -21,7 +21,10 @@ fn main() {
     for (i, s) in r.suggestions.iter().enumerate() {
         println!("  {}. {s}", i + 1);
     }
-    assert!(r.skew, "pathfinder requires a skew (paper Table 5: skew = Y)");
+    assert!(
+        r.skew,
+        "pathfinder requires a skew (paper Table 5: skew = Y)"
+    );
     assert!(r.tile_depth >= 2);
 
     println!("\n── nw: anti-diagonal DP sweep ──");

@@ -4,8 +4,7 @@
 //! Fig. 7 (flame graph renders).
 
 use polyprof_core::polycfg::{
-    LoopEvent, LoopEventGen, LoopForest, RecursiveComponentSet, StaticStructure,
-    StructureRecorder,
+    LoopEvent, LoopEventGen, LoopForest, RecursiveComponentSet, StaticStructure, StructureRecorder,
 };
 use polyprof_core::polyiiv::{cct::Cct, IivTracker};
 use polyprof_core::polyir::{BlockRef, FuncId, LocalBlockId};
@@ -29,8 +28,14 @@ fn figure2_cfg_loop_nesting_tree() {
     let l2 = f.loop_of_header(LocalBlockId(2)).unwrap();
     assert_eq!(f.info(l1).depth, 1);
     assert_eq!(f.info(l2).parent, Some(l1));
-    assert_eq!(f.info(l1).back_edges, vec![(LocalBlockId(3), LocalBlockId(1))]);
-    assert_eq!(f.info(l2).back_edges, vec![(LocalBlockId(3), LocalBlockId(2))]);
+    assert_eq!(
+        f.info(l1).back_edges,
+        vec![(LocalBlockId(3), LocalBlockId(1))]
+    );
+    assert_eq!(
+        f.info(l2).back_edges,
+        vec![(LocalBlockId(3), LocalBlockId(2))]
+    );
 }
 
 /// Fig. 2c/2d: the example CG yields one component, entries {B},
@@ -46,7 +51,10 @@ fn figure2_recursive_component_set() {
     assert_eq!(rcs.components.len(), 1);
     let c = &rcs.components[0];
     assert_eq!(c.entries.iter().map(|f| f.0).collect::<Vec<_>>(), vec![1]);
-    assert_eq!(c.headers.iter().map(|f| f.0).collect::<Vec<_>>(), vec![1, 2]);
+    assert_eq!(
+        c.headers.iter().map(|f| f.0).collect::<Vec<_>>(),
+        vec![1, 2]
+    );
 }
 
 /// Collects loop-event statistics and the maximal IIV depth over a run.
@@ -74,14 +82,14 @@ impl EventSink for IivProbe<'_> {
 }
 
 impl IivProbe<'_> {
-    fn new<'p>(
-        p: &'p polyprof_core::polyir::Program,
-        s: &'p StaticStructure,
-    ) -> IivProbe<'p> {
+    fn new<'p>(p: &'p polyprof_core::polyir::Program, s: &'p StaticStructure) -> IivProbe<'p> {
         let entry = p.entry.unwrap();
         IivProbe {
             gen: LoopEventGen::new(s),
-            iiv: IivTracker::new(BlockRef { func: entry, block: p.func(entry).entry() }),
+            iiv: IivTracker::new(BlockRef {
+                func: entry,
+                block: p.func(entry).entry(),
+            }),
             buf: Vec::new(),
             max_depth: 0,
             iters_rec: 0,
@@ -140,7 +148,10 @@ fn figure5_cct_vs_schedule_tree() {
         Vm::new(p).run(&[], &mut cct).unwrap();
         cct.max_depth()
     };
-    assert!(cct_depth(&deep) > cct_depth(&shallow) + 20, "CCT grows linearly");
+    assert!(
+        cct_depth(&deep) > cct_depth(&shallow) + 20,
+        "CCT grows linearly"
+    );
     let rep_deep = profile(&deep);
     let rep_shallow = profile(&shallow);
     assert_eq!(
@@ -157,5 +168,8 @@ fn figure7_flamegraph_renders() {
     assert!(svg.contains("<svg") && svg.contains("</svg>"));
     assert!(svg.contains("bpnn_layerforward"));
     assert!(svg.contains("bpnn_adjust_weights"));
-    assert!(svg.matches("<rect").count() >= 6, "expected a populated flame graph");
+    assert!(
+        svg.matches("<rect").count() >= 6,
+        "expected a populated flame graph"
+    );
 }

@@ -3,7 +3,7 @@
 //! feedback shape), Table 4 (GemsFDTD feedback shape).
 
 use polyprof_core::polyddg::DepKind;
-use polyprof_core::polyfold::{fold_program, LabelFold};
+use polyprof_core::polyfold::fold_program;
 use polyprof_core::polylib::Rat;
 use polyprof_core::profile;
 use rodinia::paper_examples::fig6_kernel;
@@ -27,11 +27,7 @@ fn table2_folded_dependences() {
     // the full rectangle 15×42.
     let same_iter: Vec<_> = reg_deps
         .iter()
-        .filter(|d| {
-            d.class.is_none()
-                && d.domain.exact
-                && d.domain.count == 15 * 42
-        })
+        .filter(|d| d.class.is_none() && d.domain.exact && d.domain.count == 15 * 42)
         .collect();
     assert!(
         !same_iter.is_empty(),
@@ -56,7 +52,11 @@ fn table2_folded_dependences() {
     assert!(!carried.is_empty(), "the sum reduction must fold");
     for d in &carried {
         assert_eq!(d.domain.count, 15 * 41);
-        assert_eq!(*d.domain.box_lo.last().unwrap(), 1, "first iteration excluded");
+        assert_eq!(
+            *d.domain.box_lo.last().unwrap(),
+            1,
+            "first iteration excluded"
+        );
         let map = d.affine_src_map().expect("affine producer map");
         assert_eq!(map[2].coeffs[2], Rat::ONE);
         assert_eq!(map[2].c, -Rat::ONE);

@@ -1,8 +1,8 @@
 //! Full-pipeline integration over every Table 5 workload (Experiment I) and
 //! the static-baseline comparison (Experiment II).
 
-use polyprof_core::profile;
 use polyprof_core::polystatic;
+use polyprof_core::profile;
 
 /// Every Rodinia workload survives the whole pipeline and produces sane,
 /// internally-consistent metrics.
@@ -25,7 +25,11 @@ fn experiment1_all_rodinia_profile() {
         for r in &fb.regions {
             assert!((0.0..=1.0).contains(&r.pct_parallel), "{}: %||", w.name);
             assert!((0.0..=1.0).contains(&r.pct_simd), "{}: %simd", w.name);
-            assert!(r.pct_simd <= r.pct_parallel + 1e-9, "{}: simd ⊆ parallel", w.name);
+            assert!(
+                r.pct_simd <= r.pct_parallel + 1e-9,
+                "{}: simd ⊆ parallel",
+                w.name
+            );
             assert!((0.0..=1.0 + 1e-9).contains(&r.pct_reuse), "{}", w.name);
             assert!(
                 r.pct_preuse + 1e-9 >= r.pct_reuse,
@@ -61,17 +65,11 @@ fn experiment2_static_baseline_fails_like_polly() {
         );
         // Reason overlap: at least one paper code must be reproduced.
         let measured = rep.summary();
-        let overlap = w
-            .paper
-            .polly_reasons
-            .chars()
-            .any(|c| measured.contains(c));
+        let overlap = w.paper.polly_reasons.chars().any(|c| measured.contains(c));
         assert!(
             overlap,
             "{}: no overlap between paper reasons {} and measured {}",
-            w.name,
-            w.paper.polly_reasons,
-            measured
+            w.name, w.paper.polly_reasons, measured
         );
     }
 }

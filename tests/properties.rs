@@ -3,9 +3,9 @@
 //! shadow-memory correctness, and VM determinism.
 
 use polyprof_core::polyfold::{LabelFold, StreamFolder};
-use polyprof_core::polylib::{AffineExpr, Polyhedron, Rat};
 use polyprof_core::polyir::build::ProgramBuilder;
 use polyprof_core::polyir::IBinOp;
+use polyprof_core::polylib::{AffineExpr, Polyhedron, Rat};
 use polyprof_core::polyvm::{sinks::RecordingSink, Vm};
 use proptest::prelude::*;
 

@@ -1,0 +1,87 @@
+//! Steady-state allocation test for the stage-2 hot path.
+//!
+//! A counting global allocator measures heap allocations during two full
+//! profiling runs of the same kernel that differ only in trip count. All
+//! warm-up allocations (shadow pages, folder tables, fitter refits, interner
+//! entries) are identical between the runs; if the per-event path allocated
+//! — the old `Box<[i64]>`-per-writer behavior — the longer run would
+//! allocate tens of thousands more. The assertion gives a small fixed slack
+//! for incidental growth (e.g. a `HashMap` resize crossing a threshold).
+
+use polyir::build::ProgramBuilder;
+use polyir::Program;
+use polyprof_core::{polycfg, polyddg, polyfold, polyvm};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, l: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(l)
+    }
+    unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
+        System.dealloc(p, l)
+    }
+    unsafe fn realloc(&self, p: *mut u8, l: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(p, l, new_size)
+    }
+}
+
+#[global_allocator]
+static A: CountingAlloc = CountingAlloc;
+
+/// In-place update kernel: every iteration emits exec events, a load, a
+/// store, flow/output/anti dependences — the full per-event surface.
+fn kernel(n: i64) -> Program {
+    let mut pb = ProgramBuilder::new("zeroalloc");
+    let a = pb.alloc(64);
+    let mut f = pb.func("main", 0);
+    f.for_loop("L", 0i64, n, 1, |f, i| {
+        let idx = f.rem(i, 64i64);
+        let v = f.load(a as i64, idx);
+        let w = f.add(v, i);
+        f.store(a as i64, idx, w);
+    });
+    f.ret(None);
+    let fid = f.finish();
+    pb.set_entry(fid);
+    pb.finish()
+}
+
+/// Full pass-1 + pass-2 profile into a folding sink; returns (events,
+/// allocations) for the pass-2 portion only.
+fn profile_counting(prog: &Program) -> (u64, u64) {
+    let mut rec = polycfg::StructureRecorder::new();
+    polyvm::Vm::new(prog).run(&[], &mut rec).expect("pass 1");
+    let structure = polycfg::StaticStructure::analyze(prog, rec);
+    let mut prof = polyddg::DdgProfiler::new(prog, &structure, polyfold::FoldingSink::new());
+    let before = ALLOCS.load(Ordering::Relaxed);
+    polyvm::Vm::new(prog).run(&[], &mut prof).expect("pass 2");
+    let after = ALLOCS.load(Ordering::Relaxed);
+    (prof.dyn_ops, after - before)
+}
+
+#[test]
+fn steady_state_profiling_does_not_allocate_per_event() {
+    let short_n = 500i64;
+    let long_n = 5000i64;
+    // Warm caches/allocator so one-time lazy init doesn't skew the counts.
+    let _ = profile_counting(&kernel(short_n));
+    let (ops_short, allocs_short) = profile_counting(&kernel(short_n));
+    let (ops_long, allocs_long) = profile_counting(&kernel(long_n));
+    let extra_ops = ops_long - ops_short;
+    assert!(extra_ops > 20_000, "kernel too small for a meaningful test");
+    let extra_allocs = allocs_long.saturating_sub(allocs_short);
+    // Old behavior: ≥ 2 allocations per memory event → extra_allocs would be
+    // on the order of extra_ops. Steady state allows only incidental growth.
+    assert!(
+        extra_allocs < 64,
+        "profiling allocates in steady state: {extra_allocs} extra allocations \
+         over {extra_ops} extra dynamic ops (short: {allocs_short}, long: {allocs_long})"
+    );
+}

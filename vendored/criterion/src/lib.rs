@@ -1,0 +1,267 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the group/bench API surface used by this workspace's benches
+//! (`benchmark_group`, `sample_size`, `measurement_time`, `warm_up_time`,
+//! `throughput`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `Throughput`, `criterion_group!`, `criterion_main!`) with a simple
+//! wall-clock harness: warm up for the configured time, then time up to
+//! `sample_size` iterations or until the measurement budget is spent, and
+//! print mean/min/max per-iteration time plus element throughput.
+//!
+//! No statistics engine, no HTML reports, no comparison to saved baselines —
+//! the numbers go to stdout and machine-readable trend tracking lives in
+//! the workspace's own `BENCH_pipeline.json` emission.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
+    }
+
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Config {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+            throughput: None,
+        }
+    }
+}
+
+/// One measured sample set.
+#[derive(Debug, Clone, Copy)]
+struct Samples {
+    mean: f64,
+    min: f64,
+    max: f64,
+    n: usize,
+}
+
+pub struct Bencher {
+    cfg: Config,
+    samples: Option<Samples>,
+}
+
+impl Bencher {
+    /// Time the closure: warm up, then measure.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warm_start = Instant::now();
+        loop {
+            black_box(f());
+            if warm_start.elapsed() >= self.cfg.warm_up_time {
+                break;
+            }
+        }
+        let mut times = Vec::with_capacity(self.cfg.sample_size);
+        let budget = Instant::now();
+        while times.len() < self.cfg.sample_size {
+            let t0 = Instant::now();
+            black_box(f());
+            times.push(t0.elapsed().as_secs_f64());
+            if budget.elapsed() >= self.cfg.measurement_time {
+                break;
+            }
+        }
+        let n = times.len();
+        let mean = times.iter().sum::<f64>() / n as f64;
+        let (mut min, mut max) = (f64::INFINITY, 0.0f64);
+        for &t in &times {
+            min = min.min(t);
+            max = max.max(t);
+        }
+        self.samples = Some(Samples { mean, min, max, n });
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{:.2} s", secs)
+    }
+}
+
+fn report(group: &str, id: &str, cfg: &Config, s: &Samples) {
+    let mut line = format!(
+        "{group}/{id}: time [{} .. {} .. {}] ({} samples)",
+        fmt_time(s.min),
+        fmt_time(s.mean),
+        fmt_time(s.max),
+        s.n
+    );
+    if let Some(t) = cfg.throughput {
+        let (count, unit) = match t {
+            Throughput::Elements(n) => (n, "elem/s"),
+            Throughput::Bytes(n) => (n, "B/s"),
+        };
+        if s.mean > 0.0 {
+            line.push_str(&format!(" thrpt {:.3e} {unit}", count as f64 / s.mean));
+        }
+    }
+    println!("{line}");
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    cfg: Config,
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.cfg.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.warm_up_time = d;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.cfg.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            cfg: self.cfg,
+            samples: None,
+        };
+        f(&mut b);
+        if let Some(s) = b.samples {
+            report(&self.name, &id.to_string(), &self.cfg, &s);
+        }
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            cfg: self.cfg,
+            samples: None,
+        };
+        f(&mut b, input);
+        if let Some(s) = b.samples {
+            report(&self.name, &id.id, &self.cfg, &s);
+        }
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            cfg: Config::default(),
+            _c: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.to_string();
+        self.benchmark_group(&name).bench_function("", f);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($fun:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($fun(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3);
+        g.measurement_time(Duration::from_millis(10));
+        g.warm_up_time(Duration::from_millis(1));
+        g.throughput(Throughput::Elements(100));
+        let mut ran = 0u32;
+        g.bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        g.finish();
+        assert!(ran > 0);
+    }
+}

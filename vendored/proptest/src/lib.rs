@@ -1,0 +1,327 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset this workspace uses: the `proptest!` macro over
+//! `arg in strategy` bindings, integer-range and tuple strategies,
+//! `prop_map`, `collection::vec`, and `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Differences from upstream, by design:
+//! * **No shrinking.** A failing case panics with the generated inputs
+//!   printed; the run is reproducible because seeds are derived
+//!   deterministically from the test's module path and name.
+//! * `PROPTEST_CASES` overrides the per-test case count (default 64);
+//!   `PROPTEST_SEED` perturbs every test's seed.
+
+pub mod test_runner {
+    /// SplitMix64 — tiny, deterministic, good enough for test-case generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng {
+                state: seed ^ 0x9e37_79b9_7f4a_7c15,
+            }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform-ish value in `[lo, hi)` (modulo bias is irrelevant for
+        /// the tiny ranges used in tests).
+        pub fn in_range(&mut self, lo: i128, hi: i128) -> i128 {
+            assert!(lo < hi, "empty strategy range [{lo}, {hi})");
+            let span = (hi - lo) as u128;
+            lo + (self.next_u64() as u128 % span) as i128
+        }
+    }
+
+    /// Per-test case count (`PROPTEST_CASES`, default 64).
+    pub fn cases() -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64)
+    }
+
+    /// Deterministic seed for a test, perturbed by `PROPTEST_SEED` if set.
+    pub fn seed_for(name: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let env = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(0);
+        h ^ env
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::fmt::Debug;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of values. Unlike upstream there is no value tree /
+    /// shrinking: `generate` produces the final value directly.
+    pub trait Strategy {
+        type Value: Debug;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<F, O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+            O: Debug,
+        {
+            Map { base: self, f }
+        }
+    }
+
+    pub struct Map<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+        O: Debug,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.base.generate(rng))
+        }
+    }
+
+    /// A strategy that always yields clones of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone + Debug>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),+) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.in_range(self.start as i128, self.end as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.in_range(*self.start() as i128, *self.end() as i128 + 1) as $t
+                }
+            }
+        )+};
+    }
+
+    int_range_strategy!(i8, i16, i32, i64, i128, u8, u16, u32, usize);
+
+    macro_rules! tuple_strategy {
+        ($($s:ident . $idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A.0);
+    tuple_strategy!(A.0, B.1);
+    tuple_strategy!(A.0, B.1, C.2);
+    tuple_strategy!(A.0, B.1, C.2, D.3);
+    tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+    tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+    tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+    tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// `proptest::collection::vec(elem, min..max)`.
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.in_range(self.size.start as i128, self.size.end as i128) as usize;
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::TestRng;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Expand each `fn name(arg in strategy, ...) { body }` into a `#[test]`
+/// running `cases()` generated cases. The body runs in a closure returning
+/// `Result<(), String>` so `prop_assert!` can report failures with the
+/// generated inputs attached; panics are caught and re-raised with the
+/// inputs printed first.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {$(
+        $(#[$meta])*
+        fn $name() {
+            use $crate::strategy::Strategy as _;
+            let cases = $crate::test_runner::cases();
+            let seed = $crate::test_runner::seed_for(concat!(module_path!(), "::", stringify!($name)));
+            let mut rng = $crate::test_runner::TestRng::from_seed(seed);
+            for case in 0..cases {
+                $(let $arg = ($strat).generate(&mut rng);)+
+                let inputs = format!(concat!($(stringify!($arg), " = {:?}; "),+), $(&$arg),+);
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    move || -> ::std::result::Result<(), ::std::string::String> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    },
+                ));
+                match outcome {
+                    ::std::result::Result::Ok(::std::result::Result::Ok(())) => {}
+                    ::std::result::Result::Ok(::std::result::Result::Err(msg)) => {
+                        panic!(
+                            "proptest case {}/{} failed: {}\n    inputs: {}\n    (seed {}; rerun with PROPTEST_SEED to vary)",
+                            case + 1, cases, msg, inputs, seed
+                        );
+                    }
+                    ::std::result::Result::Err(payload) => {
+                        eprintln!(
+                            "proptest case {}/{} panicked\n    inputs: {}\n    (seed {})",
+                            case + 1, cases, inputs, seed
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        }
+    )+};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!(
+                "{} ({}:{})",
+                format!($($fmt)+),
+                file!(),
+                line!()
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} == {}\n      left: {:?}\n     right: {:?} ({}:{})",
+                stringify!($left), stringify!($right), l, r, file!(), line!()
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(format!(
+                "{}\n      left: {:?}\n     right: {:?} ({}:{})",
+                format!($($fmt)+), l, r, file!(), line!()
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} != {}\n      both: {:?} ({}:{})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in -5i64..5, y in 0i64..=3, z in 1usize..10) {
+            prop_assert!((-5..5).contains(&x));
+            prop_assert!((0..=3).contains(&y));
+            prop_assert!((1..10).contains(&z));
+        }
+
+        #[test]
+        fn tuples_and_vec(pair in (0i64..4, 0i64..4), xs in crate::collection::vec(0i64..16, 2..40)) {
+            prop_assert!(pair.0 < 4 && pair.1 < 4);
+            prop_assert!(xs.len() >= 2 && xs.len() < 40);
+            prop_assert!(xs.iter().all(|&v| (0..16).contains(&v)));
+        }
+
+        #[test]
+        fn prop_map_works(v in (0i64..10).prop_map(|x| x * 2)) {
+            prop_assert_eq!(v % 2, 0);
+            prop_assert!(v < 20, "v = {} out of range", v);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = TestRng::from_seed(crate::test_runner::seed_for("x"));
+        let mut b = TestRng::from_seed(crate::test_runner::seed_for("x"));
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,443 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Implements the exact API surface this workspace uses — `par_iter`,
+//! `par_chunks_mut`, `zip`, `enumerate`, `take`, `map`, `for_each`,
+//! `collect`, `current_num_threads` — with *real* parallelism built on
+//! `std::thread::scope`. Iterators are length-aware and splittable; work is
+//! divided recursively into `current_num_threads()` contiguous pieces, so
+//! `collect` preserves input order and `par_chunks_mut` hands out disjoint
+//! mutable chunks exactly like upstream rayon.
+//!
+//! Not a thread pool: each parallel drive spawns scoped threads for its own
+//! duration. For the coarse-grained fan-outs in this workspace (whole
+//! profiling pipelines, kernel row blocks) the spawn cost is noise.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads a parallel drive will use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+pub mod prelude {
+    pub use crate::{
+        FromParallelIterator, IntoParallelRefIterator, ParallelIterator, ParallelSlice,
+        ParallelSliceMut,
+    };
+}
+
+/// A length-aware, splittable parallel iterator.
+///
+/// `split_at` divides the remaining work into two independent halves;
+/// `into_seq` degrades one piece to a sequential iterator once it has been
+/// assigned to a worker thread.
+pub trait ParallelIterator: Sized + Send {
+    type Item: Send;
+    type Seq: Iterator<Item = Self::Item>;
+
+    fn len(&self) -> usize;
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    fn split_at(self, index: usize) -> (Self, Self);
+    fn into_seq(self) -> Self::Seq;
+
+    fn map<F, R>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Clone + Send + Sync,
+        R: Send,
+    {
+        Map { base: self, f }
+    }
+
+    fn zip<B: ParallelIterator>(self, other: B) -> Zip<Self, B> {
+        Zip { a: self, b: other }
+    }
+
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate {
+            base: self,
+            offset: 0,
+        }
+    }
+
+    fn take(self, n: usize) -> Take<Self> {
+        let n = n.min(self.len());
+        Take { base: self, n }
+    }
+
+    fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Send + Sync,
+    {
+        drive_for_each(self, &f, current_num_threads());
+    }
+
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_iter(self)
+    }
+}
+
+fn drive_for_each<I, F>(it: I, f: &F, threads: usize)
+where
+    I: ParallelIterator,
+    F: Fn(I::Item) + Send + Sync,
+{
+    if threads <= 1 || it.len() <= 1 {
+        it.into_seq().for_each(f);
+        return;
+    }
+    let lt = threads / 2;
+    let n = it.len();
+    let mid = (n * lt / threads).clamp(1, n - 1);
+    let (l, r) = it.split_at(mid);
+    std::thread::scope(|s| {
+        let h = s.spawn(move || drive_for_each(l, f, lt));
+        drive_for_each(r, f, threads - lt);
+        h.join().expect("rayon stand-in worker panicked");
+    });
+}
+
+fn drive_collect_vec<I: ParallelIterator>(it: I, threads: usize) -> Vec<I::Item> {
+    if threads <= 1 || it.len() <= 1 {
+        return it.into_seq().collect();
+    }
+    let lt = threads / 2;
+    let n = it.len();
+    let mid = (n * lt / threads).clamp(1, n - 1);
+    let (l, r) = it.split_at(mid);
+    std::thread::scope(|s| {
+        let h = s.spawn(move || drive_collect_vec(l, lt));
+        let mut right = drive_collect_vec(r, threads - lt);
+        let mut out = h.join().expect("rayon stand-in worker panicked");
+        out.append(&mut right);
+        out
+    })
+}
+
+/// Order-preserving parallel collection (only `Vec` is needed here).
+pub trait FromParallelIterator<T: Send>: Sized {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(it: I) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(it: I) -> Self {
+        drive_collect_vec(it, current_num_threads())
+    }
+}
+
+// ---------------------------------------------------------------- sources
+
+pub trait IntoParallelRefIterator<'a> {
+    type Iter: ParallelIterator;
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = ParIter<'a, T>;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = ParIter<'a, T>;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { slice: self }
+    }
+}
+
+pub trait ParallelSlice<T: Sync> {
+    fn par_chunks(&self, chunk: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk: usize) -> ParChunks<'_, T> {
+        assert!(chunk > 0, "chunk size must be non-zero");
+        ParChunks { slice: self, chunk }
+    }
+}
+
+pub trait ParallelSliceMut<T: Send> {
+    fn par_chunks_mut(&mut self, chunk: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk > 0, "chunk size must be non-zero");
+        ParChunksMut { slice: self, chunk }
+    }
+}
+
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for ParIter<'a, T> {
+    type Item = &'a T;
+    type Seq = std::slice::Iter<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at(index);
+        (ParIter { slice: l }, ParIter { slice: r })
+    }
+    fn into_seq(self) -> Self::Seq {
+        self.slice.iter()
+    }
+}
+
+pub struct ParChunks<'a, T> {
+    slice: &'a [T],
+    chunk: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for ParChunks<'a, T> {
+    type Item = &'a [T];
+    type Seq = std::slice::Chunks<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk)
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let at = (index * self.chunk).min(self.slice.len());
+        let (l, r) = self.slice.split_at(at);
+        (
+            ParChunks {
+                slice: l,
+                chunk: self.chunk,
+            },
+            ParChunks {
+                slice: r,
+                chunk: self.chunk,
+            },
+        )
+    }
+    fn into_seq(self) -> Self::Seq {
+        self.slice.chunks(self.chunk)
+    }
+}
+
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk: usize,
+}
+
+impl<'a, T: Send> ParallelIterator for ParChunksMut<'a, T> {
+    type Item = &'a mut [T];
+    type Seq = std::slice::ChunksMut<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk)
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let at = (index * self.chunk).min(self.slice.len());
+        let (l, r) = self.slice.split_at_mut(at);
+        (
+            ParChunksMut {
+                slice: l,
+                chunk: self.chunk,
+            },
+            ParChunksMut {
+                slice: r,
+                chunk: self.chunk,
+            },
+        )
+    }
+    fn into_seq(self) -> Self::Seq {
+        self.slice.chunks_mut(self.chunk)
+    }
+}
+
+// ------------------------------------------------------------- adaptors
+
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, F, R> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    F: Fn(I::Item) -> R + Clone + Send + Sync,
+    R: Send,
+{
+    type Item = R;
+    type Seq = std::iter::Map<I::Seq, F>;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (
+            Map {
+                base: l,
+                f: self.f.clone(),
+            },
+            Map { base: r, f: self.f },
+        )
+    }
+    fn into_seq(self) -> Self::Seq {
+        self.base.into_seq().map(self.f)
+    }
+}
+
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: ParallelIterator, B: ParallelIterator> ParallelIterator for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+    type Seq = std::iter::Zip<A::Seq, B::Seq>;
+
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (al, ar) = self.a.split_at(index);
+        let (bl, br) = self.b.split_at(index);
+        (Zip { a: al, b: bl }, Zip { a: ar, b: br })
+    }
+    fn into_seq(self) -> Self::Seq {
+        self.a.into_seq().zip(self.b.into_seq())
+    }
+}
+
+pub struct Enumerate<I> {
+    base: I,
+    offset: usize,
+}
+
+impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+    type Seq = EnumerateSeq<I::Seq>;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (
+            Enumerate {
+                base: l,
+                offset: self.offset,
+            },
+            Enumerate {
+                base: r,
+                offset: self.offset + index,
+            },
+        )
+    }
+    fn into_seq(self) -> Self::Seq {
+        EnumerateSeq {
+            it: self.base.into_seq(),
+            next: self.offset,
+        }
+    }
+}
+
+pub struct EnumerateSeq<I> {
+    it: I,
+    next: usize,
+}
+
+impl<I: Iterator> Iterator for EnumerateSeq<I> {
+    type Item = (usize, I::Item);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let v = self.it.next()?;
+        let i = self.next;
+        self.next += 1;
+        Some((i, v))
+    }
+}
+
+pub struct Take<I> {
+    base: I,
+    n: usize,
+}
+
+impl<I: ParallelIterator> ParallelIterator for Take<I> {
+    type Item = I::Item;
+    type Seq = std::iter::Take<I::Seq>;
+
+    fn len(&self) -> usize {
+        self.n
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let index = index.min(self.n);
+        let (l, r) = self.base.split_at(index);
+        (
+            Take { base: l, n: index },
+            Take {
+                base: r,
+                n: self.n - index,
+            },
+        )
+    }
+    fn into_seq(self) -> Self::Seq {
+        self.base.into_seq().take(self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..10_000).collect();
+        let ys: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(ys, xs.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_chunks_mut_disjoint_writes() {
+        let mut v = vec![0u64; 1000];
+        v.par_chunks_mut(7).enumerate().for_each(|(i, chunk)| {
+            for c in chunk {
+                *c = i as u64;
+            }
+        });
+        for (j, &x) in v.iter().enumerate() {
+            assert_eq!(x, (j / 7) as u64);
+        }
+    }
+
+    #[test]
+    fn zip_take_enumerate() {
+        let mut a = vec![0u32; 100];
+        let mut b = vec![0u32; 100];
+        a.par_chunks_mut(10)
+            .zip(b.par_chunks_mut(10))
+            .take(5)
+            .enumerate()
+            .for_each(|(i, (ca, cb))| {
+                ca[0] = i as u32 + 1;
+                cb[0] = 10 * (i as u32 + 1);
+            });
+        assert_eq!(a[40], 5);
+        assert_eq!(b[40], 50);
+        assert_eq!(a[50], 0); // beyond take(5)
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let xs: Vec<u8> = vec![];
+        let ys: Vec<u8> = xs.par_iter().map(|&x| x).collect();
+        assert!(ys.is_empty());
+        let one = [42u8];
+        let t: Vec<u8> = one.par_iter().map(|&x| x).collect();
+        assert_eq!(t, vec![42]);
+    }
+}
