@@ -14,153 +14,12 @@
 use polyddg::baseline::NaiveDdgProfiler;
 use polyddg::DdgProfiler;
 use polyfold::FoldingSink;
-use polyir::build::ProgramBuilder;
-use polyir::{BlockRef, FBinOp, FuncId, InstrRef, Operand, Program, UnOp, Value};
-use polyprof_bench::{time_runs, JsonObj};
+use polyir::Program;
+use polyprof_bench::trace::{big_backprop, replay, Ev, Recorder};
+use polyprof_bench::{smoke, time_runs, JsonObj};
 use polyvm::{EventSink, NullSink, Vm};
 use std::hint::black_box;
 use std::time::Instant;
-
-/// One recorded instrumentation event.
-#[derive(Debug, Clone, Copy)]
-enum Ev {
-    Jump(BlockRef, BlockRef),
-    Call(BlockRef, FuncId, BlockRef),
-    Ret(FuncId, Option<BlockRef>),
-    Exec(InstrRef, Option<Value>),
-    Mem(InstrRef, u64, bool),
-}
-
-/// Records the full event stream of one execution for later replay.
-#[derive(Debug, Default)]
-struct Recorder {
-    events: Vec<Ev>,
-}
-
-impl EventSink for Recorder {
-    fn local_jump(&mut self, from: BlockRef, to: BlockRef) {
-        self.events.push(Ev::Jump(from, to));
-    }
-    fn call(&mut self, callsite: BlockRef, callee: FuncId, entry: BlockRef) {
-        self.events.push(Ev::Call(callsite, callee, entry));
-    }
-    fn ret(&mut self, from: FuncId, to: Option<BlockRef>) {
-        self.events.push(Ev::Ret(from, to));
-    }
-    fn exec(&mut self, instr: InstrRef, value: Option<Value>) {
-        self.events.push(Ev::Exec(instr, value));
-    }
-    fn mem(&mut self, instr: InstrRef, addr: u64, is_write: bool) {
-        self.events.push(Ev::Mem(instr, addr, is_write));
-    }
-}
-
-fn replay<S: EventSink>(events: &[Ev], sink: &mut S) {
-    for ev in events {
-        match *ev {
-            Ev::Jump(a, b) => sink.local_jump(a, b),
-            Ev::Call(a, b, c) => sink.call(a, b, c),
-            Ev::Ret(a, b) => sink.ret(a, b),
-            Ev::Exec(a, b) => sink.exec(a, b),
-            Ev::Mem(a, b, c) => sink.mem(a, b, c),
-        }
-    }
-}
-
-/// A backprop-class program (the shape of `rodinia::backprop` — 2-D column-
-/// stride reduction kernel + 2-D elementwise update, both behind calls) with
-/// parametric layer sizes, so the recorded trace is long enough that
-/// steady-state event cost dominates fixed setup/finalization cost.
-fn big_backprop(n1: i64, n2: i64) -> Program {
-    let mut pb = ProgramBuilder::new("backprop_big");
-    let conn = pb.array_f64(&vec![0.1; ((n1 + 1) * (n2 + 1)) as usize]);
-    let l1 = pb.array_f64(&vec![0.5; (n1 + 1) as usize]);
-    let l2 = pb.alloc((n2 + 1) as u64);
-    let delta = pb.array_f64(&vec![0.01; (n2 + 1) as usize]);
-    let oldw = pb.array_f64(&vec![0.2; ((n1 + 1) * (n2 + 1)) as usize]);
-    let w = pb.array_f64(&vec![0.3; ((n1 + 1) * (n2 + 1)) as usize]);
-
-    let mut sq = pb.func("squash", 1);
-    let x = sq.param(0);
-    let s = sq.un(UnOp::Sigmoid, x);
-    sq.ret(Some(s.into()));
-    let squash = sq.finish();
-
-    let mut lf = pb.func("bpnn_layerforward", 5);
-    {
-        let (l1p, l2p, connp, pn1, pn2) = (
-            lf.param(0),
-            lf.param(1),
-            lf.param(2),
-            lf.param(3),
-            lf.param(4),
-        );
-        lf.for_loop("Lj", 1i64, pn2, 1, |f, j| {
-            let sum = f.const_f(0.0);
-            f.for_loop("Lk", 0i64, pn1, 1, |f, k| {
-                let row = f.mul(k, n2 + 1);
-                let idx = f.add(row, j);
-                let wv = f.load(connp, idx);
-                let xv = f.load(l1p, k);
-                let prod = f.fmul(wv, xv);
-                f.fop_to(sum, FBinOp::Add, sum, prod);
-            });
-            let out = f.call(squash, &[sum.into()]);
-            f.store(l2p, j, out);
-        });
-        lf.ret(None);
-    }
-    let layerforward = lf.finish();
-
-    let mut aw = pb.func("bpnn_adjust_weights", 4);
-    {
-        let (deltap, lyp, wp, oldwp) = (aw.param(0), aw.param(1), aw.param(2), aw.param(3));
-        aw.for_loop("Lj", 1i64, n2, 1, |f, j| {
-            f.for_loop("Lk", 0i64, n1, 1, |f, k| {
-                let row = f.mul(k, n2 + 1);
-                let idx = f.add(row, j);
-                let d = f.load(deltap, j);
-                let y = f.load(lyp, k);
-                let old = f.load(oldwp, idx);
-                let eta = f.fmul(d, 0.3f64);
-                let t1 = f.fmul(eta, y);
-                let t2 = f.fmul(old, 0.3f64);
-                let upd = f.fadd(t1, t2);
-                let cur = f.load(wp, idx);
-                let neww = f.fadd(cur, upd);
-                f.store(wp, idx, neww);
-                f.store(oldwp, idx, upd);
-            });
-        });
-        aw.ret(None);
-    }
-    let adjust = aw.finish();
-
-    let mut m = pb.func("main", 0);
-    m.call_void(
-        layerforward,
-        &[
-            Operand::ImmI(l1 as i64),
-            Operand::ImmI(l2 as i64),
-            Operand::ImmI(conn as i64),
-            Operand::ImmI(n1),
-            Operand::ImmI(n2),
-        ],
-    );
-    m.call_void(
-        adjust,
-        &[
-            Operand::ImmI(delta as i64),
-            Operand::ImmI(l1 as i64),
-            Operand::ImmI(w as i64),
-            Operand::ImmI(oldw as i64),
-        ],
-    );
-    m.ret(None);
-    let mid = m.finish();
-    pb.set_entry(mid);
-    pb.finish()
-}
 
 /// Fold sink that consumes the profiler's output streams for free: used to
 /// measure the profiler layer itself, since the (shared) folding stage costs
@@ -241,16 +100,23 @@ fn stage_timings(prog: &Program, name: &str) {
 }
 
 fn main() {
-    println!("=== pipeline stage timings (overhead over the bare VM) ===");
-    for build in [rodinia::hotspot::build, rodinia::srad::build_v2] {
-        let w = build();
-        stage_timings(&w.program, w.name);
+    // Smoke mode (BENCH_SMOKE=1, the CI bench-smoke job): smaller trace and
+    // fewer reps, same assertions — the 1.5x floor is an algorithmic ratio,
+    // not a machine-speed measurement, so it holds at smoke size too.
+    let (layers, reps) = if smoke() { (48, 2) } else { (96, 5) };
+
+    if !smoke() {
+        println!("=== pipeline stage timings (overhead over the bare VM) ===");
+        for build in [rodinia::hotspot::build, rodinia::srad::build_v2] {
+            let w = build();
+            stage_timings(&w.program, w.name);
+        }
     }
 
     println!(
         "\n=== stage-2 profiler event throughput: naive vs interned (backprop-class trace) ==="
     );
-    let prog = big_backprop(96, 96);
+    let prog = big_backprop(layers, layers);
     let mut rec = polycfg::StructureRecorder::new();
     Vm::new(&prog).run(&[], &mut rec).expect("pass 1");
     let structure = polycfg::StaticStructure::analyze(&prog, rec);
@@ -261,7 +127,6 @@ fn main() {
     let events = recorder.events;
     let n_events = events.len() as u64;
 
-    let reps = 5;
     // Profiler layer alone (null fold sink): this is where the interning /
     // MRU / pooling work lives, and what the ≥1.5× criterion is asserted on.
     let null_fold = || NullFold {
@@ -329,7 +194,7 @@ fn main() {
     );
 
     let mut j = JsonObj::new();
-    j.str_field("workload", "backprop_big(96,96)")
+    j.str_field("workload", &format!("backprop_big({layers},{layers})"))
         .int_field("events", n_events)
         .obj_field("naive", |o| {
             o.num_field("seconds", naive_s)

@@ -6,9 +6,18 @@
 //! case-study kernels (original vs transformed) and the profiling pipeline
 //! itself. Shared helpers live here.
 
+pub mod trace;
+
 use polyiiv::CtxElem;
 use polyir::Program;
 use std::time::Instant;
+
+/// True when the `BENCH_SMOKE` environment variable is set: benches shrink
+/// their workloads/repetitions to CI-smoke size (same assertions, smaller
+/// traces).
+pub fn smoke() -> bool {
+    std::env::var_os("BENCH_SMOKE").is_some()
+}
 
 /// Human-readable names for context elements given the program (used by the
 /// fig3 trace printer and flame graphs).

@@ -63,9 +63,40 @@ pub struct Report {
     pub scev_removed: (usize, usize),
 }
 
+/// Threading knobs of one profiling run (see `polyfold::pipeline` for the
+/// stage anatomy).
+#[derive(Debug, Clone, Copy)]
+pub struct ProfileConfig {
+    /// Folding worker threads. `1` (the default) keeps the fully serial
+    /// single-thread path — retained verbatim and bit-compared against the
+    /// pipeline by the sharded differential suite. Any larger value runs
+    /// pass 2 as a staged pipeline with this many folding shards (plus the
+    /// event-generation and shadow-resolution threads).
+    pub fold_threads: usize,
+    /// Events per pipeline chunk (batching granularity; ignored on the
+    /// serial path).
+    pub chunk_events: usize,
+}
+
+impl Default for ProfileConfig {
+    fn default() -> Self {
+        ProfileConfig {
+            fold_threads: 1,
+            chunk_events: 4096,
+        }
+    }
+}
+
 /// Run the full Poly-Prof pipeline (both instrumentation passes, folding,
 /// scheduling, feedback) plus the static baseline.
 pub fn profile(prog: &Program) -> Report {
+    profile_with(prog, &ProfileConfig::default())
+}
+
+/// As [`profile`], with explicit threading configuration. The sharded
+/// pipeline produces byte-identical reports to the serial path; the knobs
+/// only trade wall-clock for threads.
+pub fn profile_with(prog: &Program, cfg: &ProfileConfig) -> Report {
     // Pass 1: dynamic control structure.
     let mut rec = polycfg::StructureRecorder::new();
     polyvm::Vm::new(prog)
@@ -73,13 +104,23 @@ pub fn profile(prog: &Program) -> Report {
         .expect("pass-1 execution failed");
     let structure = polycfg::StaticStructure::analyze(prog, rec);
 
-    // Pass 2: DDG streaming into the folding sink.
-    let mut prof = polyddg::DdgProfiler::new(prog, &structure, polyfold::FoldingSink::new());
-    polyvm::Vm::new(prog)
-        .run(&[], &mut prof)
-        .expect("pass-2 execution failed");
-    let (sink, interner) = prof.finish();
-    let mut ddg = sink.finalize(prog, &interner);
+    // Pass 2: DDG streaming into the folding sink — serial in-line, or the
+    // staged pipeline when more than one folding thread is requested.
+    let (mut ddg, interner) = if cfg.fold_threads <= 1 {
+        let mut prof = polyddg::DdgProfiler::new(prog, &structure, polyfold::FoldingSink::new());
+        polyvm::Vm::new(prog)
+            .run(&[], &mut prof)
+            .expect("pass-2 execution failed");
+        let (sink, interner) = prof.finish();
+        (sink.finalize(prog, &interner), interner)
+    } else {
+        let pcfg = polyfold::pipeline::PipelineConfig {
+            fold_threads: cfg.fold_threads,
+            chunk_events: cfg.chunk_events,
+            ..Default::default()
+        };
+        polyfold::pipeline::fold_pipelined(prog, &structure, &pcfg)
+    };
     let scev_removed = ddg.remove_scevs();
 
     // Stage 4: scheduling + feedback.
@@ -120,6 +161,10 @@ pub fn profile_all<P: std::borrow::Borrow<Program> + Sync>(progs: &[P]) -> Vec<R
 /// Generalized suite driver: apply `f` to each item in parallel, preserving
 /// input order. Use this when the per-workload step needs more than
 /// [`profile`] (extra configs, paired metadata, custom sinks).
+///
+/// A panicking workload re-panics on the caller with a payload that names
+/// the originating item (`workload #i panicked: <original message>`), so a
+/// red CI run points at the failing workload instead of a bare join error.
 pub fn profile_all_with<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -127,7 +172,24 @@ where
     F: Fn(&T) -> R + Sync,
 {
     use rayon::prelude::*;
-    items.par_iter().map(&f).collect()
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    items
+        .par_iter()
+        .enumerate()
+        .map(
+            |(i, item)| match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                Ok(r) => r,
+                Err(payload) => {
+                    let msg = payload
+                        .downcast_ref::<&'static str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".to_string());
+                    std::panic::panic_any(format!("workload #{i} panicked: {msg}"))
+                }
+            },
+        )
+        .collect()
 }
 
 #[cfg(test)]
@@ -183,5 +245,28 @@ mod tests {
             }
             assert_eq!(p.annotated_ast, s.annotated_ast);
         }
+    }
+
+    /// A panicking workload must surface as a panic naming the workload,
+    /// carrying the original message — not a generic join error, and never
+    /// a silently absorbed result.
+    #[test]
+    fn profile_all_with_propagates_worker_panics() {
+        let items: Vec<u32> = (0..8).collect();
+        let res = std::panic::catch_unwind(|| {
+            profile_all_with(&items, |&i| {
+                if i == 1 {
+                    panic!("bad trip count {i}");
+                }
+                i * 2
+            })
+        });
+        let payload = res.expect_err("worker panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("workload #1"), "missing attribution: {msg:?}");
+        assert!(msg.contains("bad trip count 1"), "payload lost: {msg:?}");
     }
 }

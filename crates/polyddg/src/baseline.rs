@@ -1,8 +1,9 @@
 //! Retained reference implementation of the stage-2 profiler — the
 //! pre-optimization hot path, kept verbatim for two jobs:
 //!
-//! 1. **Differential testing**: the interned-coordinate [`DdgProfiler`]
-//!    (`crate::DdgProfiler`) must produce a byte-identical folding stream.
+//! 1. **Differential testing**: the interned-coordinate
+//!    [`DdgProfiler`](crate::DdgProfiler) must produce a byte-identical
+//!    folding stream.
 //! 2. **Benchmark baseline**: the ≥1.5× event-throughput claim in
 //!    `BENCH_pipeline.json` is measured against this implementation.
 //!

@@ -1,0 +1,469 @@
+//! Fixed-size event chunks — the unit of transfer between the pipeline
+//! stages of an intra-trace parallel profiling run.
+//!
+//! A [`EventChunk`] is a flat, reusable buffer of folding-interface events:
+//! per-event records live in one `Vec`, all coordinate vectors in a shared
+//! `i64` buffer addressed by spans. Chunks are recycled through bounded
+//! channels, so a steady-state pipeline moves events between threads with
+//! **zero allocation per event** — the only per-chunk work is a `memcpy`
+//! into the flat buffers and one channel send per `chunk_events` events.
+//!
+//! Two event alphabets share the container:
+//!
+//! * the *resolved* alphabet ([`FoldSink`]: points, accesses, dependences)
+//!   flowing from the shadow-resolution stage to the folding shards;
+//! * the *pre-resolution* alphabet (points, register dependences, and
+//!   [`EventRef::MemPre`] unresolved memory touches) flowing from the
+//!   sequential event-generation stage to the shadow resolver.
+
+use crate::{DepKind, FoldSink, PreSink};
+use polyiiv::context::StmtId;
+use std::sync::mpsc::{Receiver, SyncSender};
+
+/// Span into an [`EventChunk`]'s shared coordinate buffer.
+#[derive(Debug, Clone, Copy)]
+struct Span {
+    off: u32,
+    len: u32,
+}
+
+/// One event record; coordinates live in the chunk's flat buffer.
+#[derive(Debug, Clone, Copy)]
+enum Rec {
+    /// A dynamic instruction point.
+    Point {
+        stmt: StmtId,
+        coords: Span,
+        value: Option<i64>,
+    },
+    /// A resolved memory access.
+    Access {
+        stmt: StmtId,
+        coords: Span,
+        addr: u64,
+        is_write: bool,
+    },
+    /// A resolved data dependence.
+    Dep {
+        kind: DepKind,
+        src: StmtId,
+        src_coords: Span,
+        dst: StmtId,
+        dst_coords: Span,
+    },
+    /// An *unresolved* memory touch: shadow resolution still pending.
+    MemPre {
+        stmt: StmtId,
+        coords: Span,
+        addr: u64,
+        is_write: bool,
+    },
+}
+
+/// Borrowed view of one chunk event.
+#[derive(Debug, Clone, Copy)]
+pub enum EventRef<'a> {
+    /// A dynamic instruction point.
+    Point {
+        /// Statement.
+        stmt: StmtId,
+        /// IIV coordinates.
+        coords: &'a [i64],
+        /// Produced integer value, if any.
+        value: Option<i64>,
+    },
+    /// A resolved memory access.
+    Access {
+        /// Statement.
+        stmt: StmtId,
+        /// IIV coordinates.
+        coords: &'a [i64],
+        /// Word address.
+        addr: u64,
+        /// True for stores.
+        is_write: bool,
+    },
+    /// A resolved data dependence.
+    Dep {
+        /// Dependence kind.
+        kind: DepKind,
+        /// Producer statement.
+        src: StmtId,
+        /// Producer coordinates.
+        src_coords: &'a [i64],
+        /// Consumer statement.
+        dst: StmtId,
+        /// Consumer coordinates.
+        dst_coords: &'a [i64],
+    },
+    /// An unresolved memory touch (pre-resolution alphabet only).
+    MemPre {
+        /// Statement.
+        stmt: StmtId,
+        /// IIV coordinates.
+        coords: &'a [i64],
+        /// Word address.
+        addr: u64,
+        /// True for stores.
+        is_write: bool,
+    },
+}
+
+/// A reusable flat buffer of events (see module docs).
+#[derive(Debug, Default)]
+pub struct EventChunk {
+    recs: Vec<Rec>,
+    coords: Vec<i64>,
+}
+
+impl EventChunk {
+    /// Chunk with room for `events` records (the coordinate buffer sizes
+    /// itself on first use and is retained across [`clear`](Self::clear)).
+    pub fn with_capacity(events: usize) -> Self {
+        EventChunk {
+            recs: Vec::with_capacity(events),
+            coords: Vec::new(),
+        }
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.recs.len()
+    }
+
+    /// True when no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.recs.is_empty()
+    }
+
+    /// Drop all events, retaining both buffers' capacity.
+    pub fn clear(&mut self) {
+        self.recs.clear();
+        self.coords.clear();
+    }
+
+    #[inline]
+    fn span(&mut self, c: &[i64]) -> Span {
+        let off = self.coords.len() as u32;
+        self.coords.extend_from_slice(c);
+        Span {
+            off,
+            len: c.len() as u32,
+        }
+    }
+
+    #[inline]
+    fn slice(&self, s: Span) -> &[i64] {
+        &self.coords[s.off as usize..(s.off + s.len) as usize]
+    }
+
+    /// Append an instruction point.
+    #[inline]
+    pub fn push_point(&mut self, stmt: StmtId, coords: &[i64], value: Option<i64>) {
+        let coords = self.span(coords);
+        self.recs.push(Rec::Point {
+            stmt,
+            coords,
+            value,
+        });
+    }
+
+    /// Append a resolved memory access.
+    #[inline]
+    pub fn push_access(&mut self, stmt: StmtId, coords: &[i64], addr: u64, is_write: bool) {
+        let coords = self.span(coords);
+        self.recs.push(Rec::Access {
+            stmt,
+            coords,
+            addr,
+            is_write,
+        });
+    }
+
+    /// Append a resolved dependence.
+    #[inline]
+    pub fn push_dep(
+        &mut self,
+        kind: DepKind,
+        src: StmtId,
+        src_coords: &[i64],
+        dst: StmtId,
+        dst_coords: &[i64],
+    ) {
+        let src_coords = self.span(src_coords);
+        let dst_coords = self.span(dst_coords);
+        self.recs.push(Rec::Dep {
+            kind,
+            src,
+            src_coords,
+            dst,
+            dst_coords,
+        });
+    }
+
+    /// Append an unresolved memory touch.
+    #[inline]
+    pub fn push_mem_pre(&mut self, stmt: StmtId, coords: &[i64], addr: u64, is_write: bool) {
+        let coords = self.span(coords);
+        self.recs.push(Rec::MemPre {
+            stmt,
+            coords,
+            addr,
+            is_write,
+        });
+    }
+
+    /// Iterate the buffered events in push order.
+    pub fn events(&self) -> impl Iterator<Item = EventRef<'_>> {
+        self.recs.iter().map(move |r| match *r {
+            Rec::Point {
+                stmt,
+                coords,
+                value,
+            } => EventRef::Point {
+                stmt,
+                coords: self.slice(coords),
+                value,
+            },
+            Rec::Access {
+                stmt,
+                coords,
+                addr,
+                is_write,
+            } => EventRef::Access {
+                stmt,
+                coords: self.slice(coords),
+                addr,
+                is_write,
+            },
+            Rec::Dep {
+                kind,
+                src,
+                src_coords,
+                dst,
+                dst_coords,
+            } => EventRef::Dep {
+                kind,
+                src,
+                src_coords: self.slice(src_coords),
+                dst,
+                dst_coords: self.slice(dst_coords),
+            },
+            Rec::MemPre {
+                stmt,
+                coords,
+                addr,
+                is_write,
+            } => EventRef::MemPre {
+                stmt,
+                coords: self.slice(coords),
+                addr,
+                is_write,
+            },
+        })
+    }
+
+    /// Replay a fully-resolved chunk into a [`FoldSink`], in order.
+    ///
+    /// Panics on a [`EventRef::MemPre`] record: unresolved events must never
+    /// reach a folding shard — that is a stage-routing bug, not a data
+    /// condition.
+    pub fn replay_into<F: FoldSink>(&self, sink: &mut F) {
+        for ev in self.events() {
+            match ev {
+                EventRef::Point {
+                    stmt,
+                    coords,
+                    value,
+                } => sink.instr_point(stmt, coords, value),
+                EventRef::Access {
+                    stmt,
+                    coords,
+                    addr,
+                    is_write,
+                } => sink.mem_access(stmt, coords, addr, is_write),
+                EventRef::Dep {
+                    kind,
+                    src,
+                    src_coords,
+                    dst,
+                    dst_coords,
+                } => sink.dependence(kind, src, src_coords, dst, dst_coords),
+                EventRef::MemPre { .. } => {
+                    unreachable!("unresolved memory event reached a folding shard")
+                }
+            }
+        }
+    }
+}
+
+/// A [`FoldSink`]/[`PreSink`] that batches events into [`EventChunk`]s and
+/// ships full chunks over a bounded channel (backpressure: `send` blocks
+/// when the consumer lags). Consumed chunks come back through the `recycled`
+/// channel, so a warmed-up pipeline allocates nothing per chunk.
+#[derive(Debug)]
+pub struct ChunkWriter {
+    cur: EventChunk,
+    capacity: usize,
+    tx: SyncSender<EventChunk>,
+    recycled: Receiver<EventChunk>,
+}
+
+impl ChunkWriter {
+    /// Writer emitting `capacity`-event chunks into `tx`, reusing buffers
+    /// returned through `recycled`.
+    pub fn new(
+        capacity: usize,
+        tx: SyncSender<EventChunk>,
+        recycled: Receiver<EventChunk>,
+    ) -> Self {
+        let capacity = capacity.max(1);
+        ChunkWriter {
+            cur: EventChunk::with_capacity(capacity),
+            capacity,
+            tx,
+            recycled,
+        }
+    }
+
+    /// Ship the current chunk (no-op when empty). A disconnected consumer is
+    /// ignored: the consumer only disappears when a downstream stage
+    /// panicked, and that panic is re-raised when the stage is joined.
+    pub fn flush(&mut self) {
+        if self.cur.is_empty() {
+            return;
+        }
+        let mut next = self
+            .recycled
+            .try_recv()
+            .unwrap_or_else(|_| EventChunk::with_capacity(self.capacity));
+        next.clear();
+        let full = std::mem::replace(&mut self.cur, next);
+        let _ = self.tx.send(full);
+    }
+
+    #[inline]
+    fn after_push(&mut self) {
+        if self.cur.len() >= self.capacity {
+            self.flush();
+        }
+    }
+
+    /// Flush the trailing partial chunk and close the channel (consumers see
+    /// disconnect and finish).
+    pub fn finish(mut self) {
+        self.flush();
+    }
+}
+
+impl FoldSink for ChunkWriter {
+    #[inline]
+    fn instr_point(&mut self, stmt: StmtId, coords: &[i64], value: Option<i64>) {
+        self.cur.push_point(stmt, coords, value);
+        self.after_push();
+    }
+
+    #[inline]
+    fn mem_access(&mut self, stmt: StmtId, coords: &[i64], addr: u64, is_write: bool) {
+        self.cur.push_access(stmt, coords, addr, is_write);
+        self.after_push();
+    }
+
+    #[inline]
+    fn dependence(
+        &mut self,
+        kind: DepKind,
+        src: StmtId,
+        src_coords: &[i64],
+        dst: StmtId,
+        dst_coords: &[i64],
+    ) {
+        self.cur.push_dep(kind, src, src_coords, dst, dst_coords);
+        self.after_push();
+    }
+}
+
+impl PreSink for ChunkWriter {
+    #[inline]
+    fn mem_pre(&mut self, stmt: StmtId, coords: &[i64], addr: u64, is_write: bool) {
+        self.cur.push_mem_pre(stmt, coords, addr, is_write);
+        self.after_push();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CollectSink;
+    use std::sync::mpsc::sync_channel;
+
+    #[test]
+    fn chunk_roundtrip_preserves_events_in_order() {
+        let mut c = EventChunk::with_capacity(8);
+        c.push_point(StmtId(1), &[0, 1], Some(7));
+        c.push_dep(DepKind::Flow, StmtId(1), &[0, 0], StmtId(2), &[0, 1]);
+        c.push_access(StmtId(2), &[0, 1], 100, true);
+        let mut sink = CollectSink::default();
+        c.replay_into(&mut sink);
+        assert_eq!(sink.points, vec![(StmtId(1), vec![0, 1], Some(7))]);
+        assert_eq!(
+            sink.deps,
+            vec![(DepKind::Flow, StmtId(1), vec![0, 0], StmtId(2), vec![0, 1])]
+        );
+        assert_eq!(sink.accesses, vec![(StmtId(2), vec![0, 1], 100, true)]);
+    }
+
+    #[test]
+    fn clear_retains_capacity() {
+        let mut c = EventChunk::with_capacity(4);
+        c.push_point(StmtId(0), &[1, 2, 3], None);
+        let rec_cap = c.recs.capacity();
+        let coord_cap = c.coords.capacity();
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.recs.capacity(), rec_cap);
+        assert_eq!(c.coords.capacity(), coord_cap);
+    }
+
+    #[test]
+    fn mem_pre_surfaces_through_events() {
+        let mut c = EventChunk::with_capacity(4);
+        c.push_mem_pre(StmtId(3), &[2], 42, false);
+        let evs: Vec<_> = c.events().collect();
+        assert_eq!(evs.len(), 1);
+        match evs[0] {
+            EventRef::MemPre {
+                stmt,
+                coords,
+                addr,
+                is_write,
+            } => {
+                assert_eq!(stmt, StmtId(3));
+                assert_eq!(coords, &[2]);
+                assert_eq!(addr, 42);
+                assert!(!is_write);
+            }
+            _ => panic!("expected MemPre"),
+        }
+    }
+
+    #[test]
+    fn writer_ships_full_chunks_and_recycles() {
+        let (tx, rx) = sync_channel(8);
+        let (pool_tx, pool_rx) = sync_channel(8);
+        let mut w = ChunkWriter::new(2, tx, pool_rx);
+        for i in 0..5 {
+            w.instr_point(StmtId(i), &[i as i64], None);
+        }
+        // Two full chunks shipped; one partial pending.
+        let c1 = rx.try_recv().expect("first chunk");
+        assert_eq!(c1.len(), 2);
+        pool_tx.send(c1).unwrap(); // recycle
+        let c2 = rx.try_recv().expect("second chunk");
+        assert_eq!(c2.len(), 2);
+        w.finish();
+        let c3 = rx.try_recv().expect("trailing partial chunk");
+        assert_eq!(c3.len(), 1);
+        assert!(rx.recv().is_err(), "writer closed the channel");
+    }
+}

@@ -40,9 +40,21 @@
 //!
 //! The pre-optimization implementation is retained in [`baseline`] for
 //! differential tests and benchmark comparison.
+//!
+//! ## Pipeline decomposition
+//!
+//! For intra-trace parallelism the profiler also exists in a staged form:
+//! [`pipeline::PreProfiler`] (sequential IIV/interning/register prefix,
+//! emitting unresolved memory events via [`PreSink`]),
+//! [`shadow::ShadowResolver`] (shadow resolution on its own thread), and
+//! [`pipeline::ShardRouter`] (key-partitioned fan-out to folding workers),
+//! exchanging [`chunk::EventChunk`] batches over bounded channels. The
+//! orchestration lives in `polyfold::pipeline`.
 
 pub mod baseline;
+pub mod chunk;
 pub mod coords;
+pub mod pipeline;
 pub mod shadow;
 
 use coords::{CoordArena, CoordSnap};
@@ -82,6 +94,14 @@ pub trait FoldSink {
         dst: StmtId,
         dst_coords: &[i64],
     );
+}
+
+/// Consumer of the *pre-resolution* stage-1 stream: the [`FoldSink`]
+/// alphabet minus resolved memory events, plus [`mem_pre`](PreSink::mem_pre)
+/// records that still need shadow-memory resolution downstream.
+pub trait PreSink: FoldSink {
+    /// An unresolved memory touch at `coords` on word `addr`.
+    fn mem_pre(&mut self, stmt: StmtId, coords: &[i64], addr: u64, is_write: bool);
 }
 
 /// Configuration of the DDG profiler.
@@ -137,10 +157,10 @@ pub struct DdgProfiler<'p, F: FoldSink> {
 /// Direct-mapped statement-cache size; must be a power of two. Multi-block
 /// loop bodies alternate between a handful of instructions per context, so a
 /// small cache captures virtually all lookups.
-const STMT_CACHE_SLOTS: usize = 64;
+pub(crate) const STMT_CACHE_SLOTS: usize = 64;
 
 #[inline]
-fn stmt_cache_slot(instr: InstrRef) -> usize {
+pub(crate) fn stmt_cache_slot(instr: InstrRef) -> usize {
     (instr.idx as usize
         ^ ((instr.block.block.0 as usize) << 2)
         ^ ((instr.block.func.0 as usize) << 5))

@@ -14,7 +14,8 @@
 //!   overwhelmingly common same-page access streams of dense kernels into
 //!   a compare + index, no hashing at all.
 
-use crate::coords::CoordSnap;
+use crate::coords::{CoordArena, CoordSnap};
+use crate::{DdgConfig, DepKind, FoldSink};
 use polyiiv::context::StmtId;
 use std::collections::HashMap;
 
@@ -144,6 +145,122 @@ impl ShadowMemory {
     /// Number of resident shadow pages (overhead statistics).
     pub fn resident_pages(&self) -> usize {
         self.pages.len()
+    }
+}
+
+/// Stage-2 shadow resolution for the profiling pipeline: owns a
+/// [`ShadowMemory`] (plus its own [`CoordArena`] for writer snapshots) on a
+/// thread of its own, and turns unresolved
+/// [`mem_pre`](crate::PreSink::mem_pre) records into the same
+/// flow/anti/output dependences and `mem_access` events the in-line
+/// [`DdgProfiler`](crate::DdgProfiler) memory path emits, in the same order.
+///
+/// The resolver cannot see loop events, so it recovers the profiler's
+/// "capture one snapshot per coordinate change" behaviour by comparing each
+/// event's coordinate slice against the last one seen: coordinates only
+/// change on loop boundaries, so the compare almost always hits and the
+/// arena sees the same one-capture-per-change traffic as the serial path.
+#[derive(Debug)]
+pub struct ShadowResolver {
+    shadow: ShadowMemory,
+    arena: CoordArena,
+    cur_coords: Vec<i64>,
+    cur_snap: Option<CoordSnap>,
+    track_anti: bool,
+    track_output: bool,
+}
+
+impl ShadowResolver {
+    /// Resolver honouring the profiler's anti/output tracking switches.
+    pub fn new(cfg: DdgConfig) -> Self {
+        ShadowResolver {
+            shadow: ShadowMemory::new(),
+            arena: CoordArena::new(),
+            cur_coords: Vec::with_capacity(8),
+            cur_snap: None,
+            track_anti: cfg.track_anti,
+            track_output: cfg.track_output,
+        }
+    }
+
+    #[inline]
+    fn snapshot(&mut self, coords: &[i64]) -> CoordSnap {
+        match self.cur_snap {
+            Some(s) if self.cur_coords == coords => s,
+            _ => {
+                self.cur_coords.clear();
+                self.cur_coords.extend_from_slice(coords);
+                let s = CoordSnap::capture(coords, &mut self.arena);
+                self.cur_snap = Some(s);
+                s
+            }
+        }
+    }
+
+    /// Resolve one memory touch, emitting its dependences and the access
+    /// event into `out` (mirrors `DdgProfiler::mem` exactly).
+    pub fn resolve<F: FoldSink>(
+        &mut self,
+        stmt: StmtId,
+        coords: &[i64],
+        addr: u64,
+        is_write: bool,
+        out: &mut F,
+    ) {
+        let (prev_write, prev_read) = if is_write {
+            let snap = self.snapshot(coords);
+            let cell = self.shadow.cell_mut(addr);
+            let prev = (cell.write, cell.read);
+            cell.write = Some(Writer { stmt, coords: snap });
+            cell.read = None;
+            prev
+        } else if self.track_anti {
+            let snap = self.snapshot(coords);
+            let cell = self.shadow.cell_mut(addr);
+            let prev = (cell.write, None);
+            cell.read = Some(Writer { stmt, coords: snap });
+            prev
+        } else {
+            (self.shadow.last_write(addr).copied(), None)
+        };
+        if is_write {
+            if self.track_output {
+                if let Some(w) = prev_write {
+                    out.dependence(
+                        DepKind::Output,
+                        w.stmt,
+                        w.coords.resolve(&self.arena),
+                        stmt,
+                        coords,
+                    );
+                }
+            }
+            if self.track_anti {
+                if let Some(r) = prev_read {
+                    out.dependence(
+                        DepKind::Anti,
+                        r.stmt,
+                        r.coords.resolve(&self.arena),
+                        stmt,
+                        coords,
+                    );
+                }
+            }
+        } else if let Some(w) = prev_write {
+            out.dependence(
+                DepKind::Flow,
+                w.stmt,
+                w.coords.resolve(&self.arena),
+                stmt,
+                coords,
+            );
+        }
+        out.mem_access(stmt, coords, addr, is_write);
+    }
+
+    /// Resident shadow pages (overhead statistics).
+    pub fn resident_pages(&self) -> usize {
+        self.shadow.resident_pages()
     }
 }
 

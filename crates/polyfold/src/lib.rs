@@ -16,6 +16,7 @@
 //!   folded dependence relations.
 
 pub mod fitter;
+pub mod pipeline;
 pub mod stream;
 
 pub use fitter::{FitResult, OnlineAffineFitter, RatAffine};
@@ -173,6 +174,33 @@ impl FoldedDdg {
     /// actually has to schedule — the paper's scalability argument).
     pub fn n_stmts(&self) -> usize {
         self.stmts.len()
+    }
+
+    /// Deterministically merge shard partials into one DDG.
+    ///
+    /// The pipeline shards by folding key (statement id; consumer id for
+    /// dependences), so the partials own *disjoint* key sets and merging is
+    /// a union, never a combination of two half-folded streams. The final
+    /// dependence sort is over the full key `(kind, src, dst, class)` —
+    /// unique per relation — so the result is independent of shard count
+    /// and merge order, byte-identical to the serial sink's output.
+    pub fn merge_parts(parts: impl IntoIterator<Item = FoldedDdg>) -> FoldedDdg {
+        let mut out = FoldedDdg::default();
+        for part in parts {
+            out.total_ops += part.total_ops;
+            out.removed_affine_ops += part.removed_affine_ops;
+            for (id, s) in part.stmts {
+                let prev = out.stmts.insert(id, s);
+                debug_assert!(prev.is_none(), "statement {id:?} folded in two shards");
+            }
+            for (id, a) in part.accesses {
+                let prev = out.accesses.insert(id, a);
+                debug_assert!(prev.is_none(), "access {id:?} folded in two shards");
+            }
+            out.deps.extend(part.deps);
+        }
+        out.deps.sort_by_key(|d| (d.kind, d.src, d.dst, d.class));
+        out
     }
 }
 

@@ -134,6 +134,20 @@ impl ContextInterner {
     }
 }
 
+// Interned context snapshots cross thread boundaries in the sharded folding
+// pipeline: `StmtId`/`CtxPathId` travel inside event chunks, and the shard
+// workers finalize against one shared `&ContextInterner`. Everything here is
+// owned data (no interior mutability), so these hold automatically — the
+// assertions make the guarantee a compile-time contract instead of an
+// accident.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ContextInterner>();
+    assert_send_sync::<StmtInfo>();
+    assert_send_sync::<CtxPathId>();
+    assert_send_sync::<StmtId>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -85,3 +85,46 @@ fn steady_state_profiling_does_not_allocate_per_event() {
          over {extra_ops} extra dynamic ops (short: {allocs_short}, long: {allocs_long})"
     );
 }
+
+/// As above, through the sharded pipeline: (events, allocations) across the
+/// whole staged pass 2 — all threads share the one global allocator, so the
+/// count covers every stage and shard.
+fn profile_counting_pipelined(prog: &Program) -> (u64, u64) {
+    use polyprof_core::polyfold::pipeline::{fold_pipelined, PipelineConfig};
+    let mut rec = polycfg::StructureRecorder::new();
+    polyvm::Vm::new(prog).run(&[], &mut rec).expect("pass 1");
+    let structure = polycfg::StaticStructure::analyze(prog, rec);
+    let cfg = PipelineConfig {
+        fold_threads: 2,
+        chunk_events: 1024,
+        ..Default::default()
+    };
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let (ddg, _interner) = fold_pipelined(prog, &structure, &cfg);
+    let after = ALLOCS.load(Ordering::Relaxed);
+    (ddg.total_ops, after - before)
+}
+
+/// Inside each pipeline shard the steady state must stay allocation-free:
+/// extra allocations between a short and a 10x-longer run are bounded by
+/// *chunk traffic* (a few per extra chunk when the recycling pool momentarily
+/// runs dry, plus channel parking), never by events. The old per-event
+/// behavior would cost tens of thousands of allocations here; the bound
+/// of 2048 over ~45 extra chunks (~60k extra events) is two orders of
+/// magnitude below that while absorbing scheduler-dependent pool misses.
+#[test]
+fn pipelined_folding_allocation_bounded_by_chunks_not_events() {
+    let short_n = 500i64;
+    let long_n = 5000i64;
+    let _ = profile_counting_pipelined(&kernel(short_n));
+    let (ops_short, allocs_short) = profile_counting_pipelined(&kernel(short_n));
+    let (ops_long, allocs_long) = profile_counting_pipelined(&kernel(long_n));
+    let extra_ops = ops_long - ops_short;
+    assert!(extra_ops > 20_000, "kernel too small for a meaningful test");
+    let extra_allocs = allocs_long.saturating_sub(allocs_short);
+    assert!(
+        extra_allocs < 2048,
+        "pipelined folding allocates per event: {extra_allocs} extra allocations \
+         over {extra_ops} extra dynamic ops (short: {allocs_short}, long: {allocs_long})"
+    );
+}

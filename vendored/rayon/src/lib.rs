@@ -100,7 +100,12 @@ where
     std::thread::scope(|s| {
         let h = s.spawn(move || drive_for_each(l, f, lt));
         drive_for_each(r, f, threads - lt);
-        h.join().expect("rayon stand-in worker panicked");
+        // Re-raise the worker's own payload instead of replacing it with a
+        // generic join error: callers (CI included) must see the original
+        // panic message.
+        if let Err(payload) = h.join() {
+            std::panic::resume_unwind(payload);
+        }
     });
 }
 
@@ -115,7 +120,10 @@ fn drive_collect_vec<I: ParallelIterator>(it: I, threads: usize) -> Vec<I::Item>
     std::thread::scope(|s| {
         let h = s.spawn(move || drive_collect_vec(l, lt));
         let mut right = drive_collect_vec(r, threads - lt);
-        let mut out = h.join().expect("rayon stand-in worker panicked");
+        let mut out = match h.join() {
+            Ok(v) => v,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
         out.append(&mut right);
         out
     })
@@ -429,6 +437,29 @@ mod tests {
         assert_eq!(a[40], 5);
         assert_eq!(b[40], 50);
         assert_eq!(a[50], 0); // beyond take(5)
+    }
+
+    /// A worker panic must surface with its *original* payload, not a
+    /// generic "worker panicked" join error.
+    #[test]
+    fn panics_propagate_with_payload() {
+        let xs: Vec<u32> = (0..64).collect();
+        let r = std::panic::catch_unwind(|| {
+            // item 0 lands in the leftmost split, i.e. on a spawned worker
+            // whenever more than one thread drives the loop
+            xs.par_iter().for_each(|&x| {
+                if x == 0 {
+                    panic!("boom at {x}");
+                }
+            });
+        });
+        let payload = r.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(msg.contains("boom at 0"), "payload lost: {msg:?}");
     }
 
     #[test]
