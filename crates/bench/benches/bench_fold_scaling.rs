@@ -14,12 +14,14 @@
 //! gate was enforced either way.
 
 use polyddg::DdgProfiler;
-use polyfold::pipeline::{fold_pipelined, PipelineConfig};
+use polyfold::pipeline::{fold_pipelined, fold_pipelined_traced, PipelineConfig};
 use polyfold::FoldingSink;
 use polyprof_bench::trace::{big_backprop, Recorder};
 use polyprof_bench::{smoke, JsonObj};
+use polytrace::{Collector, Counter, MetricsLevel};
 use polyvm::Vm;
 use std::hint::black_box;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Best-of-`reps` wall time of `f`, in seconds (one warm-up run first).
@@ -126,9 +128,37 @@ fn main() {
             .str_field("enforced", if enforced { "true" } else { "false" })
             .num_field("measured", gate_speedup);
     });
+
+    // One instrumented run at the gate shard count: channel stall time and
+    // shard balance explain *why* a scaling number moved, so they ride
+    // along in the JSON (and as the standalone CI metrics artifact).
+    let col = Arc::new(Collector::new(MetricsLevel::Timing));
+    let cfg = PipelineConfig {
+        fold_threads: GATE_THREADS,
+        chunk_events: 4096,
+        ..Default::default()
+    };
+    let t0 = Instant::now();
+    let (ddg, _interner) = fold_pipelined_traced(&prog, &structure, &cfg, Some(&col));
+    black_box(ddg);
+    let m = col.snapshot(t0.elapsed().as_nanos() as u64);
+    let metrics_json = m.to_json();
+    println!(
+        "  instrumented @{GATE_THREADS}: send stall {:.1} ms, recv stall {:.1} ms, shard balance {:.2}",
+        m.counter(Counter::SendStallNs) as f64 / 1e6,
+        m.counter(Counter::RecvStallNs) as f64 / 1e6,
+        m.shard_balance()
+    );
+    j.raw_field("metrics", &metrics_json);
+    let mpath = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../metrics_fold_scaling.json"
+    );
+    std::fs::write(mpath, metrics_json + "\n").expect("write metrics_fold_scaling.json");
+
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fold_scaling.json");
     std::fs::write(path, j.render() + "\n").expect("write BENCH_fold_scaling.json");
-    println!("  wrote {path}");
+    println!("  wrote {path} and {mpath}");
 
     if enforced {
         assert!(

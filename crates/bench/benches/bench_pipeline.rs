@@ -17,6 +17,7 @@ use polyfold::FoldingSink;
 use polyir::Program;
 use polyprof_bench::trace::{big_backprop, replay, Ev, Recorder};
 use polyprof_bench::{smoke, time_runs, JsonObj};
+use polyprof_core::{profile_with, MetricsLevel, ProfileConfig};
 use polyvm::{EventSink, NullSink, Vm};
 use std::hint::black_box;
 use std::time::Instant;
@@ -216,9 +217,25 @@ fn main() {
                 .num_field("interned_ns_per_event", fast_fold_s * 1e9 / n_events as f64)
                 .num_field("speedup", fold_speedup);
         });
+
+    // Self-profiling telemetry snapshot of one full end-to-end run on the
+    // same workload: per-stage wall times and hot-path counters ride along
+    // in the JSON so the bench trajectory records *where* time went, not
+    // just how much. The standalone copy is the CI metrics artifact.
+    let report = profile_with(
+        &prog,
+        &ProfileConfig::new().with_metrics(MetricsLevel::Timing),
+    );
+    let metrics_json = report.metrics_json().expect("metrics requested");
+    j.raw_field("metrics", &metrics_json);
+    println!("\n=== self-profile of one full run ===");
+    print!("{}", report.metrics.as_ref().unwrap());
+    let mpath = concat!(env!("CARGO_MANIFEST_DIR"), "/../../metrics_pipeline.json");
+    std::fs::write(mpath, metrics_json + "\n").expect("write metrics_pipeline.json");
+
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
     std::fs::write(path, j.render() + "\n").expect("write BENCH_pipeline.json");
-    println!("  wrote {path}");
+    println!("  wrote {path} and {mpath}");
 
     assert!(
         speedup >= 1.5,

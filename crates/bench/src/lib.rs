@@ -106,6 +106,13 @@ impl JsonObj {
         }
     }
 
+    /// Add a pre-rendered JSON value verbatim (e.g. a
+    /// `polytrace::RunMetrics::to_json` object). The caller guarantees it
+    /// is valid JSON.
+    pub fn raw_field(&mut self, k: &str, raw: &str) -> &mut Self {
+        self.push(k, raw.trim().to_string())
+    }
+
     /// Add a nested object field.
     pub fn obj_field(&mut self, k: &str, f: impl FnOnce(&mut JsonObj)) -> &mut Self {
         let mut inner = JsonObj::new();

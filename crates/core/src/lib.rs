@@ -34,11 +34,17 @@ pub use polyir;
 pub use polylib;
 pub use polysched;
 pub use polystatic;
+pub use polytrace;
 pub use polyvm;
+
+pub use polytrace::{MetricsLevel, RunMetrics};
 
 use polyfeedback::metrics::ProgramFeedback;
 use polyir::Program;
 use polystatic::StaticReport;
+use polytrace::{Collector, Counter, Stage};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Everything Poly-Prof produces for one program.
 pub struct Report {
@@ -61,11 +67,37 @@ pub struct Report {
     /// Number of statements removed as SCEVs and dependences removed with
     /// them.
     pub scev_removed: (usize, usize),
+    /// The profiler's *own* run metrics — per-stage wall times, pipeline
+    /// counters, and channel/cache gauges. `None` when the run was
+    /// configured with [`MetricsLevel::Off`] (the default): the telemetry
+    /// layer then costs nothing and the hot path stays allocation-free.
+    pub metrics: Option<RunMetrics>,
 }
 
-/// Threading knobs of one profiling run (see `polyfold::pipeline` for the
-/// stage anatomy).
+impl Report {
+    /// The run metrics as a JSON object string, or `None` at
+    /// [`MetricsLevel::Off`]. Stable keys — this is what the bench harness
+    /// snapshots into its `metrics.json` artifacts.
+    pub fn metrics_json(&self) -> Option<String> {
+        self.metrics.as_ref().map(|m| m.to_json())
+    }
+
+    /// Render the profiler's own stage tree as a flame graph SVG (the
+    /// self-profile counterpart of [`Report::flamegraph_svg`]), or `None`
+    /// at [`MetricsLevel::Off`].
+    pub fn self_flamegraph_svg(&self, title: &str) -> Option<String> {
+        self.metrics
+            .as_ref()
+            .map(|m| polyfeedback::self_flamegraph_svg(m, title))
+    }
+}
+
+/// Knobs of one profiling run (see `polyfold::pipeline` for the stage
+/// anatomy). Construct through [`ProfileConfig::new`] and the `with_*`
+/// builders — the struct is `#[non_exhaustive]` so future knobs can land
+/// without breaking callers.
 #[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
 pub struct ProfileConfig {
     /// Folding worker threads. `1` (the default) keeps the fully serial
     /// single-thread path — retained verbatim and bit-compared against the
@@ -76,6 +108,10 @@ pub struct ProfileConfig {
     /// Events per pipeline chunk (batching granularity; ignored on the
     /// serial path).
     pub chunk_events: usize,
+    /// Self-profiling level: [`MetricsLevel::Off`] (default, zero cost),
+    /// `Counters` (hot-path tallies, harvested per stage), or `Timing`
+    /// (counters + per-stage spans and channel stall clocks).
+    pub metrics: MetricsLevel,
 }
 
 impl Default for ProfileConfig {
@@ -83,7 +119,34 @@ impl Default for ProfileConfig {
         ProfileConfig {
             fold_threads: 1,
             chunk_events: 4096,
+            metrics: MetricsLevel::Off,
         }
+    }
+}
+
+impl ProfileConfig {
+    /// The default configuration: serial folding, 4096-event chunks,
+    /// metrics off.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the folding worker count (`>1` engages the staged pipeline).
+    pub fn with_fold_threads(mut self, n: usize) -> Self {
+        self.fold_threads = n;
+        self
+    }
+
+    /// Set the events-per-chunk batching granularity of the pipeline.
+    pub fn with_chunk_events(mut self, n: usize) -> Self {
+        self.chunk_events = n;
+        self
+    }
+
+    /// Set the self-profiling level.
+    pub fn with_metrics(mut self, level: MetricsLevel) -> Self {
+        self.metrics = level;
+        self
     }
 }
 
@@ -97,34 +160,87 @@ pub fn profile(prog: &Program) -> Report {
 /// pipeline produces byte-identical reports to the serial path; the knobs
 /// only trade wall-clock for threads.
 pub fn profile_with(prog: &Program, cfg: &ProfileConfig) -> Report {
+    // Telemetry: one fixed-slot collector per run when metrics are on; no
+    // allocation and no clock reads at `Off` (the zero-alloc gate runs the
+    // default config through this exact path).
+    let trace = (cfg.metrics != MetricsLevel::Off)
+        .then(|| (Arc::new(Collector::new(cfg.metrics)), Instant::now()));
+
     // Pass 1: dynamic control structure.
-    let mut rec = polycfg::StructureRecorder::new();
-    polyvm::Vm::new(prog)
-        .run(&[], &mut rec)
-        .expect("pass-1 execution failed");
-    let structure = polycfg::StaticStructure::analyze(prog, rec);
+    let structure = {
+        let _span = trace.as_ref().map(|(c, _)| c.span(Stage::Structure));
+        let mut rec = polycfg::StructureRecorder::new();
+        polyvm::Vm::new(prog)
+            .run(&[], &mut rec)
+            .expect("pass-1 execution failed");
+        polycfg::StaticStructure::analyze(prog, rec)
+    };
 
     // Pass 2: DDG streaming into the folding sink — serial in-line, or the
     // staged pipeline when more than one folding thread is requested.
     let (mut ddg, interner) = if cfg.fold_threads <= 1 {
-        let mut prof = polyddg::DdgProfiler::new(prog, &structure, polyfold::FoldingSink::new());
-        polyvm::Vm::new(prog)
-            .run(&[], &mut prof)
-            .expect("pass-2 execution failed");
-        let (sink, interner) = prof.finish();
-        (sink.finalize(prog, &interner), interner)
+        let (sink, interner) = {
+            let _span = trace.as_ref().map(|(c, _)| c.span(Stage::Profile));
+            let mut prof =
+                polyddg::DdgProfiler::new(prog, &structure, polyfold::FoldingSink::new());
+            polyvm::Vm::new(prog)
+                .run(&[], &mut prof)
+                .expect("pass-2 execution failed");
+            if let Some((c, _)) = &trace {
+                c.add(Counter::DynOps, prof.dyn_ops);
+                c.add(Counter::MemEvents, prof.mem_events);
+                let (hits, misses) = prof.shadow_mru_stats();
+                c.add(Counter::ShadowMruHit, hits);
+                c.add(Counter::ShadowMruMiss, misses);
+                c.add(Counter::ShadowPages, prof.resident_shadow_pages() as u64);
+                c.add(Counter::ArenaBytes, prof.arena_bytes() as u64);
+            }
+            prof.finish()
+        };
+        if let Some((c, _)) = &trace {
+            let (hits, misses) = interner.cache_stats();
+            c.add(Counter::CtxCacheHit, hits);
+            c.add(Counter::CtxCacheMiss, misses);
+            let fs = sink.fold_stats();
+            c.add(Counter::EventsFolded, fs.events_folded);
+            c.add(Counter::DepsFolded, fs.deps_folded);
+            c.add(Counter::DepMruHit, fs.dep_mru_hits);
+            c.add(Counter::DepMruMiss, fs.dep_mru_misses);
+        }
+        let ddg = {
+            let _span = trace.as_ref().map(|(c, _)| c.span(Stage::Finalize));
+            sink.finalize(prog, &interner)
+        };
+        (ddg, interner)
     } else {
+        let _span = trace.as_ref().map(|(c, _)| c.span(Stage::Profile));
         let pcfg = polyfold::pipeline::PipelineConfig {
             fold_threads: cfg.fold_threads,
             chunk_events: cfg.chunk_events,
             ..Default::default()
         };
-        polyfold::pipeline::fold_pipelined(prog, &structure, &pcfg)
+        polyfold::pipeline::fold_pipelined_traced(
+            prog,
+            &structure,
+            &pcfg,
+            trace.as_ref().map(|(c, _)| c),
+        )
     };
-    let scev_removed = ddg.remove_scevs();
+    let scev_removed = {
+        let _span = trace.as_ref().map(|(c, _)| c.span(Stage::ScevRemoval));
+        ddg.remove_scevs()
+    };
+    if let Some((c, _)) = &trace {
+        c.add(Counter::RetiredStmts, scev_removed.0 as u64);
+        c.add(Counter::RetiredDeps, scev_removed.1 as u64);
+        c.add(Counter::OverapproxStmts, ddg.overapprox_stmts() as u64);
+    }
 
     // Stage 4: scheduling + feedback.
-    let analysis = polysched::Analysis::analyze(&ddg, &interner);
+    let analysis = {
+        let _span = trace.as_ref().map(|(c, _)| c.span(Stage::Schedule));
+        polysched::Analysis::analyze(&ddg, &interner)
+    };
     let input = polyfeedback::FeedbackInput {
         prog,
         ddg: &ddg,
@@ -132,19 +248,34 @@ pub fn profile_with(prog: &Program, cfg: &ProfileConfig) -> Report {
         structure: &structure,
         analysis: &analysis,
     };
-    let feedback = polyfeedback::metrics::compute(&input);
-    let flamegraph_svg = polyfeedback::flamegraph_svg(&input, &prog.name);
-    let annotated_ast = polyfeedback::annotated_ast(&input);
-    let full_text = polyfeedback::full_report(&input, &feedback);
+    let (feedback, full_text) = {
+        let _span = trace.as_ref().map(|(c, _)| c.span(Stage::Feedback));
+        let feedback = polyfeedback::metrics::compute(&input);
+        let full_text = polyfeedback::full_report(&input, &feedback);
+        (feedback, full_text)
+    };
+    let (flamegraph_svg, annotated_ast) = {
+        let _span = trace.as_ref().map(|(c, _)| c.span(Stage::Render));
+        (
+            polyfeedback::flamegraph_svg(&input, &prog.name),
+            polyfeedback::annotated_ast(&input),
+        )
+    };
+    let static_report = {
+        let _span = trace.as_ref().map(|(c, _)| c.span(Stage::StaticBaseline));
+        polystatic::analyze_program(prog)
+    };
 
+    let metrics = trace.map(|(c, t0)| c.snapshot(t0.elapsed().as_nanos() as u64));
     Report {
         feedback,
-        static_report: polystatic::analyze_program(prog),
+        static_report,
         flamegraph_svg,
         annotated_ast,
         full_text,
         folded_stats: (ddg.n_stmts(), ddg.deps.len(), ddg.total_ops),
         scev_removed,
+        metrics,
     }
 }
 
@@ -190,6 +321,35 @@ where
             },
         )
         .collect()
+}
+
+/// Suite driver with per-workload telemetry: profile every program with
+/// `cfg` in parallel (same ordering guarantees as [`profile_all`]) and log
+/// one line per workload — its name, wall time, and the peak event-chunk
+/// depth seen on any pipeline channel — to stderr. The peak depth reads `0`
+/// unless `cfg` enables metrics *and* the pipelined path (`fold_threads >
+/// 1`), since the serial path has no channels.
+pub fn profile_suite<P: std::borrow::Borrow<Program> + Sync>(
+    progs: &[P],
+    cfg: &ProfileConfig,
+) -> Vec<Report> {
+    profile_all_with(progs, |p| {
+        let t0 = Instant::now();
+        let r = profile_with(p.borrow(), cfg);
+        let wall = t0.elapsed();
+        let peak = r
+            .metrics
+            .as_ref()
+            .map(|m| m.counter(Counter::QueuePeakDepth))
+            .unwrap_or(0);
+        eprintln!(
+            "[poly-prof] {:<16} wall {:>10.3?}  peak chunk depth {}",
+            p.borrow().name,
+            wall,
+            peak
+        );
+        r
+    })
 }
 
 #[cfg(test)]

@@ -18,7 +18,10 @@
 
 use crate::{DepKind, FoldSink, PreSink};
 use polyiiv::context::StmtId;
+use polytrace::{Collector, Counter};
 use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Span into an [`EventChunk`]'s shared coordinate buffer.
 #[derive(Debug, Clone, Copy)]
@@ -297,6 +300,32 @@ impl EventChunk {
     }
 }
 
+/// Per-writer telemetry tally: plain fields incremented on the hot path
+/// (no atomics), harvested by [`ChunkWriter::finish`] and merged into the
+/// run's `polytrace` collector by the owning stage.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkStats {
+    /// Events pushed through this writer.
+    pub events: u64,
+    /// Chunks obtained from the recycling pool.
+    pub chunks_recycled: u64,
+    /// Chunks freshly allocated (pool momentarily dry).
+    pub chunks_fresh: u64,
+    /// Nanoseconds blocked in bounded-channel sends (only measured when the
+    /// attached collector records at `Timing`; otherwise stays 0).
+    pub send_stall_ns: u64,
+}
+
+impl ChunkStats {
+    /// Accumulate another writer's tally (shard routers sum their writers).
+    pub fn merge(&mut self, other: &ChunkStats) {
+        self.events += other.events;
+        self.chunks_recycled += other.chunks_recycled;
+        self.chunks_fresh += other.chunks_fresh;
+        self.send_stall_ns += other.send_stall_ns;
+    }
+}
+
 /// A [`FoldSink`]/[`PreSink`] that batches events into [`EventChunk`]s and
 /// ships full chunks over a bounded channel (backpressure: `send` blocks
 /// when the consumer lags). Consumed chunks come back through the `recycled`
@@ -307,6 +336,10 @@ pub struct ChunkWriter {
     capacity: usize,
     tx: SyncSender<EventChunk>,
     recycled: Receiver<EventChunk>,
+    stats: ChunkStats,
+    /// Optional telemetry: queue-depth gauge + stall timing per flush.
+    /// Chunk-granularity only — the per-event path never touches it.
+    trace: Option<(Arc<Collector>, usize)>,
 }
 
 impl ChunkWriter {
@@ -323,7 +356,16 @@ impl ChunkWriter {
             capacity,
             tx,
             recycled,
+            stats: ChunkStats::default(),
+            trace: None,
         }
+    }
+
+    /// Attach a telemetry collector; `edge` names this writer's channel edge
+    /// in the collector's queue gauges (0 = pre → resolver, `1 + k` =
+    /// resolver → shard `k`).
+    pub fn set_trace(&mut self, collector: Arc<Collector>, edge: usize) {
+        self.trace = Some((collector, edge));
     }
 
     /// Ship the current chunk (no-op when empty). A disconnected consumer is
@@ -333,26 +375,62 @@ impl ChunkWriter {
         if self.cur.is_empty() {
             return;
         }
-        let mut next = self
-            .recycled
-            .try_recv()
-            .unwrap_or_else(|_| EventChunk::with_capacity(self.capacity));
+        let mut next = match self.recycled.try_recv() {
+            Ok(chunk) => {
+                self.stats.chunks_recycled += 1;
+                chunk
+            }
+            Err(_) => {
+                self.stats.chunks_fresh += 1;
+                EventChunk::with_capacity(self.capacity)
+            }
+        };
         next.clear();
         let full = std::mem::replace(&mut self.cur, next);
-        let _ = self.tx.send(full);
+        match &self.trace {
+            Some((col, edge)) => {
+                if col.timing() {
+                    let t0 = Instant::now();
+                    let _ = self.tx.send(full);
+                    self.stats.send_stall_ns += t0.elapsed().as_nanos() as u64;
+                } else {
+                    let _ = self.tx.send(full);
+                }
+                col.queue_send(*edge);
+            }
+            None => {
+                let _ = self.tx.send(full);
+            }
+        }
     }
 
     #[inline]
     fn after_push(&mut self) {
+        self.stats.events += 1;
         if self.cur.len() >= self.capacity {
             self.flush();
         }
     }
 
+    /// The tally so far (finish() returns the final value).
+    pub fn stats(&self) -> ChunkStats {
+        self.stats
+    }
+
     /// Flush the trailing partial chunk and close the channel (consumers see
-    /// disconnect and finish).
-    pub fn finish(mut self) {
+    /// disconnect and finish), returning this writer's telemetry tally.
+    pub fn finish(mut self) -> ChunkStats {
         self.flush();
+        self.stats
+    }
+
+    /// Merge a tally into a collector's named counters (the owning stage
+    /// calls this once, after its writer finishes).
+    pub fn harvest(stats: &ChunkStats, col: &Collector, events_counter: Counter) {
+        col.add(events_counter, stats.events);
+        col.add(Counter::ChunkRecycled, stats.chunks_recycled);
+        col.add(Counter::ChunkFresh, stats.chunks_fresh);
+        col.add(Counter::SendStallNs, stats.send_stall_ns);
     }
 }
 

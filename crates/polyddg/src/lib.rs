@@ -152,6 +152,8 @@ pub struct DdgProfiler<'p, F: FoldSink> {
     stmt_cache: [Option<(CtxPathId, InstrRef, StmtId)>; STMT_CACHE_SLOTS],
     /// Dynamic instruction count (all ops).
     pub dyn_ops: u64,
+    /// Dynamic memory events (loads + stores) seen.
+    pub mem_events: u64,
 }
 
 /// Direct-mapped statement-cache size; must be a power of two. Multi-block
@@ -204,12 +206,18 @@ impl<'p, F: FoldSink> DdgProfiler<'p, F> {
             loop_buf: Vec::with_capacity(8),
             stmt_cache: [None; STMT_CACHE_SLOTS],
             dyn_ops: 0,
+            mem_events: 0,
         }
     }
 
     /// Consume the profiler, returning the sink and interner.
     pub fn finish(self) -> (F, ContextInterner) {
         (self.out, self.interner)
+    }
+
+    /// Shadow-memory MRU page-cache `(hits, misses)` so far.
+    pub fn shadow_mru_stats(&self) -> (u64, u64) {
+        self.shadow.mru_stats()
     }
 
     /// Immutable access to the fold sink mid-run.
@@ -344,6 +352,7 @@ impl<'p, F: FoldSink> EventSink for DdgProfiler<'p, F> {
     }
 
     fn mem(&mut self, instr: InstrRef, addr: u64, is_write: bool) {
+        self.mem_events += 1;
         let stmt = self.current_stmt(instr);
         self.refresh_coords();
         // Resolve the shadow cell once; prior records are copied out so the

@@ -37,7 +37,9 @@ use polycfg::{LoopEventGen, StaticStructure};
 use polyiiv::context::{ContextInterner, CtxPathId, StmtId};
 use polyiiv::IivTracker;
 use polyir::{BlockRef, FuncId, InstrRef, Program, Value};
+use polytrace::Collector;
 use polyvm::EventSink;
+use std::sync::Arc;
 
 /// Stage-1 profiler: the sequential prefix of [`DdgProfiler`]
 /// (loop events, IIV, interning, register deps) emitting unresolved memory
@@ -62,6 +64,8 @@ pub struct PreProfiler<'p, S: PreSink> {
     stmt_cache: [Option<(CtxPathId, InstrRef, StmtId)>; STMT_CACHE_SLOTS],
     /// Dynamic instruction count (all ops).
     pub dyn_ops: u64,
+    /// Dynamic memory events (loads + stores) seen.
+    pub mem_events: u64,
 }
 
 impl<'p, S: PreSink> PreProfiler<'p, S> {
@@ -99,6 +103,7 @@ impl<'p, S: PreSink> PreProfiler<'p, S> {
             loop_buf: Vec::with_capacity(8),
             stmt_cache: [None; STMT_CACHE_SLOTS],
             dyn_ops: 0,
+            mem_events: 0,
         }
     }
 
@@ -217,6 +222,7 @@ impl<'p, S: PreSink> EventSink for PreProfiler<'p, S> {
     }
 
     fn mem(&mut self, instr: InstrRef, addr: u64, is_write: bool) {
+        self.mem_events += 1;
         let stmt = self.current_stmt(instr);
         self.refresh_coords();
         self.out.mem_pre(stmt, &self.coords, addr, is_write);
@@ -246,10 +252,22 @@ impl ShardRouter {
         stmt.0 as usize % self.shards.len()
     }
 
-    /// Flush all trailing partial chunks and close the shard channels.
-    pub fn finish(self) {
+    /// Flush all trailing partial chunks and close the shard channels,
+    /// returning the summed telemetry tally of every shard writer (its
+    /// `events` field is the routed-event total).
+    pub fn finish(self) -> crate::chunk::ChunkStats {
+        let mut total = crate::chunk::ChunkStats::default();
         for w in self.shards {
-            w.finish();
+            total.merge(&w.finish());
+        }
+        total
+    }
+
+    /// Attach a telemetry collector to every shard writer; shard `k` reports
+    /// on channel edge `1 + k` (edge 0 is the pre → resolver edge).
+    pub fn set_trace(&mut self, collector: &Arc<Collector>) {
+        for (k, w) in self.shards.iter_mut().enumerate() {
+            w.set_trace(Arc::clone(collector), 1 + k);
         }
     }
 }

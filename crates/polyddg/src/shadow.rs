@@ -58,6 +58,13 @@ pub struct ShadowMemory {
     index: HashMap<u64, u32>,
     /// MRU cache: the last page touched by `page_slot`.
     mru: (u64, u32),
+    /// MRU hit/miss tally on the `cell_mut` (update) path — plain fields,
+    /// harvested into the `polytrace` collector at stage end. The read-only
+    /// `cell` path is deliberately uncounted: with the default tracking
+    /// config every memory event makes exactly one `cell_mut` call, so
+    /// hits + misses == memory events (the gated consistency invariant).
+    mru_hits: u64,
+    mru_misses: u64,
 }
 
 impl Default for ShadowMemory {
@@ -73,6 +80,8 @@ impl ShadowMemory {
             pages: Vec::new(),
             index: HashMap::new(),
             mru: (NO_PAGE, 0),
+            mru_hits: 0,
+            mru_misses: 0,
         }
     }
 
@@ -81,8 +90,10 @@ impl ShadowMemory {
     #[inline]
     fn page_slot(&mut self, page_num: u64) -> u32 {
         if self.mru.0 == page_num {
+            self.mru_hits += 1;
             return self.mru.1;
         }
+        self.mru_misses += 1;
         let slot = match self.index.entry(page_num) {
             std::collections::hash_map::Entry::Occupied(e) => *e.get(),
             std::collections::hash_map::Entry::Vacant(e) => {
@@ -145,6 +156,12 @@ impl ShadowMemory {
     /// Number of resident shadow pages (overhead statistics).
     pub fn resident_pages(&self) -> usize {
         self.pages.len()
+    }
+
+    /// MRU page-cache `(hits, misses)` on the update path since
+    /// construction; hits + misses equals total `cell_mut` calls.
+    pub fn mru_stats(&self) -> (u64, u64) {
+        (self.mru_hits, self.mru_misses)
     }
 }
 
@@ -261,6 +278,11 @@ impl ShadowResolver {
     /// Resident shadow pages (overhead statistics).
     pub fn resident_pages(&self) -> usize {
         self.shadow.resident_pages()
+    }
+
+    /// MRU page-cache `(hits, misses)` of the owned shadow memory.
+    pub fn mru_stats(&self) -> (u64, u64) {
+        self.shadow.mru_stats()
     }
 }
 

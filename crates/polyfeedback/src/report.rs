@@ -77,6 +77,68 @@ pub fn flamegraph_svg(input: &FeedbackInput<'_>, title: &str) -> String {
     })
 }
 
+/// Render the profiler's *own* stage tree as a flame graph — the telemetry
+/// layer's self-profile, through the same [`SchedTree`] machinery as the
+/// subject program's graph ([`flamegraph_svg`]).
+///
+/// At `Timing` the boxes are wall time per sequential stage, with the
+/// concurrent pipeline detail (stage threads + fold shards, CPU time)
+/// nested under the profile stage; at `Counters` the pipeline boxes fall
+/// back to event-flow weights instead.
+pub fn self_flamegraph_svg(m: &polytrace::RunMetrics, title: &str) -> String {
+    use polytrace::{Counter, PipeStage, Stage, StageNode};
+    let mut tree: SchedTree<StageNode> = SchedTree::new();
+    let profile = StageNode::Stage(Stage::Profile);
+    if m.sequential_ns() > 0 {
+        let mut children_ns = 0u64;
+        for p in PipeStage::ALL {
+            let w = m.pipe(p);
+            if w > 0 {
+                tree.add_path(&[profile, StageNode::Pipe(p)], w);
+                children_ns += w;
+            }
+        }
+        for (k, &ns) in m.shard_ns.iter().enumerate() {
+            if ns > 0 {
+                tree.add_path(&[profile, StageNode::Shard(k as u8)], ns);
+                children_ns += ns;
+            }
+        }
+        for s in Stage::ALL {
+            // The profile stage's box absorbs its concurrent children; only
+            // the residual (if its wall exceeds their CPU sum) is added
+            // directly, so the subtree width stays monotone.
+            let w = if s == Stage::Profile {
+                m.stage(s).saturating_sub(children_ns)
+            } else {
+                m.stage(s)
+            };
+            if w > 0 {
+                tree.add_path(&[StageNode::Stage(s)], w);
+            }
+        }
+    } else {
+        let pre = m.counter(Counter::EventsEmitted);
+        if pre > 0 {
+            tree.add_path(&[profile, StageNode::Pipe(PipeStage::PreProfile)], pre);
+        }
+        let res = m.counter(Counter::EventsResolved);
+        if res > 0 {
+            tree.add_path(&[profile, StageNode::Pipe(PipeStage::ShadowResolve)], res);
+        }
+        for (k, &ev) in m.shard_events.iter().enumerate() {
+            if ev > 0 {
+                tree.add_path(&[profile, StageNode::Shard(k as u8)], ev);
+            }
+        }
+    }
+    tree.render_svg(title, &|n| n.name(), &|n| match n {
+        StageNode::Stage(_) => "#4a90d9".into(),
+        StageNode::Pipe(_) => "#e8743b".into(),
+        StageNode::Shard(_) => "#f2b134".into(),
+    })
+}
+
 /// Render the simplified annotated AST of the whole nest forest: loop
 /// structure with parallel/permutable/SIMD annotations — the "decorated
 /// simplified AST" of §6.

@@ -176,6 +176,22 @@ impl FoldedDdg {
         self.stmts.len()
     }
 
+    /// Number of folded statements left over-approximated: inexact domain,
+    /// range-folded labels, or a non-affine access function. The telemetry
+    /// layer reports this as `overapprox_stmts`.
+    pub fn overapprox_stmts(&self) -> usize {
+        self.stmts
+            .values()
+            .filter(|s| {
+                let access_affine = match self.accesses.get(&s.stmt) {
+                    Some(a) => a.addr.is_affine(),
+                    None => true,
+                };
+                !(s.domain.exact && !matches!(s.values, LabelFold::Range(_)) && access_affine)
+            })
+            .count()
+    }
+
     /// Deterministically merge shard partials into one DDG.
     ///
     /// The pipeline shards by folding key (statement id; consumer id for
@@ -247,6 +263,31 @@ pub struct FoldingSink {
     dep_mru: Option<(DepKey, u32)>,
     total_ops: u64,
     options: FoldOptions,
+    stats: FoldStats,
+}
+
+/// Per-sink folding telemetry: plain fields on the hot path, harvested by
+/// the owning stage into the run's `polytrace` collector.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FoldStats {
+    /// Fold-interface events consumed (points + accesses + dependences).
+    pub events_folded: u64,
+    /// Dependence events consumed (subset of `events_folded`).
+    pub deps_folded: u64,
+    /// Dependence-MRU hits; hits + misses == `deps_folded`.
+    pub dep_mru_hits: u64,
+    /// Dependence-MRU misses (hash probe taken).
+    pub dep_mru_misses: u64,
+}
+
+impl FoldStats {
+    /// Accumulate another sink's tally (merging shard statistics).
+    pub fn merge(&mut self, other: &FoldStats) {
+        self.events_folded += other.events_folded;
+        self.deps_folded += other.deps_folded;
+        self.dep_mru_hits += other.dep_mru_hits;
+        self.dep_mru_misses += other.dep_mru_misses;
+    }
 }
 
 /// Dependence stream key: kind, producer, consumer, carried class.
@@ -270,6 +311,11 @@ impl FoldingSink {
             options,
             ..Self::default()
         }
+    }
+
+    /// This sink's folding telemetry so far (read before `finalize`).
+    pub fn fold_stats(&self) -> FoldStats {
+        self.stats
     }
 
     /// Finalize all folders into a [`FoldedDdg`], classifying SCEVs using
@@ -385,6 +431,7 @@ impl FoldingSink {
 impl FoldSink for FoldingSink {
     fn instr_point(&mut self, stmt: StmtId, coords: &[i64], value: Option<i64>) {
         self.total_ops += 1;
+        self.stats.events_folded += 1;
         let folder = Self::stmt_slot(&mut self.stmts, stmt)
             .get_or_insert_with(|| StreamFolder::new(coords.len()));
         match value {
@@ -394,6 +441,7 @@ impl FoldSink for FoldingSink {
     }
 
     fn mem_access(&mut self, stmt: StmtId, coords: &[i64], addr: u64, is_write: bool) {
+        self.stats.events_folded += 1;
         let (folder, _) = Self::stmt_slot(&mut self.accesses, stmt)
             .get_or_insert_with(|| (StreamFolder::new(coords.len()), is_write));
         folder.push(coords, Some(&[addr as i64]));
@@ -407,6 +455,8 @@ impl FoldSink for FoldingSink {
         dst: StmtId,
         dst_coords: &[i64],
     ) {
+        self.stats.events_folded += 1;
+        self.stats.deps_folded += 1;
         let common = src_coords.len().min(dst_coords.len());
         let class = if self.options.split_classes {
             (0..common)
@@ -418,8 +468,12 @@ impl FoldSink for FoldingSink {
         };
         let key = (kind, src, dst, class);
         let slot = match self.dep_mru {
-            Some((k, s)) if k == key => s,
+            Some((k, s)) if k == key => {
+                self.stats.dep_mru_hits += 1;
+                s
+            }
             _ => {
+                self.stats.dep_mru_misses += 1;
                 let slot = match self.dep_index.entry(key) {
                     std::collections::hash_map::Entry::Occupied(e) => *e.get(),
                     std::collections::hash_map::Entry::Vacant(e) => {

@@ -38,7 +38,10 @@ use polyddg::shadow::ShadowResolver;
 use polyddg::{DdgConfig, FoldSink};
 use polyiiv::context::ContextInterner;
 use polyir::Program;
-use std::sync::mpsc::sync_channel;
+use polytrace::{Collector, Counter, PipeStage};
+use std::sync::mpsc::{sync_channel, Receiver};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Knobs of one pipelined profiling run.
 #[derive(Debug, Clone, Copy)]
@@ -94,6 +97,32 @@ pub fn fold_pipelined(
     structure: &StaticStructure,
     cfg: &PipelineConfig,
 ) -> (FoldedDdg, ContextInterner) {
+    fold_pipelined_traced(prog, structure, cfg, None)
+}
+
+/// One timed (or plain) bounded-channel receive; `None` on disconnect.
+#[inline]
+fn recv_timed(rx: &Receiver<EventChunk>, timing: bool, stall_ns: &mut u64) -> Option<EventChunk> {
+    if timing {
+        let t0 = Instant::now();
+        let r = rx.recv().ok();
+        *stall_ns += t0.elapsed().as_nanos() as u64;
+        r
+    } else {
+        rx.recv().ok()
+    }
+}
+
+/// As [`fold_pipelined`], optionally recording into a `polytrace`
+/// [`Collector`]: per-stage-thread spans, per-shard fold counts, chunk-pool
+/// and channel gauges, and the hot-path tallies (harvested once per stage —
+/// the per-event path stays atomic-free).
+pub fn fold_pipelined_traced(
+    prog: &Program,
+    structure: &StaticStructure,
+    cfg: &PipelineConfig,
+    trace: Option<&Arc<Collector>>,
+) -> (FoldedDdg, ContextInterner) {
     let k = cfg.fold_threads.max(1);
     let chunk_events = cfg.chunk_events.max(1);
     let queue = cfg.queue_chunks.max(1);
@@ -115,21 +144,51 @@ pub fn fold_pipelined(
             shard_ends.push((rx, pool_tx));
         }
 
+        let trace_pre = trace.cloned();
         let producer = s.spawn(move || {
-            let writer = ChunkWriter::new(chunk_events, pre_tx, pre_pool_rx);
+            let _span = trace_pre
+                .as_ref()
+                .map(|c| c.pipe_span(PipeStage::PreProfile));
+            let mut writer = ChunkWriter::new(chunk_events, pre_tx, pre_pool_rx);
+            if let Some(c) = &trace_pre {
+                writer.set_trace(Arc::clone(c), 0);
+            }
             let mut prof = PreProfiler::with_config(prog, structure, writer, ddg_cfg);
             polyvm::Vm::new(prog)
                 .run(&[], &mut prof)
                 .expect("pass-2 execution failed");
+            if let Some(c) = &trace_pre {
+                c.add(Counter::DynOps, prof.dyn_ops);
+                c.add(Counter::MemEvents, prof.mem_events);
+                let (hits, misses) = prof.interner.cache_stats();
+                c.add(Counter::CtxCacheHit, hits);
+                c.add(Counter::CtxCacheMiss, misses);
+            }
             let (writer, interner) = prof.finish();
-            writer.finish();
+            let stats = writer.finish();
+            if let Some(c) = &trace_pre {
+                ChunkWriter::harvest(&stats, c, Counter::EventsEmitted);
+            }
             interner
         });
 
+        let trace_res = trace.cloned();
         let resolver = s.spawn(move || {
+            let _span = trace_res
+                .as_ref()
+                .map(|c| c.pipe_span(PipeStage::ShadowResolve));
+            let timing = trace_res.as_ref().is_some_and(|c| c.timing());
             let mut shadow = ShadowResolver::new(ddg_cfg);
             let mut router = ShardRouter::new(shard_writers);
-            for mut chunk in pre_rx {
+            if let Some(c) = &trace_res {
+                router.set_trace(c);
+            }
+            let mut resolved = 0u64;
+            let mut recv_stall = 0u64;
+            while let Some(mut chunk) = recv_timed(&pre_rx, timing, &mut recv_stall) {
+                if let Some(c) = &trace_res {
+                    c.queue_recv(0);
+                }
                 for ev in chunk.events() {
                     match ev {
                         EventRef::Point {
@@ -155,25 +214,56 @@ pub fn fold_pipelined(
                             coords,
                             addr,
                             is_write,
-                        } => shadow.resolve(stmt, coords, addr, is_write, &mut router),
+                        } => {
+                            resolved += 1;
+                            shadow.resolve(stmt, coords, addr, is_write, &mut router);
+                        }
                     }
                 }
                 chunk.clear();
                 // Recycling never blocks: a full pool just drops the chunk.
                 let _ = pre_pool_tx.try_send(chunk);
             }
-            router.finish();
+            let stats = router.finish();
+            if let Some(c) = &trace_res {
+                c.add(Counter::EventsResolved, resolved);
+                c.add(Counter::RecvStallNs, recv_stall);
+                ChunkWriter::harvest(&stats, c, Counter::EventsRouted);
+                let (hits, misses) = shadow.mru_stats();
+                c.add(Counter::ShadowMruHit, hits);
+                c.add(Counter::ShadowMruMiss, misses);
+                c.add(Counter::ShadowPages, shadow.resident_pages() as u64);
+            }
         });
 
         let workers: Vec<_> = shard_ends
             .into_iter()
-            .map(|(rx, pool_tx)| {
+            .enumerate()
+            .map(|(shard, (rx, pool_tx))| {
+                let trace_w = trace.cloned();
                 s.spawn(move || {
+                    let _span = trace_w.as_ref().map(|c| c.shard_span(shard));
+                    let timing = trace_w.as_ref().is_some_and(|c| c.timing());
                     let mut sink = FoldingSink::with_options(options);
-                    for mut chunk in rx {
+                    let mut recv_stall = 0u64;
+                    while let Some(mut chunk) = recv_timed(&rx, timing, &mut recv_stall) {
+                        if let Some(c) = &trace_w {
+                            c.queue_recv(1 + shard);
+                        }
                         chunk.replay_into(&mut sink);
                         chunk.clear();
                         let _ = pool_tx.try_send(chunk);
+                    }
+                    if let Some(c) = &trace_w {
+                        let fs = sink.fold_stats();
+                        // Registers the shard slot even at zero events, so
+                        // shard balance sees every configured shard.
+                        c.record_shard_events(shard, fs.events_folded);
+                        c.add(Counter::EventsFolded, fs.events_folded);
+                        c.add(Counter::DepsFolded, fs.deps_folded);
+                        c.add(Counter::DepMruHit, fs.dep_mru_hits);
+                        c.add(Counter::DepMruMiss, fs.dep_mru_misses);
+                        c.add(Counter::RecvStallNs, recv_stall);
                     }
                     sink
                 })
@@ -189,7 +279,10 @@ pub fn fold_pipelined(
         (shards, interner)
     });
 
-    let ddg = finalize_shards(shards, prog, &interner);
+    let ddg = {
+        let _span = trace.map(|c| c.pipe_span(PipeStage::Merge));
+        finalize_shards(shards, prog, &interner)
+    };
     (ddg, interner)
 }
 

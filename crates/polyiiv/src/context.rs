@@ -41,6 +41,10 @@ pub struct ContextInterner {
     stmts: Vec<StmtInfo>,
     stmt_map: HashMap<(CtxPathId, InstrRef), StmtId>,
     cache: Option<(u64, CtxPathId)>,
+    /// Version-cache hit/miss tally (plain fields — one register increment
+    /// per lookup; harvested into the `polytrace` collector at stage end).
+    cache_hits: u64,
+    cache_misses: u64,
 }
 
 impl ContextInterner {
@@ -53,9 +57,11 @@ impl ContextInterner {
     pub fn current_path(&mut self, t: &IivTracker) -> CtxPathId {
         if let Some((v, id)) = self.cache {
             if v == t.version() {
+                self.cache_hits += 1;
                 return id;
             }
         }
+        self.cache_misses += 1;
         let h = {
             use std::hash::{Hash, Hasher};
             let mut hasher = std::collections::hash_map::DefaultHasher::new();
@@ -123,6 +129,13 @@ impl ContextInterner {
     /// Number of interned context paths.
     pub fn n_paths(&self) -> usize {
         self.paths.len()
+    }
+
+    /// Version-cache `(hits, misses)` since construction. Hits + misses
+    /// equals total `current_path` lookups — the invariant the metrics
+    /// consistency suite checks.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (self.cache_hits, self.cache_misses)
     }
 
     /// Iterate all statements.

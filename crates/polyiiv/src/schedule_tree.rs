@@ -10,34 +10,37 @@
 use crate::CtxElem;
 use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::hash::Hash;
 
-/// One node of the schedule tree.
+/// One node of the schedule tree, generic over the label alphabet `L`
+/// (context elements by default; the telemetry layer reuses the same trie
+/// and renderers with its own stage-node labels).
 #[derive(Debug, Clone)]
-pub struct SchedTreeNode {
+pub struct SchedTreeNode<L = CtxElem> {
     /// The context element this node represents (`None` only for the root).
-    pub label: Option<CtxElem>,
+    pub label: Option<L>,
     /// Children, in insertion (first-execution) order.
     pub children: Vec<usize>,
     /// Total dynamic weight (operation count) in this subtree.
     pub weight: u64,
     /// Weight attributed directly to this node (leaf statements).
     pub self_weight: u64,
-    index: HashMap<CtxElem, usize>,
+    index: HashMap<L, usize>,
 }
 
 /// The dynamic schedule tree.
 #[derive(Debug, Clone)]
-pub struct SchedTree {
-    nodes: Vec<SchedTreeNode>,
+pub struct SchedTree<L = CtxElem> {
+    nodes: Vec<SchedTreeNode<L>>,
 }
 
-impl Default for SchedTree {
+impl<L: Copy + Eq + Hash> Default for SchedTree<L> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl SchedTree {
+impl<L: Copy + Eq + Hash> SchedTree<L> {
     /// An empty tree with just the root.
     pub fn new() -> Self {
         SchedTree {
@@ -53,7 +56,7 @@ impl SchedTree {
 
     /// Insert (or re-weight) the path `elems`, adding `weight` to every node
     /// along it and to the leaf's self-weight.
-    pub fn add_path(&mut self, elems: &[CtxElem], weight: u64) {
+    pub fn add_path(&mut self, elems: &[L], weight: u64) {
         let mut cur = 0usize;
         self.nodes[0].weight += weight;
         for &e in elems {
@@ -80,7 +83,7 @@ impl SchedTree {
     }
 
     /// Node accessor (0 = root).
-    pub fn node(&self, i: usize) -> &SchedTreeNode {
+    pub fn node(&self, i: usize) -> &SchedTreeNode<L> {
         &self.nodes[i]
     }
 
@@ -96,7 +99,7 @@ impl SchedTree {
 
     /// Maximum depth (root = 0).
     pub fn max_depth(&self) -> usize {
-        fn depth(t: &SchedTree, n: usize) -> usize {
+        fn depth<L: Copy + Eq + std::hash::Hash>(t: &SchedTree<L>, n: usize) -> usize {
             1 + t.nodes[n]
                 .children
                 .iter()
@@ -109,7 +112,7 @@ impl SchedTree {
 
     /// Render in the standard *folded stacks* format consumed by flame-graph
     /// tooling: one `a;b;c weight` line per node with self-weight.
-    pub fn render_folded(&self, name: &dyn Fn(&CtxElem) -> String) -> String {
+    pub fn render_folded(&self, name: &dyn Fn(&L) -> String) -> String {
         let mut out = String::new();
         let mut stack: Vec<String> = Vec::new();
         self.fold_rec(0, &mut stack, name, &mut out);
@@ -120,7 +123,7 @@ impl SchedTree {
         &self,
         n: usize,
         stack: &mut Vec<String>,
-        name: &dyn Fn(&CtxElem) -> String,
+        name: &dyn Fn(&L) -> String,
         out: &mut String,
     ) {
         let node = &self.nodes[n];
@@ -144,8 +147,8 @@ impl SchedTree {
     pub fn render_svg(
         &self,
         title: &str,
-        name: &dyn Fn(&CtxElem) -> String,
-        color: &dyn Fn(&CtxElem) -> String,
+        name: &dyn Fn(&L) -> String,
+        color: &dyn Fn(&L) -> String,
     ) -> String {
         const W: f64 = 1200.0;
         const ROW: f64 = 18.0;
@@ -178,8 +181,8 @@ impl SchedTree {
         base_y: f64,
         row: f64,
         total: f64,
-        name: &dyn Fn(&CtxElem) -> String,
-        color: &dyn Fn(&CtxElem) -> String,
+        name: &dyn Fn(&L) -> String,
+        color: &dyn Fn(&L) -> String,
         out: &mut String,
     ) {
         let node = &self.nodes[n];

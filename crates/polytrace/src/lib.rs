@@ -1,0 +1,854 @@
+//! # polytrace — the profiler profiling itself
+//!
+//! Poly-Prof's whole premise is feedback from a single execution; this crate
+//! gives the *pipeline itself* the same treatment. One [`Collector`] per
+//! profiling run accumulates, into **fixed atomic slots** (no allocation on
+//! any recording path):
+//!
+//! * **per-stage span timing** — wall time of each sequential stage of
+//!   [`profile`](https://docs.rs/polyprof-core) (structure recording, pass 2,
+//!   finalize, SCEV removal, scheduling, feedback, rendering, the static
+//!   baseline), plus the *concurrent* stage threads of the sharded pipeline
+//!   (event generation, shadow resolution, each fold shard, merge);
+//! * **pipeline counters and gauges** — events emitted / resolved / folded
+//!   (total and per shard), chunk-pool recycle vs fresh-allocation counts,
+//!   bounded-channel send/recv stall time, shadow-page and context-cache MRU
+//!   hit/miss, dependence-MRU hit/miss, retired (SCEV) and over-approximated
+//!   statement counts, queue-depth high-water marks.
+//!
+//! The design keeps the hot paths honest:
+//!
+//! * Per-event accounting lives in the components themselves as plain `u64`
+//!   fields (a register increment, no atomics, no branches) and is harvested
+//!   into the collector **once per stage**, when the owning thread finishes.
+//! * Atomic traffic happens only at chunk granularity (queue gauges, stall
+//!   time) or stage granularity (span ends) — thousands of events apart.
+//! * `Instant::now()` is taken only at [`MetricsLevel::Timing`]; at
+//!   [`MetricsLevel::Counters`] spans are free, and at [`MetricsLevel::Off`]
+//!   no collector exists at all, so the zero-allocation steady state of the
+//!   profiling hot path is untouched (gated by `tests/zero_alloc.rs`).
+//!
+//! At the end of a run [`Collector::snapshot`] freezes everything into a
+//! [`RunMetrics`] — plain data, rendered as a human-readable table
+//! ([`std::fmt::Display`]) or machine-readable JSON ([`RunMetrics::to_json`]),
+//! and surfaced on `polyprof_core::Report::metrics`.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// How much the profiler records about itself during a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum MetricsLevel {
+    /// No collector at all: the hot paths still maintain their (free) local
+    /// counters, but nothing is harvested and `Report::metrics` is `None`.
+    #[default]
+    Off,
+    /// Counters and gauges only — spans exist but never read the clock.
+    Counters,
+    /// Counters plus wall-clock span timing for every stage.
+    Timing,
+}
+
+impl MetricsLevel {
+    /// Parse the `POLYPROF_METRICS` environment variable
+    /// (`off`/`counters`/`timing`, case-insensitive; unset or unknown =>
+    /// `Off`). Suite drivers use this so a run can be made attributable
+    /// without recompiling.
+    pub fn from_env() -> Self {
+        match std::env::var("POLYPROF_METRICS") {
+            Ok(v) => match v.to_ascii_lowercase().as_str() {
+                "counters" => MetricsLevel::Counters,
+                "timing" => MetricsLevel::Timing,
+                _ => MetricsLevel::Off,
+            },
+            Err(_) => MetricsLevel::Off,
+        }
+    }
+}
+
+/// Sequential stages of one profiling run. Exactly one of these is active at
+/// any moment, so their span times sum to (approximately) the run's wall
+/// time — the property the metrics-consistency suite asserts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Pass 1: dynamic CFG/CG recording + loop-forest analysis.
+    Structure,
+    /// Pass 2: the DDG profiling run itself (serial in-line, or the whole
+    /// staged pipeline — whose internal concurrency is broken out in
+    /// [`PipeStage`] / shard slots).
+    Profile,
+    /// Folding-sink finalization (serial path; the pipeline finalizes inside
+    /// [`Stage::Profile`], attributed to [`PipeStage::Merge`]).
+    Finalize,
+    /// SCEV statement/dependence removal.
+    ScevRemoval,
+    /// Pluto-style schedule analysis.
+    Schedule,
+    /// PolyFeat metric computation.
+    Feedback,
+    /// Report rendering: flame graph, annotated AST, full text.
+    Render,
+    /// The static "Polly" baseline analysis.
+    StaticBaseline,
+}
+
+/// Number of [`Stage`] slots.
+pub const N_STAGES: usize = 8;
+
+impl Stage {
+    /// All stages, in execution order.
+    pub const ALL: [Stage; N_STAGES] = [
+        Stage::Structure,
+        Stage::Profile,
+        Stage::Finalize,
+        Stage::ScevRemoval,
+        Stage::Schedule,
+        Stage::Feedback,
+        Stage::Render,
+        Stage::StaticBaseline,
+    ];
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Structure => "structure",
+            Stage::Profile => "profile",
+            Stage::Finalize => "finalize",
+            Stage::ScevRemoval => "scev-removal",
+            Stage::Schedule => "schedule",
+            Stage::Feedback => "feedback",
+            Stage::Render => "render",
+            Stage::StaticBaseline => "static-baseline",
+        }
+    }
+
+    fn slot(self) -> usize {
+        match self {
+            Stage::Structure => 0,
+            Stage::Profile => 1,
+            Stage::Finalize => 2,
+            Stage::ScevRemoval => 3,
+            Stage::Schedule => 4,
+            Stage::Feedback => 5,
+            Stage::Render => 6,
+            Stage::StaticBaseline => 7,
+        }
+    }
+}
+
+/// Concurrent stage threads *inside* [`Stage::Profile`] when pass 2 runs as
+/// the sharded pipeline. These overlap in time (and with the fold shards),
+/// so they are reported as CPU time, not added to the sequential sum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PipeStage {
+    /// The VM thread: loop events, IIV, interning, register deps.
+    PreProfile,
+    /// The shadow-resolution thread.
+    ShadowResolve,
+    /// Parallel shard finalization + deterministic merge.
+    Merge,
+}
+
+/// Number of [`PipeStage`] slots.
+pub const N_PIPE: usize = 3;
+
+impl PipeStage {
+    /// All pipeline stages.
+    pub const ALL: [PipeStage; N_PIPE] = [
+        PipeStage::PreProfile,
+        PipeStage::ShadowResolve,
+        PipeStage::Merge,
+    ];
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PipeStage::PreProfile => "pre-profile",
+            PipeStage::ShadowResolve => "shadow-resolve",
+            PipeStage::Merge => "merge",
+        }
+    }
+
+    fn slot(self) -> usize {
+        match self {
+            PipeStage::PreProfile => 0,
+            PipeStage::ShadowResolve => 1,
+            PipeStage::Merge => 2,
+        }
+    }
+}
+
+/// Named scalar counters. Every variant owns one fixed `AtomicU64` slot in
+/// the [`Collector`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Counter {
+    /// Dynamic instructions executed (pass 2).
+    DynOps,
+    /// Dynamic memory events (loads + stores) seen by pass 2.
+    MemEvents,
+    /// Events emitted by the sequential stage-1 prefix (pre-resolution
+    /// alphabet: points + register deps + unresolved memory touches).
+    EventsEmitted,
+    /// Unresolved memory touches turned into accesses/dependences by shadow
+    /// resolution.
+    EventsResolved,
+    /// Resolved events routed into folding shards (fold-input alphabet).
+    EventsRouted,
+    /// Events consumed by folding sinks (must equal the per-shard sum).
+    EventsFolded,
+    /// Dependence events folded (subset of [`Counter::EventsFolded`]).
+    DepsFolded,
+    /// Context-path version-cache hits (`ContextInterner`).
+    CtxCacheHit,
+    /// Context-path version-cache misses.
+    CtxCacheMiss,
+    /// Shadow-memory MRU page-cache hits.
+    ShadowMruHit,
+    /// Shadow-memory MRU page-cache misses (page-table probe or page alloc).
+    ShadowMruMiss,
+    /// Resident shadow pages at the end of the run.
+    ShadowPages,
+    /// Dependence-relation MRU hits (`FoldingSink`).
+    DepMruHit,
+    /// Dependence-relation MRU misses (hash probe).
+    DepMruMiss,
+    /// Event chunks obtained from the recycling pool.
+    ChunkRecycled,
+    /// Event chunks freshly allocated (pool momentarily dry).
+    ChunkFresh,
+    /// Nanoseconds spent blocked in bounded-channel sends (backpressure).
+    SendStallNs,
+    /// Nanoseconds spent blocked waiting on channel receives.
+    RecvStallNs,
+    /// High-water mark of in-flight chunks over all channel edges.
+    QueuePeakDepth,
+    /// Bytes held by spilled coordinate-snapshot arenas.
+    ArenaBytes,
+    /// Statements retired by SCEV removal.
+    RetiredStmts,
+    /// Dependences removed together with SCEV statements.
+    RetiredDeps,
+    /// Folded statements left over-approximated (inexact domain or
+    /// non-affine label/access).
+    OverapproxStmts,
+}
+
+/// Number of [`Counter`] slots.
+pub const N_COUNTERS: usize = 23;
+
+impl Counter {
+    /// All counters, in report order.
+    pub const ALL: [Counter; N_COUNTERS] = [
+        Counter::DynOps,
+        Counter::MemEvents,
+        Counter::EventsEmitted,
+        Counter::EventsResolved,
+        Counter::EventsRouted,
+        Counter::EventsFolded,
+        Counter::DepsFolded,
+        Counter::CtxCacheHit,
+        Counter::CtxCacheMiss,
+        Counter::ShadowMruHit,
+        Counter::ShadowMruMiss,
+        Counter::ShadowPages,
+        Counter::DepMruHit,
+        Counter::DepMruMiss,
+        Counter::ChunkRecycled,
+        Counter::ChunkFresh,
+        Counter::SendStallNs,
+        Counter::RecvStallNs,
+        Counter::QueuePeakDepth,
+        Counter::ArenaBytes,
+        Counter::RetiredStmts,
+        Counter::RetiredDeps,
+        Counter::OverapproxStmts,
+    ];
+
+    /// Stable snake_case name (JSON keys, table rows).
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::DynOps => "dyn_ops",
+            Counter::MemEvents => "mem_events",
+            Counter::EventsEmitted => "events_emitted",
+            Counter::EventsResolved => "events_resolved",
+            Counter::EventsRouted => "events_routed",
+            Counter::EventsFolded => "events_folded",
+            Counter::DepsFolded => "deps_folded",
+            Counter::CtxCacheHit => "ctx_cache_hit",
+            Counter::CtxCacheMiss => "ctx_cache_miss",
+            Counter::ShadowMruHit => "shadow_mru_hit",
+            Counter::ShadowMruMiss => "shadow_mru_miss",
+            Counter::ShadowPages => "shadow_pages",
+            Counter::DepMruHit => "dep_mru_hit",
+            Counter::DepMruMiss => "dep_mru_miss",
+            Counter::ChunkRecycled => "chunks_recycled",
+            Counter::ChunkFresh => "chunks_fresh",
+            Counter::SendStallNs => "send_stall_ns",
+            Counter::RecvStallNs => "recv_stall_ns",
+            Counter::QueuePeakDepth => "queue_peak_depth",
+            Counter::ArenaBytes => "arena_bytes",
+            Counter::RetiredStmts => "retired_stmts",
+            Counter::RetiredDeps => "retired_deps",
+            Counter::OverapproxStmts => "overapprox_stmts",
+        }
+    }
+
+    fn slot(self) -> usize {
+        Self::ALL.iter().position(|&c| c == self).expect("listed")
+    }
+}
+
+/// Fixed shard-accumulator count. Shard indices beyond this saturate into
+/// the last slot (the pipeline defaults cap `fold_threads` at 8; 32 slots
+/// keep even oversubscribed configurations attributable).
+pub const MAX_SHARDS: usize = 32;
+
+/// Channel-edge slots: edge 0 is the stage-1 → resolver edge; edge `1 + k`
+/// is the resolver → shard-`k` edge.
+pub const N_EDGES: usize = MAX_SHARDS + 1;
+
+/// A node of the profiler's own stage tree — the label alphabet of the
+/// self-flamegraph (rendered by `polyfeedback::report::self_flamegraph_svg`
+/// through the same `SchedTree` machinery as the subject program's graph).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StageNode {
+    /// A sequential stage.
+    Stage(Stage),
+    /// A concurrent pipeline stage thread.
+    Pipe(PipeStage),
+    /// One folding shard.
+    Shard(u8),
+}
+
+impl StageNode {
+    /// Display label.
+    pub fn name(&self) -> String {
+        match self {
+            StageNode::Stage(s) => s.name().to_string(),
+            StageNode::Pipe(p) => p.name().to_string(),
+            StageNode::Shard(k) => format!("fold-shard {k}"),
+        }
+    }
+}
+
+fn atomic_array<const N: usize>() -> [AtomicU64; N] {
+    std::array::from_fn(|_| AtomicU64::new(0))
+}
+
+/// The per-run accumulator: fixed slots, atomic, allocation-free to record
+/// into. Shared by every stage thread of one profiling run (behind an `Arc`
+/// or a scope borrow); one atomic add per harvest, `Relaxed` everywhere —
+/// cross-slot consistency is established by the thread joins that precede
+/// [`Collector::snapshot`].
+#[derive(Debug)]
+pub struct Collector {
+    level: MetricsLevel,
+    stage_ns: [AtomicU64; N_STAGES],
+    pipe_ns: [AtomicU64; N_PIPE],
+    shard_ns: [AtomicU64; MAX_SHARDS],
+    shard_events: [AtomicU64; MAX_SHARDS],
+    /// Highest shard slot touched + 1 (how many shards to report).
+    shards_used: AtomicU64,
+    /// Highest channel edge touched + 1 (how many edges to report).
+    edges_used: AtomicU64,
+    counters: [AtomicU64; N_COUNTERS],
+    queue_depth: [AtomicU64; N_EDGES],
+    queue_peak: [AtomicU64; N_EDGES],
+}
+
+impl Collector {
+    /// Fresh collector recording at `level`.
+    pub fn new(level: MetricsLevel) -> Self {
+        Collector {
+            level,
+            stage_ns: atomic_array(),
+            pipe_ns: atomic_array(),
+            shard_ns: atomic_array(),
+            shard_events: atomic_array(),
+            shards_used: AtomicU64::new(0),
+            edges_used: AtomicU64::new(0),
+            counters: atomic_array(),
+            queue_depth: atomic_array(),
+            queue_peak: atomic_array(),
+        }
+    }
+
+    /// The configured level.
+    pub fn level(&self) -> MetricsLevel {
+        self.level
+    }
+
+    /// True when span timing is on (clock reads allowed).
+    #[inline]
+    pub fn timing(&self) -> bool {
+        self.level >= MetricsLevel::Timing
+    }
+
+    /// Add `n` to a named counter.
+    #[inline]
+    pub fn add(&self, c: Counter, n: u64) {
+        if n != 0 {
+            self.counters[c.slot()].fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Raise a named counter to at least `n` (gauge high-water mark).
+    #[inline]
+    pub fn raise(&self, c: Counter, n: u64) {
+        self.counters[c.slot()].fetch_max(n, Ordering::Relaxed);
+    }
+
+    /// Current value of a named counter.
+    pub fn get(&self, c: Counter) -> u64 {
+        self.counters[c.slot()].load(Ordering::Relaxed)
+    }
+
+    /// RAII span over a sequential stage (no clock read below `Timing`).
+    pub fn span(&self, s: Stage) -> Span<'_> {
+        Span::new(self, SpanSlot::Stage(s.slot()))
+    }
+
+    /// RAII span over a concurrent pipeline stage.
+    pub fn pipe_span(&self, p: PipeStage) -> Span<'_> {
+        Span::new(self, SpanSlot::Pipe(p.slot()))
+    }
+
+    /// RAII span over fold shard `k`'s worker loop.
+    pub fn shard_span(&self, k: usize) -> Span<'_> {
+        Span::new(self, SpanSlot::Shard(k.min(MAX_SHARDS - 1)))
+    }
+
+    /// Record nanoseconds directly into a sequential-stage slot (for code
+    /// paths where a guard is awkward).
+    pub fn record_stage_ns(&self, s: Stage, ns: u64) {
+        self.stage_ns[s.slot()].fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Record events folded by shard `k`.
+    pub fn record_shard_events(&self, k: usize, events: u64) {
+        let k = k.min(MAX_SHARDS - 1);
+        self.shard_events[k].fetch_add(events, Ordering::Relaxed);
+        self.shards_used.fetch_max(k as u64 + 1, Ordering::Relaxed);
+    }
+
+    /// A chunk entered channel edge `edge` (send side).
+    #[inline]
+    pub fn queue_send(&self, edge: usize) {
+        let edge = edge.min(N_EDGES - 1);
+        let depth = self.queue_depth[edge].fetch_add(1, Ordering::Relaxed) + 1;
+        self.queue_peak[edge].fetch_max(depth, Ordering::Relaxed);
+        self.edges_used
+            .fetch_max(edge as u64 + 1, Ordering::Relaxed);
+    }
+
+    /// A chunk left channel edge `edge` (receive side).
+    #[inline]
+    pub fn queue_recv(&self, edge: usize) {
+        let edge = edge.min(N_EDGES - 1);
+        // Saturating: a recv observed before its send's add would underflow.
+        let _ = self.queue_depth[edge].fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| {
+            Some(d.saturating_sub(1))
+        });
+    }
+
+    /// Freeze the accumulators into a [`RunMetrics`]. Call after every stage
+    /// thread has been joined; `total_ns` is the run's measured wall time.
+    pub fn snapshot(&self, total_ns: u64) -> RunMetrics {
+        let ld = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let shards = ld(&self.shards_used) as usize;
+        let mut m = RunMetrics {
+            level: self.level,
+            total_ns,
+            stage_ns: std::array::from_fn(|i| ld(&self.stage_ns[i])),
+            pipe_ns: std::array::from_fn(|i| ld(&self.pipe_ns[i])),
+            shard_ns: self.shard_ns[..shards].iter().map(ld).collect(),
+            shard_events: self.shard_events[..shards].iter().map(ld).collect(),
+            queue_peak: self.queue_peak[..ld(&self.edges_used) as usize]
+                .iter()
+                .map(ld)
+                .collect(),
+            counters: std::array::from_fn(|i| ld(&self.counters[i])),
+        };
+        let peak = m.queue_peak.iter().copied().max().unwrap_or(0);
+        m.counters[Counter::QueuePeakDepth.slot()] =
+            m.counters[Counter::QueuePeakDepth.slot()].max(peak);
+        m
+    }
+}
+
+enum SpanSlot {
+    Stage(usize),
+    Pipe(usize),
+    Shard(usize),
+}
+
+/// RAII timing guard: adds its elapsed wall time to a collector slot on
+/// drop. Below [`MetricsLevel::Timing`] it never reads the clock and drop is
+/// a no-op.
+pub struct Span<'a> {
+    col: &'a Collector,
+    slot: SpanSlot,
+    t0: Option<Instant>,
+}
+
+impl<'a> Span<'a> {
+    fn new(col: &'a Collector, slot: SpanSlot) -> Self {
+        let t0 = col.timing().then(Instant::now);
+        Span { col, slot, t0 }
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some(t0) = self.t0 {
+            let ns = t0.elapsed().as_nanos() as u64;
+            let slot = match self.slot {
+                SpanSlot::Stage(i) => &self.col.stage_ns[i],
+                SpanSlot::Pipe(i) => &self.col.pipe_ns[i],
+                SpanSlot::Shard(i) => &self.col.shard_ns[i],
+            };
+            slot.fetch_add(ns, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Frozen metrics of one profiling run: plain data, cheap to clone, stable
+/// to serialize. Produced by [`Collector::snapshot`], surfaced on
+/// `polyprof_core::Report::metrics`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunMetrics {
+    /// The level the run recorded at.
+    pub level: MetricsLevel,
+    /// Measured wall time of the whole run, nanoseconds.
+    pub total_ns: u64,
+    /// Sequential stage times (ns), indexed by [`Stage`] slot order.
+    pub stage_ns: [u64; N_STAGES],
+    /// Concurrent pipeline stage CPU times (ns), indexed by [`PipeStage`].
+    pub pipe_ns: [u64; N_PIPE],
+    /// Per-shard worker-loop CPU time (ns); empty on a serial run.
+    pub shard_ns: Vec<u64>,
+    /// Per-shard folded event counts; empty on a serial run.
+    pub shard_events: Vec<u64>,
+    /// Per-edge in-flight chunk high-water marks (edge 0 = pre → resolver).
+    pub queue_peak: Vec<u64>,
+    /// Named counters, indexed by [`Counter`] slot order.
+    pub counters: [u64; N_COUNTERS],
+}
+
+impl RunMetrics {
+    /// A sequential stage's recorded wall time, nanoseconds.
+    pub fn stage(&self, s: Stage) -> u64 {
+        self.stage_ns[s.slot()]
+    }
+
+    /// A concurrent pipeline stage's recorded CPU time, nanoseconds.
+    pub fn pipe(&self, p: PipeStage) -> u64 {
+        self.pipe_ns[p.slot()]
+    }
+
+    /// A named counter's value.
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters[c.slot()]
+    }
+
+    /// Sum of the sequential stage spans — within a small epsilon of
+    /// [`RunMetrics::total_ns`] at `Timing` (the stages partition the run).
+    pub fn sequential_ns(&self) -> u64 {
+        self.stage_ns.iter().sum()
+    }
+
+    /// True when the run went through the sharded pipeline (per-shard
+    /// accumulators populated).
+    pub fn has_pipeline(&self) -> bool {
+        !self.shard_events.is_empty()
+    }
+
+    /// Shard balance: max over mean of per-shard folded events (1.0 =
+    /// perfectly balanced; meaningless — 0.0 — on a serial run).
+    pub fn shard_balance(&self) -> f64 {
+        if self.shard_events.is_empty() {
+            return 0.0;
+        }
+        let max = *self.shard_events.iter().max().unwrap() as f64;
+        let mean = self.shard_events.iter().sum::<u64>() as f64 / self.shard_events.len() as f64;
+        if mean == 0.0 {
+            0.0
+        } else {
+            max / mean
+        }
+    }
+
+    /// Hit rate of a hit/miss counter pair (`None` when no lookups).
+    pub fn hit_rate(&self, hit: Counter, miss: Counter) -> Option<f64> {
+        let (h, m) = (self.counter(hit), self.counter(miss));
+        let total = h + m;
+        (total > 0).then(|| h as f64 / total as f64)
+    }
+
+    /// Machine-readable JSON rendering (hand-rolled; no external deps —
+    /// stable snake_case keys, suitable for CI artifacts).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push('{');
+        let level = match self.level {
+            MetricsLevel::Off => "off",
+            MetricsLevel::Counters => "counters",
+            MetricsLevel::Timing => "timing",
+        };
+        push_kv(&mut s, "level", &format!("\"{level}\""));
+        push_kv(&mut s, "total_ns", &self.total_ns.to_string());
+        s.push_str("\"stages_ns\": {");
+        for (i, st) in Stage::ALL.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("\"{}\": {}", st.name(), self.stage(*st)));
+        }
+        s.push_str("}, ");
+        s.push_str("\"pipeline_ns\": {");
+        for (i, p) in PipeStage::ALL.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("\"{}\": {}", p.name(), self.pipe(*p)));
+        }
+        s.push_str("}, ");
+        push_kv(&mut s, "shard_ns", &json_array(&self.shard_ns));
+        push_kv(&mut s, "shard_events", &json_array(&self.shard_events));
+        push_kv(&mut s, "queue_peak", &json_array(&self.queue_peak));
+        push_kv(
+            &mut s,
+            "shard_balance",
+            &format!("{:.4}", self.shard_balance()),
+        );
+        s.push_str("\"counters\": {");
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("\"{}\": {}", c.name(), self.counter(*c)));
+        }
+        s.push_str("}}");
+        s
+    }
+}
+
+fn push_kv(s: &mut String, k: &str, raw: &str) {
+    s.push_str(&format!("\"{k}\": {raw}, "));
+}
+
+fn json_array(v: &[u64]) -> String {
+    let body: Vec<String> = v.iter().map(|x| x.to_string()).collect();
+    format!("[{}]", body.join(", "))
+}
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+impl fmt::Display for RunMetrics {
+    /// The human-readable table: stage times with % of wall, pipeline
+    /// breakdown when present, then the counter inventory with hit rates.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "── run metrics ({:?}) ──", self.level)?;
+        writeln!(f, "total wall time          {:>10.3} ms", ms(self.total_ns))?;
+        if self.level >= MetricsLevel::Timing {
+            let total = self.total_ns.max(1) as f64;
+            for s in Stage::ALL {
+                let ns = self.stage(s);
+                if ns == 0 {
+                    continue;
+                }
+                writeln!(
+                    f,
+                    "  {:<22} {:>10.3} ms  {:>5.1}%",
+                    s.name(),
+                    ms(ns),
+                    100.0 * ns as f64 / total
+                )?;
+            }
+            writeln!(
+                f,
+                "  {:<22} {:>10.3} ms  {:>5.1}%",
+                "(stage sum)",
+                ms(self.sequential_ns()),
+                100.0 * self.sequential_ns() as f64 / total
+            )?;
+        }
+        if self.has_pipeline() {
+            writeln!(f, "pipeline (concurrent CPU time):")?;
+            if self.level >= MetricsLevel::Timing {
+                for p in PipeStage::ALL {
+                    writeln!(f, "  {:<22} {:>10.3} ms", p.name(), ms(self.pipe(p)))?;
+                }
+            }
+            for (k, ev) in self.shard_events.iter().enumerate() {
+                if self.level >= MetricsLevel::Timing {
+                    writeln!(
+                        f,
+                        "  fold-shard {:<11} {:>10.3} ms  {:>12} events",
+                        k,
+                        ms(self.shard_ns.get(k).copied().unwrap_or(0)),
+                        ev
+                    )?;
+                } else {
+                    writeln!(f, "  fold-shard {:<11} {:>12} events", k, ev)?;
+                }
+            }
+            writeln!(f, "  shard balance (max/mean) {:.3}", self.shard_balance())?;
+            writeln!(
+                f,
+                "  send stall {:.3} ms, recv stall {:.3} ms, peak queue depth {}",
+                ms(self.counter(Counter::SendStallNs)),
+                ms(self.counter(Counter::RecvStallNs)),
+                self.counter(Counter::QueuePeakDepth)
+            )?;
+        }
+        writeln!(f, "counters:")?;
+        for c in Counter::ALL {
+            // Stall/peak counters already shown in the pipeline section.
+            if matches!(
+                c,
+                Counter::SendStallNs | Counter::RecvStallNs | Counter::QueuePeakDepth
+            ) && self.has_pipeline()
+            {
+                continue;
+            }
+            let v = self.counter(c);
+            if v == 0 {
+                continue;
+            }
+            write!(f, "  {:<22} {:>14}", c.name(), v)?;
+            let rate = match c {
+                Counter::CtxCacheHit => self.hit_rate(Counter::CtxCacheHit, Counter::CtxCacheMiss),
+                Counter::ShadowMruHit => {
+                    self.hit_rate(Counter::ShadowMruHit, Counter::ShadowMruMiss)
+                }
+                Counter::DepMruHit => self.hit_rate(Counter::DepMruHit, Counter::DepMruMiss),
+                _ => None,
+            };
+            match rate {
+                Some(r) => writeln!(f, "  ({:.1}% hit rate)", 100.0 * r)?,
+                None => writeln!(f)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_slots_are_dense_and_unique() {
+        let mut seen = [false; N_COUNTERS];
+        for c in Counter::ALL {
+            assert!(!seen[c.slot()], "duplicate slot for {c:?}");
+            seen[c.slot()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for (i, s) in Stage::ALL.iter().enumerate() {
+            assert_eq!(s.slot(), i, "Stage::ALL must be in slot order");
+        }
+    }
+
+    #[test]
+    fn spans_record_only_at_timing_level() {
+        let c = Collector::new(MetricsLevel::Counters);
+        {
+            let _s = c.span(Stage::Profile);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(c.snapshot(0).stage(Stage::Profile), 0);
+
+        let c = Collector::new(MetricsLevel::Timing);
+        {
+            let _s = c.span(Stage::Profile);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert!(c.snapshot(0).stage(Stage::Profile) > 0);
+    }
+
+    #[test]
+    fn queue_gauges_track_peak_depth() {
+        let c = Collector::new(MetricsLevel::Counters);
+        c.queue_send(0);
+        c.queue_send(0);
+        c.queue_recv(0);
+        c.queue_send(0);
+        let m = c.snapshot(0);
+        assert_eq!(m.counter(Counter::QueuePeakDepth), 2);
+        // Underflow-safe: spurious recv does not wrap.
+        c.queue_recv(1);
+        c.queue_recv(1);
+        c.queue_send(1);
+        assert_eq!(c.snapshot(0).queue_peak[1], 1);
+    }
+
+    #[test]
+    fn shard_accounting_and_balance() {
+        let c = Collector::new(MetricsLevel::Counters);
+        c.record_shard_events(0, 100);
+        c.record_shard_events(2, 300);
+        let m = c.snapshot(0);
+        assert_eq!(m.shard_events, vec![100, 0, 300]);
+        // max 300, mean 133.3 → balance 2.25
+        assert!((m.shard_balance() - 2.25).abs() < 1e-9);
+        assert!(m.has_pipeline());
+    }
+
+    #[test]
+    fn shard_slots_saturate_not_panic() {
+        let c = Collector::new(MetricsLevel::Counters);
+        c.record_shard_events(MAX_SHARDS + 5, 7);
+        let _s = c.shard_span(MAX_SHARDS + 5);
+        let m = c.snapshot(0);
+        assert_eq!(m.shard_events.len(), MAX_SHARDS);
+        assert_eq!(m.shard_events[MAX_SHARDS - 1], 7);
+    }
+
+    #[test]
+    fn json_and_table_render() {
+        let c = Collector::new(MetricsLevel::Timing);
+        c.add(Counter::DynOps, 1000);
+        c.add(Counter::CtxCacheHit, 90);
+        c.add(Counter::CtxCacheMiss, 10);
+        c.record_shard_events(0, 500);
+        c.record_stage_ns(Stage::Profile, 5_000_000);
+        let m = c.snapshot(10_000_000);
+        let j = m.to_json();
+        assert!(j.contains("\"dyn_ops\": 1000"), "{j}");
+        assert!(j.contains("\"profile\": 5000000"), "{j}");
+        assert!(j.contains("\"shard_events\": [500]"), "{j}");
+        assert!(j.contains("\"level\": \"timing\""), "{j}");
+        let t = format!("{m}");
+        assert!(t.contains("ctx_cache_hit"), "{t}");
+        assert!(t.contains("90.0% hit rate"), "{t}");
+        assert!(t.contains("total wall time"), "{t}");
+    }
+
+    #[test]
+    fn hit_rate_and_sequential_sum() {
+        let c = Collector::new(MetricsLevel::Timing);
+        c.record_stage_ns(Stage::Structure, 100);
+        c.record_stage_ns(Stage::Profile, 900);
+        let m = c.snapshot(1000);
+        assert_eq!(m.sequential_ns(), 1000);
+        assert_eq!(m.hit_rate(Counter::DepMruHit, Counter::DepMruMiss), None);
+    }
+
+    #[test]
+    fn level_from_env_parses() {
+        // Sequential: env is process-global.
+        std::env::set_var("POLYPROF_METRICS", "timing");
+        assert_eq!(MetricsLevel::from_env(), MetricsLevel::Timing);
+        std::env::set_var("POLYPROF_METRICS", "Counters");
+        assert_eq!(MetricsLevel::from_env(), MetricsLevel::Counters);
+        std::env::set_var("POLYPROF_METRICS", "nonsense");
+        assert_eq!(MetricsLevel::from_env(), MetricsLevel::Off);
+        std::env::remove_var("POLYPROF_METRICS");
+        assert_eq!(MetricsLevel::from_env(), MetricsLevel::Off);
+    }
+}

@@ -1,0 +1,210 @@
+//! Metrics-consistency invariants for the self-profiling telemetry layer
+//! (`polytrace`): the counters harvested from the hot paths must agree with
+//! each other and with the run's observable outputs, at every shard count,
+//! and the whole layer must vanish at `MetricsLevel::Off`.
+//!
+//! These are the tests behind CI's `metrics-gate` step.
+
+mod common;
+
+use common::stencil;
+use polyprof_core::polytrace::Counter;
+use polyprof_core::{profile_with, MetricsLevel, ProfileConfig, RunMetrics};
+
+fn run(fold_threads: usize, level: MetricsLevel) -> RunMetrics {
+    let prog = stencil(6, 40);
+    let cfg = ProfileConfig::new()
+        .with_fold_threads(fold_threads)
+        .with_chunk_events(64) // small chunks: exercise flush/recycle paths
+        .with_metrics(level);
+    profile_with(&prog, &cfg)
+        .metrics
+        .expect("metrics requested")
+}
+
+/// Every event the router ships lands in exactly one folding shard and
+/// produces exactly one fold call: routed == per-shard sum == folded, at
+/// every K. (K = 1 still pipelines here — `profile_with` would take the
+/// serial path, so the one-shard case drives the pipeline directly.)
+#[test]
+fn routed_events_equal_folded_events_at_every_k() {
+    use polyprof_core::polyfold::pipeline::{fold_pipelined_traced, PipelineConfig};
+    use polyprof_core::polytrace::Collector;
+    use std::sync::Arc;
+
+    let one_shard = {
+        let prog = stencil(6, 40);
+        let mut rec = polyprof_core::polycfg::StructureRecorder::new();
+        polyprof_core::polyvm::Vm::new(&prog)
+            .run(&[], &mut rec)
+            .unwrap();
+        let structure = polyprof_core::polycfg::StaticStructure::analyze(&prog, rec);
+        let col = Arc::new(Collector::new(MetricsLevel::Counters));
+        let pcfg = PipelineConfig {
+            fold_threads: 1,
+            chunk_events: 64,
+            ..Default::default()
+        };
+        let _ = fold_pipelined_traced(&prog, &structure, &pcfg, Some(&col));
+        col.snapshot(0)
+    };
+    for (k, m) in [
+        (1usize, one_shard),
+        (2, run(2, MetricsLevel::Counters)),
+        (4, run(4, MetricsLevel::Counters)),
+    ] {
+        let routed = m.counter(Counter::EventsRouted);
+        let folded = m.counter(Counter::EventsFolded);
+        let per_shard: u64 = m.shard_events.iter().sum();
+        assert!(routed > 0, "k={k}: no events routed");
+        assert_eq!(routed, per_shard, "k={k}: routed vs shard sum");
+        assert_eq!(per_shard, folded, "k={k}: shard sum vs folded");
+        assert_eq!(m.shard_events.len(), k, "k={k}: every shard registered");
+    }
+}
+
+/// The resolver turns every pre-profiled memory event into exactly one
+/// shadow resolution; the shadow MRU sees exactly one lookup per memory
+/// event (hits + misses == total lookups).
+#[test]
+fn shadow_mru_accounts_for_every_memory_event() {
+    for k in [2usize, 4] {
+        let m = run(k, MetricsLevel::Counters);
+        let mem = m.counter(Counter::MemEvents);
+        assert!(mem > 0);
+        assert_eq!(m.counter(Counter::EventsResolved), mem, "k={k}");
+        assert_eq!(
+            m.counter(Counter::ShadowMruHit) + m.counter(Counter::ShadowMruMiss),
+            mem,
+            "k={k}: shadow MRU lookups"
+        );
+    }
+}
+
+/// The dependence MRU is consulted exactly once per folded dependence, and
+/// the context cache exactly once per context-path lookup (hits + misses
+/// cover the total in both cases).
+#[test]
+fn mru_hits_plus_misses_equal_total_lookups() {
+    for k in [1usize, 4] {
+        let m = run(k, MetricsLevel::Counters);
+        assert_eq!(
+            m.counter(Counter::DepMruHit) + m.counter(Counter::DepMruMiss),
+            m.counter(Counter::DepsFolded),
+            "k={k}: dep MRU lookups"
+        );
+        assert!(
+            m.counter(Counter::CtxCacheHit) + m.counter(Counter::CtxCacheMiss) > 0,
+            "k={k}: context cache untouched"
+        );
+    }
+}
+
+/// Counters are deterministic facts about the trace, not about threading:
+/// the serial path and every pipeline width agree on the fold-side tallies.
+#[test]
+fn counters_agree_between_serial_and_pipelined() {
+    let serial = run(1, MetricsLevel::Counters);
+    for k in [2usize, 4] {
+        let piped = run(k, MetricsLevel::Counters);
+        for c in [
+            Counter::DynOps,
+            Counter::MemEvents,
+            Counter::EventsFolded,
+            Counter::DepsFolded,
+            Counter::RetiredStmts,
+            Counter::RetiredDeps,
+            Counter::OverapproxStmts,
+        ] {
+            assert_eq!(
+                serial.counter(c),
+                piped.counter(c),
+                "k={k}: {} diverged",
+                c.name()
+            );
+        }
+    }
+}
+
+/// At `Timing` on a Rodinia workload, the sequential stage spans cover the
+/// run: their sum lands within 10% of the measured wall time (the paper-
+/// style "where did the time go" accounting must not leak whole stages).
+#[test]
+fn stage_times_sum_to_wall_time_on_rodinia() {
+    let w = rodinia::backprop::build();
+    let cfg = ProfileConfig::new().with_metrics(MetricsLevel::Timing);
+    let m = profile_with(&w.program, &cfg).metrics.unwrap();
+    assert!(m.total_ns > 0);
+    let seq = m.sequential_ns();
+    assert!(seq > 0, "no stage timed anything");
+    assert!(
+        seq <= m.total_ns,
+        "stage sum {seq} exceeds wall {}",
+        m.total_ns
+    );
+    assert!(
+        seq as f64 >= 0.90 * m.total_ns as f64,
+        "stages cover only {seq} of {} ns wall",
+        m.total_ns
+    );
+}
+
+/// `Counters` must not read clocks: all span slots stay zero, while the
+/// same tallies as `Timing` are still collected.
+#[test]
+fn counters_level_collects_tallies_but_no_clocks() {
+    let m = run(2, MetricsLevel::Counters);
+    assert_eq!(m.sequential_ns(), 0);
+    assert!(m.pipe_ns.iter().all(|&ns| ns == 0));
+    assert!(m.counter(Counter::SendStallNs) == 0);
+    assert!(m.counter(Counter::RecvStallNs) == 0);
+    assert!(m.counter(Counter::EventsFolded) > 0);
+
+    let t = run(2, MetricsLevel::Timing);
+    assert_eq!(
+        m.counter(Counter::EventsFolded),
+        t.counter(Counter::EventsFolded)
+    );
+}
+
+/// `Off` produces no metrics object at all — the same gate as
+/// tests/zero_alloc.rs, asserted at the API level.
+#[test]
+fn off_level_produces_no_metrics() {
+    let prog = stencil(4, 24);
+    let r = profile_with(&prog, &ProfileConfig::new());
+    assert!(r.metrics.is_none());
+    assert!(r.metrics_json().is_none());
+    assert!(r.self_flamegraph_svg("self").is_none());
+}
+
+/// The JSON snapshot and the self flame graph render from the same
+/// `RunMetrics` and carry the headline facts.
+#[test]
+fn metrics_render_as_json_and_svg() {
+    let w = rodinia::backprop::build();
+    let cfg = ProfileConfig::new()
+        .with_fold_threads(2)
+        .with_metrics(MetricsLevel::Timing);
+    let r = profile_with(&w.program, &cfg);
+    let json = r.metrics_json().unwrap();
+    for key in [
+        "\"level\"",
+        "\"total_ns\"",
+        "\"stages_ns\"",
+        "\"pipeline_ns\"",
+        "\"shard_events\"",
+        "\"shard_balance\"",
+        "\"counters\"",
+        "\"events_folded\"",
+    ] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+    let svg = r.self_flamegraph_svg("self-profile").unwrap();
+    assert!(svg.contains("<svg") && svg.contains("</svg>"));
+    assert!(svg.contains("profile"), "profile stage box missing");
+    assert!(svg.contains("fold-shard"), "shard boxes missing");
+    // The human table prints without panicking and names the stages.
+    let table = r.metrics.as_ref().unwrap().to_string();
+    assert!(table.contains("profile") && table.contains("events_folded"));
+}

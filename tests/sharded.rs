@@ -76,13 +76,12 @@ proptest! {
 fn report_matches_serial_on_rodinia() {
     let workloads = [rodinia::backprop::build(), rodinia::pathfinder::build()];
     for w in &workloads {
-        let serial = profile_with(&w.program, &ProfileConfig::default());
+        let serial = profile_with(&w.program, &ProfileConfig::new());
         let piped = profile_with(
             &w.program,
-            &ProfileConfig {
-                fold_threads: 4,
-                chunk_events: 256,
-            },
+            &ProfileConfig::new()
+                .with_fold_threads(4)
+                .with_chunk_events(256),
         );
         assert_eq!(piped.folded_stats, serial.folded_stats);
         assert_eq!(piped.scev_removed, serial.scev_removed);
