@@ -14,7 +14,7 @@
 //! gate was enforced either way.
 
 use polyddg::DdgProfiler;
-use polyfold::pipeline::{fold_pipelined, fold_pipelined_traced, PipelineConfig};
+use polyfold::pipeline::{fold_pipelined, fold_pipelined_pruned, PipelineConfig};
 use polyfold::FoldingSink;
 use polyprof_bench::trace::{big_backprop, Recorder};
 use polyprof_bench::{smoke, JsonObj};
@@ -138,8 +138,12 @@ fn main() {
         chunk_events: 4096,
         ..Default::default()
     };
+    // The instrumented run also installs the static prune mask so the
+    // artifact records the PrunedEvents counter alongside the stall clocks.
+    let mask = polystatic::dataflow::StaticSummary::analyze(&prog).prune_mask();
     let t0 = Instant::now();
-    let (ddg, _interner) = fold_pipelined_traced(&prog, &structure, &cfg, Some(&col));
+    let (ddg, _interner, _pruned) =
+        fold_pipelined_pruned(&prog, &structure, &cfg, Some(&col), Some(mask));
     black_box(ddg);
     let m = col.snapshot(t0.elapsed().as_nanos() as u64);
     let metrics_json = m.to_json();

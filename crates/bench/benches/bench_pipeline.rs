@@ -222,9 +222,15 @@ fn main() {
     // same workload: per-stage wall times and hot-path counters ride along
     // in the JSON so the bench trajectory records *where* time went, not
     // just how much. The standalone copy is the CI metrics artifact.
+    // Pruning + lint are on so the artifact also records the static
+    // pre-pass counters (StaticScevStmts / PrunedStmts / PrunedEvents /
+    // LintChecks / LintViolations).
     let report = profile_with(
         &prog,
-        &ProfileConfig::new().with_metrics(MetricsLevel::Timing),
+        &ProfileConfig::new()
+            .with_metrics(MetricsLevel::Timing)
+            .with_static_prune(true)
+            .with_lint(true),
     );
     let metrics_json = report.metrics_json().expect("metrics requested");
     j.raw_field("metrics", &metrics_json);

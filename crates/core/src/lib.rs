@@ -41,6 +41,8 @@ pub use polytrace::{MetricsLevel, RunMetrics};
 
 use polyfeedback::metrics::ProgramFeedback;
 use polyir::Program;
+use polystatic::dataflow::StaticSummary;
+use polystatic::lint::LintReport;
 use polystatic::StaticReport;
 use polytrace::{Collector, Counter, Stage};
 use std::sync::Arc;
@@ -67,6 +69,16 @@ pub struct Report {
     /// Number of statements removed as SCEVs and dependences removed with
     /// them.
     pub scev_removed: (usize, usize),
+    /// Instructions the static pre-pass proved SCEV (0 unless
+    /// [`ProfileConfig::static_prune`] or [`ProfileConfig::lint`] ran it).
+    pub static_scevs: usize,
+    /// Folded statements whose register-dependence instrumentation was
+    /// skipped by the static prune mask.
+    pub pruned_stmts: usize,
+    /// Register-dependence events skipped by the static prune mask.
+    pub pruned_events: u64,
+    /// Post-fold DDG lint verdict, when [`ProfileConfig::lint`] was set.
+    pub lint: Option<LintReport>,
     /// The profiler's *own* run metrics — per-stage wall times, pipeline
     /// counters, and channel/cache gauges. `None` when the run was
     /// configured with [`MetricsLevel::Off`] (the default): the telemetry
@@ -112,6 +124,16 @@ pub struct ProfileConfig {
     /// `Counters` (hot-path tallies, harvested per stage), or `Timing`
     /// (counters + per-stage spans and channel stall clocks).
     pub metrics: MetricsLevel,
+    /// Run the static affine pre-pass (`polystatic::dataflow`) and skip
+    /// register-dependence instrumentation for statically-proven SCEV
+    /// statements. The folded DDG after SCEV removal is byte-identical with
+    /// this on or off (the differential suite proves it); the knob only
+    /// trades static-analysis time for profiling work.
+    pub static_prune: bool,
+    /// Lint the folded DDG against the static summary (forest refinement,
+    /// must-exist flow deps, partition disjointness, SCEV marks). Implies
+    /// running the static pre-pass; does not imply pruning.
+    pub lint: bool,
 }
 
 impl Default for ProfileConfig {
@@ -120,6 +142,8 @@ impl Default for ProfileConfig {
             fold_threads: 1,
             chunk_events: 4096,
             metrics: MetricsLevel::Off,
+            static_prune: false,
+            lint: false,
         }
     }
 }
@@ -146,6 +170,18 @@ impl ProfileConfig {
     /// Set the self-profiling level.
     pub fn with_metrics(mut self, level: MetricsLevel) -> Self {
         self.metrics = level;
+        self
+    }
+
+    /// Enable static instrumentation pruning.
+    pub fn with_static_prune(mut self, on: bool) -> Self {
+        self.static_prune = on;
+        self
+    }
+
+    /// Enable the post-fold DDG lint.
+    pub fn with_lint(mut self, on: bool) -> Self {
+        self.lint = on;
         self
     }
 }
@@ -176,26 +212,47 @@ pub fn profile_with(prog: &Program, cfg: &ProfileConfig) -> Report {
         polycfg::StaticStructure::analyze(prog, rec)
     };
 
+    // Static affine pre-pass: SCEV proofs, prune mask, lint inputs. Runs
+    // only when the hybrid knobs ask for it — the classic dynamic-only
+    // pipeline pays nothing.
+    let summary = (cfg.static_prune || cfg.lint).then(|| {
+        let _span = trace.as_ref().map(|(c, _)| c.span(Stage::StaticPass));
+        let summary = StaticSummary::analyze(prog);
+        if let Some((c, _)) = &trace {
+            c.add(Counter::StaticScevStmts, summary.n_scev() as u64);
+        }
+        summary
+    });
+    let prune = cfg
+        .static_prune
+        .then(|| summary.as_ref().expect("summary computed").prune_mask());
+
     // Pass 2: DDG streaming into the folding sink — serial in-line, or the
     // staged pipeline when more than one folding thread is requested.
-    let (mut ddg, interner) = if cfg.fold_threads <= 1 {
-        let (sink, interner) = {
+    let (mut ddg, interner, pruned_events) = if cfg.fold_threads <= 1 {
+        let (sink, interner, pruned_events) = {
             let _span = trace.as_ref().map(|(c, _)| c.span(Stage::Profile));
             let mut prof =
                 polyddg::DdgProfiler::new(prog, &structure, polyfold::FoldingSink::new());
+            if let Some(m) = &prune {
+                prof.set_prune_mask(Arc::clone(m));
+            }
             polyvm::Vm::new(prog)
                 .run(&[], &mut prof)
                 .expect("pass-2 execution failed");
             if let Some((c, _)) = &trace {
                 c.add(Counter::DynOps, prof.dyn_ops);
                 c.add(Counter::MemEvents, prof.mem_events);
+                c.add(Counter::PrunedEvents, prof.pruned_events);
                 let (hits, misses) = prof.shadow_mru_stats();
                 c.add(Counter::ShadowMruHit, hits);
                 c.add(Counter::ShadowMruMiss, misses);
                 c.add(Counter::ShadowPages, prof.resident_shadow_pages() as u64);
                 c.add(Counter::ArenaBytes, prof.arena_bytes() as u64);
             }
-            prof.finish()
+            let pruned_events = prof.pruned_events;
+            let (sink, interner) = prof.finish();
+            (sink, interner, pruned_events)
         };
         if let Some((c, _)) = &trace {
             let (hits, misses) = interner.cache_stats();
@@ -211,7 +268,7 @@ pub fn profile_with(prog: &Program, cfg: &ProfileConfig) -> Report {
             let _span = trace.as_ref().map(|(c, _)| c.span(Stage::Finalize));
             sink.finalize(prog, &interner)
         };
-        (ddg, interner)
+        (ddg, interner, pruned_events)
     } else {
         let _span = trace.as_ref().map(|(c, _)| c.span(Stage::Profile));
         let pcfg = polyfold::pipeline::PipelineConfig {
@@ -219,13 +276,46 @@ pub fn profile_with(prog: &Program, cfg: &ProfileConfig) -> Report {
             chunk_events: cfg.chunk_events,
             ..Default::default()
         };
-        polyfold::pipeline::fold_pipelined_traced(
+        polyfold::pipeline::fold_pipelined_pruned(
             prog,
             &structure,
             &pcfg,
             trace.as_ref().map(|(c, _)| c),
+            prune.clone(),
         )
     };
+
+    // Post-fold, pre-removal: count pruned statements and lint the DDG
+    // against the static claims (the lint must see the SCEV statements and
+    // their dependences before removal deletes them).
+    let pruned_stmts = match &prune {
+        Some(m) => ddg
+            .stmts
+            .values()
+            .filter(|s| m.contains(interner.stmt_info(s.stmt).instr))
+            .count(),
+        None => 0,
+    };
+    if let Some((c, _)) = &trace {
+        c.add(Counter::PrunedStmts, pruned_stmts as u64);
+    }
+    let lint = cfg.lint.then(|| {
+        let _span = trace.as_ref().map(|(c, _)| c.span(Stage::Lint));
+        let rep = polystatic::lint::lint_ddg(
+            prog,
+            summary.as_ref().expect("summary computed"),
+            &ddg,
+            &interner,
+            &structure,
+        );
+        if let Some((c, _)) = &trace {
+            c.add(Counter::LintChecks, rep.checks);
+            c.add(Counter::LintViolations, rep.violations.len() as u64);
+        }
+        rep
+    });
+    let static_scevs = summary.as_ref().map(|s| s.n_scev()).unwrap_or(0);
+
     let scev_removed = {
         let _span = trace.as_ref().map(|(c, _)| c.span(Stage::ScevRemoval));
         ddg.remove_scevs()
@@ -266,6 +356,19 @@ pub fn profile_with(prog: &Program, cfg: &ProfileConfig) -> Report {
         polystatic::analyze_program(prog)
     };
 
+    let full_text = match &summary {
+        Some(s) => {
+            let section = polyfeedback::static_pass_section(
+                s.n_scev(),
+                pruned_stmts,
+                pruned_events,
+                lint.as_ref(),
+            );
+            format!("{full_text}\n{section}")
+        }
+        None => full_text,
+    };
+
     let metrics = trace.map(|(c, t0)| c.snapshot(t0.elapsed().as_nanos() as u64));
     Report {
         feedback,
@@ -275,6 +378,10 @@ pub fn profile_with(prog: &Program, cfg: &ProfileConfig) -> Report {
         full_text,
         folded_stats: (ddg.n_stmts(), ddg.deps.len(), ddg.total_ops),
         scev_removed,
+        static_scevs,
+        pruned_stmts,
+        pruned_events,
+        lint,
         metrics,
     }
 }

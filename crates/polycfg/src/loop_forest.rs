@@ -60,6 +60,24 @@ pub struct LoopForest {
 }
 
 impl LoopForest {
+    /// Build the forest of a function's *static* CFG: every block, every
+    /// terminator successor edge — as opposed to the dynamically observed
+    /// subgraph recorded by `StructureRecorder`. The static pre-pass analyses
+    /// code that may never execute, so it needs the full graph; the dynamic
+    /// forest is then checked to be a refinement of this one by the DDG lint.
+    pub fn from_function(f: &polyir::Function) -> LoopForest {
+        let blocks: BTreeSet<LocalBlockId> = (0..f.blocks.len())
+            .map(|b| LocalBlockId(b as u32))
+            .collect();
+        let mut edges: BTreeSet<(LocalBlockId, LocalBlockId)> = BTreeSet::new();
+        for (b, blk) in f.blocks.iter().enumerate() {
+            for succ in blk.term.successors() {
+                edges.insert((LocalBlockId(b as u32), succ));
+            }
+        }
+        LoopForest::build(&blocks, &edges, f.entry())
+    }
+
     /// Build the forest for a CFG given as an edge set over observed blocks.
     /// `entry` is the function entry block (counts as a region entry when it
     /// sits inside an SCC).

@@ -55,6 +55,7 @@ pub mod baseline;
 pub mod chunk;
 pub mod coords;
 pub mod pipeline;
+pub mod prune;
 pub mod shadow;
 
 use coords::{CoordArena, CoordSnap};
@@ -63,7 +64,9 @@ use polyiiv::context::{ContextInterner, CtxPathId, StmtId};
 use polyiiv::IivTracker;
 use polyir::{BlockRef, FuncId, InstrRef, Program, Value};
 use polyvm::EventSink;
+use prune::{PruneMask, PRUNED_STMT};
 use shadow::{ShadowMemory, Writer};
+use std::sync::Arc;
 
 /// Kind of data dependence.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -154,6 +157,11 @@ pub struct DdgProfiler<'p, F: FoldSink> {
     pub dyn_ops: u64,
     /// Dynamic memory events (loads + stores) seen.
     pub mem_events: u64,
+    /// Statically-proven-SCEV instructions whose register tracking is
+    /// skipped (see [`prune`]); `None` disables pruning.
+    prune: Option<Arc<PruneMask>>,
+    /// Dynamic executions whose register tracking was skipped by the mask.
+    pub pruned_events: u64,
 }
 
 /// Direct-mapped statement-cache size; must be a power of two. Multi-block
@@ -207,7 +215,16 @@ impl<'p, F: FoldSink> DdgProfiler<'p, F> {
             stmt_cache: [None; STMT_CACHE_SLOTS],
             dyn_ops: 0,
             mem_events: 0,
+            prune: None,
+            pruned_events: 0,
         }
+    }
+
+    /// Enable static instrumentation pruning: instructions in `mask` skip
+    /// register-dependence tracking. Sound only for masks whose every entry
+    /// is dynamically `is_scev` (the [`prune`] module contract).
+    pub fn set_prune_mask(&mut self, mask: Arc<PruneMask>) {
+        self.prune = Some(mask);
     }
 
     /// Consume the profiler, returning the sink and interner.
@@ -325,22 +342,39 @@ impl<'p, F: FoldSink> EventSink for DdgProfiler<'p, F> {
         self.refresh_coords();
         let ins = self.prog.instr(instr);
 
+        let pruned = match &self.prune {
+            Some(m) => m.contains(instr),
+            None => false,
+        };
         if self.cfg.track_reg {
-            // Disjoint field borrows: the writer records are `Copy`, so no
-            // clone is needed to emit across the sink call.
-            let frame = self.reg_frames.last().expect("live frame");
-            let arena = &self.arena;
-            let coords = &self.coords;
-            let out = &mut self.out;
-            ins.for_each_use(|r| {
-                if let Some(w) = frame[r.0 as usize] {
-                    out.dependence(DepKind::Reg, w.stmt, w.coords.resolve(arena), stmt, coords);
-                }
-            });
+            if pruned {
+                self.pruned_events += 1;
+            } else {
+                // Disjoint field borrows: the writer records are `Copy`, so no
+                // clone is needed to emit across the sink call.
+                let frame = self.reg_frames.last().expect("live frame");
+                let arena = &self.arena;
+                let coords = &self.coords;
+                let out = &mut self.out;
+                ins.for_each_use(|r| {
+                    if let Some(w) = frame[r.0 as usize] {
+                        if w.stmt != PRUNED_STMT {
+                            out.dependence(
+                                DepKind::Reg,
+                                w.stmt,
+                                w.coords.resolve(arena),
+                                stmt,
+                                coords,
+                            );
+                        }
+                    }
+                });
+            }
         }
         if let Some(d) = ins.def() {
             let snap = self.snapshot();
             let frame = self.reg_frames.last_mut().expect("live frame");
+            let stmt = if pruned { PRUNED_STMT } else { stmt };
             frame[d.0 as usize] = Some(Writer { stmt, coords: snap });
         }
 

@@ -31,6 +31,7 @@
 
 use crate::chunk::ChunkWriter;
 use crate::coords::{CoordArena, CoordSnap};
+use crate::prune::{PruneMask, PRUNED_STMT};
 use crate::shadow::Writer;
 use crate::{stmt_cache_slot, DdgConfig, DepKind, FoldSink, PreSink, STMT_CACHE_SLOTS};
 use polycfg::{LoopEventGen, StaticStructure};
@@ -66,6 +67,11 @@ pub struct PreProfiler<'p, S: PreSink> {
     pub dyn_ops: u64,
     /// Dynamic memory events (loads + stores) seen.
     pub mem_events: u64,
+    /// Statically-proven-SCEV instructions whose register tracking is
+    /// skipped (see [`crate::prune`]); `None` disables pruning.
+    prune: Option<Arc<PruneMask>>,
+    /// Dynamic executions whose register tracking was skipped by the mask.
+    pub pruned_events: u64,
 }
 
 impl<'p, S: PreSink> PreProfiler<'p, S> {
@@ -104,7 +110,16 @@ impl<'p, S: PreSink> PreProfiler<'p, S> {
             stmt_cache: [None; STMT_CACHE_SLOTS],
             dyn_ops: 0,
             mem_events: 0,
+            prune: None,
+            pruned_events: 0,
         }
+    }
+
+    /// Enable static instrumentation pruning: instructions in `mask` skip
+    /// register-dependence tracking. Sound only for masks whose every entry
+    /// is dynamically `is_scev` (the [`crate::prune`] module contract).
+    pub fn set_prune_mask(&mut self, mask: Arc<PruneMask>) {
+        self.prune = Some(mask);
     }
 
     /// Consume the profiler, returning the sink and interner.
@@ -197,20 +212,37 @@ impl<'p, S: PreSink> EventSink for PreProfiler<'p, S> {
         self.refresh_coords();
         let ins = self.prog.instr(instr);
 
+        let pruned = match &self.prune {
+            Some(m) => m.contains(instr),
+            None => false,
+        };
         if self.cfg.track_reg {
-            let frame = self.reg_frames.last().expect("live frame");
-            let arena = &self.arena;
-            let coords = &self.coords;
-            let out = &mut self.out;
-            ins.for_each_use(|r| {
-                if let Some(w) = frame[r.0 as usize] {
-                    out.dependence(DepKind::Reg, w.stmt, w.coords.resolve(arena), stmt, coords);
-                }
-            });
+            if pruned {
+                self.pruned_events += 1;
+            } else {
+                let frame = self.reg_frames.last().expect("live frame");
+                let arena = &self.arena;
+                let coords = &self.coords;
+                let out = &mut self.out;
+                ins.for_each_use(|r| {
+                    if let Some(w) = frame[r.0 as usize] {
+                        if w.stmt != PRUNED_STMT {
+                            out.dependence(
+                                DepKind::Reg,
+                                w.stmt,
+                                w.coords.resolve(arena),
+                                stmt,
+                                coords,
+                            );
+                        }
+                    }
+                });
+            }
         }
         if let Some(d) = ins.def() {
             let snap = self.snapshot();
             let frame = self.reg_frames.last_mut().expect("live frame");
+            let stmt = if pruned { PRUNED_STMT } else { stmt };
             frame[d.0 as usize] = Some(Writer { stmt, coords: snap });
         }
 

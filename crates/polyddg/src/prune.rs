@@ -1,0 +1,122 @@
+//! Static instrumentation pruning (hybrid static/dynamic mode).
+//!
+//! The static affine pre-pass (`polystatic::dataflow`) proves, before pass 2
+//! runs, that certain instructions can only ever fold to SCEV statements —
+//! statements `FoldedDdg::remove_scevs` would delete anyway. For those the
+//! profiler can skip register-dependence tracking entirely: the deps it would
+//! have emitted are exactly the ones SCEV removal retires.
+//!
+//! The contract is deliberately narrow so the folded result stays
+//! byte-identical after `remove_scevs()` with pruning on or off:
+//!
+//! * pruned instructions still emit their `instr_point` (with labels), so
+//!   folded statement domains, label folds, `total_ops` and the dynamic
+//!   `is_scev` verdict are unchanged;
+//! * a pruned instruction's *uses* are not scanned (no `DepKind::Reg` dep
+//!   with a pruned destination), and its *definition* writes a tombstone
+//!   writer ([`PRUNED_STMT`]) into the register frame so later readers skip
+//!   the dep (no reg dep with a pruned source) without losing the
+//!   "this register was overwritten" fact;
+//! * memory instructions are never in the mask (SCEV candidates are
+//!   `Const`/`Move`/`IOp`/compares), so shadow-memory tracking is untouched.
+//!
+//! The mask itself is a dense per-instruction bitmap — one `bool` per
+//! instruction of the program, indexed `[func][block][instr]` — so the hot
+//! path pays one array load per executed instruction, no hashing.
+
+use polyiiv::context::StmtId;
+use polyir::{BlockRef, FuncId, InstrRef, Program};
+
+/// Sentinel statement id stored in a register frame when the writing
+/// instruction was pruned. Real statement ids are interned densely from 0,
+/// so `u32::MAX` can never collide.
+pub const PRUNED_STMT: StmtId = StmtId(u32::MAX);
+
+/// Dense per-instruction prune bitmap. See the module docs for the contract
+/// a mask must satisfy (every marked instruction must be dynamically
+/// `is_scev` in every context) — the mask itself is just storage.
+#[derive(Debug, Clone)]
+pub struct PruneMask {
+    /// `bits[func][block]` is one bool per instruction of that block.
+    bits: Vec<Vec<Box<[bool]>>>,
+    marked: usize,
+}
+
+impl PruneMask {
+    /// Build a mask by evaluating `pred` on every instruction of `prog`.
+    pub fn from_fn(prog: &Program, mut pred: impl FnMut(InstrRef) -> bool) -> PruneMask {
+        let mut marked = 0usize;
+        let bits = prog
+            .funcs
+            .iter()
+            .enumerate()
+            .map(|(f, func)| {
+                func.blocks
+                    .iter()
+                    .enumerate()
+                    .map(|(b, blk)| {
+                        (0..blk.instrs.len())
+                            .map(|i| {
+                                let hit = pred(InstrRef {
+                                    block: BlockRef::new(FuncId(f as u32), b as u32),
+                                    idx: i as u32,
+                                });
+                                marked += hit as usize;
+                                hit
+                            })
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        PruneMask { bits, marked }
+    }
+
+    /// Is this instruction pruned? `i` must refer into the program the mask
+    /// was built for.
+    #[inline]
+    pub fn contains(&self, i: InstrRef) -> bool {
+        self.bits[i.block.func.0 as usize][i.block.block.0 as usize][i.idx as usize]
+    }
+
+    /// Number of instructions marked.
+    pub fn marked(&self) -> usize {
+        self.marked
+    }
+
+    /// True when no instruction is marked (pruning would be a no-op).
+    pub fn is_empty(&self) -> bool {
+        self.marked == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyir::build::ProgramBuilder;
+    use polyir::{IBinOp, Operand};
+
+    fn iref(f: u32, b: u32, i: u32) -> InstrRef {
+        InstrRef {
+            block: BlockRef::new(FuncId(f), b),
+            idx: i,
+        }
+    }
+
+    #[test]
+    fn mask_marks_exactly_the_predicate() {
+        let mut pb = ProgramBuilder::new("t");
+        let mut fb = pb.func("main", 0);
+        let a = fb.const_i(1);
+        let b = fb.iop(IBinOp::Add, a, 2i64);
+        fb.ret(Some(Operand::Reg(b)));
+        let f = fb.finish();
+        pb.set_entry(f);
+        let prog = pb.finish();
+        let mask = PruneMask::from_fn(&prog, |i| i.idx == 1);
+        assert_eq!(mask.marked(), 1);
+        assert!(!mask.contains(iref(0, 0, 0)));
+        assert!(mask.contains(iref(0, 0, 1)));
+        assert!(!mask.is_empty());
+    }
+}

@@ -17,7 +17,10 @@ pub mod metrics;
 pub mod report;
 
 pub use metrics::{ProgramFeedback, RegionReport};
-pub use report::{annotated_ast, flamegraph_svg, full_report, self_flamegraph_svg, table5_row};
+pub use report::{
+    annotated_ast, flamegraph_svg, full_report, self_flamegraph_svg, static_pass_section,
+    table5_row,
+};
 
 use polycfg::StaticStructure;
 use polyfold::FoldedDdg;

@@ -311,6 +311,48 @@ pub fn full_report(input: &FeedbackInput<'_>, fb: &ProgramFeedback) -> String {
     s
 }
 
+/// Render the hybrid static/dynamic section appended to the full report
+/// when the static affine pre-pass ran: proof counts, pruning effect, and
+/// the DDG lint verdict.
+pub fn static_pass_section(
+    static_scevs: usize,
+    pruned_stmts: usize,
+    pruned_events: u64,
+    lint: Option<&polystatic::lint::LintReport>,
+) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "─── static affine pre-pass ───");
+    let _ = writeln!(s, "  statically proven SCEV instructions : {static_scevs}");
+    let _ = writeln!(
+        s,
+        "  instrumentation pruned              : {pruned_stmts} statements, {pruned_events} register-dep events"
+    );
+    match lint {
+        Some(rep) if rep.ok() => {
+            let _ = writeln!(
+                s,
+                "  DDG lint                            : ok ({} checks)",
+                rep.checks
+            );
+        }
+        Some(rep) => {
+            let _ = writeln!(
+                s,
+                "  DDG lint                            : {} VIOLATIONS ({} checks)",
+                rep.violations.len(),
+                rep.checks
+            );
+            for v in &rep.violations {
+                let _ = writeln!(s, "    [{}] {}", v.kind, v.detail);
+            }
+        }
+        None => {
+            let _ = writeln!(s, "  DDG lint                            : not run");
+        }
+    }
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -34,6 +34,7 @@ use crate::{FoldOptions, FoldedDdg, FoldingSink};
 use polycfg::StaticStructure;
 use polyddg::chunk::{ChunkWriter, EventChunk, EventRef};
 use polyddg::pipeline::{PreProfiler, ShardRouter};
+use polyddg::prune::PruneMask;
 use polyddg::shadow::ShadowResolver;
 use polyddg::{DdgConfig, FoldSink};
 use polyiiv::context::ContextInterner;
@@ -123,13 +124,28 @@ pub fn fold_pipelined_traced(
     cfg: &PipelineConfig,
     trace: Option<&Arc<Collector>>,
 ) -> (FoldedDdg, ContextInterner) {
+    let (ddg, interner, _) = fold_pipelined_pruned(prog, structure, cfg, trace, None);
+    (ddg, interner)
+}
+
+/// As [`fold_pipelined_traced`], with an optional static prune mask
+/// installed on the stage-1 profiler (see `polyddg::prune`). The third
+/// return value is the number of register-dependence events skipped by the
+/// mask — zero when `prune` is `None`.
+pub fn fold_pipelined_pruned(
+    prog: &Program,
+    structure: &StaticStructure,
+    cfg: &PipelineConfig,
+    trace: Option<&Arc<Collector>>,
+    prune: Option<Arc<PruneMask>>,
+) -> (FoldedDdg, ContextInterner, u64) {
     let k = cfg.fold_threads.max(1);
     let chunk_events = cfg.chunk_events.max(1);
     let queue = cfg.queue_chunks.max(1);
     let ddg_cfg = cfg.ddg;
     let options = cfg.options;
 
-    let (shards, interner) = std::thread::scope(|s| {
+    let (shards, interner, pruned_events) = std::thread::scope(|s| {
         // Stage 1 → stage 2 edge.
         let (pre_tx, pre_rx) = sync_channel::<EventChunk>(queue);
         let (pre_pool_tx, pre_pool_rx) = sync_channel::<EventChunk>(queue + 2);
@@ -154,22 +170,27 @@ pub fn fold_pipelined_traced(
                 writer.set_trace(Arc::clone(c), 0);
             }
             let mut prof = PreProfiler::with_config(prog, structure, writer, ddg_cfg);
+            if let Some(m) = prune {
+                prof.set_prune_mask(m);
+            }
             polyvm::Vm::new(prog)
                 .run(&[], &mut prof)
                 .expect("pass-2 execution failed");
             if let Some(c) = &trace_pre {
                 c.add(Counter::DynOps, prof.dyn_ops);
                 c.add(Counter::MemEvents, prof.mem_events);
+                c.add(Counter::PrunedEvents, prof.pruned_events);
                 let (hits, misses) = prof.interner.cache_stats();
                 c.add(Counter::CtxCacheHit, hits);
                 c.add(Counter::CtxCacheMiss, misses);
             }
+            let pruned_events = prof.pruned_events;
             let (writer, interner) = prof.finish();
             let stats = writer.finish();
             if let Some(c) = &trace_pre {
                 ChunkWriter::harvest(&stats, c, Counter::EventsEmitted);
             }
-            interner
+            (interner, pruned_events)
         });
 
         let trace_res = trace.cloned();
@@ -270,20 +291,20 @@ pub fn fold_pipelined_traced(
             })
             .collect();
 
-        let interner = join_or_propagate(producer, "event generation");
+        let (interner, pruned_events) = join_or_propagate(producer, "event generation");
         join_or_propagate(resolver, "shadow resolution");
         let shards: Vec<FoldingSink> = workers
             .into_iter()
             .map(|h| join_or_propagate(h, "folding"))
             .collect();
-        (shards, interner)
+        (shards, interner, pruned_events)
     });
 
     let ddg = {
         let _span = trace.map(|c| c.pipe_span(PipeStage::Merge));
         finalize_shards(shards, prog, &interner)
     };
-    (ddg, interner)
+    (ddg, interner, pruned_events)
 }
 
 /// Finalize every shard in parallel (the vendored rayon stand-in has no

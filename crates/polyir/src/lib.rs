@@ -529,12 +529,43 @@ impl Program {
             .sum()
     }
 
-    /// Structural sanity check: every referenced block / register / function
-    /// exists and calls match arities. Returns a list of violations
-    /// (empty = valid).
+    /// Strict IR verifier. Checks, per function:
+    ///
+    /// * structure — every referenced block / register / function exists,
+    ///   calls match callee arities;
+    /// * **definite assignment** — on every path from the function entry,
+    ///   each register is written before it is read (forward dataflow,
+    ///   intersection over predecessors; parameters count as assigned,
+    ///   unreachable blocks are skipped). The VM zero-initializes frames,
+    ///   so a violation is not UB — but it is always a workload bug, and
+    ///   the static affine pre-pass assumes the discipline;
+    /// * **branch typing** — a `Br` condition must be integer-valued
+    ///   (a float immediate can never be a truth value);
+    /// * **return-arity consistency** — a function must not mix `Ret(Some)`
+    ///   and `Ret(None)`, and a `Call` writing a destination register must
+    ///   target a function that actually returns a value.
+    ///
+    /// Returns a list of violations (empty = valid).
     pub fn validate(&self) -> Vec<String> {
         let mut errs = Vec::new();
-        for f in &self.funcs {
+        // Return arity per function: (has value-returns, has void-returns).
+        let ret_arity: Vec<(bool, bool)> = self
+            .funcs
+            .iter()
+            .map(|f| {
+                let mut some = false;
+                let mut none = false;
+                for b in &f.blocks {
+                    match &b.term {
+                        Terminator::Ret(Some(_)) => some = true,
+                        Terminator::Ret(None) => none = true,
+                        _ => {}
+                    }
+                }
+                (some, none)
+            })
+            .collect();
+        for (fi, f) in self.funcs.iter().enumerate() {
             if f.n_params > f.n_regs {
                 errs.push(format!("{}: n_params > n_regs", f.name));
             }
@@ -561,7 +592,7 @@ impl Program {
                     for u in ins.uses() {
                         check_reg(u, &mut errs);
                     }
-                    if let Instr::Call { func, args, .. } = ins {
+                    if let Instr::Call { dst, func, args } = ins {
                         if func.0 as usize >= self.funcs.len() {
                             errs.push(format!("{}: call to missing function #{}", f.name, func.0));
                         } else {
@@ -575,6 +606,13 @@ impl Program {
                                     callee.n_params
                                 ));
                             }
+                            let (some, none) = ret_arity[func.0 as usize];
+                            if dst.is_some() && none && !some {
+                                errs.push(format!(
+                                    "{}: call to {} expects a value but callee only returns void",
+                                    f.name, callee.name
+                                ));
+                            }
                         }
                     }
                 }
@@ -584,6 +622,9 @@ impl Program {
                     }
                     Terminator::Br { cond, then_, else_ } => {
                         check_op(cond, &mut errs);
+                        if matches!(cond, Operand::ImmF(_)) {
+                            errs.push(format!("{}: branch condition is a float immediate", f.name));
+                        }
                         for t in [then_, else_] {
                             if t.0 as usize >= f.blocks.len() {
                                 errs.push(format!("{}: branch to missing block b{}", f.name, t.0));
@@ -594,6 +635,11 @@ impl Program {
                     _ => {}
                 }
             }
+            let (ret_some, ret_none) = ret_arity[fi];
+            if ret_some && ret_none {
+                errs.push(format!("{}: mixes value and void returns", f.name));
+            }
+            self.verify_definite_assignment(f, &mut errs);
         }
         if let Some(e) = self.entry {
             if e.0 as usize >= self.funcs.len() {
@@ -603,6 +649,128 @@ impl Program {
             errs.push("no entry function".into());
         }
         errs
+    }
+
+    /// Definite-assignment dataflow for one function (see [`Program::validate`]).
+    ///
+    /// Forward bitset dataflow: a register is *definitely assigned* at a
+    /// program point if it is written on every path from the entry to that
+    /// point. `in[entry]` holds only the parameters; every other block starts
+    /// at ⊤ (all registers) and is refined by intersecting its predecessors'
+    /// out-sets until a fixpoint. Blocks not reachable from the entry are
+    /// skipped — they keep the ⊤ in-set and never execute anyway.
+    fn verify_definite_assignment(&self, f: &Function, errs: &mut Vec<String>) {
+        let nb = f.blocks.len();
+        if nb == 0 {
+            return;
+        }
+        let words = (f.n_regs as usize).div_ceil(64).max(1);
+        // Predecessors and reachability over the local CFG.
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); nb];
+        let mut reachable = vec![false; nb];
+        let mut stack = vec![0usize];
+        reachable[0] = true;
+        while let Some(b) = stack.pop() {
+            for s in f.blocks[b].term.successors() {
+                let s = s.0 as usize;
+                if s >= nb {
+                    continue; // structural error, reported elsewhere
+                }
+                preds[s].push(b);
+                if !reachable[s] {
+                    reachable[s] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        let set = |bits: &mut [u64], r: Reg| {
+            if (r.0 as usize) < f.n_regs as usize {
+                bits[r.0 as usize / 64] |= 1u64 << (r.0 % 64);
+            }
+        };
+        let get = |bits: &[u64], r: Reg| {
+            (r.0 as usize) < f.n_regs as usize && bits[r.0 as usize / 64] >> (r.0 % 64) & 1 == 1
+        };
+        // in-sets: entry = parameters, everything else ⊤.
+        let mut in_sets = vec![vec![u64::MAX; words]; nb];
+        in_sets[0] = vec![0u64; words];
+        for p in 0..f.n_params {
+            set(&mut in_sets[0], Reg(p));
+        }
+        // out[b] = in[b] ∪ defs(b); iterate in[b] = ∩ preds' out to fixpoint.
+        let block_out = |in_set: &[u64], b: &Block| {
+            let mut out = in_set.to_vec();
+            for ins in &b.instrs {
+                if let Some(d) = ins.def() {
+                    set(&mut out, d);
+                }
+            }
+            out
+        };
+        let mut outs: Vec<Vec<u64>> = (0..nb)
+            .map(|b| block_out(&in_sets[b], &f.blocks[b]))
+            .collect();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for b in 1..nb {
+                if !reachable[b] {
+                    continue;
+                }
+                let mut new_in = vec![u64::MAX; words];
+                for &p in &preds[b] {
+                    for (w, o) in new_in.iter_mut().zip(&outs[p]) {
+                        *w &= o;
+                    }
+                }
+                if new_in != in_sets[b] {
+                    outs[b] = block_out(&new_in, &f.blocks[b]);
+                    in_sets[b] = new_in;
+                    changed = true;
+                }
+            }
+        }
+        // Linear re-scan of each reachable block, reporting first use of each
+        // not-definitely-assigned register (once per register per function).
+        let mut reported = vec![false; f.n_regs as usize];
+        let mut complain = |r: Reg, bi: usize, errs: &mut Vec<String>| {
+            if (r.0 as usize) < reported.len() && !reported[r.0 as usize] {
+                reported[r.0 as usize] = true;
+                errs.push(format!(
+                    "{}: register r{} may be read before assignment (block b{bi})",
+                    f.name, r.0
+                ));
+            }
+        };
+        for (bi, b) in f.blocks.iter().enumerate() {
+            if !reachable[bi] {
+                continue;
+            }
+            let mut live = in_sets[bi].clone();
+            for ins in &b.instrs {
+                for u in ins.uses() {
+                    if !get(&live, u) {
+                        complain(u, bi, errs);
+                    }
+                }
+                if let Some(d) = ins.def() {
+                    set(&mut live, d);
+                }
+            }
+            let term_use = match &b.term {
+                Terminator::Br {
+                    cond: Operand::Reg(r),
+                    ..
+                } => Some(*r),
+                Terminator::Ret(Some(Operand::Reg(r))) => Some(*r),
+                _ => None,
+            };
+            if let Some(r) = term_use {
+                if !get(&live, r) {
+                    complain(r, bi, errs);
+                }
+            }
+        }
     }
 }
 

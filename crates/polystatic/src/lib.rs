@@ -19,6 +19,9 @@
 //! paths), must assume the worst about pointers, and cannot look through
 //! calls — while Poly-Prof observes one execution and models it precisely.
 
+pub mod dataflow;
+pub mod lint;
+
 use polycfg::loop_forest::LoopForest;
 use polyir::*;
 use std::collections::{BTreeMap, BTreeSet};
@@ -101,7 +104,7 @@ impl StaticReport {
 
 /// A flow-insensitive symbolic value for static affine reasoning.
 #[derive(Debug, Clone, PartialEq, Eq)]
-enum Sym {
+pub(crate) enum Sym {
     /// A compile-time constant.
     Const(i64),
     /// A linear form over parameters and induction variables: base symbols
@@ -116,7 +119,7 @@ enum Sym {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-enum Base {
+pub(crate) enum Base {
     /// Function parameter `i`.
     Param(u32),
     /// Induction variable of the loop headed at this block.
@@ -124,7 +127,7 @@ enum Base {
 }
 
 /// Classify the registers of a function flow-insensitively.
-fn classify_registers(f: &Function, forest: &LoopForest) -> Vec<Sym> {
+pub(crate) fn classify_registers(f: &Function, forest: &LoopForest) -> Vec<Sym> {
     let n = f.n_regs as usize;
     // Collect all defs per register.
     let mut defs: Vec<Vec<(&Instr, LocalBlockId)>> = vec![Vec::new(); n];
@@ -221,7 +224,7 @@ fn classify_registers(f: &Function, forest: &LoopForest) -> Vec<Sym> {
     sym
 }
 
-fn eval_operand(o: &Operand, sym: &[Sym]) -> Sym {
+pub(crate) fn eval_operand(o: &Operand, sym: &[Sym]) -> Sym {
     match o {
         Operand::Reg(r) => sym[r.0 as usize].clone(),
         Operand::ImmI(v) => Sym::Const(*v),
@@ -237,7 +240,7 @@ fn lin_of(s: &Sym) -> Option<(BTreeMap<Base, i64>, i64)> {
     }
 }
 
-fn eval_instr(ins: &Instr, sym: &[Sym]) -> Sym {
+pub(crate) fn eval_instr(ins: &Instr, sym: &[Sym]) -> Sym {
     match ins {
         Instr::Const {
             value: Value::I64(v),
@@ -361,35 +364,36 @@ pub fn analyze_function(prog: &Program, fid: FuncId) -> Vec<RegionVerdict> {
                         reasons.insert(Reason::C);
                     }
                     // B: header or guard condition must compare affine forms.
+                    // Every definition of the condition register is checked
+                    // (a region can fail B in several ways at once): any
+                    // non-affine integer-compare side, any float compare, or
+                    // any non-compare (opaque) definition.
                     if let Operand::Reg(r) = cond {
-                        // find the defining compare
-                        let aff = f
-                            .blocks
-                            .iter()
-                            .flat_map(|bb| &bb.instrs)
-                            .filter_map(|ins| match ins {
-                                Instr::ICmp { dst, a, b, .. } if dst == r => {
-                                    Some((eval_operand(a, &sym), eval_operand(b, &sym)))
-                                }
-                                Instr::FCmp { dst, .. } if dst == r => None,
-                                _ => None,
-                            })
-                            .next();
-                        match aff {
-                            Some((sa, sb)) => {
-                                for s in [sa, sb] {
-                                    match s {
-                                        Sym::Const(_) | Sym::Linear(..) => {}
-                                        _ => {
-                                            reasons.insert(Reason::B);
+                        let mut any_def = false;
+                        for ins in f.blocks.iter().flat_map(|bb| &bb.instrs) {
+                            if ins.def() != Some(*r) {
+                                continue;
+                            }
+                            any_def = true;
+                            match ins {
+                                Instr::ICmp { a, b, .. } => {
+                                    for s in [eval_operand(a, &sym), eval_operand(b, &sym)] {
+                                        match s {
+                                            Sym::Const(_) | Sym::Linear(..) => {}
+                                            _ => {
+                                                reasons.insert(Reason::B);
+                                            }
                                         }
                                     }
                                 }
+                                _ => {
+                                    // float compare or opaque condition
+                                    reasons.insert(Reason::B);
+                                }
                             }
-                            None => {
-                                // float compare or opaque condition
-                                reasons.insert(Reason::B);
-                            }
+                        }
+                        if !any_def {
+                            reasons.insert(Reason::B);
                         }
                     }
                 }
@@ -654,6 +658,86 @@ mod tests {
         let p = pb.finish();
         let rep = analyze_program(&p);
         assert!(rep.reasons().contains(&Reason::P), "{}", rep.summary());
+    }
+
+    /// One region exhibiting several failure modes at once must report ALL
+    /// of them on the same verdict, not just the first one found.
+    #[test]
+    fn single_region_reports_all_applicable_reasons() {
+        let mut pb = ProgramBuilder::new("t");
+        let nbase = pb.array_i64(&[6]);
+        let idx = pb.array_i64(&[1, 0, 3, 2, 5, 4]);
+        let a = pb.alloc(16);
+        let mut g = pb.func("g", 0);
+        g.ret(None);
+        let g_id = g.finish();
+        let mut f = pb.func("main", 0);
+        let n = f.load(nbase as i64, 0i64); // data-dependent bound → B
+        f.for_loop("L", 0i64, n, 1, |f, i| {
+            f.call_void(g_id, &[]); // call in loop → R
+            let k = f.load(idx as i64, i); // indirection …
+            f.load(a as i64, k); // … a[idx[i]] → F
+        });
+        f.ret(None);
+        let fid = f.finish();
+        pb.set_entry(fid);
+        let p = pb.finish();
+        let rep = analyze_program(&p);
+        // All three reasons must sit on ONE region, not be spread across the
+        // program-level union.
+        let region = rep
+            .regions
+            .iter()
+            .find(|r| !r.modeled)
+            .expect("the loop region must fail modeling");
+        for want in [Reason::R, Reason::B, Reason::F] {
+            assert!(
+                region.reasons.contains(&want),
+                "region missing {want}: {}",
+                reasons_string(&region.reasons)
+            );
+        }
+    }
+
+    /// A condition register with a *second*, non-affine compare definition
+    /// must still trip B — every def of the register is checked, not just
+    /// the first one encountered.
+    #[test]
+    fn second_compare_def_still_gives_b() {
+        let mut pb = ProgramBuilder::new("t");
+        let a = pb.array_i64(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        let mut f = pb.func("main", 0);
+        let iv = f.const_i(0);
+        // First def: affine compare (iv < 8).
+        let c = f.icmp(CmpOp::Lt, iv, 8i64);
+        let header = f.block("h");
+        let body = f.block("b");
+        let out = f.block("out");
+        f.jump(header);
+        f.switch_to(header);
+        f.br(c, body, out);
+        f.switch_to(body);
+        let v = f.load(a as i64, iv);
+        f.iop_to(iv, IBinOp::Add, iv, 1i64);
+        // Second def of the SAME condition register: data-dependent compare.
+        f.raw_instr(Instr::ICmp {
+            dst: c,
+            op: CmpOp::Lt,
+            a: Operand::Reg(v),
+            b: Operand::ImmI(8),
+        });
+        f.jump(header);
+        f.switch_to(out);
+        f.ret(None);
+        let fid = f.finish();
+        pb.set_entry(fid);
+        let p = pb.finish();
+        let rep = analyze_program(&p);
+        assert!(
+            rep.reasons().contains(&Reason::B),
+            "data-dependent second def of the exit condition must give B: {}",
+            rep.summary()
+        );
     }
 
     #[test]

@@ -6,9 +6,10 @@
 //! any recording path):
 //!
 //! * **per-stage span timing** — wall time of each sequential stage of
-//!   [`profile`](https://docs.rs/polyprof-core) (structure recording, pass 2,
-//!   finalize, SCEV removal, scheduling, feedback, rendering, the static
-//!   baseline), plus the *concurrent* stage threads of the sharded pipeline
+//!   [`profile`](https://docs.rs/polyprof-core) (structure recording, the
+//!   static affine pre-pass, pass 2, finalize, DDG lint, SCEV removal,
+//!   scheduling, feedback, rendering, the static baseline), plus the
+//!   *concurrent* stage threads of the sharded pipeline
 //!   (event generation, shadow resolution, each fold shard, merge);
 //! * **pipeline counters and gauges** — events emitted / resolved / folded
 //!   (total and per shard), chunk-pool recycle vs fresh-allocation counts,
@@ -74,6 +75,9 @@ impl MetricsLevel {
 pub enum Stage {
     /// Pass 1: dynamic CFG/CG recording + loop-forest analysis.
     Structure,
+    /// The static affine pre-pass (`polystatic::dataflow`): dominators,
+    /// induction variables, SCEV proofs and the instrumentation prune mask.
+    StaticPass,
     /// Pass 2: the DDG profiling run itself (serial in-line, or the whole
     /// staged pipeline — whose internal concurrency is broken out in
     /// [`PipeStage`] / shard slots).
@@ -81,6 +85,8 @@ pub enum Stage {
     /// Folding-sink finalization (serial path; the pipeline finalizes inside
     /// [`Stage::Profile`], attributed to [`PipeStage::Merge`]).
     Finalize,
+    /// Post-fold DDG lint against the static summary.
+    Lint,
     /// SCEV statement/dependence removal.
     ScevRemoval,
     /// Pluto-style schedule analysis.
@@ -94,14 +100,16 @@ pub enum Stage {
 }
 
 /// Number of [`Stage`] slots.
-pub const N_STAGES: usize = 8;
+pub const N_STAGES: usize = 10;
 
 impl Stage {
     /// All stages, in execution order.
     pub const ALL: [Stage; N_STAGES] = [
         Stage::Structure,
+        Stage::StaticPass,
         Stage::Profile,
         Stage::Finalize,
+        Stage::Lint,
         Stage::ScevRemoval,
         Stage::Schedule,
         Stage::Feedback,
@@ -113,8 +121,10 @@ impl Stage {
     pub fn name(self) -> &'static str {
         match self {
             Stage::Structure => "structure",
+            Stage::StaticPass => "static-pass",
             Stage::Profile => "profile",
             Stage::Finalize => "finalize",
+            Stage::Lint => "lint",
             Stage::ScevRemoval => "scev-removal",
             Stage::Schedule => "schedule",
             Stage::Feedback => "feedback",
@@ -126,13 +136,15 @@ impl Stage {
     fn slot(self) -> usize {
         match self {
             Stage::Structure => 0,
-            Stage::Profile => 1,
-            Stage::Finalize => 2,
-            Stage::ScevRemoval => 3,
-            Stage::Schedule => 4,
-            Stage::Feedback => 5,
-            Stage::Render => 6,
-            Stage::StaticBaseline => 7,
+            Stage::StaticPass => 1,
+            Stage::Profile => 2,
+            Stage::Finalize => 3,
+            Stage::Lint => 4,
+            Stage::ScevRemoval => 5,
+            Stage::Schedule => 6,
+            Stage::Feedback => 7,
+            Stage::Render => 8,
+            Stage::StaticBaseline => 9,
         }
     }
 }
@@ -232,10 +244,21 @@ pub enum Counter {
     /// Folded statements left over-approximated (inexact domain or
     /// non-affine label/access).
     OverapproxStmts,
+    /// Static instructions proven SCEV by the affine pre-pass.
+    StaticScevStmts,
+    /// Folded statements whose instruction was in the prune mask.
+    PrunedStmts,
+    /// Dynamic executions whose register-dependence tracking was skipped
+    /// because the instruction was statically proven SCEV.
+    PrunedEvents,
+    /// DDG lint checks evaluated.
+    LintChecks,
+    /// DDG lint violations found.
+    LintViolations,
 }
 
 /// Number of [`Counter`] slots.
-pub const N_COUNTERS: usize = 23;
+pub const N_COUNTERS: usize = 28;
 
 impl Counter {
     /// All counters, in report order.
@@ -263,6 +286,11 @@ impl Counter {
         Counter::RetiredStmts,
         Counter::RetiredDeps,
         Counter::OverapproxStmts,
+        Counter::StaticScevStmts,
+        Counter::PrunedStmts,
+        Counter::PrunedEvents,
+        Counter::LintChecks,
+        Counter::LintViolations,
     ];
 
     /// Stable snake_case name (JSON keys, table rows).
@@ -291,6 +319,11 @@ impl Counter {
             Counter::RetiredStmts => "retired_stmts",
             Counter::RetiredDeps => "retired_deps",
             Counter::OverapproxStmts => "overapprox_stmts",
+            Counter::StaticScevStmts => "static_scev_stmts",
+            Counter::PrunedStmts => "pruned_stmts",
+            Counter::PrunedEvents => "pruned_events",
+            Counter::LintChecks => "lint_checks",
+            Counter::LintViolations => "lint_violations",
         }
     }
 
