@@ -32,11 +32,13 @@ pub use polyfold;
 pub use polyiiv;
 pub use polyir;
 pub use polylib;
+pub use polyresist;
 pub use polysched;
 pub use polystatic;
 pub use polytrace;
 pub use polyvm;
 
+pub use polyresist::{FaultPlan, FaultSite, PolyProfError, ResourceBudget, RunDegradation};
 pub use polytrace::{MetricsLevel, RunMetrics};
 
 use polyfeedback::metrics::ProgramFeedback;
@@ -46,7 +48,7 @@ use polystatic::lint::LintReport;
 use polystatic::StaticReport;
 use polytrace::{Collector, Counter, Stage};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Everything Poly-Prof produces for one program.
 pub struct Report {
@@ -84,6 +86,11 @@ pub struct Report {
     /// configured with [`MetricsLevel::Off`] (the default): the telemetry
     /// layer then costs nothing and the hot path stays allocation-free.
     pub metrics: Option<RunMetrics>,
+    /// Everything the run lost or recovered from: injected faults, stage
+    /// retries, dropped/malformed chunks, budget over-approximation, the
+    /// watchdog deadline. All-default (check [`RunDegradation::is_degraded`])
+    /// for a clean run — which every run without a fault plan or budget is.
+    pub degradation: RunDegradation,
 }
 
 impl Report {
@@ -102,13 +109,19 @@ impl Report {
             .as_ref()
             .map(|m| polyfeedback::self_flamegraph_svg(m, title))
     }
+
+    /// Stable JSON rendering of the degradation counters — what the CI
+    /// resilience gate snapshots next to its `metrics.json` artifacts.
+    pub fn degradation_json(&self) -> String {
+        self.degradation.to_json()
+    }
 }
 
 /// Knobs of one profiling run (see `polyfold::pipeline` for the stage
 /// anatomy). Construct through [`ProfileConfig::new`] and the `with_*`
 /// builders — the struct is `#[non_exhaustive]` so future knobs can land
 /// without breaking callers.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 #[non_exhaustive]
 pub struct ProfileConfig {
     /// Folding worker threads. `1` (the default) keeps the fully serial
@@ -134,6 +147,24 @@ pub struct ProfileConfig {
     /// must-exist flow deps, partition disjointness, SCEV marks). Implies
     /// running the static pre-pass; does not imply pruning.
     pub lint: bool,
+    /// Byte budget for retained profiling state (shadow pages, coordinate
+    /// arena, per-statement folders). Crossing it latches *pressure*:
+    /// folders switch to the paper's over-approximation mode (bounding box +
+    /// label ranges) instead of allocating further precision state. `None`
+    /// (default) tracks nothing.
+    pub memory_budget: Option<u64>,
+    /// Watchdog deadline for pass 2, measured from its start. When it fires
+    /// the event producer stops gracefully and the run finalizes a partial
+    /// but valid folded DDG (`Report::degradation.deadline_hit`).
+    pub deadline: Option<Duration>,
+    /// Deterministic fault-injection schedule. Setting it routes pass 2
+    /// through the supervised pipeline regardless of `fold_threads`. `None`
+    /// for production runs; the `POLYPROF_FAULT_PLAN` environment knob fills
+    /// it for the CI resilience gate.
+    pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Failed supervised-pipeline attempts to retry before falling back to
+    /// the serial path.
+    pub max_retries: u32,
 }
 
 impl Default for ProfileConfig {
@@ -144,6 +175,10 @@ impl Default for ProfileConfig {
             metrics: MetricsLevel::Off,
             static_prune: false,
             lint: false,
+            memory_budget: None,
+            deadline: None,
+            fault_plan: None,
+            max_retries: 2,
         }
     }
 }
@@ -184,6 +219,32 @@ impl ProfileConfig {
         self.lint = on;
         self
     }
+
+    /// Cap retained profiling state at `bytes`; on pressure, per-statement
+    /// folding degrades to over-approximation instead of failing.
+    pub fn with_memory_budget(mut self, bytes: u64) -> Self {
+        self.memory_budget = Some(bytes);
+        self
+    }
+
+    /// Set a pass-2 watchdog deadline; when it fires the run finalizes a
+    /// partial but valid folded DDG.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Arm a deterministic fault-injection schedule (tests / CI gate).
+    pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Set the supervised-pipeline retry bound.
+    pub fn with_max_retries(mut self, n: u32) -> Self {
+        self.max_retries = n;
+        self
+    }
 }
 
 /// Run the full Poly-Prof pipeline (both instrumentation passes, folding,
@@ -195,7 +256,24 @@ pub fn profile(prog: &Program) -> Report {
 /// As [`profile`], with explicit threading configuration. The sharded
 /// pipeline produces byte-identical reports to the serial path; the knobs
 /// only trade wall-clock for threads.
+///
+/// Back-compat panicking wrapper around [`try_profile_with`] — it panics
+/// with the rendered [`PolyProfError`] on the (rare) unrecoverable failures
+/// that survive supervision, such as a deterministic VM error.
 pub fn profile_with(prog: &Program, cfg: &ProfileConfig) -> Report {
+    match try_profile_with(prog, cfg) {
+        Ok(r) => r,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible sibling of [`profile_with`]: every failure mode the supervised
+/// pipeline cannot absorb (bad program, deterministic VM error, malformed
+/// fault-plan spec) surfaces as a structured [`PolyProfError`] instead of a
+/// panic. Recoverable trouble — injected faults, stage panics, budget
+/// pressure, the watchdog deadline — still yields `Ok`, with the losses
+/// recorded in [`Report::degradation`].
+pub fn try_profile_with(prog: &Program, cfg: &ProfileConfig) -> Result<Report, PolyProfError> {
     // Telemetry: one fixed-slot collector per run when metrics are on; no
     // allocation and no clock reads at `Off` (the zero-alloc gate runs the
     // default config through this exact path).
@@ -208,9 +286,24 @@ pub fn profile_with(prog: &Program, cfg: &ProfileConfig) -> Report {
         let mut rec = polycfg::StructureRecorder::new();
         polyvm::Vm::new(prog)
             .run(&[], &mut rec)
-            .expect("pass-1 execution failed");
+            .map_err(|e| PolyProfError::Vm {
+                stage: "pass-1",
+                msg: e.to_string(),
+            })?;
         polycfg::StaticStructure::analyze(prog, rec)
     };
+
+    // Resilience hooks. The fault plan comes from the config or, for the CI
+    // resilience gate, the `POLYPROF_FAULT_PLAN` environment knob; a budget
+    // exists only when a byte limit or deadline was configured. Both stay
+    // `None` on production runs — every downstream hook is then one skipped
+    // branch on a cold path.
+    let fault_plan = cfg
+        .fault_plan
+        .clone()
+        .or_else(|| FaultPlan::from_env().map(Arc::new));
+    let budget = (cfg.memory_budget.is_some() || cfg.deadline.is_some())
+        .then(|| Arc::new(ResourceBudget::new(cfg.memory_budget, cfg.deadline)));
 
     // Static affine pre-pass: SCEV proofs, prune mask, lint inputs. Runs
     // only when the hybrid knobs ask for it — the classic dynamic-only
@@ -228,18 +321,36 @@ pub fn profile_with(prog: &Program, cfg: &ProfileConfig) -> Report {
         .then(|| summary.as_ref().expect("summary computed").prune_mask());
 
     // Pass 2: DDG streaming into the folding sink — serial in-line, or the
-    // staged pipeline when more than one folding thread is requested.
-    let (mut ddg, interner, pruned_events) = if cfg.fold_threads <= 1 {
+    // supervised staged pipeline when more than one folding thread (or a
+    // fault plan, whose injection sites live in the pipeline stages) is
+    // requested.
+    let mut degradation = RunDegradation::default();
+    let (mut ddg, interner, pruned_events) = if cfg.fold_threads <= 1 && fault_plan.is_none() {
         let (sink, interner, pruned_events) = {
             let _span = trace.as_ref().map(|(c, _)| c.span(Stage::Profile));
-            let mut prof =
-                polyddg::DdgProfiler::new(prog, &structure, polyfold::FoldingSink::new());
+            let mut out = polyfold::FoldingSink::new();
+            if let Some(b) = &budget {
+                out.set_budget(Arc::clone(b));
+            }
+            let mut prof = polyddg::DdgProfiler::new(prog, &structure, out);
             if let Some(m) = &prune {
                 prof.set_prune_mask(Arc::clone(m));
             }
-            polyvm::Vm::new(prog)
-                .run(&[], &mut prof)
-                .expect("pass-2 execution failed");
+            if let Some(b) = &budget {
+                prof.set_budget(Arc::clone(b));
+            }
+            match polyvm::Vm::new(prog).run(&[], &mut prof) {
+                Ok(_) => {}
+                // The budget watchdog asked for a graceful stop: finalize
+                // the partial-but-valid folded state observed so far.
+                Err(polyvm::VmError::Aborted) => degradation.deadline_hit = true,
+                Err(e) => {
+                    return Err(PolyProfError::Vm {
+                        stage: "pass-2",
+                        msg: e.to_string(),
+                    })
+                }
+            }
             if let Some((c, _)) = &trace {
                 c.add(Counter::DynOps, prof.dyn_ops);
                 c.add(Counter::MemEvents, prof.mem_events);
@@ -264,6 +375,23 @@ pub fn profile_with(prog: &Program, cfg: &ProfileConfig) -> Report {
             c.add(Counter::DepMruHit, fs.dep_mru_hits);
             c.add(Counter::DepMruMiss, fs.dep_mru_misses);
         }
+        degradation.budget_overapprox_stmts = sink.fold_stats().budget_degraded;
+        if let Some(b) = &budget {
+            degradation.budget_pressure = b.under_pressure();
+            degradation.peak_tracked_bytes = b.peak_bytes();
+            if b.deadline_was_hit() {
+                degradation.deadline_hit = true;
+            }
+            if let Some((c, _)) = &trace {
+                c.add(
+                    Counter::BudgetOverapprox,
+                    degradation.budget_overapprox_stmts,
+                );
+                if degradation.deadline_hit {
+                    c.add(Counter::DeadlineHits, 1);
+                }
+            }
+        }
         let ddg = {
             let _span = trace.as_ref().map(|(c, _)| c.span(Stage::Finalize));
             sink.finalize(prog, &interner)
@@ -276,13 +404,22 @@ pub fn profile_with(prog: &Program, cfg: &ProfileConfig) -> Report {
             chunk_events: cfg.chunk_events,
             ..Default::default()
         };
-        polyfold::pipeline::fold_pipelined_pruned(
+        let rcfg = polyfold::pipeline::ResilienceConfig {
+            faults: fault_plan.clone(),
+            budget: budget.clone(),
+            max_retries: cfg.max_retries,
+            ..Default::default()
+        };
+        let (ddg, interner, pruned_events, deg) = polyfold::pipeline::fold_pipelined_supervised(
             prog,
             &structure,
             &pcfg,
             trace.as_ref().map(|(c, _)| c),
             prune.clone(),
-        )
+            &rcfg,
+        )?;
+        degradation = deg;
+        (ddg, interner, pruned_events)
     };
 
     // Post-fold, pre-removal: count pruned statements and lint the DDG
@@ -368,9 +505,18 @@ pub fn profile_with(prog: &Program, cfg: &ProfileConfig) -> Report {
         }
         None => full_text,
     };
+    // Degraded runs carry their loss accounting into the feedback document;
+    // clean runs (the overwhelmingly common case) append nothing, keeping
+    // their text byte-identical to pre-supervision output.
+    let full_text = if degradation.is_degraded() {
+        let section = polyfeedback::degradation_section(&degradation);
+        format!("{full_text}\n{section}")
+    } else {
+        full_text
+    };
 
     let metrics = trace.map(|(c, t0)| c.snapshot(t0.elapsed().as_nanos() as u64));
-    Report {
+    Ok(Report {
         feedback,
         static_report,
         flamegraph_svg,
@@ -383,7 +529,8 @@ pub fn profile_with(prog: &Program, cfg: &ProfileConfig) -> Report {
         pruned_events,
         lint,
         metrics,
-    }
+        degradation,
+    })
 }
 
 /// Run [`profile`] over a whole suite, fanning the workloads across threads.

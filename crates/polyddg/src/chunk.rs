@@ -18,6 +18,7 @@
 
 use crate::{DepKind, FoldSink, PreSink};
 use polyiiv::context::StmtId;
+use polyresist::{FaultPlan, FaultSite};
 use polytrace::{Collector, Counter};
 use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::Arc;
@@ -266,6 +267,66 @@ impl EventChunk {
         })
     }
 
+    /// Structural integrity check: every record's coordinate spans must lie
+    /// inside the shared buffer. Well-formed by construction in production;
+    /// receivers call this only when a fault plan is armed, to reject chunks
+    /// corrupted by [`corrupt_for_fault_injection`](Self::corrupt_for_fault_injection).
+    pub fn validate(&self) -> Result<(), String> {
+        let limit = self.coords.len() as u64;
+        let check = |s: Span| -> Result<(), String> {
+            let end = s.off as u64 + s.len as u64;
+            if end > limit {
+                Err(format!(
+                    "coordinate span {}..{} exceeds buffer of {} words",
+                    s.off, end, limit
+                ))
+            } else {
+                Ok(())
+            }
+        };
+        for r in &self.recs {
+            match *r {
+                Rec::Point { coords, .. }
+                | Rec::Access { coords, .. }
+                | Rec::MemPre { coords, .. } => check(coords)?,
+                Rec::Dep {
+                    src_coords,
+                    dst_coords,
+                    ..
+                } => {
+                    check(src_coords)?;
+                    check(dst_coords)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Deliberately break the chunk's span invariants (deterministic fault
+    /// injection only — see `polyresist::FaultSite::MalformedChunk`). The
+    /// damage is always detectable by [`validate`](Self::validate).
+    pub fn corrupt_for_fault_injection(&mut self) {
+        match self.recs.first_mut() {
+            Some(Rec::Point { coords, .. })
+            | Some(Rec::Access { coords, .. })
+            | Some(Rec::MemPre { coords, .. })
+            | Some(Rec::Dep {
+                src_coords: coords, ..
+            }) => coords.len = coords.len.wrapping_add(1 << 20),
+            None => {
+                // Empty chunk: fabricate a record pointing past the buffer.
+                self.recs.push(Rec::Point {
+                    stmt: StmtId(u32::MAX),
+                    coords: Span {
+                        off: u32::MAX / 2,
+                        len: 1 << 20,
+                    },
+                    value: None,
+                });
+            }
+        }
+    }
+
     /// Replay a fully-resolved chunk into a [`FoldSink`], in order.
     ///
     /// Panics on a [`EventRef::MemPre`] record: unresolved events must never
@@ -314,6 +375,13 @@ pub struct ChunkStats {
     /// Nanoseconds blocked in bounded-channel sends (only measured when the
     /// attached collector records at `Timing`; otherwise stays 0).
     pub send_stall_ns: u64,
+    /// Chunks lost on this edge: injected drops plus sends that errored out
+    /// because the consumer was gone (early-exited or panicked).
+    pub dropped_chunks: u64,
+    /// Chunks deliberately corrupted before send (fault injection).
+    pub malformed_sent: u64,
+    /// Sends artificially delayed by an armed fault plan.
+    pub stalled_sends: u64,
 }
 
 impl ChunkStats {
@@ -323,6 +391,9 @@ impl ChunkStats {
         self.chunks_recycled += other.chunks_recycled;
         self.chunks_fresh += other.chunks_fresh;
         self.send_stall_ns += other.send_stall_ns;
+        self.dropped_chunks += other.dropped_chunks;
+        self.malformed_sent += other.malformed_sent;
+        self.stalled_sends += other.stalled_sends;
     }
 }
 
@@ -340,6 +411,8 @@ pub struct ChunkWriter {
     /// Optional telemetry: queue-depth gauge + stall timing per flush.
     /// Chunk-granularity only — the per-event path never touches it.
     trace: Option<(Arc<Collector>, usize)>,
+    /// Optional deterministic fault plan probed once per flushed chunk.
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl ChunkWriter {
@@ -358,7 +431,15 @@ impl ChunkWriter {
             recycled,
             stats: ChunkStats::default(),
             trace: None,
+            faults: None,
         }
+    }
+
+    /// Arm a deterministic fault plan: each flushed chunk probes the
+    /// send-side fault sites (stall, drop, corrupt). Costs nothing when
+    /// never called — the hot path only tests an `Option`.
+    pub fn set_faults(&mut self, plan: Arc<FaultPlan>) {
+        self.faults = Some(plan);
     }
 
     /// Attach a telemetry collector; `edge` names this writer's channel edge
@@ -368,9 +449,10 @@ impl ChunkWriter {
         self.trace = Some((collector, edge));
     }
 
-    /// Ship the current chunk (no-op when empty). A disconnected consumer is
-    /// ignored: the consumer only disappears when a downstream stage
-    /// panicked, and that panic is re-raised when the stage is joined.
+    /// Ship the current chunk (no-op when empty). A disconnected consumer
+    /// never blocks or aborts this writer: the chunk is counted as dropped
+    /// and the stage keeps draining — the supervisor decides afterwards
+    /// whether the run degraded.
     pub fn flush(&mut self) {
         if self.cur.is_empty() {
             return;
@@ -386,20 +468,38 @@ impl ChunkWriter {
             }
         };
         next.clear();
-        let full = std::mem::replace(&mut self.cur, next);
+        let mut full = std::mem::replace(&mut self.cur, next);
+        if let Some(plan) = &self.faults {
+            if plan.should_fire(FaultSite::MalformedChunk) {
+                full.corrupt_for_fault_injection();
+                self.stats.malformed_sent += 1;
+            }
+            if plan.should_fire(FaultSite::StallSend) {
+                std::thread::sleep(plan.stall_duration());
+                self.stats.stalled_sends += 1;
+            }
+            if plan.should_fire(FaultSite::DropSend) {
+                self.stats.dropped_chunks += 1;
+                return;
+            }
+        }
         match &self.trace {
             Some((col, edge)) => {
                 if col.timing() {
                     let t0 = Instant::now();
-                    let _ = self.tx.send(full);
+                    if self.tx.send(full).is_err() {
+                        self.stats.dropped_chunks += 1;
+                    }
                     self.stats.send_stall_ns += t0.elapsed().as_nanos() as u64;
-                } else {
-                    let _ = self.tx.send(full);
+                } else if self.tx.send(full).is_err() {
+                    self.stats.dropped_chunks += 1;
                 }
                 col.queue_send(*edge);
             }
             None => {
-                let _ = self.tx.send(full);
+                if self.tx.send(full).is_err() {
+                    self.stats.dropped_chunks += 1;
+                }
             }
         }
     }
@@ -431,6 +531,8 @@ impl ChunkWriter {
         col.add(Counter::ChunkRecycled, stats.chunks_recycled);
         col.add(Counter::ChunkFresh, stats.chunks_fresh);
         col.add(Counter::SendStallNs, stats.send_stall_ns);
+        col.add(Counter::DroppedChunks, stats.dropped_chunks);
+        col.add(Counter::MalformedChunks, stats.malformed_sent);
     }
 }
 
@@ -543,5 +645,78 @@ mod tests {
         let c3 = rx.try_recv().expect("trailing partial chunk");
         assert_eq!(c3.len(), 1);
         assert!(rx.recv().is_err(), "writer closed the channel");
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_and_rejects_corrupted() {
+        let mut c = EventChunk::with_capacity(4);
+        c.push_point(StmtId(1), &[0, 1], None);
+        c.push_dep(DepKind::Flow, StmtId(1), &[0], StmtId(2), &[1]);
+        assert!(c.validate().is_ok());
+        c.corrupt_for_fault_injection();
+        assert!(c.validate().is_err());
+
+        // An empty chunk gains a fabricated out-of-range record.
+        let mut e = EventChunk::with_capacity(1);
+        assert!(e.validate().is_ok());
+        e.corrupt_for_fault_injection();
+        assert!(e.validate().is_err());
+    }
+
+    #[test]
+    fn writer_drop_fault_loses_exactly_the_probed_chunk() {
+        let (tx, rx) = sync_channel(8);
+        let (_pool_tx, pool_rx) = sync_channel(8);
+        let mut w = ChunkWriter::new(2, tx, pool_rx);
+        w.set_faults(Arc::new(FaultPlan::single(FaultSite::DropSend, 2)));
+        for i in 0..6 {
+            w.instr_point(StmtId(i), &[i as i64], None);
+        }
+        let stats = w.finish();
+        assert_eq!(stats.dropped_chunks, 1);
+        // Chunks 1 and 3 arrive; chunk 2 (the second flush) was dropped.
+        let delivered: usize = rx.iter().map(|c| c.len()).sum();
+        assert_eq!(delivered, 4);
+    }
+
+    #[test]
+    fn writer_malformed_fault_is_detectable_downstream() {
+        let (tx, rx) = sync_channel(8);
+        let (_pool_tx, pool_rx) = sync_channel(8);
+        let mut w = ChunkWriter::new(2, tx, pool_rx);
+        w.set_faults(Arc::new(FaultPlan::single(FaultSite::MalformedChunk, 1)));
+        for i in 0..4 {
+            w.instr_point(StmtId(i), &[i as i64], None);
+        }
+        let stats = w.finish();
+        assert_eq!(stats.malformed_sent, 1);
+        let chunks: Vec<EventChunk> = rx.iter().collect();
+        assert_eq!(chunks.len(), 2);
+        assert!(chunks[0].validate().is_err(), "first chunk corrupted");
+        assert!(chunks[1].validate().is_ok(), "second chunk untouched");
+    }
+
+    /// Shutdown-ordering regression (1-slot channel): a consumer that exits
+    /// early MUST drop its receiver; the writer's pending and future sends
+    /// then error out — counted as dropped chunks — instead of blocking
+    /// forever against the full bounded channel.
+    #[test]
+    fn early_consumer_exit_unblocks_writer_sends() {
+        let (tx, rx) = sync_channel::<EventChunk>(1);
+        let (_pool_tx, pool_rx) = sync_channel(1);
+        let writer = std::thread::spawn(move || {
+            let mut w = ChunkWriter::new(1, tx, pool_rx);
+            for i in 0..64 {
+                w.instr_point(StmtId(i), &[i as i64], None);
+            }
+            w.finish()
+        });
+        // Consume a single chunk, then exit early *dropping the receiver*.
+        let first = rx.recv().expect("one chunk");
+        assert_eq!(first.len(), 1);
+        drop(rx);
+        let stats = writer.join().expect("writer must not deadlock");
+        assert_eq!(stats.events, 64);
+        assert!(stats.dropped_chunks > 0, "post-exit sends counted as drops");
     }
 }

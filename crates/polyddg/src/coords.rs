@@ -41,6 +41,8 @@ pub struct CoordArena {
     /// `(start, len)` spans into `storage`, indexed by `CoordId::idx`.
     spans: Vec<(u32, u32)>,
     gen: u32,
+    /// Optional resource budget charged per interned vector.
+    budget: Option<std::sync::Arc<polyresist::ResourceBudget>>,
 }
 
 impl Default for CoordArena {
@@ -57,11 +59,23 @@ impl CoordArena {
             storage: Vec::new(),
             spans: Vec::new(),
             gen: 1,
+            budget: None,
         }
+    }
+
+    /// Track interned bytes against `budget` (spilled vectors only — inline
+    /// snapshots never reach the arena and cost nothing).
+    pub fn set_budget(&mut self, budget: std::sync::Arc<polyresist::ResourceBudget>) {
+        self.budget = Some(budget);
     }
 
     /// Append a snapshot of `coords` and return its id.
     pub fn intern(&mut self, coords: &[i64]) -> CoordId {
+        if let Some(b) = &self.budget {
+            b.charge(
+                (std::mem::size_of_val(coords) + std::mem::size_of::<(u32, u32)>()) as u64,
+            );
+        }
         let start = self.storage.len() as u32;
         self.storage.extend_from_slice(coords);
         let idx = self.spans.len() as u32;

@@ -162,6 +162,10 @@ pub struct DdgProfiler<'p, F: FoldSink> {
     prune: Option<Arc<PruneMask>>,
     /// Dynamic executions whose register tracking was skipped by the mask.
     pub pruned_events: u64,
+    /// Optional resource budget: shadow pages and spilled coordinates are
+    /// charged against its byte limit, and its deadline is polled through
+    /// the VM's throttled [`EventSink::poll_abort`] hook.
+    budget: Option<Arc<polyresist::ResourceBudget>>,
 }
 
 /// Direct-mapped statement-cache size; must be a power of two. Multi-block
@@ -217,6 +221,7 @@ impl<'p, F: FoldSink> DdgProfiler<'p, F> {
             mem_events: 0,
             prune: None,
             pruned_events: 0,
+            budget: None,
         }
     }
 
@@ -225,6 +230,15 @@ impl<'p, F: FoldSink> DdgProfiler<'p, F> {
     /// is dynamically `is_scev` (the [`prune`] module contract).
     pub fn set_prune_mask(&mut self, mask: Arc<PruneMask>) {
         self.prune = Some(mask);
+    }
+
+    /// Attach a resource budget: shadow pages and spilled coordinate
+    /// vectors are charged against the byte limit, and the deadline is
+    /// polled by the VM watchdog ([`EventSink::poll_abort`]).
+    pub fn set_budget(&mut self, budget: Arc<polyresist::ResourceBudget>) {
+        self.shadow.set_budget(Arc::clone(&budget));
+        self.arena.set_budget(Arc::clone(&budget));
+        self.budget = Some(budget);
     }
 
     /// Consume the profiler, returning the sink and interner.
@@ -441,6 +455,13 @@ impl<'p, F: FoldSink> EventSink for DdgProfiler<'p, F> {
         }
         self.out.mem_access(stmt, &self.coords, addr, is_write);
     }
+
+    fn poll_abort(&mut self) -> bool {
+        match &self.budget {
+            Some(b) => b.poll_deadline(),
+            None => false,
+        }
+    }
 }
 
 /// One collected dependence: kind, producer + coords, consumer + coords.
@@ -480,19 +501,39 @@ impl FoldSink for CollectSink {
 
 /// Convenience: run both profiling passes over `prog` and return the
 /// collected raw streams plus structure and interner (test/report helper).
+/// Panics on a VM error — see [`try_profile_collected`] for the fallible
+/// variant.
 pub fn profile_collected(prog: &Program) -> (CollectSink, ContextInterner, StaticStructure) {
+    match try_profile_collected(prog) {
+        Ok(r) => r,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible variant of [`profile_collected`]: a VM error in either pass
+/// surfaces as [`polyresist::PolyProfError::Vm`] instead of a panic.
+pub fn try_profile_collected(
+    prog: &Program,
+) -> Result<(CollectSink, ContextInterner, StaticStructure), polyresist::PolyProfError> {
     use polycfg::StructureRecorder;
+    use polyresist::PolyProfError;
     let mut rec = StructureRecorder::new();
     polyvm::Vm::new(prog)
         .run(&[], &mut rec)
-        .expect("pass-1 execution failed");
+        .map_err(|e| PolyProfError::Vm {
+            stage: "pass-1",
+            msg: e.to_string(),
+        })?;
     let structure = StaticStructure::analyze(prog, rec);
     let mut prof = DdgProfiler::new(prog, &structure, CollectSink::default());
     polyvm::Vm::new(prog)
         .run(&[], &mut prof)
-        .expect("pass-2 execution failed");
+        .map_err(|e| PolyProfError::Vm {
+            stage: "pass-2",
+            msg: e.to_string(),
+        })?;
     let (sink, interner) = prof.finish();
-    (sink, interner, structure)
+    Ok((sink, interner, structure))
 }
 
 #[cfg(test)]

@@ -38,6 +38,7 @@ use polycfg::{LoopEventGen, StaticStructure};
 use polyiiv::context::{ContextInterner, CtxPathId, StmtId};
 use polyiiv::IivTracker;
 use polyir::{BlockRef, FuncId, InstrRef, Program, Value};
+use polyresist::{FaultPlan, FaultSite, ResourceBudget};
 use polytrace::Collector;
 use polyvm::EventSink;
 use std::sync::Arc;
@@ -72,6 +73,11 @@ pub struct PreProfiler<'p, S: PreSink> {
     prune: Option<Arc<PruneMask>>,
     /// Dynamic executions whose register tracking was skipped by the mask.
     pub pruned_events: u64,
+    /// Optional deterministic fault plan probed per memory event
+    /// ([`FaultSite::PanicPre`]).
+    faults: Option<Arc<FaultPlan>>,
+    /// Optional deadline budget polled by the VM watchdog hook.
+    budget: Option<Arc<ResourceBudget>>,
 }
 
 impl<'p, S: PreSink> PreProfiler<'p, S> {
@@ -112,7 +118,23 @@ impl<'p, S: PreSink> PreProfiler<'p, S> {
             mem_events: 0,
             prune: None,
             pruned_events: 0,
+            faults: None,
+            budget: None,
         }
+    }
+
+    /// Arm a deterministic fault plan ([`FaultSite::PanicPre`] fires as a
+    /// panic on the probed memory event). Zero-cost when never called.
+    pub fn set_faults(&mut self, plan: Arc<FaultPlan>) {
+        self.faults = Some(plan);
+    }
+
+    /// Attach a resource budget: the deadline is polled through the VM's
+    /// throttled [`EventSink::poll_abort`] hook, and spilled coordinate
+    /// vectors are charged against the byte limit.
+    pub fn set_budget(&mut self, budget: Arc<ResourceBudget>) {
+        self.arena.set_budget(Arc::clone(&budget));
+        self.budget = Some(budget);
     }
 
     /// Enable static instrumentation pruning: instructions in `mask` skip
@@ -255,9 +277,24 @@ impl<'p, S: PreSink> EventSink for PreProfiler<'p, S> {
 
     fn mem(&mut self, instr: InstrRef, addr: u64, is_write: bool) {
         self.mem_events += 1;
+        if let Some(plan) = &self.faults {
+            if plan.should_fire(FaultSite::PanicPre) {
+                panic!(
+                    "injected fault: pre-profiler panic (memory event {})",
+                    self.mem_events
+                );
+            }
+        }
         let stmt = self.current_stmt(instr);
         self.refresh_coords();
         self.out.mem_pre(stmt, &self.coords, addr, is_write);
+    }
+
+    fn poll_abort(&mut self) -> bool {
+        match &self.budget {
+            Some(b) => b.poll_deadline(),
+            None => false,
+        }
     }
 }
 
@@ -300,6 +337,14 @@ impl ShardRouter {
     pub fn set_trace(&mut self, collector: &Arc<Collector>) {
         for (k, w) in self.shards.iter_mut().enumerate() {
             w.set_trace(Arc::clone(collector), 1 + k);
+        }
+    }
+
+    /// Arm a deterministic fault plan on every shard writer (send-side
+    /// stall/drop/corrupt sites).
+    pub fn set_faults(&mut self, plan: &Arc<FaultPlan>) {
+        for w in self.shards.iter_mut() {
+            w.set_faults(Arc::clone(plan));
         }
     }
 }

@@ -17,7 +17,9 @@
 use crate::coords::{CoordArena, CoordSnap};
 use crate::{DdgConfig, DepKind, FoldSink};
 use polyiiv::context::StmtId;
+use polyresist::{FaultPlan, FaultSite, ResourceBudget};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// The producer record: a statement at specific coordinates.
 #[derive(Debug, Clone, Copy)]
@@ -65,6 +67,13 @@ pub struct ShadowMemory {
     /// hits + misses == memory events (the gated consistency invariant).
     mru_hits: u64,
     mru_misses: u64,
+    /// Optional deterministic fault plan: probed on *new-page allocation*
+    /// only (never on the MRU/resident hot path).
+    faults: Option<Arc<FaultPlan>>,
+    /// Optional resource budget charged per allocated page.
+    budget: Option<Arc<ResourceBudget>>,
+    /// Page allocations refused by the fault plan.
+    alloc_failures: u64,
 }
 
 impl Default for ShadowMemory {
@@ -82,21 +91,52 @@ impl ShadowMemory {
             mru: (NO_PAGE, 0),
             mru_hits: 0,
             mru_misses: 0,
+            faults: None,
+            budget: None,
+            alloc_failures: 0,
         }
     }
 
+    /// Arm a deterministic fault plan: new-page allocations probe
+    /// [`FaultSite::AllocShadow`] and fail when it fires.
+    pub fn set_faults(&mut self, plan: Arc<FaultPlan>) {
+        self.faults = Some(plan);
+    }
+
+    /// Charge every allocated page against `budget` (tracking only — shadow
+    /// pages are required for correctness, so allocation proceeds even under
+    /// pressure; the folding layer is what degrades).
+    pub fn set_budget(&mut self, budget: Arc<ResourceBudget>) {
+        self.budget = Some(budget);
+    }
+
+    /// Page allocations refused by the armed fault plan so far.
+    pub fn alloc_failures(&self) -> u64 {
+        self.alloc_failures
+    }
+
     /// Index of the page holding `page_num`, allocating it if absent.
-    /// Updates the MRU cache.
+    /// Updates the MRU cache. `None` only when an armed fault plan refuses
+    /// the allocation.
     #[inline]
-    fn page_slot(&mut self, page_num: u64) -> u32 {
+    fn page_slot(&mut self, page_num: u64) -> Option<u32> {
         if self.mru.0 == page_num {
             self.mru_hits += 1;
-            return self.mru.1;
+            return Some(self.mru.1);
         }
         self.mru_misses += 1;
         let slot = match self.index.entry(page_num) {
             std::collections::hash_map::Entry::Occupied(e) => *e.get(),
             std::collections::hash_map::Entry::Vacant(e) => {
+                if let Some(plan) = &self.faults {
+                    if plan.should_fire(FaultSite::AllocShadow) {
+                        self.alloc_failures += 1;
+                        return None;
+                    }
+                }
+                if let Some(b) = &self.budget {
+                    b.charge((PAGE_SIZE * std::mem::size_of::<Cell>()) as u64);
+                }
                 let slot = self.pages.len() as u32;
                 self.pages.push(new_page());
                 e.insert(slot);
@@ -104,7 +144,7 @@ impl ShadowMemory {
             }
         };
         self.mru = (page_num, slot);
-        slot
+        Some(slot)
     }
 
     /// The shadow cell for `addr`, allocating its page on first touch.
@@ -112,10 +152,22 @@ impl ShadowMemory {
     /// This is the single-resolution hot path: one MRU compare (or one hash
     /// probe on a page switch) serves the whole event — previous writer,
     /// previous reader, and the update.
+    ///
+    /// Panics if an armed fault plan refuses the allocation — fault-aware
+    /// callers use [`try_cell_mut`](Self::try_cell_mut) instead.
     #[inline]
     pub fn cell_mut(&mut self, addr: u64) -> &mut Cell {
-        let slot = self.page_slot(addr >> PAGE_BITS);
-        &mut self.pages[slot as usize][(addr as usize) & (PAGE_SIZE - 1)]
+        self.try_cell_mut(addr)
+            .expect("shadow page allocation refused by fault plan")
+    }
+
+    /// Fallible variant of [`cell_mut`](Self::cell_mut): `None` when an
+    /// armed fault plan refused the page allocation. The caller skips
+    /// dependence emission for this event and counts it as unresolved.
+    #[inline]
+    pub fn try_cell_mut(&mut self, addr: u64) -> Option<&mut Cell> {
+        let slot = self.page_slot(addr >> PAGE_BITS)?;
+        Some(&mut self.pages[slot as usize][(addr as usize) & (PAGE_SIZE - 1)])
     }
 
     /// The shadow cell for `addr` if its page is resident (read-only; checks
@@ -185,6 +237,9 @@ pub struct ShadowResolver {
     cur_snap: Option<CoordSnap>,
     track_anti: bool,
     track_output: bool,
+    /// Memory events whose dependences could not be resolved because the
+    /// fault plan refused a shadow page.
+    unresolved: u64,
 }
 
 impl ShadowResolver {
@@ -197,7 +252,29 @@ impl ShadowResolver {
             cur_snap: None,
             track_anti: cfg.track_anti,
             track_output: cfg.track_output,
+            unresolved: 0,
         }
+    }
+
+    /// Arm a deterministic fault plan on the owned shadow memory.
+    pub fn set_faults(&mut self, plan: Arc<FaultPlan>) {
+        self.shadow.set_faults(plan);
+    }
+
+    /// Track shadow-page and coordinate-arena bytes against `budget`.
+    pub fn set_budget(&mut self, budget: Arc<ResourceBudget>) {
+        self.shadow.set_budget(Arc::clone(&budget));
+        self.arena.set_budget(budget);
+    }
+
+    /// Events whose dependences were skipped due to refused shadow pages.
+    pub fn unresolved(&self) -> u64 {
+        self.unresolved
+    }
+
+    /// Page allocations refused by the armed fault plan.
+    pub fn alloc_failures(&self) -> u64 {
+        self.shadow.alloc_failures()
     }
 
     #[inline]
@@ -226,17 +303,35 @@ impl ShadowResolver {
     ) {
         let (prev_write, prev_read) = if is_write {
             let snap = self.snapshot(coords);
-            let cell = self.shadow.cell_mut(addr);
-            let prev = (cell.write, cell.read);
-            cell.write = Some(Writer { stmt, coords: snap });
-            cell.read = None;
-            prev
+            match self.shadow.try_cell_mut(addr) {
+                Some(cell) => {
+                    let prev = (cell.write, cell.read);
+                    cell.write = Some(Writer { stmt, coords: snap });
+                    cell.read = None;
+                    prev
+                }
+                None => {
+                    // Shadow page refused: the access itself is still a
+                    // valid event, but its dependences are unknowable.
+                    self.unresolved += 1;
+                    out.mem_access(stmt, coords, addr, is_write);
+                    return;
+                }
+            }
         } else if self.track_anti {
             let snap = self.snapshot(coords);
-            let cell = self.shadow.cell_mut(addr);
-            let prev = (cell.write, None);
-            cell.read = Some(Writer { stmt, coords: snap });
-            prev
+            match self.shadow.try_cell_mut(addr) {
+                Some(cell) => {
+                    let prev = (cell.write, None);
+                    cell.read = Some(Writer { stmt, coords: snap });
+                    prev
+                }
+                None => {
+                    self.unresolved += 1;
+                    out.mem_access(stmt, coords, addr, is_write);
+                    return;
+                }
+            }
         } else {
             (self.shadow.last_write(addr).copied(), None)
         };
@@ -406,5 +501,32 @@ mod tests {
                 "mismatch at {addr}"
             );
         }
+    }
+
+    #[test]
+    fn alloc_fault_refuses_one_page_then_recovers() {
+        let mut s = ShadowMemory::new();
+        s.set_faults(Arc::new(FaultPlan::single(FaultSite::AllocShadow, 1)));
+        assert!(s.try_cell_mut(0).is_none(), "first allocation refused");
+        assert_eq!(s.alloc_failures(), 1);
+        // One-shot fault: the retry allocates normally.
+        assert!(s.try_cell_mut(0).is_some());
+        assert_eq!(s.resident_pages(), 1);
+        assert_eq!(s.alloc_failures(), 1);
+    }
+
+    #[test]
+    fn budget_charged_per_allocated_page() {
+        let b = Arc::new(ResourceBudget::new(Some(1), None));
+        let mut arena = CoordArena::new();
+        let mut s = ShadowMemory::new();
+        s.set_budget(Arc::clone(&b));
+        s.record_write(0, w(&mut arena, 1, &[0]));
+        assert!(b.used_bytes() >= (PAGE_SIZE * std::mem::size_of::<Cell>()) as u64);
+        assert!(b.under_pressure(), "1-byte budget crossed by first page");
+        // Same page again: no further charge.
+        let used = b.used_bytes();
+        s.record_write(1, w(&mut arena, 2, &[1]));
+        assert_eq!(b.used_bytes(), used);
     }
 }

@@ -18,8 +18,8 @@ pub mod report;
 
 pub use metrics::{ProgramFeedback, RegionReport};
 pub use report::{
-    annotated_ast, flamegraph_svg, full_report, self_flamegraph_svg, static_pass_section,
-    table5_row,
+    annotated_ast, degradation_section, flamegraph_svg, full_report, self_flamegraph_svg,
+    static_pass_section, table5_row,
 };
 
 use polycfg::StaticStructure;

@@ -353,6 +353,64 @@ pub fn static_pass_section(
     s
 }
 
+/// Render the resilience section appended to the full report when a run
+/// degraded: injected faults, supervision actions, budget losses, and the
+/// soundness reminder that every loss direction is an over-approximation
+/// (dropped data can only *hide* dependences, never invent them).
+pub fn degradation_section(deg: &polyresist::RunDegradation) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "─── resilience & degradation ───");
+    let _ = writeln!(
+        s,
+        "  faults injected                     : {}",
+        deg.faults_injected
+    );
+    let _ = writeln!(
+        s,
+        "  stage retries / serial fallback     : {} / {}",
+        deg.stage_retries,
+        if deg.fell_back_serial { "yes" } else { "no" }
+    );
+    let _ = writeln!(
+        s,
+        "  chunks dropped / malformed / stalled: {} / {} / {}",
+        deg.dropped_chunks, deg.malformed_chunks, deg.stalled_sends
+    );
+    let _ = writeln!(
+        s,
+        "  unresolved accesses (shadow alloc)  : {} ({} failures)",
+        deg.unresolved_accesses, deg.shadow_alloc_failures
+    );
+    let _ = writeln!(
+        s,
+        "  budget over-approximated statements : {}",
+        deg.budget_overapprox_stmts
+    );
+    let _ = writeln!(
+        s,
+        "  budget pressure / peak tracked bytes: {} / {}",
+        if deg.budget_pressure { "yes" } else { "no" },
+        deg.peak_tracked_bytes
+    );
+    let _ = writeln!(
+        s,
+        "  deadline hit                        : {}",
+        if deg.deadline_hit { "yes" } else { "no" }
+    );
+    if !deg.missing_shards.is_empty() {
+        let ids: Vec<String> = deg.missing_shards.iter().map(|i| i.to_string()).collect();
+        let _ = writeln!(
+            s,
+            "  missing folding shards              : [{}]",
+            ids.join(", ")
+        );
+    }
+    for ev in &deg.events {
+        let _ = writeln!(s, "    [{}] {}", ev.stage, ev.detail);
+    }
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -25,7 +25,9 @@ pub use stream::{FoldedDomain, FoldedStream, LabelFold, StreamFolder};
 use polyddg::{DepKind, FoldSink};
 use polyiiv::context::{ContextInterner, StmtId};
 use polyir::{Instr, Program};
+use polyresist::{PolyProfError, ResourceBudget};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A folded statement: its iteration domain plus the folded produced-value
 /// function.
@@ -218,6 +220,25 @@ impl FoldedDdg {
         out.deps.sort_by_key(|d| (d.kind, d.src, d.dst, d.class));
         out
     }
+
+    /// Merge shard partials where some shards may be missing (a folding
+    /// worker died before emitting). Present parts merge exactly like
+    /// [`merge_parts`](Self::merge_parts); the indices of absent parts are
+    /// returned so the caller can record them in its degradation report.
+    /// An all-`None` (or empty) input yields an empty DDG.
+    pub fn merge_parts_tolerant(
+        parts: impl IntoIterator<Item = Option<FoldedDdg>>,
+    ) -> (FoldedDdg, Vec<usize>) {
+        let mut missing = Vec::new();
+        let mut present = Vec::new();
+        for (i, p) in parts.into_iter().enumerate() {
+            match p {
+                Some(d) => present.push(d),
+                None => missing.push(i),
+            }
+        }
+        (Self::merge_parts(present), missing)
+    }
 }
 
 /// Folding configuration (ablation knobs; defaults reproduce the paper's
@@ -264,6 +285,10 @@ pub struct FoldingSink {
     total_ops: u64,
     options: FoldOptions,
     stats: FoldStats,
+    /// Optional resource budget: folder allocations are charged against it,
+    /// and once it reports pressure every touched folder degrades to coarse
+    /// (box + count) folding. `None` costs one branch per event.
+    budget: Option<Arc<ResourceBudget>>,
 }
 
 /// Per-sink folding telemetry: plain fields on the hot path, harvested by
@@ -278,6 +303,9 @@ pub struct FoldStats {
     pub dep_mru_hits: u64,
     /// Dependence-MRU misses (hash probe taken).
     pub dep_mru_misses: u64,
+    /// Folders switched to coarse (box + count) folding under budget
+    /// pressure.
+    pub budget_degraded: u64,
 }
 
 impl FoldStats {
@@ -287,6 +315,7 @@ impl FoldStats {
         self.deps_folded += other.deps_folded;
         self.dep_mru_hits += other.dep_mru_hits;
         self.dep_mru_misses += other.dep_mru_misses;
+        self.budget_degraded += other.budget_degraded;
     }
 }
 
@@ -316,6 +345,36 @@ impl FoldingSink {
     /// This sink's folding telemetry so far (read before `finalize`).
     pub fn fold_stats(&self) -> FoldStats {
         self.stats
+    }
+
+    /// Attach a resource budget. Folder allocations are charged against the
+    /// byte limit; once the budget latches pressure, every folder touched
+    /// afterwards degrades to coarse mode — the finalized domains stay
+    /// supersets of the exact ones, flagged `exact = false`.
+    pub fn set_budget(&mut self, budget: Arc<ResourceBudget>) {
+        self.budget = Some(budget);
+    }
+
+    /// Rough per-folder heap cost charged against the budget.
+    #[inline]
+    fn folder_cost(dim: usize) -> u64 {
+        (std::mem::size_of::<StreamFolder>() + dim * 2 * std::mem::size_of::<OnlineAffineFitter>())
+            as u64
+    }
+
+    /// Degrade `folder` if the budget latched pressure; counts transitions.
+    #[inline]
+    fn maybe_degrade(
+        budget: &Option<Arc<ResourceBudget>>,
+        stats: &mut FoldStats,
+        folder: &mut StreamFolder,
+    ) {
+        if let Some(b) = budget {
+            if b.under_pressure() && !folder.is_coarse() {
+                folder.degrade();
+                stats.budget_degraded += 1;
+            }
+        }
     }
 
     /// Finalize all folders into a [`FoldedDdg`], classifying SCEVs using
@@ -432,8 +491,14 @@ impl FoldSink for FoldingSink {
     fn instr_point(&mut self, stmt: StmtId, coords: &[i64], value: Option<i64>) {
         self.total_ops += 1;
         self.stats.events_folded += 1;
-        let folder = Self::stmt_slot(&mut self.stmts, stmt)
-            .get_or_insert_with(|| StreamFolder::new(coords.len()));
+        let budget = &self.budget;
+        let folder = Self::stmt_slot(&mut self.stmts, stmt).get_or_insert_with(|| {
+            if let Some(b) = budget {
+                b.charge(Self::folder_cost(coords.len()));
+            }
+            StreamFolder::new(coords.len())
+        });
+        Self::maybe_degrade(budget, &mut self.stats, folder);
         match value {
             Some(v) => folder.push(coords, Some(&[v])),
             None => folder.push(coords, None),
@@ -442,8 +507,14 @@ impl FoldSink for FoldingSink {
 
     fn mem_access(&mut self, stmt: StmtId, coords: &[i64], addr: u64, is_write: bool) {
         self.stats.events_folded += 1;
-        let (folder, _) = Self::stmt_slot(&mut self.accesses, stmt)
-            .get_or_insert_with(|| (StreamFolder::new(coords.len()), is_write));
+        let budget = &self.budget;
+        let (folder, _) = Self::stmt_slot(&mut self.accesses, stmt).get_or_insert_with(|| {
+            if let Some(b) = budget {
+                b.charge(Self::folder_cost(coords.len()));
+            }
+            (StreamFolder::new(coords.len()), is_write)
+        });
+        Self::maybe_degrade(budget, &mut self.stats, folder);
         folder.push(coords, Some(&[addr as i64]));
     }
 
@@ -477,6 +548,9 @@ impl FoldSink for FoldingSink {
                 let slot = match self.dep_index.entry(key) {
                     std::collections::hash_map::Entry::Occupied(e) => *e.get(),
                     std::collections::hash_map::Entry::Vacant(e) => {
+                        if let Some(b) = &self.budget {
+                            b.charge(Self::folder_cost(dst_coords.len()));
+                        }
                         let slot = self.deps.len() as u32;
                         self.deps.push((
                             key,
@@ -492,6 +566,7 @@ impl FoldSink for FoldingSink {
             }
         };
         let (_, folder, delta) = &mut self.deps[slot as usize];
+        Self::maybe_degrade(&self.budget, &mut self.stats, folder);
         for (i, d) in delta.iter_mut().enumerate().take(common) {
             let v = dst_coords[i] - src_coords[i];
             d.0 = d.0.min(v);
@@ -503,19 +578,37 @@ impl FoldSink for FoldingSink {
 
 /// Fold a whole program end-to-end: pass 1 (structure), pass 2 (DDG →
 /// folding). Returns the folded DDG, the interner, and the structure.
+/// Panics on a VM error — see [`try_fold_program`] for the fallible variant.
 pub fn fold_program(prog: &Program) -> (FoldedDdg, ContextInterner, polycfg::StaticStructure) {
+    match try_fold_program(prog) {
+        Ok(r) => r,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible variant of [`fold_program`]: VM errors in either pass surface
+/// as [`PolyProfError::Vm`] instead of panics.
+pub fn try_fold_program(
+    prog: &Program,
+) -> Result<(FoldedDdg, ContextInterner, polycfg::StaticStructure), PolyProfError> {
     let mut rec = polycfg::StructureRecorder::new();
     polyvm::Vm::new(prog)
         .run(&[], &mut rec)
-        .expect("pass-1 execution failed");
+        .map_err(|e| PolyProfError::Vm {
+            stage: "pass-1",
+            msg: e.to_string(),
+        })?;
     let structure = polycfg::StaticStructure::analyze(prog, rec);
     let mut prof = polyddg::DdgProfiler::new(prog, &structure, FoldingSink::new());
     polyvm::Vm::new(prog)
         .run(&[], &mut prof)
-        .expect("pass-2 execution failed");
+        .map_err(|e| PolyProfError::Vm {
+            stage: "pass-2",
+            msg: e.to_string(),
+        })?;
     let (sink, interner) = prof.finish();
     let ddg = sink.finalize(prog, &interner);
-    (ddg, interner, structure)
+    Ok((ddg, interner, structure))
 }
 
 /// Render a folded dependence like the paper's Table 2 rows:
@@ -704,6 +797,92 @@ mod tests {
             .count();
         assert!(nonaffine_loads >= 1, "indirect access must fold to a range");
         let _ = interner;
+    }
+
+    /// Tolerant merge: missing shards are recorded, present shards merge
+    /// exactly, and degenerate inputs (all missing / empty) still succeed.
+    #[test]
+    fn merge_parts_tolerant_records_missing_shards() {
+        let mut pb = ProgramBuilder::new("t");
+        let base = pb.alloc(64);
+        let mut f = pb.func("main", 0);
+        f.for_loop("L", 0i64, 8i64, 1, |f, i| {
+            f.store(base as i64, i, i);
+        });
+        f.ret(None);
+        let fid = f.finish();
+        pb.set_entry(fid);
+        let p = pb.finish();
+        let (ddg, _, _) = fold_program(&p);
+        let n_stmts = ddg.n_stmts();
+        assert!(n_stmts > 0);
+
+        // One real part, two dead shards.
+        let (merged, missing) = FoldedDdg::merge_parts_tolerant(vec![None, Some(ddg), None]);
+        assert_eq!(missing, vec![0, 2]);
+        assert_eq!(merged.n_stmts(), n_stmts);
+
+        // Everything missing → valid empty DDG.
+        let (empty, missing) = FoldedDdg::merge_parts_tolerant(vec![None, None]);
+        assert_eq!(missing, vec![0, 1]);
+        assert_eq!(empty.n_stmts(), 0);
+        assert!(empty.deps.is_empty());
+
+        // Empty iterator → empty DDG, nothing missing.
+        let (empty, missing) = FoldedDdg::merge_parts_tolerant(std::iter::empty());
+        assert!(missing.is_empty());
+        assert_eq!(empty.total_ops, 0);
+    }
+
+    /// Budget pressure degrades folders: the folded DDG reports
+    /// over-approximated statements but keeps every key and count.
+    #[test]
+    fn budget_pressure_degrades_folding() {
+        let mut pb = ProgramBuilder::new("t");
+        let base = pb.alloc(64);
+        let mut f = pb.func("main", 0);
+        f.for_loop("L", 0i64, 8i64, 1, |f, i| {
+            let v = f.load(base as i64, i);
+            let w = f.add(v, 1i64);
+            f.store(base as i64, i, w);
+        });
+        f.ret(None);
+        let fid = f.finish();
+        pb.set_entry(fid);
+        let p = pb.finish();
+
+        // Exact reference.
+        let (exact, _, structure) = fold_program(&p);
+
+        // Budget so tight the first folder allocation latches pressure.
+        let budget = Arc::new(ResourceBudget::new(Some(1), None));
+        let mut sink = FoldingSink::new();
+        sink.set_budget(Arc::clone(&budget));
+        let mut prof = polyddg::DdgProfiler::new(&p, &structure, sink);
+        polyvm::Vm::new(&p).run(&[], &mut prof).unwrap();
+        let (sink, interner) = prof.finish();
+        let stats = sink.fold_stats();
+        assert!(stats.budget_degraded > 0, "folders must degrade");
+        let coarse = sink.finalize(&p, &interner);
+
+        assert!(budget.under_pressure());
+        assert!(coarse.overapprox_stmts() > 0);
+        assert_eq!(coarse.n_stmts(), exact.n_stmts());
+        assert_eq!(coarse.total_ops, exact.total_ops);
+        // Same dependence keys, and each coarse domain box contains the
+        // exact box (superset soundness).
+        assert_eq!(coarse.deps.len(), exact.deps.len());
+        for (c, e) in coarse.deps.iter().zip(exact.deps.iter()) {
+            assert_eq!(
+                (c.kind, c.src, c.dst, c.class),
+                (e.kind, e.src, e.dst, e.class)
+            );
+            assert_eq!(c.domain.count, e.domain.count);
+            for k in 0..c.domain.dim {
+                assert!(c.domain.box_lo[k] <= e.domain.box_lo[k]);
+                assert!(c.domain.box_hi[k] >= e.domain.box_hi[k]);
+            }
+        }
     }
 
     #[test]

@@ -29,20 +29,48 @@
 //! the VM instead of letting chunks pile up. Consumed chunks are recycled
 //! through never-blocking return channels, preserving the zero-allocation
 //! steady state inside every stage.
+//!
+//! ## Supervision
+//!
+//! Every stage thread runs its body under `catch_unwind`, so a panic in any
+//! stage is converted into a structured [`PolyProfError`] instead of
+//! poisoning the scope. Unwinding drops the stage's channel endpoints, which
+//! unblocks its peers: a dead consumer makes the producer's sends error out
+//! (counted as dropped chunks by [`ChunkWriter`]), and a dead producer makes
+//! `recv` disconnect — no fault can deadlock the pipeline.
+//!
+//! [`fold_pipelined_supervised`] layers policy on top:
+//!
+//! * a dead *folding worker* only loses its shard — the surviving shards are
+//!   merged with [`FoldedDdg::merge_parts_tolerant`] and the lost shard ids
+//!   are recorded in the [`RunDegradation`];
+//! * a dead *producer or resolver* (or the loss of every shard) fails the
+//!   attempt, which is retried with linear backoff. [`FaultPlan`] occurrence
+//!   counters keep counting across attempts, so a one-shot injected fault
+//!   does not re-fire on retry;
+//! * after `max_retries` failed attempts the run falls back to the retained
+//!   serial `DdgProfiler` path (no fault hooks — the trusted baseline),
+//!   still honoring the resource budget.
+//!
+//! With no fault plan and no budget armed, every hook is a skipped `None`
+//! branch and the supervised path is event-for-event identical to
+//! [`fold_pipelined`].
 
 use crate::{FoldOptions, FoldedDdg, FoldingSink};
 use polycfg::StaticStructure;
-use polyddg::chunk::{ChunkWriter, EventChunk, EventRef};
+use polyddg::chunk::{ChunkStats, ChunkWriter, EventChunk, EventRef};
 use polyddg::pipeline::{PreProfiler, ShardRouter};
 use polyddg::prune::PruneMask;
 use polyddg::shadow::ShadowResolver;
-use polyddg::{DdgConfig, FoldSink};
+use polyddg::{DdgConfig, DdgProfiler, FoldSink};
 use polyiiv::context::ContextInterner;
 use polyir::Program;
-use polytrace::{Collector, Counter, PipeStage};
+use polyresist::{panic_msg, FaultPlan, FaultSite, PolyProfError, ResourceBudget, RunDegradation};
+use polytrace::{Collector, Counter, PipeStage, Stage};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{sync_channel, Receiver};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Knobs of one pipelined profiling run.
 #[derive(Debug, Clone, Copy)]
@@ -75,14 +103,30 @@ impl Default for PipelineConfig {
     }
 }
 
-fn join_or_propagate<T>(h: std::thread::ScopedJoinHandle<'_, T>, stage: &str) -> T {
-    match h.join() {
-        Ok(v) => v,
-        Err(payload) => {
-            // Keep the original payload (it names the failing workload /
-            // assertion); the stage name goes to stderr for orientation.
-            eprintln!("pipeline stage '{stage}' panicked");
-            std::panic::resume_unwind(payload)
+/// Supervision policy and resilience hooks for one profiling run.
+///
+/// The default is fully disarmed: no fault plan, no budget, and the
+/// supervised path behaves exactly like the plain pipelined one (panics are
+/// still caught and retried — genuine transient failures recover too).
+#[derive(Debug, Clone)]
+pub struct ResilienceConfig {
+    /// Deterministic fault-injection schedule (tests / resilience gate).
+    pub faults: Option<Arc<FaultPlan>>,
+    /// Shared byte/deadline budget; stages degrade instead of aborting.
+    pub budget: Option<Arc<ResourceBudget>>,
+    /// Failed pipeline attempts to retry before the serial fallback.
+    pub max_retries: u32,
+    /// Base backoff between attempts (scaled linearly by attempt number).
+    pub backoff: Duration,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            faults: None,
+            budget: None,
+            max_retries: 2,
+            backoff: Duration::from_millis(25),
         }
     }
 }
@@ -139,13 +183,56 @@ pub fn fold_pipelined_pruned(
     trace: Option<&Arc<Collector>>,
     prune: Option<Arc<PruneMask>>,
 ) -> (FoldedDdg, ContextInterner, u64) {
+    match fold_attempt(prog, structure, cfg, trace, prune, None, None) {
+        Ok(ok) => {
+            let (ddg, missing) = {
+                let _span = trace.map(|c| c.pipe_span(PipeStage::Merge));
+                finalize_shards_tolerant(ok.shards, prog, &ok.interner)
+            };
+            debug_assert!(missing.is_empty(), "fault-free run lost shards {missing:?}");
+            (ddg, ok.interner, ok.pruned_events)
+        }
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Everything a successful pipeline attempt produced, before shard
+/// finalization: the (possibly gap-ridden) shard sinks plus the loss
+/// accounting the supervisor folds into the [`RunDegradation`].
+struct AttemptOk {
+    shards: Vec<Option<FoldingSink>>,
+    interner: ContextInterner,
+    pruned_events: u64,
+    dropped_chunks: u64,
+    malformed_chunks: u64,
+    unresolved: u64,
+    alloc_failures: u64,
+    deadline_hit: bool,
+    /// `(shard, error)` for workers that died without emitting a sink.
+    lost_workers: Vec<(usize, String)>,
+}
+
+/// One supervised pipeline attempt. Stage threads never poison the scope:
+/// each body runs under `catch_unwind` and surfaces panics as
+/// [`PolyProfError::StagePanic`]. A producer/resolver error — or the loss of
+/// every folding worker — fails the attempt; losing *some* workers only
+/// punches holes in `shards`.
+fn fold_attempt(
+    prog: &Program,
+    structure: &StaticStructure,
+    cfg: &PipelineConfig,
+    trace: Option<&Arc<Collector>>,
+    prune: Option<Arc<PruneMask>>,
+    faults: Option<&Arc<FaultPlan>>,
+    budget: Option<&Arc<ResourceBudget>>,
+) -> Result<AttemptOk, PolyProfError> {
     let k = cfg.fold_threads.max(1);
     let chunk_events = cfg.chunk_events.max(1);
     let queue = cfg.queue_chunks.max(1);
     let ddg_cfg = cfg.ddg;
     let options = cfg.options;
 
-    let (shards, interner, pruned_events) = std::thread::scope(|s| {
+    let (prod, res, work) = std::thread::scope(|s| {
         // Stage 1 → stage 2 edge.
         let (pre_tx, pre_rx) = sync_channel::<EventChunk>(queue);
         let (pre_pool_tx, pre_pool_rx) = sync_channel::<EventChunk>(queue + 2);
@@ -161,100 +248,151 @@ pub fn fold_pipelined_pruned(
         }
 
         let trace_pre = trace.cloned();
+        let faults_pre = faults.cloned();
+        let budget_pre = budget.cloned();
         let producer = s.spawn(move || {
-            let _span = trace_pre
-                .as_ref()
-                .map(|c| c.pipe_span(PipeStage::PreProfile));
-            let mut writer = ChunkWriter::new(chunk_events, pre_tx, pre_pool_rx);
-            if let Some(c) = &trace_pre {
-                writer.set_trace(Arc::clone(c), 0);
-            }
-            let mut prof = PreProfiler::with_config(prog, structure, writer, ddg_cfg);
-            if let Some(m) = prune {
-                prof.set_prune_mask(m);
-            }
-            polyvm::Vm::new(prog)
-                .run(&[], &mut prof)
-                .expect("pass-2 execution failed");
-            if let Some(c) = &trace_pre {
-                c.add(Counter::DynOps, prof.dyn_ops);
-                c.add(Counter::MemEvents, prof.mem_events);
-                c.add(Counter::PrunedEvents, prof.pruned_events);
-                let (hits, misses) = prof.interner.cache_stats();
-                c.add(Counter::CtxCacheHit, hits);
-                c.add(Counter::CtxCacheMiss, misses);
-            }
-            let pruned_events = prof.pruned_events;
-            let (writer, interner) = prof.finish();
-            let stats = writer.finish();
-            if let Some(c) = &trace_pre {
-                ChunkWriter::harvest(&stats, c, Counter::EventsEmitted);
-            }
-            (interner, pruned_events)
+            let body =
+                move || -> Result<(ContextInterner, u64, ChunkStats, bool), PolyProfError> {
+                    let _span = trace_pre
+                        .as_ref()
+                        .map(|c| c.pipe_span(PipeStage::PreProfile));
+                    let mut writer = ChunkWriter::new(chunk_events, pre_tx, pre_pool_rx);
+                    if let Some(c) = &trace_pre {
+                        writer.set_trace(Arc::clone(c), 0);
+                    }
+                    let mut prof = PreProfiler::with_config(prog, structure, writer, ddg_cfg);
+                    if let Some(m) = prune {
+                        prof.set_prune_mask(m);
+                    }
+                    if let Some(p) = faults_pre {
+                        prof.set_faults(p);
+                    }
+                    if let Some(b) = budget_pre {
+                        prof.set_budget(b);
+                    }
+                    let deadline_hit = match polyvm::Vm::new(prog).run(&[], &mut prof) {
+                        Ok(_) => false,
+                        // The budget watchdog asked for a graceful stop: flush
+                        // what we have — downstream finalizes partial results.
+                        Err(polyvm::VmError::Aborted) => true,
+                        Err(e) => {
+                            return Err(PolyProfError::Vm {
+                                stage: "pass-2",
+                                msg: e.to_string(),
+                            })
+                        }
+                    };
+                    if let Some(c) = &trace_pre {
+                        c.add(Counter::DynOps, prof.dyn_ops);
+                        c.add(Counter::MemEvents, prof.mem_events);
+                        c.add(Counter::PrunedEvents, prof.pruned_events);
+                        let (hits, misses) = prof.interner.cache_stats();
+                        c.add(Counter::CtxCacheHit, hits);
+                        c.add(Counter::CtxCacheMiss, misses);
+                    }
+                    let pruned_events = prof.pruned_events;
+                    let (writer, interner) = prof.finish();
+                    let stats = writer.finish();
+                    if let Some(c) = &trace_pre {
+                        ChunkWriter::harvest(&stats, c, Counter::EventsEmitted);
+                    }
+                    Ok((interner, pruned_events, stats, deadline_hit))
+                };
+            catch_unwind(AssertUnwindSafe(body)).unwrap_or_else(|p| {
+                Err(PolyProfError::StagePanic {
+                    stage: "pre",
+                    msg: panic_msg(&*p),
+                })
+            })
         });
 
         let trace_res = trace.cloned();
+        let faults_res = faults.cloned();
+        let budget_res = budget.cloned();
         let resolver = s.spawn(move || {
-            let _span = trace_res
-                .as_ref()
-                .map(|c| c.pipe_span(PipeStage::ShadowResolve));
-            let timing = trace_res.as_ref().is_some_and(|c| c.timing());
-            let mut shadow = ShadowResolver::new(ddg_cfg);
-            let mut router = ShardRouter::new(shard_writers);
-            if let Some(c) = &trace_res {
-                router.set_trace(c);
-            }
-            let mut resolved = 0u64;
-            let mut recv_stall = 0u64;
-            while let Some(mut chunk) = recv_timed(&pre_rx, timing, &mut recv_stall) {
-                if let Some(c) = &trace_res {
-                    c.queue_recv(0);
+            let body = move || -> Result<(ChunkStats, u64, u64), PolyProfError> {
+                let _span = trace_res
+                    .as_ref()
+                    .map(|c| c.pipe_span(PipeStage::ShadowResolve));
+                let timing = trace_res.as_ref().is_some_and(|c| c.timing());
+                let mut shadow = ShadowResolver::new(ddg_cfg);
+                if let Some(p) = &faults_res {
+                    shadow.set_faults(Arc::clone(p));
                 }
-                for ev in chunk.events() {
-                    match ev {
-                        EventRef::Point {
-                            stmt,
-                            coords,
-                            value,
-                        } => router.instr_point(stmt, coords, value),
-                        EventRef::Dep {
-                            kind,
-                            src,
-                            src_coords,
-                            dst,
-                            dst_coords,
-                        } => router.dependence(kind, src, src_coords, dst, dst_coords),
-                        EventRef::Access {
-                            stmt,
-                            coords,
-                            addr,
-                            is_write,
-                        } => router.mem_access(stmt, coords, addr, is_write),
-                        EventRef::MemPre {
-                            stmt,
-                            coords,
-                            addr,
-                            is_write,
-                        } => {
-                            resolved += 1;
-                            shadow.resolve(stmt, coords, addr, is_write, &mut router);
+                if let Some(b) = &budget_res {
+                    shadow.set_budget(Arc::clone(b));
+                }
+                let mut router = ShardRouter::new(shard_writers);
+                if let Some(c) = &trace_res {
+                    router.set_trace(c);
+                }
+                if let Some(p) = &faults_res {
+                    router.set_faults(p);
+                }
+                let mut resolved = 0u64;
+                let mut recv_stall = 0u64;
+                while let Some(mut chunk) = recv_timed(&pre_rx, timing, &mut recv_stall) {
+                    if let Some(c) = &trace_res {
+                        c.queue_recv(0);
+                    }
+                    if let Some(p) = &faults_res {
+                        if p.should_fire(FaultSite::PanicResolve) {
+                            panic!("injected fault: shadow-resolver panic");
                         }
                     }
+                    for ev in chunk.events() {
+                        match ev {
+                            EventRef::Point {
+                                stmt,
+                                coords,
+                                value,
+                            } => router.instr_point(stmt, coords, value),
+                            EventRef::Dep {
+                                kind,
+                                src,
+                                src_coords,
+                                dst,
+                                dst_coords,
+                            } => router.dependence(kind, src, src_coords, dst, dst_coords),
+                            EventRef::Access {
+                                stmt,
+                                coords,
+                                addr,
+                                is_write,
+                            } => router.mem_access(stmt, coords, addr, is_write),
+                            EventRef::MemPre {
+                                stmt,
+                                coords,
+                                addr,
+                                is_write,
+                            } => {
+                                resolved += 1;
+                                shadow.resolve(stmt, coords, addr, is_write, &mut router);
+                            }
+                        }
+                    }
+                    chunk.clear();
+                    // Recycling never blocks: a full pool just drops the chunk.
+                    let _ = pre_pool_tx.try_send(chunk);
                 }
-                chunk.clear();
-                // Recycling never blocks: a full pool just drops the chunk.
-                let _ = pre_pool_tx.try_send(chunk);
-            }
-            let stats = router.finish();
-            if let Some(c) = &trace_res {
-                c.add(Counter::EventsResolved, resolved);
-                c.add(Counter::RecvStallNs, recv_stall);
-                ChunkWriter::harvest(&stats, c, Counter::EventsRouted);
-                let (hits, misses) = shadow.mru_stats();
-                c.add(Counter::ShadowMruHit, hits);
-                c.add(Counter::ShadowMruMiss, misses);
-                c.add(Counter::ShadowPages, shadow.resident_pages() as u64);
-            }
+                let stats = router.finish();
+                if let Some(c) = &trace_res {
+                    c.add(Counter::EventsResolved, resolved);
+                    c.add(Counter::RecvStallNs, recv_stall);
+                    ChunkWriter::harvest(&stats, c, Counter::EventsRouted);
+                    let (hits, misses) = shadow.mru_stats();
+                    c.add(Counter::ShadowMruHit, hits);
+                    c.add(Counter::ShadowMruMiss, misses);
+                    c.add(Counter::ShadowPages, shadow.resident_pages() as u64);
+                }
+                Ok((stats, shadow.unresolved(), shadow.alloc_failures()))
+            };
+            catch_unwind(AssertUnwindSafe(body)).unwrap_or_else(|p| {
+                Err(PolyProfError::StagePanic {
+                    stage: "resolve",
+                    msg: panic_msg(&*p),
+                })
+            })
         });
 
         let workers: Vec<_> = shard_ends
@@ -262,71 +400,269 @@ pub fn fold_pipelined_pruned(
             .enumerate()
             .map(|(shard, (rx, pool_tx))| {
                 let trace_w = trace.cloned();
+                let faults_w = faults.cloned();
+                let budget_w = budget.cloned();
                 s.spawn(move || {
-                    let _span = trace_w.as_ref().map(|c| c.shard_span(shard));
-                    let timing = trace_w.as_ref().is_some_and(|c| c.timing());
-                    let mut sink = FoldingSink::with_options(options);
-                    let mut recv_stall = 0u64;
-                    while let Some(mut chunk) = recv_timed(&rx, timing, &mut recv_stall) {
-                        if let Some(c) = &trace_w {
-                            c.queue_recv(1 + shard);
+                    let body = move || -> Result<(FoldingSink, u64), PolyProfError> {
+                        let _span = trace_w.as_ref().map(|c| c.shard_span(shard));
+                        let timing = trace_w.as_ref().is_some_and(|c| c.timing());
+                        let mut sink = FoldingSink::with_options(options);
+                        if let Some(b) = &budget_w {
+                            sink.set_budget(Arc::clone(b));
                         }
-                        chunk.replay_into(&mut sink);
-                        chunk.clear();
-                        let _ = pool_tx.try_send(chunk);
-                    }
-                    if let Some(c) = &trace_w {
-                        let fs = sink.fold_stats();
-                        // Registers the shard slot even at zero events, so
-                        // shard balance sees every configured shard.
-                        c.record_shard_events(shard, fs.events_folded);
-                        c.add(Counter::EventsFolded, fs.events_folded);
-                        c.add(Counter::DepsFolded, fs.deps_folded);
-                        c.add(Counter::DepMruHit, fs.dep_mru_hits);
-                        c.add(Counter::DepMruMiss, fs.dep_mru_misses);
-                        c.add(Counter::RecvStallNs, recv_stall);
-                    }
-                    sink
+                        let mut malformed = 0u64;
+                        let mut recv_stall = 0u64;
+                        while let Some(mut chunk) = recv_timed(&rx, timing, &mut recv_stall) {
+                            if let Some(c) = &trace_w {
+                                c.queue_recv(1 + shard);
+                            }
+                            if let Some(p) = &faults_w {
+                                if p.should_fire(FaultSite::PanicFold) {
+                                    panic!("injected fault: folding worker panic (shard {shard})");
+                                }
+                                // Validation runs only under an armed plan:
+                                // production chunks come from our own writer
+                                // and the check would tax the hot path.
+                                if chunk.validate().is_err() {
+                                    malformed += 1;
+                                    chunk.clear();
+                                    let _ = pool_tx.try_send(chunk);
+                                    continue;
+                                }
+                            }
+                            chunk.replay_into(&mut sink);
+                            chunk.clear();
+                            let _ = pool_tx.try_send(chunk);
+                        }
+                        if let Some(c) = &trace_w {
+                            let fs = sink.fold_stats();
+                            // Registers the shard slot even at zero events, so
+                            // shard balance sees every configured shard.
+                            c.record_shard_events(shard, fs.events_folded);
+                            c.add(Counter::EventsFolded, fs.events_folded);
+                            c.add(Counter::DepsFolded, fs.deps_folded);
+                            c.add(Counter::DepMruHit, fs.dep_mru_hits);
+                            c.add(Counter::DepMruMiss, fs.dep_mru_misses);
+                            c.add(Counter::RecvStallNs, recv_stall);
+                        }
+                        Ok((sink, malformed))
+                    };
+                    catch_unwind(AssertUnwindSafe(body)).unwrap_or_else(|p| {
+                        Err(PolyProfError::StagePanic {
+                            stage: "fold",
+                            msg: panic_msg(&*p),
+                        })
+                    })
                 })
             })
             .collect();
 
-        let (interner, pruned_events) = join_or_propagate(producer, "event generation");
-        join_or_propagate(resolver, "shadow resolution");
-        let shards: Vec<FoldingSink> = workers
+        let prod = producer.join().expect("supervised stage never panics");
+        let res = resolver.join().expect("supervised stage never panics");
+        let work: Vec<_> = workers
             .into_iter()
-            .map(|h| join_or_propagate(h, "folding"))
+            .map(|h| h.join().expect("supervised stage never panics"))
             .collect();
-        (shards, interner, pruned_events)
+        (prod, res, work)
     });
 
-    let ddg = {
-        let _span = trace.map(|c| c.pipe_span(PipeStage::Merge));
-        finalize_shards(shards, prog, &interner)
-    };
-    (ddg, interner, pruned_events)
+    // Producer/resolver failures are unrecoverable within the attempt: the
+    // event stream itself is incomplete in a way no shard merge can repair.
+    let (interner, pruned_events, pre_stats, deadline_hit) = prod?;
+    let (route_stats, unresolved, alloc_failures) = res?;
+
+    let mut shards: Vec<Option<FoldingSink>> = Vec::with_capacity(k);
+    let mut lost_workers = Vec::new();
+    let mut malformed_chunks = 0u64;
+    for (shard, r) in work.into_iter().enumerate() {
+        match r {
+            Ok((sink, malformed)) => {
+                malformed_chunks += malformed;
+                shards.push(Some(sink));
+            }
+            Err(e) => {
+                lost_workers.push((shard, e.to_string()));
+                shards.push(None);
+            }
+        }
+    }
+    if shards.iter().all(Option::is_none) {
+        let (_, msg) = lost_workers.pop().expect("k >= 1");
+        return Err(PolyProfError::StagePanic { stage: "fold", msg });
+    }
+
+    Ok(AttemptOk {
+        shards,
+        interner,
+        pruned_events,
+        dropped_chunks: pre_stats.dropped_chunks + route_stats.dropped_chunks,
+        malformed_chunks,
+        unresolved,
+        alloc_failures,
+        deadline_hit,
+        lost_workers,
+    })
 }
 
-/// Finalize every shard in parallel (the vendored rayon stand-in has no
-/// owned `into_par_iter`, hence the one-element-chunk option dance), then
-/// merge deterministically.
-fn finalize_shards(
-    shards: Vec<FoldingSink>,
+/// Supervised sibling of [`fold_pipelined_pruned`]: same stages, plus fault
+/// hooks, bounded retry, serial fallback, and a [`RunDegradation`] record of
+/// everything the run lost. Returns `Err` only when even the serial
+/// fallback cannot complete (a deterministic VM failure).
+pub fn fold_pipelined_supervised(
+    prog: &Program,
+    structure: &StaticStructure,
+    cfg: &PipelineConfig,
+    trace: Option<&Arc<Collector>>,
+    prune: Option<Arc<PruneMask>>,
+    res: &ResilienceConfig,
+) -> Result<(FoldedDdg, ContextInterner, u64, RunDegradation), PolyProfError> {
+    let mut deg = RunDegradation::default();
+
+    let mut attempt_no: u32 = 0;
+    let outcome = loop {
+        match fold_attempt(
+            prog,
+            structure,
+            cfg,
+            trace,
+            prune.clone(),
+            res.faults.as_ref(),
+            res.budget.as_ref(),
+        ) {
+            Ok(ok) => break Some(ok),
+            Err(e) if attempt_no < res.max_retries => {
+                attempt_no += 1;
+                deg.stage_retries += 1;
+                deg.note(
+                    "supervisor",
+                    format!("attempt {attempt_no} failed ({e}); retrying"),
+                );
+                if let Some(c) = trace {
+                    c.add(Counter::StageRetries, 1);
+                }
+                let _span = trace.map(|c| c.span(Stage::Recovery));
+                std::thread::sleep(res.backoff * attempt_no);
+            }
+            Err(e) => {
+                deg.note(
+                    "supervisor",
+                    format!("pipeline abandoned after {attempt_no} retries ({e}); serial fallback"),
+                );
+                break None;
+            }
+        }
+    };
+
+    let (ddg, interner, pruned_events) = match outcome {
+        Some(ok) => {
+            deg.dropped_chunks = ok.dropped_chunks;
+            deg.malformed_chunks = ok.malformed_chunks;
+            deg.unresolved_accesses = ok.unresolved;
+            deg.shadow_alloc_failures = ok.alloc_failures;
+            deg.deadline_hit = ok.deadline_hit;
+            for (shard, msg) in &ok.lost_workers {
+                deg.note(
+                    "fold",
+                    format!("shard {shard} lost ({msg}); output is partial"),
+                );
+            }
+            deg.budget_overapprox_stmts = ok
+                .shards
+                .iter()
+                .flatten()
+                .map(|s| s.fold_stats().budget_degraded)
+                .sum();
+            let (ddg, missing) = {
+                let _span = trace.map(|c| c.pipe_span(PipeStage::Merge));
+                finalize_shards_tolerant(ok.shards, prog, &ok.interner)
+            };
+            deg.missing_shards = missing;
+            (ddg, ok.interner, ok.pruned_events)
+        }
+        None => {
+            // Serial fallback: the trusted single-thread path, fault hooks
+            // off, budget still honored so degradation semantics survive.
+            deg.fell_back_serial = true;
+            if let Some(c) = trace {
+                c.add(Counter::SerialFallbacks, 1);
+            }
+            let _span = trace.map(|c| c.span(Stage::Recovery));
+            let mut sink = FoldingSink::with_options(cfg.options);
+            if let Some(b) = &res.budget {
+                sink.set_budget(Arc::clone(b));
+            }
+            let mut prof = DdgProfiler::with_config(prog, structure, sink, cfg.ddg);
+            if let Some(m) = prune {
+                prof.set_prune_mask(m);
+            }
+            if let Some(b) = &res.budget {
+                prof.set_budget(Arc::clone(b));
+            }
+            match polyvm::Vm::new(prog).run(&[], &mut prof) {
+                Ok(_) => {}
+                Err(polyvm::VmError::Aborted) => deg.deadline_hit = true,
+                Err(e) => {
+                    return Err(PolyProfError::Vm {
+                        stage: "pass-2",
+                        msg: e.to_string(),
+                    })
+                }
+            }
+            let pruned_events = prof.pruned_events;
+            let (sink, interner) = prof.finish();
+            deg.budget_overapprox_stmts = sink.fold_stats().budget_degraded;
+            let ddg = sink.finalize(prog, &interner);
+            (ddg, interner, pruned_events)
+        }
+    };
+
+    if let Some(b) = &res.budget {
+        deg.budget_pressure = b.under_pressure();
+        deg.peak_tracked_bytes = b.peak_bytes();
+        if b.deadline_was_hit() {
+            deg.deadline_hit = true;
+        }
+    }
+    if let Some(p) = &res.faults {
+        let alloc_seen = deg.shadow_alloc_failures;
+        deg.absorb_plan(p);
+        // `absorb_plan` reports plan-fired allocation faults; keep whichever
+        // count is larger in case a retried attempt saw real failures too.
+        deg.shadow_alloc_failures = deg.shadow_alloc_failures.max(alloc_seen);
+    }
+    if let Some(c) = trace {
+        c.add(Counter::FaultsInjected, deg.faults_injected);
+        c.add(Counter::UnresolvedAccesses, deg.unresolved_accesses);
+        c.add(Counter::BudgetOverapprox, deg.budget_overapprox_stmts);
+        if deg.deadline_hit {
+            c.add(Counter::DeadlineHits, 1);
+        }
+    }
+
+    Ok((ddg, interner, pruned_events, deg))
+}
+
+/// Finalize every present shard in parallel (the vendored rayon stand-in has
+/// no owned `into_par_iter`, hence the one-element-chunk option dance), then
+/// merge deterministically; absent shards are reported back by index.
+fn finalize_shards_tolerant(
+    shards: Vec<Option<FoldingSink>>,
     prog: &Program,
     interner: &ContextInterner,
-) -> FoldedDdg {
+) -> (FoldedDdg, Vec<usize>) {
     use rayon::prelude::*;
-    let mut slots: Vec<Option<FoldingSink>> = shards.into_iter().map(Some).collect();
+    let mut slots = shards;
     let mut parts: Vec<Option<FoldedDdg>> =
         std::iter::repeat_with(|| None).take(slots.len()).collect();
     slots
         .par_chunks_mut(1)
         .zip(parts.par_chunks_mut(1))
         .for_each(|(slot, part)| {
-            let sink = slot[0].take().expect("shard present");
-            part[0] = Some(sink.finalize(prog, interner));
+            if let Some(sink) = slot[0].take() {
+                part[0] = Some(sink.finalize(prog, interner));
+            }
         });
-    FoldedDdg::merge_parts(parts.into_iter().flatten())
+    FoldedDdg::merge_parts_tolerant(parts)
 }
 
 /// Pipelined sibling of [`fold_program`](crate::fold_program): pass 1
@@ -369,6 +705,27 @@ mod tests {
         pb.finish()
     }
 
+    fn tiny_cfg(k: usize) -> PipelineConfig {
+        PipelineConfig {
+            fold_threads: k,
+            chunk_events: 16, // tiny chunks: exercise flush boundaries
+            ..Default::default()
+        }
+    }
+
+    fn supervised(
+        p: &Program,
+        cfg: &PipelineConfig,
+        res: &ResilienceConfig,
+    ) -> (FoldedDdg, RunDegradation) {
+        let mut rec = polycfg::StructureRecorder::new();
+        polyvm::Vm::new(p).run(&[], &mut rec).unwrap();
+        let structure = StaticStructure::analyze(p, rec);
+        let (ddg, _, _, deg) =
+            fold_pipelined_supervised(p, &structure, cfg, None, None, res).unwrap();
+        (ddg, deg)
+    }
+
     /// Smallest possible end-to-end check: shard counts and chunk sizes must
     /// not change any folded fact (the full byte-compare lives in
     /// tests/sharded.rs).
@@ -377,11 +734,7 @@ mod tests {
         let p = stencil_prog();
         let (serial, _, _) = fold_program(&p);
         for k in [1usize, 3] {
-            let cfg = PipelineConfig {
-                fold_threads: k,
-                chunk_events: 16, // tiny chunks: exercise flush boundaries
-                ..Default::default()
-            };
+            let cfg = tiny_cfg(k);
             let (piped, _, _) = fold_program_pipelined(&p, &cfg);
             assert_eq!(piped.total_ops, serial.total_ops, "k={k}");
             assert_eq!(piped.n_stmts(), serial.n_stmts(), "k={k}");
@@ -410,5 +763,118 @@ mod tests {
         let payload = res.expect_err("panic expected");
         let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
         assert!(msg.contains("deliberate"), "payload lost");
+    }
+
+    /// With no faults and no budget, the supervised path must reproduce the
+    /// plain pipeline exactly — the hooks are zero-cost `None` branches.
+    #[test]
+    fn supervised_fault_free_matches_plain() {
+        let p = stencil_prog();
+        let (serial, _, _) = fold_program(&p);
+        let (ddg, deg) = supervised(&p, &tiny_cfg(2), &ResilienceConfig::default());
+        assert!(!deg.is_degraded(), "{deg:?}");
+        assert_eq!(ddg.total_ops, serial.total_ops);
+        assert_eq!(ddg.n_stmts(), serial.n_stmts());
+        assert_eq!(ddg.deps.len(), serial.deps.len());
+        assert_eq!(ddg.accesses.len(), serial.accesses.len());
+    }
+
+    /// A one-shot resolver panic fails the first attempt; the retry probes
+    /// past the armed occurrence and completes with full-fidelity output.
+    #[test]
+    fn one_shot_resolve_panic_retries_to_full_result() {
+        let p = stencil_prog();
+        let (serial, _, _) = fold_program(&p);
+        let res = ResilienceConfig {
+            faults: Some(Arc::new(FaultPlan::single(FaultSite::PanicResolve, 1))),
+            ..Default::default()
+        };
+        let (ddg, deg) = supervised(&p, &tiny_cfg(2), &res);
+        assert_eq!(deg.stage_retries, 1, "{deg:?}");
+        assert!(!deg.fell_back_serial);
+        assert!(deg.faults_injected >= 1);
+        assert_eq!(ddg.total_ops, serial.total_ops, "retry must be lossless");
+        assert_eq!(ddg.deps.len(), serial.deps.len());
+    }
+
+    /// A folding-worker panic only loses its shard: the run completes with
+    /// the surviving shards and records the hole.
+    #[test]
+    fn fold_worker_panic_yields_partial_result() {
+        let p = stencil_prog();
+        let (serial, _, _) = fold_program(&p);
+        let res = ResilienceConfig {
+            faults: Some(Arc::new(FaultPlan::single(FaultSite::PanicFold, 1))),
+            ..Default::default()
+        };
+        let (ddg, deg) = supervised(&p, &tiny_cfg(3), &res);
+        assert_eq!(deg.stage_retries, 0, "worker loss is salvaged, not retried");
+        assert_eq!(deg.missing_shards.len(), 1, "{deg:?}");
+        assert!(deg.is_degraded());
+        assert!(
+            ddg.n_stmts() <= serial.n_stmts(),
+            "partial result never invents statements"
+        );
+    }
+
+    /// An every-occurrence panic defeats retry and forces the serial
+    /// fallback — which, being fault-free, produces the full exact result.
+    #[test]
+    fn persistent_panic_falls_back_serial() {
+        let p = stencil_prog();
+        let (serial, _, _) = fold_program(&p);
+        let res = ResilienceConfig {
+            faults: Some(Arc::new(FaultPlan::always(FaultSite::PanicResolve))),
+            max_retries: 1,
+            backoff: Duration::from_millis(1),
+            ..Default::default()
+        };
+        let (ddg, deg) = supervised(&p, &tiny_cfg(2), &res);
+        assert!(deg.fell_back_serial, "{deg:?}");
+        assert_eq!(deg.stage_retries, 1);
+        assert_eq!(ddg.total_ops, serial.total_ops, "fallback is lossless");
+        assert_eq!(ddg.deps.len(), serial.deps.len());
+        assert_eq!(ddg.n_stmts(), serial.n_stmts());
+    }
+
+    /// A dropped chunk completes the run and is accounted for.
+    #[test]
+    fn dropped_chunk_completes_with_degradation() {
+        let p = stencil_prog();
+        let res = ResilienceConfig {
+            faults: Some(Arc::new(FaultPlan::single(FaultSite::DropSend, 1))),
+            ..Default::default()
+        };
+        let (_, deg) = supervised(&p, &tiny_cfg(2), &res);
+        assert!(deg.dropped_chunks >= 1, "{deg:?}");
+        assert!(deg.is_degraded());
+    }
+
+    /// A corrupted chunk is caught by validation, skipped, and counted —
+    /// never replayed into a folder.
+    #[test]
+    fn malformed_chunk_rejected_and_counted() {
+        let p = stencil_prog();
+        let res = ResilienceConfig {
+            faults: Some(Arc::new(FaultPlan::single(FaultSite::MalformedChunk, 1))),
+            ..Default::default()
+        };
+        let (_, deg) = supervised(&p, &tiny_cfg(2), &res);
+        assert_eq!(deg.malformed_chunks, 1, "{deg:?}");
+        assert!(deg.is_degraded());
+    }
+
+    /// A refused shadow-page allocation skips that access's dependences but
+    /// the run completes with the loss accounted.
+    #[test]
+    fn shadow_alloc_fault_counted_as_unresolved() {
+        let p = stencil_prog();
+        let res = ResilienceConfig {
+            faults: Some(Arc::new(FaultPlan::single(FaultSite::AllocShadow, 1))),
+            ..Default::default()
+        };
+        let (_, deg) = supervised(&p, &tiny_cfg(2), &res);
+        assert_eq!(deg.shadow_alloc_failures, 1, "{deg:?}");
+        assert!(deg.unresolved_accesses >= 1, "{deg:?}");
     }
 }

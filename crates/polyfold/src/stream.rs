@@ -79,6 +79,12 @@ pub struct StreamFolder {
     label_fitters: Vec<OnlineAffineFitter>,
     labels_present: bool,
     labels_consistent: bool,
+    /// Budget-degraded mode: affine fitters dropped, only bounding box,
+    /// count, and label ranges are maintained (`exact` is forced off).
+    coarse: bool,
+    /// Per-component label `(min, max)` ranges, maintained in coarse mode
+    /// only (the fitters track ranges themselves otherwise).
+    label_range: Vec<(i64, i64)>,
 }
 
 impl StreamFolder {
@@ -101,6 +107,8 @@ impl StreamFolder {
             label_fitters: Vec::new(),
             labels_present: false,
             labels_consistent: true,
+            coarse: false,
+            label_range: Vec::new(),
         }
     }
 
@@ -112,6 +120,27 @@ impl StreamFolder {
     /// Dimensionality.
     pub fn dim(&self) -> usize {
         self.dim
+    }
+
+    /// Switch to budget-degraded folding: drop the per-dimension affine
+    /// fitters (freeing their memory) and keep only the bounding box, the
+    /// deduplicated point count, and per-component label ranges. The
+    /// finalized domain is the box — a superset of the exact domain — and is
+    /// flagged `exact = false`. Idempotent.
+    pub fn degrade(&mut self) {
+        if self.coarse {
+            return;
+        }
+        self.coarse = true;
+        self.lb = Vec::new();
+        self.ub = Vec::new();
+        self.label_range = self.label_fitters.iter().map(|f| f.range()).collect();
+        self.label_fitters = Vec::new();
+    }
+
+    /// True once [`degrade`](Self::degrade) has been called.
+    pub fn is_coarse(&self) -> bool {
+        self.coarse
     }
 
     /// Feed one point with an optional label vector. Points must arrive in
@@ -130,6 +159,15 @@ impl StreamFolder {
         for (k, &c) in coords.iter().enumerate().take(self.dim) {
             self.box_lo[k] = self.box_lo[k].min(c);
             self.box_hi[k] = self.box_hi[k].max(c);
+        }
+        if self.coarse {
+            // Degraded path: box + count only — no group machinery. The
+            // dedup compare above still needs the previous point.
+            self.prev_buf.clear();
+            self.prev_buf.extend_from_slice(coords);
+            self.has_prev = true;
+            self.push_labels(coords, labels);
+            return;
         }
         if !self.has_prev {
             self.open_first.copy_from_slice(coords);
@@ -169,6 +207,34 @@ impl StreamFolder {
     }
 
     fn push_labels(&mut self, coords: &[i64], labels: Option<&[i64]>) {
+        if self.coarse {
+            match labels {
+                Some(ls) => {
+                    match self.label_arity {
+                        None => {
+                            self.label_arity = Some(ls.len());
+                            self.label_range = ls.iter().map(|&v| (v, v)).collect();
+                            self.labels_present = true;
+                        }
+                        Some(a) if a != ls.len() => {
+                            self.labels_consistent = false;
+                            return;
+                        }
+                        Some(_) => {}
+                    }
+                    for (r, &v) in self.label_range.iter_mut().zip(ls) {
+                        r.0 = r.0.min(v);
+                        r.1 = r.1.max(v);
+                    }
+                }
+                None => {
+                    if self.labels_present {
+                        self.labels_consistent = false;
+                    }
+                }
+            }
+            return;
+        }
         match labels {
             Some(ls) => {
                 match self.label_arity {
@@ -211,26 +277,28 @@ impl StreamFolder {
 
     /// Finalize: close open groups and assemble the folded result.
     pub fn finalize(mut self) -> FoldedStream {
-        if self.has_prev {
+        if self.has_prev && !self.coarse {
             let prev = std::mem::take(&mut self.prev_buf);
             self.close_groups(&prev, 0);
         }
         let mut poly = Polyhedron::universe(self.dim);
-        let mut exact = self.monotone && !self.holes;
+        let mut exact = self.monotone && !self.holes && !self.coarse;
         for k in 0..self.dim {
-            let lb = self.lb[k].result();
-            let ub = self.ub[k].result();
-            let affine_pair = match (lb, ub) {
-                (FitResult::Affine(l), FitResult::Affine(u)) => {
-                    match (
-                        rat_bound_to_expr(&l, k, self.dim),
-                        rat_bound_to_expr(&u, k, self.dim),
-                    ) {
-                        (Some(le), Some(ue)) => Some((le, ue)),
-                        _ => None,
+            let affine_pair = if self.coarse {
+                None
+            } else {
+                match (self.lb[k].result(), self.ub[k].result()) {
+                    (FitResult::Affine(l), FitResult::Affine(u)) => {
+                        match (
+                            rat_bound_to_expr(&l, k, self.dim),
+                            rat_bound_to_expr(&u, k, self.dim),
+                        ) {
+                            (Some(le), Some(ue)) => Some((le, ue)),
+                            _ => None,
+                        }
                     }
+                    _ => None,
                 }
-                _ => None,
             };
             match affine_pair {
                 Some((le, ue)) => {
@@ -249,6 +317,8 @@ impl StreamFolder {
         }
         let labels = if !self.labels_present {
             LabelFold::None
+        } else if self.coarse {
+            LabelFold::Range(self.label_range.clone())
         } else if !self.labels_consistent {
             LabelFold::Range(self.label_fitters.iter().map(|f| f.range()).collect())
         } else {
@@ -481,5 +551,53 @@ mod tests {
         assert!(r.domain.poly.contains(&[3, 7]));
         assert_eq!(r.domain.poly.count_points(10), Some(1));
         assert!(r.labels.is_affine());
+    }
+
+    /// Coarse mode is a sound superset: same count (dedup retained), box
+    /// bounds contain every point, never exact.
+    #[test]
+    fn degraded_folder_is_superset_with_same_count() {
+        let mut exact = StreamFolder::new(2);
+        let mut coarse = StreamFolder::new(2);
+        coarse.degrade();
+        assert!(coarse.is_coarse());
+        for i in 0..6 {
+            for j in 0..=i {
+                exact.push(&[i, j], Some(&[i + j]));
+                coarse.push(&[i, j], Some(&[i + j]));
+                // duplicates must dedup identically in both modes
+                coarse.push(&[i, j], Some(&[i + j]));
+            }
+        }
+        let re = exact.finalize();
+        let rc = coarse.finalize();
+        assert_eq!(rc.domain.count, re.domain.count);
+        assert!(!rc.domain.exact);
+        assert_eq!(rc.domain.box_lo, re.domain.box_lo);
+        assert_eq!(rc.domain.box_hi, re.domain.box_hi);
+        for i in 0..6 {
+            for j in 0..=i {
+                assert!(rc.domain.poly.contains(&[i, j]));
+            }
+        }
+        assert_eq!(rc.labels, LabelFold::Range(vec![(0, 10)]));
+    }
+
+    /// Degrading mid-stream keeps ranges accumulated by the fitters.
+    #[test]
+    fn midstream_degrade_keeps_label_ranges() {
+        let mut f = StreamFolder::new(1);
+        for i in 0..4 {
+            f.push(&[i], Some(&[i * 10]));
+        }
+        f.degrade();
+        for i in 4..8 {
+            f.push(&[i], Some(&[i * 10]));
+        }
+        let r = f.finalize();
+        assert_eq!(r.domain.count, 8);
+        assert!(!r.domain.exact);
+        assert!(r.domain.poly.contains(&[0]) && r.domain.poly.contains(&[7]));
+        assert_eq!(r.labels, LabelFold::Range(vec![(0, 70)]));
     }
 }

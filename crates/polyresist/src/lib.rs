@@ -1,0 +1,693 @@
+//! # polyresist — resilience primitives for the poly-prof pipeline
+//!
+//! The paper's folding stage already embraces principled loss: non-affine
+//! parts are *over-approximated* so the back-end stays scalable (§3). This
+//! crate extends that philosophy from the geometry to the runtime: a
+//! profiling run should always terminate with a report, annotated with what
+//! was lost, instead of dying on the first worker panic, wedged channel, or
+//! memory blow-up.
+//!
+//! Three building blocks, all dependency-free:
+//!
+//! * [`FaultPlan`] — a deterministic, seedable schedule of injectable faults
+//!   (stage panics, delayed/dropped chunk sends, shadow-page allocation
+//!   failures, malformed event chunks). Production code threads an
+//!   `Option<Arc<FaultPlan>>` through the pipeline; the `None` fast path is
+//!   a single branch, so the hook is zero-cost when injection is off.
+//! * [`ResourceBudget`] — shared byte/deadline accounting. Stages charge
+//!   allocations against it and switch to over-approximation on pressure
+//!   instead of aborting.
+//! * [`RunDegradation`] — the structured record of everything a run lost,
+//!   surfaced in the final `Report` and the feedback text.
+//!
+//! Plus the workspace-wide error type [`PolyProfError`] that replaces
+//! panicking `.expect` paths in the public entry points.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Workspace-wide error type for fallible pipeline entry points.
+///
+/// Hand-rolled (`thiserror`-style `Display` impl) to keep the workspace
+/// dependency-free.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PolyProfError {
+    /// The interpreter failed while driving a pass (fuel, unreachable, …).
+    Vm {
+        /// Which pipeline pass was running.
+        stage: &'static str,
+        /// The interpreter's own error rendering.
+        msg: String,
+    },
+    /// A pipeline stage thread panicked and supervision could not recover.
+    StagePanic {
+        /// Which stage kind panicked (`"pre"`, `"resolve"`, `"fold"`).
+        stage: &'static str,
+        /// Best-effort panic payload rendering.
+        msg: String,
+    },
+    /// A channel endpoint disappeared while a stage still had data to move.
+    ChannelClosed {
+        /// The stage that observed the closed channel.
+        stage: &'static str,
+    },
+    /// A `POLYPROF_FAULT_PLAN` / [`FaultPlan::parse`] spec did not parse.
+    InvalidFaultPlan(String),
+    /// An event chunk failed validation before replay.
+    MalformedChunk {
+        /// Shard that received the chunk.
+        shard: usize,
+        /// What the validator rejected.
+        detail: String,
+    },
+    /// The memory budget was exhausted and degradation was disabled.
+    BudgetExhausted {
+        /// Bytes tracked at the time of failure.
+        used: u64,
+        /// The configured limit.
+        limit: u64,
+    },
+    /// The watchdog deadline fired and partial results were not permitted.
+    DeadlineExceeded,
+}
+
+impl std::fmt::Display for PolyProfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PolyProfError::Vm { stage, msg } => write!(f, "vm error in {stage}: {msg}"),
+            PolyProfError::StagePanic { stage, msg } => {
+                write!(f, "pipeline stage `{stage}` panicked: {msg}")
+            }
+            PolyProfError::ChannelClosed { stage } => {
+                write!(f, "pipeline channel closed under stage `{stage}`")
+            }
+            PolyProfError::InvalidFaultPlan(s) => write!(f, "invalid fault plan: {s}"),
+            PolyProfError::MalformedChunk { shard, detail } => {
+                write!(f, "malformed event chunk on shard {shard}: {detail}")
+            }
+            PolyProfError::BudgetExhausted { used, limit } => {
+                write!(
+                    f,
+                    "memory budget exhausted: {used} bytes tracked > {limit} limit"
+                )
+            }
+            PolyProfError::DeadlineExceeded => write!(f, "profiling deadline exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for PolyProfError {}
+
+/// Render a `catch_unwind` payload the way the default panic hook would.
+pub fn panic_msg(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault plan
+// ---------------------------------------------------------------------------
+
+/// Where in the pipeline a fault can be injected.
+///
+/// The variants cover the fault matrix from the resilience gate: a panic in
+/// each of the three stage kinds, a chunk-send stall and drop, a shadow-page
+/// allocation failure, and a malformed event chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum FaultSite {
+    /// Panic inside the producer (`PreProfiler`) event path.
+    PanicPre = 0,
+    /// Panic inside the `ShadowResolver` stage thread.
+    PanicResolve = 1,
+    /// Panic inside a folding worker while replaying a chunk.
+    PanicFold = 2,
+    /// Delay a chunk send (simulated back-pressure stall).
+    StallSend = 3,
+    /// Silently drop a chunk instead of sending it.
+    DropSend = 4,
+    /// Fail a shadow-memory page allocation.
+    AllocShadow = 5,
+    /// Corrupt an event chunk in flight (caught by `EventChunk::validate`).
+    MalformedChunk = 6,
+}
+
+/// Number of distinct [`FaultSite`]s.
+pub const N_FAULT_SITES: usize = 7;
+
+impl FaultSite {
+    /// All sites, in slot order.
+    pub const ALL: [FaultSite; N_FAULT_SITES] = [
+        FaultSite::PanicPre,
+        FaultSite::PanicResolve,
+        FaultSite::PanicFold,
+        FaultSite::StallSend,
+        FaultSite::DropSend,
+        FaultSite::AllocShadow,
+        FaultSite::MalformedChunk,
+    ];
+
+    /// Stable spec name, as accepted by [`FaultPlan::parse`].
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSite::PanicPre => "panic:pre",
+            FaultSite::PanicResolve => "panic:resolve",
+            FaultSite::PanicFold => "panic:fold",
+            FaultSite::StallSend => "stall:send",
+            FaultSite::DropSend => "drop:send",
+            FaultSite::AllocShadow => "alloc:shadow",
+            FaultSite::MalformedChunk => "malformed:chunk",
+        }
+    }
+
+    fn slot(self) -> usize {
+        self as usize
+    }
+}
+
+/// When an armed fault fires, relative to the per-site occurrence counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Occurrence {
+    /// Fire on exactly the n-th probe (1-based), once.
+    Nth(u64),
+    /// Fire on every probe.
+    Every,
+}
+
+/// splitmix64 — tiny, deterministic, dependency-free PRNG used to derive
+/// pseudo-random occurrence indices from the plan seed.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic, seedable schedule of injectable faults.
+///
+/// Built from a spec string (see [`FaultPlan::parse`]) or programmatically
+/// via [`FaultPlan::single`]. Pipeline stages *probe* the plan at each
+/// injectable site; a probe increments that site's occurrence counter and
+/// reports whether an armed fault fires there. Probing is thread-safe and
+/// deterministic for a fixed interleaving of per-site occurrences (each
+/// site is probed from exactly one stage, so per-site order is total even
+/// in the sharded pipeline).
+///
+/// The environment knob `POLYPROF_FAULT_PLAN` feeds [`FaultPlan::from_env`]
+/// so the CI resilience gate can run a seed matrix without code changes.
+#[derive(Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    specs: Vec<(FaultSite, Occurrence)>,
+    /// Stall length applied by `StallSend` faults.
+    stall: Duration,
+    /// Per-site probe counters (how many times the site was reached).
+    probes: [AtomicU64; N_FAULT_SITES],
+    /// Per-site fire counters (how many faults actually triggered).
+    fired: [AtomicU64; N_FAULT_SITES],
+}
+
+impl FaultPlan {
+    /// Parse a plan spec: `;`-separated entries, each either `seed=<u64>`,
+    /// `stall_ms=<u64>`, or `<site>@<occ>` where `<site>` is a
+    /// [`FaultSite::name`] and `<occ>` is a 1-based occurrence index, `*`
+    /// (every occurrence) or `?` (pseudo-random occurrence in `[1, 16]`
+    /// derived from the seed — the "seedable" injection mode).
+    ///
+    /// Example: `seed=42;panic:fold@1;stall:send@3;malformed:chunk@?`.
+    pub fn parse(spec: &str) -> Result<FaultPlan, PolyProfError> {
+        let mut seed = 0u64;
+        let mut stall_ms = 20u64;
+        let mut raw: Vec<(FaultSite, String)> = Vec::new();
+        for part in spec.split(';').map(str::trim).filter(|p| !p.is_empty()) {
+            if let Some(v) = part.strip_prefix("seed=") {
+                seed = v
+                    .parse()
+                    .map_err(|_| PolyProfError::InvalidFaultPlan(format!("bad seed `{v}`")))?;
+            } else if let Some(v) = part.strip_prefix("stall_ms=") {
+                stall_ms = v
+                    .parse()
+                    .map_err(|_| PolyProfError::InvalidFaultPlan(format!("bad stall_ms `{v}`")))?;
+            } else {
+                let (site_s, occ_s) = part.split_once('@').ok_or_else(|| {
+                    PolyProfError::InvalidFaultPlan(format!("entry `{part}` missing `@<occ>`"))
+                })?;
+                let site = FaultSite::ALL
+                    .iter()
+                    .copied()
+                    .find(|s| s.name() == site_s)
+                    .ok_or_else(|| {
+                        PolyProfError::InvalidFaultPlan(format!("unknown site `{site_s}`"))
+                    })?;
+                raw.push((site, occ_s.to_string()));
+            }
+        }
+        let mut rng = seed ^ 0xD1F4_0FF5;
+        let mut specs = Vec::with_capacity(raw.len());
+        for (site, occ_s) in raw {
+            let occ = match occ_s.as_str() {
+                "*" => Occurrence::Every,
+                "?" => Occurrence::Nth(splitmix64(&mut rng) % 16 + 1),
+                n => Occurrence::Nth(n.parse().map_err(|_| {
+                    PolyProfError::InvalidFaultPlan(format!("bad occurrence `{n}`"))
+                })?),
+            };
+            if occ == Occurrence::Nth(0) {
+                return Err(PolyProfError::InvalidFaultPlan(
+                    "occurrence indices are 1-based".into(),
+                ));
+            }
+            specs.push((site, occ));
+        }
+        Ok(FaultPlan {
+            seed,
+            specs,
+            stall: Duration::from_millis(stall_ms),
+            probes: Default::default(),
+            fired: Default::default(),
+        })
+    }
+
+    /// Read `POLYPROF_FAULT_PLAN`; `None` when unset or empty.
+    ///
+    /// Panics on a malformed spec — an injection harness that silently runs
+    /// fault-free would defeat the gate.
+    pub fn from_env() -> Option<FaultPlan> {
+        match std::env::var("POLYPROF_FAULT_PLAN") {
+            Ok(s) if !s.trim().is_empty() => {
+                Some(FaultPlan::parse(&s).expect("POLYPROF_FAULT_PLAN did not parse"))
+            }
+            _ => None,
+        }
+    }
+
+    /// A plan with a single armed fault: fire `site` on its `nth` probe
+    /// (1-based).
+    pub fn single(site: FaultSite, nth: u64) -> FaultPlan {
+        assert!(nth >= 1, "occurrence indices are 1-based");
+        FaultPlan {
+            seed: 0,
+            specs: vec![(site, Occurrence::Nth(nth))],
+            stall: Duration::from_millis(20),
+            probes: Default::default(),
+            fired: Default::default(),
+        }
+    }
+
+    /// A plan that fires `site` on *every* probe (used to defeat bounded
+    /// retry and force the serial fallback).
+    pub fn always(site: FaultSite) -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            specs: vec![(site, Occurrence::Every)],
+            stall: Duration::from_millis(20),
+            probes: Default::default(),
+            fired: Default::default(),
+        }
+    }
+
+    /// The plan seed (0 when not set).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// How long a `StallSend` fault delays the send.
+    pub fn stall_duration(&self) -> Duration {
+        self.stall
+    }
+
+    /// Probe an injection site. Increments the site's occurrence counter
+    /// and returns `true` iff an armed fault fires on this occurrence.
+    pub fn should_fire(&self, site: FaultSite) -> bool {
+        let slot = site.slot();
+        let n = self.probes[slot].fetch_add(1, Ordering::Relaxed) + 1;
+        let hit = self.specs.iter().any(|&(s, occ)| {
+            s == site
+                && match occ {
+                    Occurrence::Nth(k) => k == n,
+                    Occurrence::Every => true,
+                }
+        });
+        if hit {
+            self.fired[slot].fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// How many faults actually fired at `site` so far.
+    pub fn fired(&self, site: FaultSite) -> u64 {
+        self.fired[site.slot()].load(Ordering::Relaxed)
+    }
+
+    /// Total faults fired across all sites.
+    pub fn total_fired(&self) -> u64 {
+        self.fired.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Reset occurrence counters (fired counters are kept — they feed the
+    /// degradation record). Called between supervised retry attempts so the
+    /// n-th-occurrence arithmetic stays deterministic per attempt… is *not*
+    /// what we want: a transient `Nth` fault must not re-fire on retry, so
+    /// counters deliberately keep counting across attempts. This method
+    /// exists only for tests that reuse a plan across independent runs.
+    pub fn reset_probes(&self) {
+        for c in &self.probes {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Resource budget
+// ---------------------------------------------------------------------------
+
+/// Shared byte / wall-clock budget for one profiling run.
+///
+/// Stages charge their retained allocations (shadow pages, coordinate
+/// arena spills, folder tables) against the byte budget with
+/// [`ResourceBudget::charge`]; once tracked bytes cross the limit the
+/// budget latches *pressure* and consumers switch to the paper's
+/// over-approximation mode instead of allocating further precision state.
+/// The optional deadline is polled (cheaply, caller-throttled) by the
+/// event producer; once hit it latches and the run finalizes partial but
+/// valid results.
+///
+/// All counters are relaxed atomics: budget checks are heuristics, not
+/// synchronization.
+#[derive(Debug, Default)]
+pub struct ResourceBudget {
+    limit_bytes: Option<u64>,
+    deadline: Option<Instant>,
+    used: AtomicU64,
+    peak: AtomicU64,
+    pressure: AtomicBool,
+    deadline_hit: AtomicBool,
+}
+
+impl ResourceBudget {
+    /// A budget with the given byte limit and/or deadline (measured from
+    /// now). `None, None` yields an unlimited budget that never signals
+    /// pressure.
+    pub fn new(limit_bytes: Option<u64>, deadline_in: Option<Duration>) -> ResourceBudget {
+        ResourceBudget {
+            limit_bytes,
+            deadline: deadline_in.map(|d| Instant::now() + d),
+            ..ResourceBudget::default()
+        }
+    }
+
+    /// Whether any limit is configured at all.
+    pub fn is_limited(&self) -> bool {
+        self.limit_bytes.is_some() || self.deadline.is_some()
+    }
+
+    /// Charge `bytes` of retained allocation. Returns `false` when the
+    /// charge crossed the limit (pressure is then latched).
+    pub fn charge(&self, bytes: u64) -> bool {
+        let now = self.used.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+        match self.limit_bytes {
+            Some(lim) if now > lim => {
+                self.pressure.store(true, Ordering::Relaxed);
+                false
+            }
+            _ => true,
+        }
+    }
+
+    /// Return `bytes` to the budget (freed allocation).
+    pub fn uncharge(&self, bytes: u64) {
+        self.used.fetch_sub(bytes, Ordering::Relaxed);
+    }
+
+    /// Has the byte budget been crossed at any point?
+    pub fn under_pressure(&self) -> bool {
+        self.pressure.load(Ordering::Relaxed)
+    }
+
+    /// Currently tracked bytes.
+    pub fn used_bytes(&self) -> u64 {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of tracked bytes.
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// The configured byte limit, if any.
+    pub fn limit_bytes(&self) -> Option<u64> {
+        self.limit_bytes
+    }
+
+    /// Poll the deadline. Latches and returns `true` once the deadline has
+    /// passed. Callers throttle this (it reads the clock).
+    pub fn poll_deadline(&self) -> bool {
+        if self.deadline_hit.load(Ordering::Relaxed) {
+            return true;
+        }
+        match self.deadline {
+            Some(d) if Instant::now() >= d => {
+                self.deadline_hit.store(true, Ordering::Relaxed);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether the deadline has latched (without reading the clock).
+    pub fn deadline_was_hit(&self) -> bool {
+        self.deadline_hit.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Degradation record
+// ---------------------------------------------------------------------------
+
+/// One noteworthy recovery action, in the order it happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegradationEvent {
+    /// Stage the event belongs to (`"pre"`, `"resolve"`, `"fold"`,
+    /// `"supervisor"`, `"budget"`, …).
+    pub stage: String,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+/// Structured record of everything a run lost or recovered from.
+///
+/// Attached to `Report` by the supervised pipeline; an all-default record
+/// means the run was clean. The counters mirror the `polytrace` degradation
+/// counters so CI can diff them across fault-plan seeds.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunDegradation {
+    /// Faults the plan actually fired (0 for production runs).
+    pub faults_injected: u64,
+    /// Supervised pipeline attempts that were retried after a stage panic.
+    pub stage_retries: u32,
+    /// The pipelined path was abandoned for the retained serial path.
+    pub fell_back_serial: bool,
+    /// Event chunks dropped in flight (injected or send-error).
+    pub dropped_chunks: u64,
+    /// Event chunks rejected by validation before replay.
+    pub malformed_chunks: u64,
+    /// Chunk sends that were artificially stalled.
+    pub stalled_sends: u64,
+    /// Memory accesses whose dependences were skipped because the shadow
+    /// page could not be allocated.
+    pub unresolved_accesses: u64,
+    /// Shadow page allocations that failed (injected).
+    pub shadow_alloc_failures: u64,
+    /// Statements folded in budget over-approximation mode.
+    pub budget_overapprox_stmts: u64,
+    /// The watchdog deadline fired and the run finalized partial results.
+    pub deadline_hit: bool,
+    /// The byte budget latched pressure at some point.
+    pub budget_pressure: bool,
+    /// High-water mark of budget-tracked bytes (0 when no budget).
+    pub peak_tracked_bytes: u64,
+    /// Shard ids whose folding worker died without emitting a part.
+    pub missing_shards: Vec<usize>,
+    /// Ordered log of recovery actions.
+    pub events: Vec<DegradationEvent>,
+}
+
+impl RunDegradation {
+    /// True when anything at all was lost or recovered.
+    pub fn is_degraded(&self) -> bool {
+        self.faults_injected > 0
+            || self.stage_retries > 0
+            || self.fell_back_serial
+            || self.dropped_chunks > 0
+            || self.malformed_chunks > 0
+            || self.stalled_sends > 0
+            || self.unresolved_accesses > 0
+            || self.shadow_alloc_failures > 0
+            || self.budget_overapprox_stmts > 0
+            || self.deadline_hit
+            || self.budget_pressure
+            || !self.missing_shards.is_empty()
+    }
+
+    /// Append a recovery event.
+    pub fn note(&mut self, stage: &str, detail: impl Into<String>) {
+        self.events.push(DegradationEvent {
+            stage: stage.to_string(),
+            detail: detail.into(),
+        });
+    }
+
+    /// Fold the fault-plan fire counts into this record.
+    pub fn absorb_plan(&mut self, plan: &FaultPlan) {
+        self.faults_injected = plan.total_fired();
+        self.stalled_sends = plan.fired(FaultSite::StallSend);
+        self.shadow_alloc_failures = plan.fired(FaultSite::AllocShadow);
+    }
+
+    /// Stable JSON rendering (counters only) for CI artifacts.
+    pub fn to_json(&self) -> String {
+        let shards: Vec<String> = self.missing_shards.iter().map(|s| s.to_string()).collect();
+        format!(
+            concat!(
+                "{{\"faults_injected\":{},\"stage_retries\":{},",
+                "\"fell_back_serial\":{},\"dropped_chunks\":{},",
+                "\"malformed_chunks\":{},\"stalled_sends\":{},",
+                "\"unresolved_accesses\":{},\"shadow_alloc_failures\":{},",
+                "\"budget_overapprox_stmts\":{},\"deadline_hit\":{},",
+                "\"budget_pressure\":{},\"peak_tracked_bytes\":{},",
+                "\"missing_shards\":[{}]}}"
+            ),
+            self.faults_injected,
+            self.stage_retries,
+            self.fell_back_serial,
+            self.dropped_chunks,
+            self.malformed_chunks,
+            self.stalled_sends,
+            self.unresolved_accesses,
+            self.shadow_alloc_failures,
+            self.budget_overapprox_stmts,
+            self.deadline_hit,
+            self.budget_pressure,
+            self.peak_tracked_bytes,
+            shards.join(",")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip_and_fire_order() {
+        let p = FaultPlan::parse("seed=7;panic:fold@2;stall:send@1").unwrap();
+        assert_eq!(p.seed(), 7);
+        assert!(!p.should_fire(FaultSite::PanicFold)); // occurrence 1
+        assert!(p.should_fire(FaultSite::PanicFold)); // occurrence 2 — armed
+        assert!(!p.should_fire(FaultSite::PanicFold)); // one-shot
+        assert!(p.should_fire(FaultSite::StallSend));
+        assert_eq!(p.fired(FaultSite::PanicFold), 1);
+        assert_eq!(p.total_fired(), 2);
+    }
+
+    #[test]
+    fn seeded_random_occurrence_is_deterministic() {
+        let occ = |seed: u64| {
+            let p = FaultPlan::parse(&format!("seed={seed};panic:pre@?")).unwrap();
+            let mut n = 0u64;
+            while !p.should_fire(FaultSite::PanicPre) {
+                n += 1;
+                assert!(n < 64, "armed occurrence must be in [1,16]");
+            }
+            n + 1
+        };
+        assert_eq!(occ(3), occ(3), "same seed, same occurrence");
+        assert!((1..=16).contains(&occ(3)));
+        // Different seeds eventually differ (not guaranteed per pair, but
+        // across a small range at least two must diverge).
+        let all: Vec<u64> = (0..8).map(occ).collect();
+        assert!(all.iter().any(|&x| x != all[0]), "{all:?}");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(FaultPlan::parse("panic:fold").is_err());
+        assert!(FaultPlan::parse("panic:nope@1").is_err());
+        assert!(FaultPlan::parse("panic:fold@0").is_err());
+        assert!(FaultPlan::parse("seed=x").is_err());
+    }
+
+    #[test]
+    fn every_occurrence_fires_repeatedly() {
+        let p = FaultPlan::always(FaultSite::PanicResolve);
+        for _ in 0..4 {
+            assert!(p.should_fire(FaultSite::PanicResolve));
+        }
+        assert_eq!(p.fired(FaultSite::PanicResolve), 4);
+    }
+
+    #[test]
+    fn budget_latches_pressure_and_tracks_peak() {
+        let b = ResourceBudget::new(Some(100), None);
+        assert!(b.charge(60));
+        assert!(!b.under_pressure());
+        assert!(!b.charge(50)); // 110 > 100
+        assert!(b.under_pressure());
+        b.uncharge(80);
+        assert!(b.under_pressure(), "pressure is latched");
+        assert_eq!(b.peak_bytes(), 110);
+        assert_eq!(b.used_bytes(), 30);
+    }
+
+    #[test]
+    fn unlimited_budget_never_pressures() {
+        let b = ResourceBudget::new(None, None);
+        assert!(!b.is_limited());
+        assert!(b.charge(u64::MAX / 2));
+        assert!(!b.under_pressure());
+        assert!(!b.poll_deadline());
+    }
+
+    #[test]
+    fn deadline_latches() {
+        let b = ResourceBudget::new(None, Some(Duration::from_millis(1)));
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(b.poll_deadline());
+        assert!(b.deadline_was_hit());
+    }
+
+    #[test]
+    fn degradation_json_is_stable() {
+        let mut d = RunDegradation::default();
+        assert!(!d.is_degraded());
+        d.stage_retries = 2;
+        d.missing_shards = vec![1, 3];
+        assert!(d.is_degraded());
+        let j = d.to_json();
+        assert!(j.contains("\"stage_retries\":2"), "{j}");
+        assert!(j.contains("\"missing_shards\":[1,3]"), "{j}");
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = PolyProfError::StagePanic {
+            stage: "fold",
+            msg: "boom".into(),
+        };
+        assert_eq!(e.to_string(), "pipeline stage `fold` panicked: boom");
+        let e = PolyProfError::BudgetExhausted { used: 5, limit: 4 };
+        assert!(e.to_string().contains("5 bytes"));
+    }
+}

@@ -97,10 +97,14 @@ pub enum Stage {
     Render,
     /// The static "Polly" baseline analysis.
     StaticBaseline,
+    /// Supervision and recovery work: draining wedged channels after a stage
+    /// panic, retry backoff, the serial-fallback re-run, and the deadline
+    /// watchdog's partial finalize. Zero on a clean run.
+    Recovery,
 }
 
 /// Number of [`Stage`] slots.
-pub const N_STAGES: usize = 10;
+pub const N_STAGES: usize = 11;
 
 impl Stage {
     /// All stages, in execution order.
@@ -115,6 +119,7 @@ impl Stage {
         Stage::Feedback,
         Stage::Render,
         Stage::StaticBaseline,
+        Stage::Recovery,
     ];
 
     /// Stable display name.
@@ -130,6 +135,7 @@ impl Stage {
             Stage::Feedback => "feedback",
             Stage::Render => "render",
             Stage::StaticBaseline => "static-baseline",
+            Stage::Recovery => "recovery",
         }
     }
 
@@ -145,6 +151,7 @@ impl Stage {
             Stage::Feedback => 7,
             Stage::Render => 8,
             Stage::StaticBaseline => 9,
+            Stage::Recovery => 10,
         }
     }
 }
@@ -255,10 +262,26 @@ pub enum Counter {
     LintChecks,
     /// DDG lint violations found.
     LintViolations,
+    /// Faults fired by an armed `polyresist::FaultPlan` (0 in production).
+    FaultsInjected,
+    /// Supervised pipeline attempts retried after a stage panic.
+    StageRetries,
+    /// Runs that abandoned the pipelined path for the serial fallback.
+    SerialFallbacks,
+    /// Event chunks dropped in flight (injected or send-error).
+    DroppedChunks,
+    /// Event chunks rejected by validation before replay.
+    MalformedChunks,
+    /// Memory accesses skipped because a shadow page failed to allocate.
+    UnresolvedAccesses,
+    /// Statements folded in budget over-approximation (coarse) mode.
+    BudgetOverapprox,
+    /// Watchdog deadline firings (0 or 1 per run).
+    DeadlineHits,
 }
 
 /// Number of [`Counter`] slots.
-pub const N_COUNTERS: usize = 28;
+pub const N_COUNTERS: usize = 36;
 
 impl Counter {
     /// All counters, in report order.
@@ -291,6 +314,14 @@ impl Counter {
         Counter::PrunedEvents,
         Counter::LintChecks,
         Counter::LintViolations,
+        Counter::FaultsInjected,
+        Counter::StageRetries,
+        Counter::SerialFallbacks,
+        Counter::DroppedChunks,
+        Counter::MalformedChunks,
+        Counter::UnresolvedAccesses,
+        Counter::BudgetOverapprox,
+        Counter::DeadlineHits,
     ];
 
     /// Stable snake_case name (JSON keys, table rows).
@@ -324,6 +355,14 @@ impl Counter {
             Counter::PrunedEvents => "pruned_events",
             Counter::LintChecks => "lint_checks",
             Counter::LintViolations => "lint_violations",
+            Counter::FaultsInjected => "faults_injected",
+            Counter::StageRetries => "stage_retries",
+            Counter::SerialFallbacks => "serial_fallbacks",
+            Counter::DroppedChunks => "dropped_chunks",
+            Counter::MalformedChunks => "malformed_chunks",
+            Counter::UnresolvedAccesses => "unresolved_accesses",
+            Counter::BudgetOverapprox => "budget_overapprox_stmts",
+            Counter::DeadlineHits => "deadline_hits",
         }
     }
 

@@ -51,6 +51,14 @@ pub trait EventSink {
     fn mem(&mut self, instr: InstrRef, addr: u64, is_write: bool) {
         let _ = (instr, addr, is_write);
     }
+    /// Watchdog hook: polled by the interpreter (throttled, every few
+    /// thousand dynamic instructions). Returning `true` aborts the run with
+    /// [`VmError::Aborted`]; everything the sink observed so far remains
+    /// valid, so profilers can finalize a partial result. The default never
+    /// aborts.
+    fn poll_abort(&mut self) -> bool {
+        false
+    }
 }
 
 /// A sink that ignores everything (un-instrumented execution).
@@ -69,6 +77,9 @@ pub enum VmError {
     StackOverflow,
     /// The program has no entry function.
     NoEntry,
+    /// The sink's [`EventSink::poll_abort`] watchdog requested an abort.
+    /// Events delivered before the abort are complete and consistent.
+    Aborted,
 }
 
 impl std::fmt::Display for VmError {
@@ -78,6 +89,7 @@ impl std::fmt::Display for VmError {
             VmError::Unreachable(b) => write!(f, "reached unreachable terminator in {b}"),
             VmError::StackOverflow => write!(f, "call stack overflow"),
             VmError::NoEntry => write!(f, "program has no entry function"),
+            VmError::Aborted => write!(f, "run aborted by sink watchdog"),
         }
     }
 }
@@ -282,6 +294,11 @@ impl<'p> Vm<'p> {
                 }
                 fuel -= 1;
                 executed += 1;
+                // Throttled watchdog poll: one virtual call per 4096 dynamic
+                // instructions keeps the hook invisible in steady state.
+                if executed & 0xFFF == 0 && sink.poll_abort() {
+                    return Err(VmError::Aborted);
+                }
                 let iref = InstrRef {
                     block: here,
                     idx: idx as u32,

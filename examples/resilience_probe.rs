@@ -1,0 +1,33 @@
+//! CI resilience probe: profile one Rodinia workload under the fault plan
+//! in `POLYPROF_FAULT_PLAN` and write the degradation counters as JSON.
+//!
+//! The `resilience-gate` CI step runs this over a fixed seed matrix and
+//! uploads the `degradation_*.json` files as artifacts. An armed plan that
+//! leaves the run undegraded is a hard error — a gate that silently runs
+//! fault-free proves nothing.
+//!
+//! Usage: `resilience_probe [out.json]`
+
+use polyprof_core::{try_profile_with, ProfileConfig};
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "degradation_probe.json".into());
+    let plan = std::env::var("POLYPROF_FAULT_PLAN").unwrap_or_default();
+
+    let w = rodinia::pathfinder::build();
+    let cfg = ProfileConfig::new()
+        .with_fold_threads(3)
+        .with_chunk_events(256);
+    let report = try_profile_with(&w.program, &cfg).expect("resilience probe must complete");
+
+    let json = report.degradation_json();
+    std::fs::write(&out, &json).expect("write degradation json");
+    println!("plan `{plan}` -> {json}");
+
+    if !plan.trim().is_empty() && !report.degradation.is_degraded() {
+        eprintln!("error: fault plan armed but the run completed undegraded");
+        std::process::exit(1);
+    }
+}

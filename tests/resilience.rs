@@ -1,0 +1,267 @@
+//! Resilience gate: every injectable fault class must yield a *completed*
+//! report with its losses recorded in `Report::degradation`, never a hang,
+//! deadlock, or caller-visible panic. Budgeted runs must degrade to sound
+//! over-approximations (folded deps ⊇ exact serial deps), and an armed but
+//! never-firing fault plan must not perturb a single folded byte.
+//!
+//! The CI `resilience-gate` step runs this suite plus a
+//! `POLYPROF_FAULT_PLAN` seed matrix through the bench harness; the
+//! environment knob itself is exercised there (mutating the process
+//! environment here would race the other test threads).
+
+mod common;
+
+use common::{canon, stencil};
+use polyprof_core::polyfold::pipeline::{
+    fold_pipelined_supervised, fold_program_pipelined, PipelineConfig, ResilienceConfig,
+};
+use polyprof_core::polyfold::{self, FoldedDdg, FoldingSink};
+use polyprof_core::polyresist::{FaultPlan, FaultSite, ResourceBudget, RunDegradation};
+use polyprof_core::{profile_with, try_profile_with, ProfileConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn supervised_fold(
+    prog: &polyprof_core::polyir::Program,
+    k: usize,
+    res: &ResilienceConfig,
+) -> (FoldedDdg, RunDegradation) {
+    let mut rec = polyprof_core::polycfg::StructureRecorder::new();
+    polyprof_core::polyvm::Vm::new(prog)
+        .run(&[], &mut rec)
+        .expect("pass 1");
+    let structure = polyprof_core::polycfg::StaticStructure::analyze(prog, rec);
+    let cfg = PipelineConfig {
+        fold_threads: k,
+        chunk_events: 64,
+        ..Default::default()
+    };
+    let (ddg, _, _, deg) = fold_pipelined_supervised(prog, &structure, &cfg, None, None, res)
+        .expect("supervised fold must complete");
+    (ddg, deg)
+}
+
+/// Every fault class — a panic in each of the three stage kinds, a chunk
+/// stall, a chunk drop, a shadow allocation failure, and a malformed chunk —
+/// completes end to end through `profile_with` with a populated degradation
+/// record.
+#[test]
+fn every_fault_class_completes_with_degradation() {
+    let prog = stencil(10, 3);
+    for site in FaultSite::ALL {
+        let cfg = ProfileConfig::new()
+            .with_fold_threads(3)
+            .with_chunk_events(64)
+            .with_fault_plan(Arc::new(FaultPlan::single(site, 1)));
+        let r = profile_with(&prog, &cfg);
+        let deg = &r.degradation;
+        assert!(
+            deg.faults_injected >= 1,
+            "{}: fault never fired: {deg:?}",
+            site.name()
+        );
+        assert!(deg.is_degraded(), "{}: {deg:?}", site.name());
+        match site {
+            // Pre/resolve panics fail the attempt; the retry succeeds.
+            FaultSite::PanicPre | FaultSite::PanicResolve => {
+                assert!(deg.stage_retries >= 1, "{}: {deg:?}", site.name())
+            }
+            // A worker panic is salvaged: the shard is lost, not the run.
+            FaultSite::PanicFold => {
+                assert_eq!(deg.missing_shards.len(), 1, "{}: {deg:?}", site.name())
+            }
+            FaultSite::StallSend => {
+                assert_eq!(deg.stalled_sends, 1, "{}: {deg:?}", site.name())
+            }
+            FaultSite::DropSend => {
+                assert!(deg.dropped_chunks >= 1, "{}: {deg:?}", site.name())
+            }
+            FaultSite::AllocShadow => {
+                assert_eq!(deg.shadow_alloc_failures, 1, "{}: {deg:?}", site.name());
+                assert!(deg.unresolved_accesses >= 1, "{}: {deg:?}", site.name());
+            }
+            FaultSite::MalformedChunk => {
+                assert_eq!(deg.malformed_chunks, 1, "{}: {deg:?}", site.name())
+            }
+        }
+    }
+}
+
+/// A stall delays but loses nothing: the folded output must be
+/// byte-identical to the fault-free pipeline.
+#[test]
+fn stalled_send_is_lossless() {
+    let prog = stencil(9, 2);
+    let clean = {
+        let cfg = PipelineConfig {
+            fold_threads: 2,
+            chunk_events: 64,
+            ..Default::default()
+        };
+        fold_program_pipelined(&prog, &cfg).0
+    };
+    let res = ResilienceConfig {
+        faults: Some(Arc::new(
+            FaultPlan::parse("stall:send@2;stall_ms=5").unwrap(),
+        )),
+        ..Default::default()
+    };
+    let (ddg, deg) = supervised_fold(&prog, 2, &res);
+    assert_eq!(deg.stalled_sends, 1);
+    assert_eq!(canon(&clean), canon(&ddg), "a stall must not lose events");
+}
+
+/// An armed plan whose occurrence index is never reached must not perturb
+/// one folded byte — probing is observation, not interference.
+#[test]
+fn armed_but_unfired_plan_is_byte_identical() {
+    let prog = stencil(10, 3);
+    let clean = {
+        let cfg = PipelineConfig {
+            fold_threads: 3,
+            chunk_events: 64,
+            ..Default::default()
+        };
+        fold_program_pipelined(&prog, &cfg).0
+    };
+    let res = ResilienceConfig {
+        faults: Some(Arc::new(
+            FaultPlan::parse("panic:fold@999999999;drop:send@999999999").unwrap(),
+        )),
+        ..Default::default()
+    };
+    let (ddg, deg) = supervised_fold(&prog, 3, &res);
+    assert_eq!(deg.faults_injected, 0);
+    assert!(!deg.is_degraded(), "{deg:?}");
+    assert_eq!(canon(&clean), canon(&ddg));
+}
+
+/// A fault that fires on *every* occurrence defeats bounded retry; the run
+/// falls back to the serial path and still produces the full exact report.
+#[test]
+fn persistent_fault_falls_back_to_full_serial_report() {
+    let prog = stencil(10, 3);
+    let serial = profile_with(&prog, &ProfileConfig::new());
+    let cfg = ProfileConfig::new()
+        .with_fold_threads(3)
+        .with_chunk_events(64)
+        .with_max_retries(1)
+        .with_fault_plan(Arc::new(FaultPlan::always(FaultSite::PanicPre)));
+    let r = profile_with(&prog, &cfg);
+    assert!(r.degradation.fell_back_serial, "{:?}", r.degradation);
+    assert_eq!(r.degradation.stage_retries, 1);
+    assert_eq!(r.folded_stats, serial.folded_stats, "fallback is lossless");
+    assert_eq!(r.scev_removed, serial.scev_removed);
+    assert_eq!(r.annotated_ast, serial.annotated_ast);
+    assert!(
+        r.full_text.contains("resilience & degradation"),
+        "degraded runs must report their losses"
+    );
+}
+
+/// A Rodinia workload under a memory budget so tight the first allocation
+/// latches pressure: the run completes, statements are folded in
+/// over-approximation mode, and every folded dependence domain *contains*
+/// the exact serial one (superset soundness — degradation may lose
+/// precision, never dependences).
+#[test]
+fn rodinia_tight_budget_overapproximates_soundly() {
+    let w = rodinia::pathfinder::build();
+
+    // Exact reference.
+    let (exact, _, structure) = polyfold::fold_program(&w.program);
+
+    // Budgeted run through the serial core path.
+    let budget = Arc::new(ResourceBudget::new(Some(1), None));
+    let mut sink = FoldingSink::new();
+    sink.set_budget(Arc::clone(&budget));
+    let mut prof = polyprof_core::polyddg::DdgProfiler::new(&w.program, &structure, sink);
+    polyprof_core::polyvm::Vm::new(&w.program)
+        .run(&[], &mut prof)
+        .expect("pass 2");
+    let (sink, interner) = prof.finish();
+    assert!(sink.fold_stats().budget_degraded > 0);
+    let coarse = sink.finalize(&w.program, &interner);
+
+    assert!(budget.under_pressure());
+    assert!(coarse.overapprox_stmts() > 0);
+    assert_eq!(coarse.n_stmts(), exact.n_stmts());
+    assert_eq!(coarse.total_ops, exact.total_ops);
+    assert_eq!(coarse.deps.len(), exact.deps.len());
+    for (c, e) in coarse.deps.iter().zip(exact.deps.iter()) {
+        assert_eq!(
+            (c.kind, c.src, c.dst, c.class),
+            (e.kind, e.src, e.dst, e.class)
+        );
+        assert_eq!(c.domain.count, e.domain.count);
+        for k in 0..c.domain.dim {
+            assert!(c.domain.box_lo[k] <= e.domain.box_lo[k], "superset lb");
+            assert!(c.domain.box_hi[k] >= e.domain.box_hi[k], "superset ub");
+        }
+    }
+
+    // The same budget through the public config surfaces the degradation.
+    let r = profile_with(&w.program, &ProfileConfig::new().with_memory_budget(1));
+    assert!(r.degradation.budget_pressure, "{:?}", r.degradation);
+    assert!(r.degradation.budget_overapprox_stmts > 0);
+    assert!(r.degradation.peak_tracked_bytes > 0);
+    assert!(r.full_text.contains("resilience & degradation"));
+}
+
+/// An already-expired watchdog deadline still yields a completed report —
+/// the producer stops at the first throttled poll (every 4096 dynamic
+/// instructions, so the workload must be big enough to reach one), and the
+/// partial-but-valid DDG flows through scheduling and feedback without
+/// panicking.
+#[test]
+fn expired_deadline_finalizes_partial_report() {
+    let prog = stencil(64, 8);
+    for threads in [1usize, 3] {
+        let cfg = ProfileConfig::new()
+            .with_fold_threads(threads)
+            .with_deadline(Duration::ZERO);
+        let r = try_profile_with(&prog, &cfg).expect("deadline is graceful, not fatal");
+        assert!(r.degradation.deadline_hit, "threads={threads}");
+        assert!(r.degradation.is_degraded());
+        let full = profile_with(&prog, &ProfileConfig::new().with_fold_threads(threads));
+        assert!(
+            r.folded_stats.2 <= full.folded_stats.2,
+            "partial run cannot observe more ops than the full one"
+        );
+    }
+}
+
+/// A generous budget and far-future deadline change nothing: the report
+/// matches the unbudgeted run and the degradation record stays clean except
+/// for the tracked peak.
+#[test]
+fn generous_budget_is_invisible() {
+    let prog = stencil(10, 3);
+    let plain = profile_with(&prog, &ProfileConfig::new());
+    let r = profile_with(
+        &prog,
+        &ProfileConfig::new()
+            .with_memory_budget(1 << 40)
+            .with_deadline(Duration::from_secs(3600)),
+    );
+    assert!(!r.degradation.budget_pressure);
+    assert!(!r.degradation.deadline_hit);
+    assert!(r.degradation.peak_tracked_bytes > 0, "budget was tracking");
+    assert_eq!(r.folded_stats, plain.folded_stats);
+    assert_eq!(r.annotated_ast, plain.annotated_ast);
+    assert!(!r.full_text.contains("resilience & degradation"));
+}
+
+/// The degradation JSON snapshot (what CI archives) carries the counters.
+#[test]
+fn degradation_json_reflects_the_run() {
+    let prog = stencil(9, 2);
+    let cfg = ProfileConfig::new()
+        .with_fold_threads(2)
+        .with_chunk_events(64)
+        .with_fault_plan(Arc::new(FaultPlan::single(FaultSite::DropSend, 1)));
+    let r = profile_with(&prog, &cfg);
+    let j = r.degradation_json();
+    assert!(j.contains("\"faults_injected\":1"), "{j}");
+    assert!(j.contains("\"dropped_chunks\":1"), "{j}");
+}
