@@ -25,6 +25,7 @@ fn run(prog: &polyir::Program, cfg: &Config) -> (f64, f64, usize) {
     let structure = polycfg::StaticStructure::analyze(prog, rec);
     let sink = FoldingSink::with_options(FoldOptions {
         split_classes: cfg.split_classes,
+        ..Default::default()
     });
     let mut prof = polyddg::DdgProfiler::new(prog, &structure, sink);
     polyvm::Vm::new(prog).run(&[], &mut prof).unwrap();

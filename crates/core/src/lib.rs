@@ -165,6 +165,21 @@ pub struct ProfileConfig {
     /// Failed supervised-pipeline attempts to retry before falling back to
     /// the serial path.
     pub max_retries: u32,
+    /// Let the run *measure* its way to an executor instead of trusting
+    /// `fold_threads`: a one-shot calibration (`polyfold::adaptive`)
+    /// compares per-chunk fold cost against channel handoff cost and picks
+    /// inline folding or K-shard pipelining. `fold_threads` then acts as
+    /// the shard count to use *if* pipelining wins (`<= 1` = auto-size from
+    /// the CPU count). The folded DDG is byte-identical either way; the
+    /// chosen shard count lands in the `adaptive_shards` counter.
+    pub adaptive: bool,
+    /// Verify already-fitted affine candidates with overflow-checked `i64`
+    /// dot products instead of exact rationals (falling back to the exact
+    /// path on overflow or a non-integral fit). On — the default — is
+    /// sample-for-sample equivalent to the rational path (the differential
+    /// suite proves it); the knob exists so benches can measure the gap and
+    /// tests can pin the equivalence.
+    pub fast_fit: bool,
 }
 
 impl Default for ProfileConfig {
@@ -179,6 +194,8 @@ impl Default for ProfileConfig {
             deadline: None,
             fault_plan: None,
             max_retries: 2,
+            adaptive: false,
+            fast_fit: true,
         }
     }
 }
@@ -243,6 +260,20 @@ impl ProfileConfig {
     /// Set the supervised-pipeline retry bound.
     pub fn with_max_retries(mut self, n: u32) -> Self {
         self.max_retries = n;
+        self
+    }
+
+    /// Let a calibration pass choose between inline folding and K-shard
+    /// pipelining at runtime (see [`ProfileConfig::adaptive`]).
+    pub fn with_adaptive(mut self, on: bool) -> Self {
+        self.adaptive = on;
+        self
+    }
+
+    /// Toggle the integer fast-path fit verifier (see
+    /// [`ProfileConfig::fast_fit`]; on by default).
+    pub fn with_fast_fit(mut self, on: bool) -> Self {
+        self.fast_fit = on;
         self
     }
 }
@@ -320,15 +351,34 @@ pub fn try_profile_with(prog: &Program, cfg: &ProfileConfig) -> Result<Report, P
         .static_prune
         .then(|| summary.as_ref().expect("summary computed").prune_mask());
 
+    // Folding options shared by every executor this run may pick.
+    let fold_options = polyfold::FoldOptions {
+        fast_fit: cfg.fast_fit,
+        ..Default::default()
+    };
+
+    // Adaptive executor: calibrate fold cost against chunk handoff cost and
+    // resolve the effective shard count *before* the run — the output is
+    // byte-identical either way, so the decision only trades wall-clock.
+    let fold_threads = if cfg.adaptive {
+        let d = polyfold::adaptive::decide(cfg.fold_threads, cfg.chunk_events, fold_options);
+        if let Some((c, _)) = &trace {
+            c.add(Counter::AdaptiveShards, d.fold_threads as u64);
+        }
+        d.fold_threads
+    } else {
+        cfg.fold_threads
+    };
+
     // Pass 2: DDG streaming into the folding sink — serial in-line, or the
     // supervised staged pipeline when more than one folding thread (or a
     // fault plan, whose injection sites live in the pipeline stages) is
     // requested.
     let mut degradation = RunDegradation::default();
-    let (mut ddg, interner, pruned_events) = if cfg.fold_threads <= 1 && fault_plan.is_none() {
+    let (mut ddg, interner, pruned_events) = if fold_threads <= 1 && fault_plan.is_none() {
         let (sink, interner, pruned_events) = {
             let _span = trace.as_ref().map(|(c, _)| c.span(Stage::Profile));
-            let mut out = polyfold::FoldingSink::new();
+            let mut out = polyfold::FoldingSink::with_options(fold_options);
             if let Some(b) = &budget {
                 out.set_budget(Arc::clone(b));
             }
@@ -372,8 +422,7 @@ pub fn try_profile_with(prog: &Program, cfg: &ProfileConfig) -> Result<Report, P
             let fs = sink.fold_stats();
             c.add(Counter::EventsFolded, fs.events_folded);
             c.add(Counter::DepsFolded, fs.deps_folded);
-            c.add(Counter::DepMruHit, fs.dep_mru_hits);
-            c.add(Counter::DepMruMiss, fs.dep_mru_misses);
+            c.add(Counter::ChunksFolded, fs.chunks_folded);
         }
         degradation.budget_overapprox_stmts = sink.fold_stats().budget_degraded;
         if let Some(b) = &budget {
@@ -400,8 +449,9 @@ pub fn try_profile_with(prog: &Program, cfg: &ProfileConfig) -> Result<Report, P
     } else {
         let _span = trace.as_ref().map(|(c, _)| c.span(Stage::Profile));
         let pcfg = polyfold::pipeline::PipelineConfig {
-            fold_threads: cfg.fold_threads,
+            fold_threads,
             chunk_events: cfg.chunk_events,
+            options: fold_options,
             ..Default::default()
         };
         let rcfg = polyfold::pipeline::ResilienceConfig {

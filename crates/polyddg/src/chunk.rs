@@ -219,7 +219,14 @@ impl EventChunk {
 
     /// Iterate the buffered events in push order.
     pub fn events(&self) -> impl Iterator<Item = EventRef<'_>> {
-        self.recs.iter().map(move |r| match *r {
+        (0..self.recs.len()).map(move |i| self.event_at(i))
+    }
+
+    /// Borrow one buffered event by index — the batched folding path groups
+    /// record indices by folding key and revisits them out of push order.
+    #[inline]
+    pub fn event_at(&self, i: usize) -> EventRef<'_> {
+        match self.recs[i] {
             Rec::Point {
                 stmt,
                 coords,
@@ -264,7 +271,7 @@ impl EventChunk {
                 addr,
                 is_write,
             },
-        })
+        }
     }
 
     /// Structural integrity check: every record's coordinate spans must lie
@@ -531,6 +538,9 @@ impl ChunkWriter {
         col.add(Counter::ChunkRecycled, stats.chunks_recycled);
         col.add(Counter::ChunkFresh, stats.chunks_fresh);
         col.add(Counter::SendStallNs, stats.send_stall_ns);
+        // One sending thread per harvest: the per-thread stall mean divides
+        // the summed stall nanoseconds by this tally.
+        col.add(Counter::SendStallThreads, 1);
         col.add(Counter::DroppedChunks, stats.dropped_chunks);
         col.add(Counter::MalformedChunks, stats.malformed_sent);
     }

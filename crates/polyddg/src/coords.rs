@@ -72,9 +72,7 @@ impl CoordArena {
     /// Append a snapshot of `coords` and return its id.
     pub fn intern(&mut self, coords: &[i64]) -> CoordId {
         if let Some(b) = &self.budget {
-            b.charge(
-                (std::mem::size_of_val(coords) + std::mem::size_of::<(u32, u32)>()) as u64,
-            );
+            b.charge((std::mem::size_of_val(coords) + std::mem::size_of::<(u32, u32)>()) as u64);
         }
         let start = self.storage.len() as u32;
         self.storage.extend_from_slice(coords);

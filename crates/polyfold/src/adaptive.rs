@@ -1,0 +1,219 @@
+//! Adaptive fold executor: pick inline folding or K-shard pipelining by
+//! *measuring*, not guessing.
+//!
+//! The staged pipeline (`pipeline.rs`) wins only when the folding work per
+//! chunk outweighs what the pipeline charges per chunk: a bounded-channel
+//! send/recv round-trip, a cache-cold replay of the chunk on another core,
+//! and its pool recycle. On small folds (or a 1-CPU box) those overheads
+//! made every pipelined K *slower* than the serial path. Rather than
+//! hard-coding a threshold that rots with the hardware, [`decide`] runs a
+//! one-shot calibration — fold a synthetic chunk in-thread, bounce the same
+//! chunk across a real `sync_channel` to another thread — and compares the
+//! two costs directly.
+//!
+//! The decision is made **once, before the run starts**. Switching K
+//! mid-run is deliberately not attempted: shard routing is keyed by
+//! statement id, and re-keying live folder state would break the
+//! disjoint-key invariant that makes [`FoldedDdg::merge_parts`] byte-exact.
+//! Whatever `decide` picks, the folded output is byte-identical — the knob
+//! only chooses which executor folds it (the parity suite pins this).
+//!
+//! [`FoldedDdg::merge_parts`]: crate::FoldedDdg::merge_parts
+
+use crate::{ChunkScratch, FoldOptions, FoldingSink};
+use polyddg::chunk::EventChunk;
+use polyiiv::context::StmtId;
+use std::sync::mpsc::sync_channel;
+use std::time::Instant;
+
+/// What the calibration measured and what it chose. Returned by [`decide`]
+/// so callers (and telemetry) can record *why* an executor was picked.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveDecision {
+    /// Chosen folding shard count: `1` means fold inline on the profiling
+    /// thread (serial executor), `k > 1` means the staged pipeline with `k`
+    /// folding workers.
+    pub fold_threads: usize,
+    /// Measured fold cost of one calibration chunk, in nanoseconds.
+    pub fold_ns_per_chunk: u64,
+    /// Measured channel round-trip + handoff cost per chunk, in nanoseconds.
+    pub chunk_overhead_ns: u64,
+    /// Logical CPUs the decision saw.
+    pub cpus: usize,
+}
+
+impl AdaptiveDecision {
+    /// True when the pipeline executor was selected.
+    pub fn pipelined(&self) -> bool {
+        self.fold_threads > 1
+    }
+}
+
+/// Number of events in the calibration chunk. Small enough that the whole
+/// calibration stays well under a millisecond, large enough to amortize the
+/// per-chunk sort in the batched folder.
+const CAL_EVENTS: usize = 512;
+
+/// Timed repetitions; the *minimum* over repetitions is used, which rejects
+/// scheduler noise better than the mean on a loaded box.
+const CAL_REPS: usize = 4;
+
+/// The pipeline must beat the handoff by this factor before it is chosen:
+/// the calibration chunk is folder-state-warm after rep 1, so the measured
+/// fold cost flatters the pipeline. The factor also absorbs the resolver
+/// thread the pipeline adds, which calibration does not model.
+const SAFETY_FACTOR: u64 = 2;
+
+/// Build a chunk with the hot-path event mix: per-statement points whose
+/// values follow an affine stream (the common folding case) plus a block of
+/// dependences between two statements.
+fn calibration_chunk() -> EventChunk {
+    let mut chunk = EventChunk::with_capacity(CAL_EVENTS);
+    let s0 = StmtId(0);
+    let s1 = StmtId(1);
+    let s2 = StmtId(2);
+    let n = CAL_EVENTS as i64;
+    for i in 0..n / 2 {
+        // Affine value stream: exercises the fit-and-verify fast path.
+        chunk.push_point(s0, &[i / 8, i % 8], Some(3 * i + 7));
+    }
+    for i in 0..n / 4 {
+        chunk.push_access(s1, &[i], (0x1000 + 8 * i) as u64, i % 2 == 0);
+    }
+    for i in 1..n / 4 {
+        chunk.push_dep(polyddg::DepKind::Flow, s1, &[i - 1], s2, &[i]);
+    }
+    chunk
+}
+
+/// Fold the calibration chunk `CAL_REPS` times through a fresh sink and
+/// return the cheapest repetition, in nanoseconds.
+fn measure_fold_ns(options: FoldOptions) -> u64 {
+    let chunk = calibration_chunk();
+    let mut sink = FoldingSink::with_options(options);
+    let mut scratch = ChunkScratch::default();
+    let mut best = u64::MAX;
+    for _ in 0..CAL_REPS {
+        let t0 = Instant::now();
+        sink.fold_chunk(&chunk, &mut scratch);
+        best = best.min(t0.elapsed().as_nanos() as u64);
+    }
+    best
+}
+
+/// Bounce the calibration chunk through a real bounded channel to another
+/// thread and back, mirroring the pipeline's send → recv → recycle edge.
+/// Returns the cheapest per-round-trip cost, in nanoseconds.
+fn measure_overhead_ns() -> u64 {
+    let (tx, rx) = sync_channel::<EventChunk>(2);
+    let (back_tx, back_rx) = sync_channel::<EventChunk>(2);
+    let echo = std::thread::spawn(move || {
+        while let Ok(chunk) = rx.recv() {
+            if back_tx.send(chunk).is_err() {
+                break;
+            }
+        }
+    });
+    let mut chunk = calibration_chunk();
+    let mut best = u64::MAX;
+    for _ in 0..CAL_REPS {
+        let t0 = Instant::now();
+        tx.send(std::mem::take(&mut chunk)).expect("echo alive");
+        chunk = back_rx.recv().expect("echo alive");
+        best = best.min(t0.elapsed().as_nanos() as u64);
+    }
+    drop(tx);
+    let _ = echo.join();
+    best
+}
+
+/// Calibrate and choose the fold executor.
+///
+/// * `requested_k` — the shard count to use *if* pipelining pays off.
+///   Values `<= 1` mean "pick one for me" (CPU count, capped at 8, minus
+///   the two stage threads).
+/// * `chunk_events` — the run's batching granularity; the measured costs
+///   are scaled to it so a run with tiny chunks sees the per-chunk
+///   overhead loom proportionally larger.
+/// * `options` — folding options for the calibration sink (must match the
+///   run so the fast-path knob is reflected in the measurement).
+///
+/// On a single-CPU machine this short-circuits to the inline executor
+/// without measuring anything: extra threads cannot add throughput there.
+pub fn decide(requested_k: usize, chunk_events: usize, options: FoldOptions) -> AdaptiveDecision {
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if cpus < 2 {
+        return AdaptiveDecision {
+            fold_threads: 1,
+            fold_ns_per_chunk: 0,
+            chunk_overhead_ns: 0,
+            cpus,
+        };
+    }
+
+    let fold_ns = measure_fold_ns(options);
+    let overhead_ns = measure_overhead_ns();
+
+    // Scale the measured fold cost from the calibration chunk to the run's
+    // actual chunk size; the handoff cost is per chunk regardless of size.
+    let scaled_fold_ns = fold_ns.saturating_mul(chunk_events.max(1) as u64) / CAL_EVENTS as u64;
+
+    let pipelined = scaled_fold_ns > overhead_ns.saturating_mul(SAFETY_FACTOR);
+    let fold_threads = if pipelined {
+        if requested_k > 1 {
+            requested_k
+        } else {
+            // Leave headroom for the producer and resolver stage threads.
+            cpus.saturating_sub(2).clamp(2, 8)
+        }
+    } else {
+        1
+    };
+    AdaptiveDecision {
+        fold_threads,
+        fold_ns_per_chunk: scaled_fold_ns,
+        chunk_overhead_ns: overhead_ns,
+        cpus,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The decision is structurally valid whatever the hardware: inline on
+    /// one CPU, and any pipelined choice keeps K within the configured cap.
+    #[test]
+    fn decision_is_well_formed() {
+        let d = decide(0, 4096, FoldOptions::default());
+        assert!(d.fold_threads >= 1);
+        assert!(d.fold_threads <= 8.max(d.cpus));
+        if d.cpus < 2 {
+            assert_eq!(d.fold_threads, 1, "single CPU must fold inline");
+        }
+    }
+
+    /// An explicit K is honored verbatim when the pipeline is chosen.
+    #[test]
+    fn requested_k_is_respected_when_pipelined() {
+        let d = decide(3, 4096, FoldOptions::default());
+        if d.pipelined() {
+            assert_eq!(d.fold_threads, 3);
+        } else {
+            assert_eq!(d.fold_threads, 1);
+        }
+    }
+
+    /// Calibration folds real events — the measured cost must be nonzero on
+    /// a multi-CPU box (on 1 CPU the short-circuit reports zeros).
+    #[test]
+    fn calibration_measures_when_it_runs() {
+        let d = decide(2, 4096, FoldOptions::default());
+        if d.cpus >= 2 {
+            assert!(d.fold_ns_per_chunk > 0);
+            assert!(d.chunk_overhead_ns > 0);
+        }
+    }
+}

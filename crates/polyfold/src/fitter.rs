@@ -3,13 +3,19 @@
 //!
 //! A stream of `(point, value)` samples is summarized as an affine function
 //! when one exists: the first affinely-independent samples *fix* a candidate
-//! (exact rational solve), every further sample *verifies* it. A
-//! contradiction triggers a refit with all retained samples; once the fit is
-//! uniquely determined, retained samples are dropped and any contradiction
-//! is final. Failure degrades to a `[min, max]` range — the paper's
-//! over-approximation, never a wrong answer.
+//! (exact rational solve, maintained incrementally as a cached RREF), every
+//! further sample *verifies* it. A contradiction triggers an incremental
+//! refit; once the fit is uniquely determined, the cached system is dropped
+//! and any contradiction is final. Failure degrades to a `[min, max]` range
+//! — the paper's over-approximation, never a wrong answer.
+//!
+//! Verification is the hot path (one call per folded event per fitter), so
+//! once a candidate is integral with `i64`-sized coefficients it is cached
+//! as a plain integer dot product checked with overflow-aware arithmetic;
+//! overflow falls back to the exact rational evaluation, so the fast path is
+//! sample-for-sample equivalent to the rational one.
 
-use polylib::linsolve::fit_affine;
+use polylib::linsolve::IncrementalFit;
 use polylib::rat::Rat;
 
 /// An affine function with rational coefficients.
@@ -87,43 +93,39 @@ impl RatAffine {
     }
 }
 
-/// Rank of the affine sample matrix `[x | 1]` (rows = samples).
-#[allow(clippy::needless_range_loop)] // elimination reads one row while mutating another
-fn affine_rank(samples: &[(Vec<i64>, i64)], dim: usize) -> usize {
-    let cols = dim + 1;
-    let mut m: Vec<Vec<Rat>> = samples
-        .iter()
-        .map(|(p, _)| {
-            let mut r: Vec<Rat> = p.iter().map(|&v| Rat::int(v as i128)).collect();
-            r.push(Rat::ONE);
-            r
-        })
-        .collect();
-    let mut rank = 0usize;
-    for col in 0..cols {
-        let Some(p) = (rank..m.len()).find(|&r| m[r][col] != Rat::ZERO) else {
-            continue;
-        };
-        m.swap(rank, p);
-        let inv = Rat::ONE / m[rank][col];
-        for v in m[rank].iter_mut() {
-            *v = *v * inv;
+/// Integer mirror of an integral [`RatAffine`]: verification becomes one
+/// overflow-checked `i64` dot product with no `Rat` normalization.
+#[derive(Debug, Clone)]
+struct FastAffine {
+    coeffs: Vec<i64>,
+    c: i64,
+}
+
+impl FastAffine {
+    /// Cacheable iff every coefficient and the constant are `i64` integers.
+    fn from_rat(f: &RatAffine) -> Option<FastAffine> {
+        if !f.is_integral() {
+            return None;
         }
-        for r in 0..m.len() {
-            if r != rank && m[r][col] != Rat::ZERO {
-                let f = m[r][col];
-                for cc in 0..cols {
-                    let s = m[rank][cc] * f;
-                    m[r][cc] = m[r][cc] - s;
-                }
-            }
-        }
-        rank += 1;
-        if rank == m.len() {
-            break;
-        }
+        let c = i64::try_from(f.c.num()).ok()?;
+        let coeffs = f
+            .coeffs
+            .iter()
+            .map(|a| i64::try_from(a.num()).ok())
+            .collect::<Option<Vec<i64>>>()?;
+        Some(FastAffine { coeffs, c })
     }
-    rank
+
+    /// `c + coeffs · x`, or `None` on overflow (caller falls back to the
+    /// exact rational evaluation).
+    #[inline]
+    fn eval_checked(&self, x: &[i64]) -> Option<i64> {
+        let mut acc = self.c;
+        for (&a, &v) in self.coeffs.iter().zip(x) {
+            acc = acc.checked_add(a.checked_mul(v)?)?;
+        }
+        Some(acc)
+    }
 }
 
 /// Final classification of a folded scalar stream.
@@ -149,8 +151,17 @@ const MAX_SAMPLES: usize = 512;
 #[derive(Debug, Clone)]
 pub struct OnlineAffineFitter {
     dim: usize,
-    samples: Vec<(Vec<i64>, i64)>,
+    /// Cached RREF of the samples that fixed the current candidate (the
+    /// first sample plus every contradiction) — a refit is one incremental
+    /// row reduction, not a from-scratch elimination.
+    sys: IncrementalFit,
+    /// Rows fed into `sys` (mirrors the retained-sample cap).
+    retained: usize,
     fit: Option<RatAffine>,
+    /// Integer mirror of `fit` when integral and `i64`-sized.
+    fast: Option<FastAffine>,
+    /// False forces rational-only verification (differential baseline).
+    fast_enabled: bool,
     unique: bool,
     failed: bool,
     vmin: i64,
@@ -159,12 +170,22 @@ pub struct OnlineAffineFitter {
 }
 
 impl OnlineAffineFitter {
-    /// Fitter over `dim`-dimensional points.
+    /// Fitter over `dim`-dimensional points (integer fast path enabled).
     pub fn new(dim: usize) -> Self {
+        Self::with_fast(dim, true)
+    }
+
+    /// Fitter with the integer verification fast path explicitly enabled or
+    /// disabled — `with_fast(dim, false)` is the pure-rational reference the
+    /// differential tests and benchmarks compare against.
+    pub fn with_fast(dim: usize, fast_enabled: bool) -> Self {
         OnlineAffineFitter {
             dim,
-            samples: Vec::new(),
+            sys: IncrementalFit::new(dim),
+            retained: 0,
             fit: None,
+            fast: None,
+            fast_enabled,
             unique: false,
             failed: false,
             vmin: i64::MAX,
@@ -193,8 +214,16 @@ impl OnlineAffineFitter {
             return;
         }
         if let Some(f) = &self.fit {
-            if f.eval(x) == Rat::int(v as i128) {
-                return; // verified
+            let verified = match &self.fast {
+                Some(fa) if self.fast_enabled => match fa.eval_checked(x) {
+                    Some(sum) => sum == v,
+                    // Overflow: fall back to the exact rational path.
+                    None => f.eval(x) == Rat::int(v as i128),
+                },
+                _ => f.eval(x) == Rat::int(v as i128),
+            };
+            if verified {
+                return;
             }
             if self.unique {
                 // A uniquely-determined fit was contradicted: non-affine.
@@ -202,26 +231,26 @@ impl OnlineAffineFitter {
                 return;
             }
         }
-        // (Re)fit with retained samples plus this one.
-        self.samples.push((x.to_vec(), v));
-        if self.samples.len() > MAX_SAMPLES {
+        // (Re)fit: reduce this sample into the cached system.
+        self.retained += 1;
+        if self.retained > MAX_SAMPLES {
             self.failed = true;
-            self.samples.clear();
+            self.sys.clear();
             return;
         }
-        match fit_affine(&self.samples) {
-            Some((coeffs, c)) => {
-                self.unique = affine_rank(&self.samples, self.dim) == self.dim + 1;
-                self.fit = Some(RatAffine { coeffs, c });
-                if self.unique {
-                    self.samples.clear();
-                    self.samples.shrink_to_fit();
-                }
+        if self.sys.push(x, v) {
+            let (coeffs, c) = self.sys.solution().expect("consistent system");
+            self.unique = self.sys.rank() == self.dim + 1;
+            let fit = RatAffine { coeffs, c };
+            self.fast = FastAffine::from_rat(&fit);
+            self.fit = Some(fit);
+            if self.unique {
+                // Contradictions are final from here on: free the system.
+                self.sys.clear();
             }
-            None => {
-                self.failed = true;
-                self.samples.clear();
-            }
+        } else {
+            self.failed = true;
+            self.sys.clear();
         }
     }
 
@@ -392,5 +421,74 @@ mod tests {
             c: Rat::int(-1),
         };
         assert_eq!(a.display(&["cj", "ck", "cl"]), "cj - cl - 1");
+    }
+
+    /// The i64 fast path and the pure-rational reference agree sample for
+    /// sample on an affine stream with a mid-stream contradiction.
+    #[test]
+    fn fast_path_matches_rat_only() {
+        let mut fast = OnlineAffineFitter::new(2);
+        let mut slow = OnlineAffineFitter::with_fast(2, false);
+        for i in 0..6 {
+            for j in 0..6 {
+                let v = if i == 5 && j == 3 { 999 } else { 4 * i - j + 2 };
+                fast.push(&[i, j], v);
+                slow.push(&[i, j], v);
+            }
+        }
+        assert_eq!(fast.result(), slow.result());
+        assert_eq!(fast.range(), slow.range());
+    }
+
+    /// Values near i64::MAX force the checked dot product to overflow; the
+    /// fitter must fall back to exact rational evaluation and still verify.
+    #[test]
+    fn overflow_falls_back_to_rational() {
+        let big = i64::MAX / 2;
+        let mut fast = OnlineAffineFitter::new(1);
+        let mut slow = OnlineAffineFitter::with_fast(1, false);
+        // v = big * x: coefficient fits i64, but big * 3 overflows.
+        for x in [0i64, 1, 2, 3, 4] {
+            let v = big.wrapping_mul(x);
+            fast.push(&[x], v);
+            slow.push(&[x], v);
+        }
+        assert_eq!(fast.result(), slow.result());
+        // big * 3 wraps negative, so the stream is NOT affine: both must
+        // have degraded identically, not silently accepted wrapped values.
+        assert!(matches!(fast.result(), FitResult::Range { .. }));
+    }
+
+    /// An overflow-free huge-coefficient stream stays affine on both paths.
+    #[test]
+    fn overflow_fallback_verifies_true_affine() {
+        let big = i64::MAX / 8;
+        let mut fast = OnlineAffineFitter::new(1);
+        let mut slow = OnlineAffineFitter::with_fast(1, false);
+        for x in 0i64..6 {
+            // Exact in i128 but the checked i64 product overflows at x >= 8
+            // only — keep x small so values stay representable while the
+            // accumulated products exercise large magnitudes.
+            let v = big * x;
+            fast.push(&[x], v);
+            slow.push(&[x], v);
+        }
+        assert_eq!(fast.result(), slow.result());
+        assert!(matches!(fast.result(), FitResult::Affine(_)));
+    }
+
+    /// Rational (non-integral) fits never build a fast mirror; verification
+    /// stays on the exact path and still works.
+    #[test]
+    fn rational_fit_has_no_fast_mirror() {
+        let mut f = OnlineAffineFitter::new(1);
+        for i in (0..20).step_by(2) {
+            f.push(&[i], i / 2);
+        }
+        assert!(f.fast.is_none(), "half-integer slope must not cache i64");
+        let FitResult::Affine(a) = f.result() else {
+            panic!();
+        };
+        assert_eq!(a.coeffs, vec![Rat::new(1, 2)]);
     }
 }

@@ -15,6 +15,7 @@
 //! * the Table 1 / Table 2 textual rendering of dependence streams and
 //!   folded dependence relations.
 
+pub mod adaptive;
 pub mod fitter;
 pub mod pipeline;
 pub mod stream;
@@ -250,12 +251,19 @@ pub struct FoldOptions {
     /// relation, which over-approximates piecewise-affine dependences — the
     /// ablation shows how much parallelism that costs.
     pub split_classes: bool,
+    /// Verify fixed affine candidates with overflow-checked `i64`
+    /// arithmetic, falling back to exact rationals on overflow. Disabling it
+    /// forces the pure-rational verification path everywhere — the
+    /// pre-optimization reference the differential tests and the
+    /// with-folding benchmark baseline use.
+    pub fast_fit: bool,
 }
 
 impl Default for FoldOptions {
     fn default() -> Self {
         FoldOptions {
             split_classes: true,
+            fast_fit: true,
         }
     }
 }
@@ -266,9 +274,10 @@ impl Default for FoldOptions {
 /// Statement ids are dense (handed out in order by the interner), so
 /// per-statement folders live in flat vectors indexed by `StmtId` — the
 /// per-event folder lookup is an array index, not a hash probe. Dependence
-/// streams still key on `(kind, src, dst, class)`; an MRU cache in front of
-/// that table serves the common case of consecutive events hitting the same
-/// relation without hashing.
+/// streams key on `(kind, src, dst, class)`, resolved through a dense
+/// per-consumer table: slot `dst.0` holds the (few) relations targeting
+/// that statement, scanned linearly — no hashing, no MRU, and locality
+/// follows the consumer id the router already shards by.
 #[derive(Debug, Default)]
 pub struct FoldingSink {
     /// Statement folders, indexed by `StmtId::0`.
@@ -276,12 +285,11 @@ pub struct FoldingSink {
     /// Access folders (+ is_write), indexed by `StmtId::0`.
     accesses: Vec<Option<(StreamFolder, bool)>>,
     /// Dependence folders + per-dimension distance ranges, appended in
-    /// first-seen order; `dep_index` maps keys to slots.
+    /// first-seen order; `dep_slots` maps keys to slots.
     deps: Vec<DepEntry>,
-    dep_index: HashMap<DepKey, u32>,
-    /// Last dependence key resolved (consecutive events overwhelmingly hit
-    /// the same relation).
-    dep_mru: Option<(DepKey, u32)>,
+    /// Per-consumer dependence table, indexed by `dst.0`: each entry is
+    /// `(kind, src, class, slot)` for one relation targeting that consumer.
+    dep_slots: Vec<Vec<(DepKind, StmtId, u8, u32)>>,
     total_ops: u64,
     options: FoldOptions,
     stats: FoldStats,
@@ -299,10 +307,8 @@ pub struct FoldStats {
     pub events_folded: u64,
     /// Dependence events consumed (subset of `events_folded`).
     pub deps_folded: u64,
-    /// Dependence-MRU hits; hits + misses == `deps_folded`.
-    pub dep_mru_hits: u64,
-    /// Dependence-MRU misses (hash probe taken).
-    pub dep_mru_misses: u64,
+    /// Whole event chunks folded through the batched path.
+    pub chunks_folded: u64,
     /// Folders switched to coarse (box + count) folding under budget
     /// pressure.
     pub budget_degraded: u64,
@@ -313,8 +319,7 @@ impl FoldStats {
     pub fn merge(&mut self, other: &FoldStats) {
         self.events_folded += other.events_folded;
         self.deps_folded += other.deps_folded;
-        self.dep_mru_hits += other.dep_mru_hits;
-        self.dep_mru_misses += other.dep_mru_misses;
+        self.chunks_folded += other.chunks_folded;
         self.budget_degraded += other.budget_degraded;
     }
 }
@@ -487,16 +492,185 @@ impl FoldingSink {
     }
 }
 
+/// Reusable scratch buffers for [`FoldingSink::fold_chunk`] — one per
+/// folding worker, so the per-chunk grouping never allocates in steady
+/// state.
+#[derive(Debug, Default)]
+pub struct ChunkScratch {
+    /// `(group key, record index)` pairs, sorted stably per chunk.
+    keys: Vec<(u64, u32)>,
+}
+
+/// Group-key tags: the low 2 bits of a key select the folder family, the
+/// high bits carry the statement (or consumer) id.
+const TAG_POINT: u64 = 0;
+const TAG_ACCESS: u64 = 1;
+const TAG_DEP: u64 = 2;
+
+impl FoldingSink {
+    /// Fold a whole fully-resolved chunk, batched: records are grouped by
+    /// folding key (statement for points/accesses, consumer for
+    /// dependences) with a stable sort, so folder state is located and
+    /// borrowed once per (key, chunk) instead of once per event. Within a
+    /// key the original event order is preserved, and keys never share
+    /// folder state, so the folded result is byte-identical to
+    /// [`EventChunk::replay_into`](polyddg::chunk::EventChunk::replay_into).
+    ///
+    /// Budgeted sinks fall back to in-order replay: budget degradation
+    /// latches per *event-arrival* order, which grouping would perturb.
+    pub fn fold_chunk(&mut self, chunk: &polyddg::chunk::EventChunk, scratch: &mut ChunkScratch) {
+        use polyddg::chunk::EventRef;
+        if self.budget.is_some() {
+            chunk.replay_into(self);
+            return;
+        }
+        self.stats.chunks_folded += 1;
+        let keys = &mut scratch.keys;
+        keys.clear();
+        keys.reserve(chunk.len());
+        for (i, ev) in chunk.events().enumerate() {
+            let key = match ev {
+                EventRef::Point { stmt, .. } => ((stmt.0 as u64) << 2) | TAG_POINT,
+                EventRef::Access { stmt, .. } => ((stmt.0 as u64) << 2) | TAG_ACCESS,
+                EventRef::Dep { dst, .. } => ((dst.0 as u64) << 2) | TAG_DEP,
+                EventRef::MemPre { .. } => {
+                    unreachable!("unresolved memory event reached a folding shard")
+                }
+            };
+            keys.push((key, i as u32));
+        }
+        // Stable: events of one key keep their serial order.
+        keys.sort_by_key(|&(k, _)| k);
+        let fast_fit = self.options.fast_fit;
+        let mut pos = 0;
+        while pos < keys.len() {
+            let key = keys[pos].0;
+            let end = pos + keys[pos..].iter().take_while(|e| e.0 == key).count();
+            let group = &keys[pos..end];
+            match key & 3 {
+                TAG_POINT => {
+                    let stmt = StmtId((key >> 2) as u32);
+                    let EventRef::Point { coords, .. } = chunk.event_at(group[0].1 as usize) else {
+                        unreachable!()
+                    };
+                    let dim = coords.len();
+                    let folder = Self::stmt_slot(&mut self.stmts, stmt)
+                        .get_or_insert_with(|| StreamFolder::with_fast_fit(dim, fast_fit));
+                    self.total_ops += group.len() as u64;
+                    self.stats.events_folded += group.len() as u64;
+                    for &(_, i) in group {
+                        let EventRef::Point { coords, value, .. } = chunk.event_at(i as usize)
+                        else {
+                            unreachable!()
+                        };
+                        match value {
+                            Some(v) => folder.push(coords, Some(&[v])),
+                            None => folder.push(coords, None),
+                        }
+                    }
+                }
+                TAG_ACCESS => {
+                    let stmt = StmtId((key >> 2) as u32);
+                    let EventRef::Access {
+                        coords, is_write, ..
+                    } = chunk.event_at(group[0].1 as usize)
+                    else {
+                        unreachable!()
+                    };
+                    let dim = coords.len();
+                    let (folder, _) =
+                        Self::stmt_slot(&mut self.accesses, stmt).get_or_insert_with(|| {
+                            (StreamFolder::with_fast_fit(dim, fast_fit), is_write)
+                        });
+                    self.stats.events_folded += group.len() as u64;
+                    for &(_, i) in group {
+                        let EventRef::Access { coords, addr, .. } = chunk.event_at(i as usize)
+                        else {
+                            unreachable!()
+                        };
+                        folder.push(coords, Some(&[addr as i64]));
+                    }
+                }
+                _ => {
+                    let dst = StmtId((key >> 2) as u32);
+                    let idx = dst.0 as usize;
+                    if idx >= self.dep_slots.len() {
+                        self.dep_slots.resize_with(idx + 1, Vec::new);
+                    }
+                    self.stats.events_folded += group.len() as u64;
+                    self.stats.deps_folded += group.len() as u64;
+                    // Group-local MRU: consecutive events of one consumer
+                    // overwhelmingly repeat the same (kind, src, class).
+                    let mut last: Option<(DepKind, StmtId, u8, u32)> = None;
+                    for &(_, i) in group {
+                        let EventRef::Dep {
+                            kind,
+                            src,
+                            src_coords,
+                            dst_coords,
+                            ..
+                        } = chunk.event_at(i as usize)
+                        else {
+                            unreachable!()
+                        };
+                        let common = src_coords.len().min(dst_coords.len());
+                        let class = if self.options.split_classes {
+                            (0..common)
+                                .find(|&i| src_coords[i] != dst_coords[i])
+                                .map(|i| i as u8)
+                                .unwrap_or(CLASS_NONE)
+                        } else {
+                            0
+                        };
+                        let slot = match last {
+                            Some((k2, s2, c2, sl)) if k2 == kind && s2 == src && c2 == class => sl,
+                            _ => {
+                                let table = &mut self.dep_slots[idx];
+                                match table
+                                    .iter()
+                                    .find(|e| e.0 == kind && e.1 == src && e.2 == class)
+                                {
+                                    Some(e) => e.3,
+                                    None => {
+                                        let slot = self.deps.len() as u32;
+                                        self.deps.push((
+                                            (kind, src, dst, class),
+                                            StreamFolder::with_fast_fit(dst_coords.len(), fast_fit),
+                                            vec![(i64::MAX, i64::MIN); common],
+                                        ));
+                                        self.dep_slots[idx].push((kind, src, class, slot));
+                                        slot
+                                    }
+                                }
+                            }
+                        };
+                        last = Some((kind, src, class, slot));
+                        let (_, folder, delta) = &mut self.deps[slot as usize];
+                        for (d, k) in delta.iter_mut().zip(0..common) {
+                            let v = dst_coords[k] - src_coords[k];
+                            d.0 = d.0.min(v);
+                            d.1 = d.1.max(v);
+                        }
+                        folder.push(dst_coords, Some(src_coords));
+                    }
+                }
+            }
+            pos = end;
+        }
+    }
+}
+
 impl FoldSink for FoldingSink {
     fn instr_point(&mut self, stmt: StmtId, coords: &[i64], value: Option<i64>) {
         self.total_ops += 1;
         self.stats.events_folded += 1;
         let budget = &self.budget;
+        let fast_fit = self.options.fast_fit;
         let folder = Self::stmt_slot(&mut self.stmts, stmt).get_or_insert_with(|| {
             if let Some(b) = budget {
                 b.charge(Self::folder_cost(coords.len()));
             }
-            StreamFolder::new(coords.len())
+            StreamFolder::with_fast_fit(coords.len(), fast_fit)
         });
         Self::maybe_degrade(budget, &mut self.stats, folder);
         match value {
@@ -508,11 +682,15 @@ impl FoldSink for FoldingSink {
     fn mem_access(&mut self, stmt: StmtId, coords: &[i64], addr: u64, is_write: bool) {
         self.stats.events_folded += 1;
         let budget = &self.budget;
+        let fast_fit = self.options.fast_fit;
         let (folder, _) = Self::stmt_slot(&mut self.accesses, stmt).get_or_insert_with(|| {
             if let Some(b) = budget {
                 b.charge(Self::folder_cost(coords.len()));
             }
-            (StreamFolder::new(coords.len()), is_write)
+            (
+                StreamFolder::with_fast_fit(coords.len(), fast_fit),
+                is_write,
+            )
         });
         Self::maybe_degrade(budget, &mut self.stats, folder);
         folder.push(coords, Some(&[addr as i64]));
@@ -537,31 +715,27 @@ impl FoldSink for FoldingSink {
         } else {
             0
         };
-        let key = (kind, src, dst, class);
-        let slot = match self.dep_mru {
-            Some((k, s)) if k == key => {
-                self.stats.dep_mru_hits += 1;
-                s
-            }
-            _ => {
-                self.stats.dep_mru_misses += 1;
-                let slot = match self.dep_index.entry(key) {
-                    std::collections::hash_map::Entry::Occupied(e) => *e.get(),
-                    std::collections::hash_map::Entry::Vacant(e) => {
-                        if let Some(b) = &self.budget {
-                            b.charge(Self::folder_cost(dst_coords.len()));
-                        }
-                        let slot = self.deps.len() as u32;
-                        self.deps.push((
-                            key,
-                            StreamFolder::new(dst_coords.len()),
-                            vec![(i64::MAX, i64::MIN); common],
-                        ));
-                        e.insert(slot);
-                        slot
-                    }
-                };
-                self.dep_mru = Some((key, slot));
+        let idx = dst.0 as usize;
+        if idx >= self.dep_slots.len() {
+            self.dep_slots.resize_with(idx + 1, Vec::new);
+        }
+        let table = &mut self.dep_slots[idx];
+        let slot = match table
+            .iter()
+            .find(|e| e.0 == kind && e.1 == src && e.2 == class)
+        {
+            Some(e) => e.3,
+            None => {
+                if let Some(b) = &self.budget {
+                    b.charge(Self::folder_cost(dst_coords.len()));
+                }
+                let slot = self.deps.len() as u32;
+                self.deps.push((
+                    (kind, src, dst, class),
+                    StreamFolder::with_fast_fit(dst_coords.len(), self.options.fast_fit),
+                    vec![(i64::MAX, i64::MIN); common],
+                ));
+                table.push((kind, src, class, slot));
                 slot
             }
         };

@@ -56,7 +56,7 @@
 //! branch and the supervised path is event-for-event identical to
 //! [`fold_pipelined`].
 
-use crate::{FoldOptions, FoldedDdg, FoldingSink};
+use crate::{ChunkScratch, FoldOptions, FoldedDdg, FoldingSink};
 use polycfg::StaticStructure;
 use polyddg::chunk::{ChunkStats, ChunkWriter, EventChunk, EventRef};
 use polyddg::pipeline::{PreProfiler, ShardRouter};
@@ -379,6 +379,7 @@ fn fold_attempt(
                 if let Some(c) = &trace_res {
                     c.add(Counter::EventsResolved, resolved);
                     c.add(Counter::RecvStallNs, recv_stall);
+                    c.add(Counter::RecvStallThreads, 1);
                     ChunkWriter::harvest(&stats, c, Counter::EventsRouted);
                     let (hits, misses) = shadow.mru_stats();
                     c.add(Counter::ShadowMruHit, hits);
@@ -412,6 +413,7 @@ fn fold_attempt(
                         }
                         let mut malformed = 0u64;
                         let mut recv_stall = 0u64;
+                        let mut scratch = ChunkScratch::default();
                         while let Some(mut chunk) = recv_timed(&rx, timing, &mut recv_stall) {
                             if let Some(c) = &trace_w {
                                 c.queue_recv(1 + shard);
@@ -430,7 +432,7 @@ fn fold_attempt(
                                     continue;
                                 }
                             }
-                            chunk.replay_into(&mut sink);
+                            sink.fold_chunk(&chunk, &mut scratch);
                             chunk.clear();
                             let _ = pool_tx.try_send(chunk);
                         }
@@ -441,9 +443,9 @@ fn fold_attempt(
                             c.record_shard_events(shard, fs.events_folded);
                             c.add(Counter::EventsFolded, fs.events_folded);
                             c.add(Counter::DepsFolded, fs.deps_folded);
-                            c.add(Counter::DepMruHit, fs.dep_mru_hits);
-                            c.add(Counter::DepMruMiss, fs.dep_mru_misses);
+                            c.add(Counter::ChunksFolded, fs.chunks_folded);
                             c.add(Counter::RecvStallNs, recv_stall);
+                            c.add(Counter::RecvStallThreads, 1);
                         }
                         Ok((sink, malformed))
                     };

@@ -85,11 +85,19 @@ pub struct StreamFolder {
     /// Per-component label `(min, max)` ranges, maintained in coarse mode
     /// only (the fitters track ranges themselves otherwise).
     label_range: Vec<(i64, i64)>,
+    /// Integer verification fast path for all fitters this folder creates.
+    fast_fit: bool,
 }
 
 impl StreamFolder {
-    /// Folder for `dim`-dimensional points.
+    /// Folder for `dim`-dimensional points (integer fast-path fitters).
     pub fn new(dim: usize) -> Self {
+        Self::with_fast_fit(dim, true)
+    }
+
+    /// Folder with the fitters' integer fast path explicitly enabled or
+    /// disabled (`false` = the pure-rational reference configuration).
+    pub fn with_fast_fit(dim: usize, fast_fit: bool) -> Self {
         StreamFolder {
             dim,
             count: 0,
@@ -99,8 +107,12 @@ impl StreamFolder {
             holes: false,
             open_first: vec![0; dim],
             open_last: vec![0; dim],
-            lb: (0..dim).map(OnlineAffineFitter::new).collect(),
-            ub: (0..dim).map(OnlineAffineFitter::new).collect(),
+            lb: (0..dim)
+                .map(|d| OnlineAffineFitter::with_fast(d, fast_fit))
+                .collect(),
+            ub: (0..dim)
+                .map(|d| OnlineAffineFitter::with_fast(d, fast_fit))
+                .collect(),
             box_lo: vec![i64::MAX; dim],
             box_hi: vec![i64::MIN; dim],
             label_arity: None,
@@ -109,6 +121,7 @@ impl StreamFolder {
             labels_consistent: true,
             coarse: false,
             label_range: Vec::new(),
+            fast_fit,
         }
     }
 
@@ -241,7 +254,7 @@ impl StreamFolder {
                     None => {
                         self.label_arity = Some(ls.len());
                         self.label_fitters = (0..ls.len())
-                            .map(|_| OnlineAffineFitter::new(self.dim))
+                            .map(|_| OnlineAffineFitter::with_fast(self.dim, self.fast_fit))
                             .collect();
                         self.labels_present = true;
                     }

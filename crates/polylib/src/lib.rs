@@ -24,6 +24,6 @@ pub mod poly;
 pub mod rat;
 
 pub use affine::AffineExpr;
-pub use linsolve::solve_rational;
+pub use linsolve::{solve_rational, IncrementalFit};
 pub use poly::{Bound, Constraint, Polyhedron, UnionPoly};
 pub use rat::Rat;

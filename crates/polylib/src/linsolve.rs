@@ -103,6 +103,124 @@ pub fn fit_affine(samples: &[(Vec<i64>, i64)]) -> Option<(Vec<Rat>, Rat)> {
     Some((sol[..d].to_vec(), sol[d]))
 }
 
+/// Incrementally maintained affine fit: the reduced row-echelon form of the
+/// augmented sample system `[x | 1 | y]` is cached across pushes, so adding
+/// one sample after a contradiction costs one row reduction (O(dim²))
+/// instead of re-eliminating every retained sample from scratch
+/// (O(samples · dim²)) the way repeated [`fit_affine`] calls do.
+///
+/// The RREF of a matrix is unique, so [`solution`](Self::solution) returns
+/// exactly the free-variables-zero solution [`solve_rational`] would produce
+/// for the same rows, and [`rank`](Self::rank) equals the rank
+/// `affine_rank`-style re-elimination would report (while consistent, the
+/// augmented rank equals the coefficient rank).
+#[derive(Debug, Clone)]
+pub struct IncrementalFit {
+    /// Columns of the coefficient matrix: `dim` variables + the constant.
+    cols: usize,
+    /// RREF pivot rows of the augmented system, each `cols + 1` long,
+    /// ordered by pivot column.
+    rows: Vec<Vec<Rat>>,
+    /// Pivot column of each row (ascending).
+    pivot_cols: Vec<usize>,
+    inconsistent: bool,
+}
+
+impl IncrementalFit {
+    /// Empty system over `dim`-dimensional points.
+    pub fn new(dim: usize) -> Self {
+        IncrementalFit {
+            cols: dim + 1,
+            rows: Vec::new(),
+            pivot_cols: Vec::new(),
+            inconsistent: false,
+        }
+    }
+
+    /// Rank of the coefficient matrix `[x | 1]` accumulated so far (valid
+    /// while the system is consistent).
+    pub fn rank(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// False once a pushed sample contradicted the accumulated system.
+    pub fn is_consistent(&self) -> bool {
+        !self.inconsistent
+    }
+
+    /// Drop all cached rows (frees memory; the fit is no longer usable).
+    pub fn clear(&mut self) {
+        self.rows = Vec::new();
+        self.pivot_cols = Vec::new();
+    }
+
+    /// Add one sample row `a·x + b = y`. Returns `false` (latching
+    /// inconsistency) when the row contradicts the accumulated system;
+    /// redundant rows are dropped without growing the RREF.
+    pub fn push(&mut self, x: &[i64], y: i64) -> bool {
+        if self.inconsistent {
+            return false;
+        }
+        let cols = self.cols;
+        debug_assert_eq!(x.len() + 1, cols, "sample dimensionality changed");
+        let mut row: Vec<Rat> = Vec::with_capacity(cols + 1);
+        row.extend(x.iter().map(|&v| Rat::int(v as i128)));
+        row.push(Rat::ONE);
+        row.push(Rat::int(y as i128));
+        // Reduce against the cached pivot rows. Each stored row is 1 at its
+        // pivot and 0 at every other pivot, so order does not matter.
+        for (r, &pc) in self.rows.iter().zip(&self.pivot_cols) {
+            let f = row[pc];
+            if f != Rat::ZERO {
+                for c in pc..=cols {
+                    let s = r[c] * f;
+                    row[c] = row[c] - s;
+                }
+            }
+        }
+        let Some(pc) = (0..cols).find(|&c| row[c] != Rat::ZERO) else {
+            if row[cols] != Rat::ZERO {
+                self.inconsistent = true;
+                return false;
+            }
+            return true; // redundant row
+        };
+        let inv = Rat::ONE / row[pc];
+        for v in row.iter_mut() {
+            *v = *v * inv;
+        }
+        // Back-substitute the new pivot into the cached rows to keep RREF.
+        for r in self.rows.iter_mut() {
+            let f = r[pc];
+            if f != Rat::ZERO {
+                for c in pc..=cols {
+                    let s = row[c] * f;
+                    r[c] = r[c] - s;
+                }
+            }
+        }
+        let at = self.pivot_cols.partition_point(|&c| c < pc);
+        self.rows.insert(at, row);
+        self.pivot_cols.insert(at, pc);
+        true
+    }
+
+    /// The free-variables-zero solution `(coeffs, constant)` of the
+    /// accumulated system — identical to what [`fit_affine`] returns for the
+    /// same samples. `None` if inconsistent or empty.
+    pub fn solution(&self) -> Option<(Vec<Rat>, Rat)> {
+        if self.inconsistent || self.rows.is_empty() {
+            return None;
+        }
+        let d = self.cols - 1;
+        let mut sol = vec![Rat::ZERO; self.cols];
+        for (r, &pc) in self.rows.iter().zip(&self.pivot_cols) {
+            sol[pc] = r[self.cols];
+        }
+        Some((sol[..d].to_vec(), sol[d]))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -183,5 +301,63 @@ mod tests {
         // whatever the pivot chose — verify the fit holds.
         let acc = coeffs[0] * r(3) + coeffs[1] * r(4) + c;
         assert_eq!(acc, r(9));
+    }
+
+    /// The incremental RREF solution matches a from-scratch `fit_affine`
+    /// after every push, on consistent affine samples.
+    #[test]
+    fn incremental_matches_batch_fit() {
+        let f = |i: i64, j: i64| 3 * i - 2 * j + 5;
+        let pts = [(0, 0), (1, 0), (0, 1), (2, 3), (7, 7)];
+        let mut inc = IncrementalFit::new(2);
+        let mut samples: Vec<(Vec<i64>, i64)> = Vec::new();
+        for &(i, j) in &pts {
+            samples.push((vec![i, j], f(i, j)));
+            assert!(inc.push(&[i, j], f(i, j)));
+            assert_eq!(Some(inc.solution().unwrap()), {
+                let (a, b) = fit_affine(&samples).unwrap();
+                Some((a, b))
+            });
+        }
+        assert_eq!(inc.rank(), 3);
+        assert_eq!(inc.solution(), Some((vec![r(3), r(-2)], r(5))));
+    }
+
+    /// Inconsistency latches: a contradicting row fails, and so does every
+    /// later push.
+    #[test]
+    fn incremental_detects_inconsistency() {
+        let mut inc = IncrementalFit::new(1);
+        assert!(inc.push(&[0], 1));
+        assert!(inc.push(&[1], 2));
+        assert_eq!(inc.rank(), 2); // unique: v = i + 1
+        assert!(!inc.push(&[2], 99));
+        assert!(!inc.is_consistent());
+        assert_eq!(inc.solution(), None);
+        assert!(!inc.push(&[3], 4));
+    }
+
+    /// Redundant rows neither grow the rank nor perturb the solution.
+    #[test]
+    fn incremental_drops_redundant_rows() {
+        let mut inc = IncrementalFit::new(2);
+        assert!(inc.push(&[1, 1], 2));
+        assert!(inc.push(&[2, 2], 4)); // v = i + j fits; row independent
+        let rank = inc.rank();
+        let sol = inc.solution();
+        assert!(inc.push(&[1, 1], 2)); // exact duplicate: redundant
+        assert_eq!(inc.rank(), rank);
+        assert_eq!(inc.solution(), sol);
+    }
+
+    /// Rational solutions survive the incremental path (2x = 1 → x = 1/2).
+    #[test]
+    fn incremental_rational_solution() {
+        let mut inc = IncrementalFit::new(1);
+        assert!(inc.push(&[0], 0));
+        assert!(inc.push(&[2], 1));
+        let (coeffs, c) = inc.solution().unwrap();
+        assert_eq!(coeffs, vec![Rat::new(1, 2)]);
+        assert_eq!(c, Rat::ZERO);
     }
 }

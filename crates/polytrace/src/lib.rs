@@ -228,18 +228,26 @@ pub enum Counter {
     ShadowMruMiss,
     /// Resident shadow pages at the end of the run.
     ShadowPages,
-    /// Dependence-relation MRU hits (`FoldingSink`).
-    DepMruHit,
-    /// Dependence-relation MRU misses (hash probe).
-    DepMruMiss,
+    /// Whole event chunks folded through the batched per-shard path.
+    ChunksFolded,
+    /// Fold shards the adaptive executor settled on (0 = inline/serial).
+    AdaptiveShards,
     /// Event chunks obtained from the recycling pool.
     ChunkRecycled,
     /// Event chunks freshly allocated (pool momentarily dry).
     ChunkFresh,
-    /// Nanoseconds spent blocked in bounded-channel sends (backpressure).
+    /// Nanoseconds spent blocked in bounded-channel sends (backpressure),
+    /// summed over every contributing thread.
     SendStallNs,
-    /// Nanoseconds spent blocked waiting on channel receives.
+    /// Threads that contributed to `SendStallNs` (per-thread mean
+    /// denominator; stall sums across threads can exceed wall time).
+    SendStallThreads,
+    /// Nanoseconds spent blocked waiting on channel receives, summed over
+    /// every contributing thread.
     RecvStallNs,
+    /// Threads that contributed to `RecvStallNs` (per-thread mean
+    /// denominator).
+    RecvStallThreads,
     /// High-water mark of in-flight chunks over all channel edges.
     QueuePeakDepth,
     /// Bytes held by spilled coordinate-snapshot arenas.
@@ -281,7 +289,7 @@ pub enum Counter {
 }
 
 /// Number of [`Counter`] slots.
-pub const N_COUNTERS: usize = 36;
+pub const N_COUNTERS: usize = 38;
 
 impl Counter {
     /// All counters, in report order.
@@ -298,12 +306,14 @@ impl Counter {
         Counter::ShadowMruHit,
         Counter::ShadowMruMiss,
         Counter::ShadowPages,
-        Counter::DepMruHit,
-        Counter::DepMruMiss,
+        Counter::ChunksFolded,
+        Counter::AdaptiveShards,
         Counter::ChunkRecycled,
         Counter::ChunkFresh,
         Counter::SendStallNs,
+        Counter::SendStallThreads,
         Counter::RecvStallNs,
+        Counter::RecvStallThreads,
         Counter::QueuePeakDepth,
         Counter::ArenaBytes,
         Counter::RetiredStmts,
@@ -339,12 +349,14 @@ impl Counter {
             Counter::ShadowMruHit => "shadow_mru_hit",
             Counter::ShadowMruMiss => "shadow_mru_miss",
             Counter::ShadowPages => "shadow_pages",
-            Counter::DepMruHit => "dep_mru_hit",
-            Counter::DepMruMiss => "dep_mru_miss",
+            Counter::ChunksFolded => "chunks_folded",
+            Counter::AdaptiveShards => "adaptive_shards",
             Counter::ChunkRecycled => "chunks_recycled",
             Counter::ChunkFresh => "chunks_fresh",
             Counter::SendStallNs => "send_stall_ns",
+            Counter::SendStallThreads => "send_stall_threads",
             Counter::RecvStallNs => "recv_stall_ns",
+            Counter::RecvStallThreads => "recv_stall_threads",
             Counter::QueuePeakDepth => "queue_peak_depth",
             Counter::ArenaBytes => "arena_bytes",
             Counter::RetiredStmts => "retired_stmts",
@@ -658,6 +670,21 @@ impl RunMetrics {
         (total > 0).then(|| h as f64 / total as f64)
     }
 
+    /// Per-thread mean of `SendStallNs` (the summed counter divided by the
+    /// number of contributing threads; 0 when no thread contributed).
+    pub fn send_stall_mean_ns(&self) -> u64 {
+        self.counter(Counter::SendStallNs)
+            .checked_div(self.counter(Counter::SendStallThreads))
+            .unwrap_or(0)
+    }
+
+    /// Per-thread mean of `RecvStallNs`.
+    pub fn recv_stall_mean_ns(&self) -> u64 {
+        self.counter(Counter::RecvStallNs)
+            .checked_div(self.counter(Counter::RecvStallThreads))
+            .unwrap_or(0)
+    }
+
     /// Machine-readable JSON rendering (hand-rolled; no external deps —
     /// stable snake_case keys, suitable for CI artifacts).
     pub fn to_json(&self) -> String {
@@ -693,6 +720,18 @@ impl RunMetrics {
             &mut s,
             "shard_balance",
             &format!("{:.4}", self.shard_balance()),
+        );
+        // Per-thread stall means: the stall counters are sums over every
+        // contributing thread, so only the means compare against total_ns.
+        push_kv(
+            &mut s,
+            "send_stall_mean_ns",
+            &self.send_stall_mean_ns().to_string(),
+        );
+        push_kv(
+            &mut s,
+            "recv_stall_mean_ns",
+            &self.recv_stall_mean_ns().to_string(),
         );
         s.push_str("\"counters\": {");
         for (i, c) in Counter::ALL.iter().enumerate() {
@@ -769,11 +808,16 @@ impl fmt::Display for RunMetrics {
                 }
             }
             writeln!(f, "  shard balance (max/mean) {:.3}", self.shard_balance())?;
+            // Stalls are summed over every contributing thread, so the sum
+            // can legitimately exceed wall time — the per-thread mean is
+            // the number comparable to `total_ns` and shard balance.
             writeln!(
                 f,
-                "  send stall {:.3} ms, recv stall {:.3} ms, peak queue depth {}",
+                "  send stall {:.3} ms total / {:.3} ms per thread, recv stall {:.3} ms total / {:.3} ms per thread, peak queue depth {}",
                 ms(self.counter(Counter::SendStallNs)),
+                ms(self.send_stall_mean_ns()),
                 ms(self.counter(Counter::RecvStallNs)),
+                ms(self.recv_stall_mean_ns()),
                 self.counter(Counter::QueuePeakDepth)
             )?;
         }
@@ -782,7 +826,11 @@ impl fmt::Display for RunMetrics {
             // Stall/peak counters already shown in the pipeline section.
             if matches!(
                 c,
-                Counter::SendStallNs | Counter::RecvStallNs | Counter::QueuePeakDepth
+                Counter::SendStallNs
+                    | Counter::SendStallThreads
+                    | Counter::RecvStallNs
+                    | Counter::RecvStallThreads
+                    | Counter::QueuePeakDepth
             ) && self.has_pipeline()
             {
                 continue;
@@ -797,7 +845,6 @@ impl fmt::Display for RunMetrics {
                 Counter::ShadowMruHit => {
                     self.hit_rate(Counter::ShadowMruHit, Counter::ShadowMruMiss)
                 }
-                Counter::DepMruHit => self.hit_rate(Counter::DepMruHit, Counter::DepMruMiss),
                 _ => None,
             };
             match rate {
@@ -908,7 +955,22 @@ mod tests {
         c.record_stage_ns(Stage::Profile, 900);
         let m = c.snapshot(1000);
         assert_eq!(m.sequential_ns(), 1000);
-        assert_eq!(m.hit_rate(Counter::DepMruHit, Counter::DepMruMiss), None);
+        assert_eq!(
+            m.hit_rate(Counter::ShadowMruHit, Counter::ShadowMruMiss),
+            None
+        );
+    }
+
+    /// Stall sums divide by the contributing-thread counters; zero threads
+    /// never divides by zero.
+    #[test]
+    fn stall_means_are_per_thread() {
+        let c = Collector::new(MetricsLevel::Timing);
+        c.add(Counter::RecvStallNs, 3000);
+        c.add(Counter::RecvStallThreads, 3);
+        let m = c.snapshot(100);
+        assert_eq!(m.recv_stall_mean_ns(), 1000);
+        assert_eq!(m.send_stall_mean_ns(), 0);
     }
 
     #[test]

@@ -102,6 +102,7 @@ fn sharded_parity_without_class_split() {
     let prog = stencil(10, 3);
     let options = polyfold::FoldOptions {
         split_classes: false,
+        ..Default::default()
     };
     let serial = {
         let mut rec = polyprof_core::polycfg::StructureRecorder::new();
