@@ -252,9 +252,25 @@ fn main() {
 
     // Per-run trajectory line: one appended JSON object per bench run, so
     // the artifact history shows the ns/event trend across PRs without
-    // diffing whole snapshots. (CI uploads every BENCH_*.json.)
+    // diffing whole snapshots. (CI uploads every BENCH_*.json.) Each line
+    // carries the machine and run identity (CPU count, smoke flag, commit)
+    // that a number is meaningless without.
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let git_sha = std::env::var("GITHUB_SHA").unwrap_or_else(|_| "unknown".into());
     let mut traj = JsonObj::new();
     traj.str_field("bench", "pipeline")
+        .int_field("cpus", cpus as u64)
+        .raw_field(
+            "smoke",
+            if polyprof_bench::smoke() {
+                "true"
+            } else {
+                "false"
+            },
+        )
+        .str_field("git_sha", &git_sha)
         .int_field("events", n_events)
         .num_field("profiler_ns_per_event", fast_s * 1e9 / n_events as f64)
         .num_field(
@@ -278,9 +294,6 @@ fn main() {
         speedup >= 1.5,
         "interned profiler must be ≥1.5x the naive baseline, measured {speedup:.2}x"
     );
-    let cpus = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
     let fold_floor = if cpus < 2 { 3.0 } else { 5.0 };
     assert!(
         fold_speedup >= fold_floor,

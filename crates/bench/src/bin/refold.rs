@@ -1,0 +1,178 @@
+//! Re-fold `.ptrace` recordings offline — no VM run — and check replay
+//! invariants.
+//!
+//! Modes:
+//! - `refold [--threads K] TRACE...` — fold each recording at K shards and
+//!   print one JSON line per trace (workload, frames, events, folded
+//!   statement/dependence counts).
+//! - `refold --assert-live [--threads K] TRACE...` — additionally run the
+//!   live profiler on the matching workload and require the replayed
+//!   folded DDG to be byte-identical (`FoldedDdg::canonical_text`); exits
+//!   non-zero on any divergence. This is the CI replay gate.
+//! - `refold --diff A.ptrace B.ptrace` — fold both recordings and compare
+//!   their canonical texts; prints the first differing line and exits
+//!   non-zero when they disagree.
+//!
+//! Recordings are matched to programs by header program hash against the
+//! fixed [`polyprof_bench::replay_workloads`] registry.
+
+use polyprof_bench::replay_workloads;
+use polyprof_bench::JsonObj;
+use polyprof_core::polyfold::replay::fold_recording;
+use polyprof_core::polyfold::{self, FoldOptions};
+use polyprof_core::polyrec::{program_hash, TraceReader};
+use std::path::Path;
+use std::process::exit;
+
+/// Find the registry program a recording was captured from, by hash.
+fn lookup(path: &Path) -> (&'static str, polyir::Program) {
+    let reader = match TraceReader::open(path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("refold: {}: {e}", path.display());
+            exit(1);
+        }
+    };
+    let want = reader.meta().program_hash;
+    for (name, prog) in replay_workloads() {
+        if program_hash(&prog) == want {
+            return (name, prog);
+        }
+    }
+    eprintln!(
+        "refold: {}: recording of unknown workload `{}` (hash {want:#018x} not in registry)",
+        path.display(),
+        reader.meta().workload
+    );
+    exit(1);
+}
+
+/// Fold one recording at `k` shards, returning its canonical text.
+fn refold_one(path: &Path, k: usize) -> (&'static str, String) {
+    let (name, prog) = lookup(path);
+    match fold_recording(path, &prog, k, FoldOptions::default(), None) {
+        Ok((ddg, _)) => (name, ddg.canonical_text()),
+        Err(e) => {
+            eprintln!("refold: {}: {e}", path.display());
+            exit(1);
+        }
+    }
+}
+
+/// First line where the two canonical texts disagree, if any.
+fn first_diff(a: &str, b: &str) -> Option<(usize, String, String)> {
+    for (i, (la, lb)) in a.lines().zip(b.lines()).enumerate() {
+        if la != lb {
+            return Some((i + 1, la.to_string(), lb.to_string()));
+        }
+    }
+    let (na, nb) = (a.lines().count(), b.lines().count());
+    (na != nb).then(|| {
+        (
+            na.min(nb) + 1,
+            format!("<{na} lines>"),
+            format!("<{nb} lines>"),
+        )
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut threads = 1usize;
+    let mut assert_live = false;
+    let mut diff = false;
+    let mut traces: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threads" => {
+                i += 1;
+                threads = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--threads needs a positive integer");
+            }
+            "--assert-live" => assert_live = true,
+            "--diff" => diff = true,
+            other if other.starts_with("--") => {
+                eprintln!("unknown argument: {other}");
+                eprintln!(
+                    "usage: refold [--threads K] [--assert-live] TRACE... | refold --diff A B"
+                );
+                exit(2);
+            }
+            trace => traces.push(trace.to_string()),
+        }
+        i += 1;
+    }
+
+    if diff {
+        if traces.len() != 2 {
+            eprintln!("refold --diff takes exactly two traces");
+            exit(2);
+        }
+        let (name_a, text_a) = refold_one(Path::new(&traces[0]), threads);
+        let (name_b, text_b) = refold_one(Path::new(&traces[1]), threads);
+        match first_diff(&text_a, &text_b) {
+            None => {
+                println!(
+                    "identical: {} ({name_a}) == {} ({name_b})",
+                    traces[0], traces[1]
+                );
+            }
+            Some((line, la, lb)) => {
+                eprintln!("differ at canonical line {line}:");
+                eprintln!("  {}: {la}", traces[0]);
+                eprintln!("  {}: {lb}", traces[1]);
+                exit(1);
+            }
+        }
+        return;
+    }
+
+    if traces.is_empty() {
+        eprintln!("usage: refold [--threads K] [--assert-live] TRACE... | refold --diff A B");
+        exit(2);
+    }
+    let mut failed = false;
+    for trace in &traces {
+        let path = Path::new(trace);
+        let (name, prog) = lookup(path);
+        let (ddg, _interner) =
+            match fold_recording(path, &prog, threads, FoldOptions::default(), None) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("refold: {trace}: {e}");
+                    exit(1);
+                }
+            };
+        let replayed = ddg.canonical_text();
+        let mut live_ok = true;
+        if assert_live {
+            let live = polyfold::fold_program(&prog).0.canonical_text();
+            live_ok = live == replayed;
+            if !live_ok {
+                failed = true;
+                if let Some((line, ll, rl)) = first_diff(&live, &replayed) {
+                    eprintln!("refold: {trace}: replay diverged from live fold at line {line}:");
+                    eprintln!("  live:   {ll}");
+                    eprintln!("  replay: {rl}");
+                }
+            }
+        }
+        let mut j = JsonObj::new();
+        j.str_field("workload", name)
+            .str_field("trace", trace)
+            .int_field("threads", threads as u64)
+            .int_field("stmts", ddg.stmts.len() as u64)
+            .int_field("deps", ddg.deps.len() as u64)
+            .int_field("dyn_ops", ddg.total_ops);
+        if assert_live {
+            j.raw_field("live_identical", if live_ok { "true" } else { "false" });
+        }
+        println!("{}", j.render());
+    }
+    if failed {
+        exit(1);
+    }
+}

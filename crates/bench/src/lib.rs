@@ -19,6 +19,22 @@ pub fn smoke() -> bool {
     std::env::var_os("BENCH_SMOKE").is_some()
 }
 
+/// The fixed workload set the trace-recording binaries (`record_trace`,
+/// `refold`) and the CI replay gate operate on: four Rodinia kernels plus
+/// the paper's Fig. 6 running example, at small deterministic sizes so the
+/// `.ptrace` fixtures stay cache-friendly. Sizes are *not* `BENCH_SMOKE`-
+/// dependent — a recording must mean the same thing whichever environment
+/// replays it.
+pub fn replay_workloads() -> Vec<(&'static str, Program)> {
+    vec![
+        ("backprop", rodinia::backprop::build().program),
+        ("pathfinder", rodinia::pathfinder::build().program),
+        ("nw", rodinia::nw::build().program),
+        ("hotspot", rodinia::hotspot::build().program),
+        ("fig6", rodinia::paper_examples::fig6_kernel(16, 8)),
+    ]
+}
+
 /// Human-readable names for context elements given the program (used by the
 /// fig3 trace printer and flame graphs).
 pub fn ctx_namer<'p>(

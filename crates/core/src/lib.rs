@@ -32,6 +32,7 @@ pub use polyfold;
 pub use polyiiv;
 pub use polyir;
 pub use polylib;
+pub use polyrec;
 pub use polyresist;
 pub use polysched;
 pub use polystatic;
@@ -47,6 +48,7 @@ use polystatic::dataflow::StaticSummary;
 use polystatic::lint::LintReport;
 use polystatic::StaticReport;
 use polytrace::{Collector, Counter, Stage};
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -180,6 +182,18 @@ pub struct ProfileConfig {
     /// suite proves it); the knob exists so benches can measure the gap and
     /// tests can pin the equivalence.
     pub fast_fit: bool,
+    /// Record the resolved event stream of pass 2 into a versioned `.ptrace`
+    /// file at this path (see `polyrec`). The live fold is undisturbed; the
+    /// recording can later be re-folded offline at any shard count via
+    /// [`ProfileConfig::replay_from`] with byte-identical results. Ignored
+    /// when `replay_from` is set (a replay has no VM run to tap).
+    pub record_to: Option<PathBuf>,
+    /// Skip the pass-2 VM run entirely and fold a `.ptrace` recording from
+    /// this path instead. Pass 1 still executes (the structure feeds the
+    /// scheduling/feedback stages); the recording's program hash must match
+    /// `prog`. Fault injection, budgets, and pruning do not apply to a
+    /// replayed fold — the stream on disk is already final.
+    pub replay_from: Option<PathBuf>,
 }
 
 impl Default for ProfileConfig {
@@ -196,6 +210,8 @@ impl Default for ProfileConfig {
             max_retries: 2,
             adaptive: false,
             fast_fit: true,
+            record_to: None,
+            replay_from: None,
         }
     }
 }
@@ -274,6 +290,20 @@ impl ProfileConfig {
     /// [`ProfileConfig::fast_fit`]; on by default).
     pub fn with_fast_fit(mut self, on: bool) -> Self {
         self.fast_fit = on;
+        self
+    }
+
+    /// Record the resolved pass-2 event stream to a `.ptrace` file (see
+    /// [`ProfileConfig::record_to`]).
+    pub fn with_record_to(mut self, path: impl Into<PathBuf>) -> Self {
+        self.record_to = Some(path.into());
+        self
+    }
+
+    /// Fold a `.ptrace` recording instead of re-running the VM (see
+    /// [`ProfileConfig::replay_from`]).
+    pub fn with_replay_from(mut self, path: impl Into<PathBuf>) -> Self {
+        self.replay_from = Some(path.into());
         self
     }
 }
@@ -370,50 +400,60 @@ pub fn try_profile_with(prog: &Program, cfg: &ProfileConfig) -> Result<Report, P
         cfg.fold_threads
     };
 
-    // Pass 2: DDG streaming into the folding sink — serial in-line, or the
+    // Pass 2: DDG streaming into the folding sink — a replayed recording
+    // (no VM), serial in-line (optionally tapped by a recorder), or the
     // supervised staged pipeline when more than one folding thread (or a
     // fault plan, whose injection sites live in the pipeline stages) is
     // requested.
     let mut degradation = RunDegradation::default();
-    let (mut ddg, interner, pruned_events) = if fold_threads <= 1 && fault_plan.is_none() {
+    let (mut ddg, interner, pruned_events) = if let Some(path) = &cfg.replay_from {
+        let _span = trace.as_ref().map(|(c, _)| c.span(Stage::Profile));
+        let (ddg, interner) = polyfold::replay::fold_recording(
+            path,
+            prog,
+            fold_threads,
+            fold_options,
+            trace.as_ref().map(|(c, _)| c),
+        )?;
+        (ddg, interner, 0)
+    } else if fold_threads <= 1 && fault_plan.is_none() {
+        let chunk_events = cfg.chunk_events.max(1);
         let (sink, interner, pruned_events) = {
             let _span = trace.as_ref().map(|(c, _)| c.span(Stage::Profile));
             let mut out = polyfold::FoldingSink::with_options(fold_options);
             if let Some(b) = &budget {
                 out.set_budget(Arc::clone(b));
             }
-            let mut prof = polyddg::DdgProfiler::new(prog, &structure, out);
-            if let Some(m) = &prune {
-                prof.set_prune_mask(Arc::clone(m));
-            }
-            if let Some(b) = &budget {
-                prof.set_budget(Arc::clone(b));
-            }
-            match polyvm::Vm::new(prog).run(&[], &mut prof) {
-                Ok(_) => {}
-                // The budget watchdog asked for a graceful stop: finalize
-                // the partial-but-valid folded state observed so far.
-                Err(polyvm::VmError::Aborted) => degradation.deadline_hit = true,
-                Err(e) => {
-                    return Err(PolyProfError::Vm {
-                        stage: "pass-2",
-                        msg: e.to_string(),
-                    })
+            match &cfg.record_to {
+                Some(path) => {
+                    let writer = polyrec::TraceWriter::create(path, prog, chunk_events)?;
+                    let tap = polyrec::Recorder::new(writer, chunk_events, out);
+                    let (tap, interner, pruned_events) = serial_pass2(
+                        prog,
+                        &structure,
+                        tap,
+                        &prune,
+                        &budget,
+                        trace.as_ref().map(|(c, _)| c),
+                        &mut degradation,
+                    )?;
+                    let (sink, wstats) = tap.finish(&interner)?;
+                    if let Some((c, _)) = &trace {
+                        c.add(Counter::RecFramesWritten, wstats.frames);
+                        c.add(Counter::RecBytesWritten, wstats.bytes);
+                    }
+                    (sink, interner, pruned_events)
                 }
+                None => serial_pass2(
+                    prog,
+                    &structure,
+                    out,
+                    &prune,
+                    &budget,
+                    trace.as_ref().map(|(c, _)| c),
+                    &mut degradation,
+                )?,
             }
-            if let Some((c, _)) = &trace {
-                c.add(Counter::DynOps, prof.dyn_ops);
-                c.add(Counter::MemEvents, prof.mem_events);
-                c.add(Counter::PrunedEvents, prof.pruned_events);
-                let (hits, misses) = prof.shadow_mru_stats();
-                c.add(Counter::ShadowMruHit, hits);
-                c.add(Counter::ShadowMruMiss, misses);
-                c.add(Counter::ShadowPages, prof.resident_shadow_pages() as u64);
-                c.add(Counter::ArenaBytes, prof.arena_bytes() as u64);
-            }
-            let pruned_events = prof.pruned_events;
-            let (sink, interner) = prof.finish();
-            (sink, interner, pruned_events)
         };
         if let Some((c, _)) = &trace {
             let (hits, misses) = interner.cache_stats();
@@ -466,6 +506,7 @@ pub fn try_profile_with(prog: &Program, cfg: &ProfileConfig) -> Result<Report, P
             &pcfg,
             trace.as_ref().map(|(c, _)| c),
             prune.clone(),
+            cfg.record_to.as_deref(),
             &rcfg,
         )?;
         degradation = deg;
@@ -581,6 +622,53 @@ pub fn try_profile_with(prog: &Program, cfg: &ProfileConfig) -> Result<Report, P
         metrics,
         degradation,
     })
+}
+
+/// The serial pass-2 body, generic over the folding sink so the recording
+/// tap ([`polyrec::Recorder`] around a [`polyfold::FoldingSink`]) reuses the
+/// exact VM-drive/harvest sequence of the plain path. Returns the sink, the
+/// interner, and the pruned-event count.
+fn serial_pass2<S: polyddg::FoldSink>(
+    prog: &Program,
+    structure: &polycfg::StaticStructure,
+    sink: S,
+    prune: &Option<Arc<polyddg::prune::PruneMask>>,
+    budget: &Option<Arc<ResourceBudget>>,
+    trace: Option<&Arc<Collector>>,
+    degradation: &mut RunDegradation,
+) -> Result<(S, polyiiv::context::ContextInterner, u64), PolyProfError> {
+    let mut prof = polyddg::DdgProfiler::new(prog, structure, sink);
+    if let Some(m) = prune {
+        prof.set_prune_mask(Arc::clone(m));
+    }
+    if let Some(b) = budget {
+        prof.set_budget(Arc::clone(b));
+    }
+    match polyvm::Vm::new(prog).run(&[], &mut prof) {
+        Ok(_) => {}
+        // The budget watchdog asked for a graceful stop: finalize the
+        // partial-but-valid folded state observed so far.
+        Err(polyvm::VmError::Aborted) => degradation.deadline_hit = true,
+        Err(e) => {
+            return Err(PolyProfError::Vm {
+                stage: "pass-2",
+                msg: e.to_string(),
+            })
+        }
+    }
+    if let Some(c) = trace {
+        c.add(Counter::DynOps, prof.dyn_ops);
+        c.add(Counter::MemEvents, prof.mem_events);
+        c.add(Counter::PrunedEvents, prof.pruned_events);
+        let (hits, misses) = prof.shadow_mru_stats();
+        c.add(Counter::ShadowMruHit, hits);
+        c.add(Counter::ShadowMruMiss, misses);
+        c.add(Counter::ShadowPages, prof.resident_shadow_pages() as u64);
+        c.add(Counter::ArenaBytes, prof.arena_bytes() as u64);
+    }
+    let pruned_events = prof.pruned_events;
+    let (sink, interner) = prof.finish();
+    Ok((sink, interner, pruned_events))
 }
 
 /// Run [`profile`] over a whole suite, fanning the workloads across threads.

@@ -18,6 +18,7 @@
 pub mod adaptive;
 pub mod fitter;
 pub mod pipeline;
+pub mod replay;
 pub mod stream;
 
 pub use fitter::{FitResult, OnlineAffineFitter, RatAffine};
@@ -219,6 +220,38 @@ impl FoldedDdg {
             out.deps.extend(part.deps);
         }
         out.deps.sort_by_key(|d| (d.kind, d.src, d.dst, d.class));
+        out
+    }
+
+    /// Deterministic byte rendering of the whole folded DDG: statements and
+    /// accesses sorted by id, dependences in their canonical `(kind, src,
+    /// dst, class)` order, totals last. Two DDGs are byte-identical here iff
+    /// they fold the same facts — the record→replay identity gate and
+    /// `refold --diff` compare exactly this text.
+    pub fn canonical_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let mut stmt_ids: Vec<StmtId> = self.stmts.keys().copied().collect();
+        stmt_ids.sort();
+        for id in &stmt_ids {
+            writeln!(out, "stmt {:?}", self.stmts[id]).expect("string write");
+        }
+        let mut acc_ids: Vec<StmtId> = self.accesses.keys().copied().collect();
+        acc_ids.sort();
+        for id in &acc_ids {
+            writeln!(out, "access {:?}", self.accesses[id]).expect("string write");
+        }
+        let mut deps: Vec<&FoldedDep> = self.deps.iter().collect();
+        deps.sort_by_key(|d| (d.kind, d.src, d.dst, d.class));
+        for d in deps {
+            writeln!(out, "dep {d:?}").expect("string write");
+        }
+        writeln!(
+            out,
+            "total_ops {} removed_affine_ops {}",
+            self.total_ops, self.removed_affine_ops
+        )
+        .expect("string write");
         out
     }
 

@@ -65,10 +65,14 @@ use polyddg::shadow::ShadowResolver;
 use polyddg::{DdgConfig, DdgProfiler, FoldSink};
 use polyiiv::context::ContextInterner;
 use polyir::Program;
+use polyrec::{Recorder, TraceWriter};
 use polyresist::{panic_msg, FaultPlan, FaultSite, PolyProfError, ResourceBudget, RunDegradation};
 use polytrace::{Collector, Counter, PipeStage, Stage};
+use std::fs::File;
+use std::io::BufWriter;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::mpsc::{sync_channel, Receiver};
+use std::path::{Path, PathBuf};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -183,7 +187,7 @@ pub fn fold_pipelined_pruned(
     trace: Option<&Arc<Collector>>,
     prune: Option<Arc<PruneMask>>,
 ) -> (FoldedDdg, ContextInterner, u64) {
-    match fold_attempt(prog, structure, cfg, trace, prune, None, None) {
+    match fold_attempt(prog, structure, cfg, trace, prune, None, None, None) {
         Ok(ok) => {
             let (ddg, missing) = {
                 let _span = trace.map(|c| c.pipe_span(PipeStage::Merge));
@@ -212,11 +216,80 @@ struct AttemptOk {
     lost_workers: Vec<(usize, String)>,
 }
 
+/// The resolver's chunk loop, generic over the resolved-event sink so the
+/// recording tap composes without touching the non-recording hot path (a
+/// plain [`ShardRouter`] run monomorphizes exactly as before). Returns
+/// `(resolved mem events, recv-stall ns)`.
+#[allow(clippy::too_many_arguments)]
+fn resolve_loop<S: FoldSink>(
+    pre_rx: &Receiver<EventChunk>,
+    pre_pool_tx: &SyncSender<EventChunk>,
+    trace: Option<&Arc<Collector>>,
+    faults: Option<&Arc<FaultPlan>>,
+    timing: bool,
+    shadow: &mut polyddg::shadow::ShadowResolver,
+    sink: &mut S,
+) -> (u64, u64) {
+    let mut resolved = 0u64;
+    let mut recv_stall = 0u64;
+    while let Some(mut chunk) = recv_timed(pre_rx, timing, &mut recv_stall) {
+        if let Some(c) = trace {
+            c.queue_recv(0);
+        }
+        if let Some(p) = faults {
+            if p.should_fire(FaultSite::PanicResolve) {
+                panic!("injected fault: shadow-resolver panic");
+            }
+        }
+        for ev in chunk.events() {
+            match ev {
+                EventRef::Point {
+                    stmt,
+                    coords,
+                    value,
+                } => sink.instr_point(stmt, coords, value),
+                EventRef::Dep {
+                    kind,
+                    src,
+                    src_coords,
+                    dst,
+                    dst_coords,
+                } => sink.dependence(kind, src, src_coords, dst, dst_coords),
+                EventRef::Access {
+                    stmt,
+                    coords,
+                    addr,
+                    is_write,
+                } => sink.mem_access(stmt, coords, addr, is_write),
+                EventRef::MemPre {
+                    stmt,
+                    coords,
+                    addr,
+                    is_write,
+                } => {
+                    resolved += 1;
+                    shadow.resolve(stmt, coords, addr, is_write, sink);
+                }
+            }
+        }
+        chunk.clear();
+        // Recycling never blocks: a full pool just drops the chunk.
+        let _ = pre_pool_tx.try_send(chunk);
+    }
+    (resolved, recv_stall)
+}
+
 /// One supervised pipeline attempt. Stage threads never poison the scope:
 /// each body runs under `catch_unwind` and surfaces panics as
 /// [`PolyProfError::StagePanic`]. A producer/resolver error — or the loss of
 /// every folding worker — fails the attempt; losing *some* workers only
 /// punches holes in `shards`.
+///
+/// With `record` set, the resolver taps its resolved stream through a
+/// [`Recorder`] into a `.ptrace` file; the footer (which needs the
+/// producer's interner) is written after the stage threads join, so a failed
+/// attempt leaves a detectably unfinished recording behind.
+#[allow(clippy::too_many_arguments)]
 fn fold_attempt(
     prog: &Program,
     structure: &StaticStructure,
@@ -225,6 +298,7 @@ fn fold_attempt(
     prune: Option<Arc<PruneMask>>,
     faults: Option<&Arc<FaultPlan>>,
     budget: Option<&Arc<ResourceBudget>>,
+    record: Option<&Path>,
 ) -> Result<AttemptOk, PolyProfError> {
     let k = cfg.fold_threads.max(1);
     let chunk_events = cfg.chunk_events.max(1);
@@ -309,8 +383,10 @@ fn fold_attempt(
         let trace_res = trace.cloned();
         let faults_res = faults.cloned();
         let budget_res = budget.cloned();
+        let record_path: Option<PathBuf> = record.map(Path::to_path_buf);
+        type ResolverOut = (ChunkStats, u64, u64, Option<TraceWriter<BufWriter<File>>>);
         let resolver = s.spawn(move || {
-            let body = move || -> Result<(ChunkStats, u64, u64), PolyProfError> {
+            let body = move || -> Result<ResolverOut, PolyProfError> {
                 let _span = trace_res
                     .as_ref()
                     .map(|c| c.pipe_span(PipeStage::ShadowResolve));
@@ -329,53 +405,35 @@ fn fold_attempt(
                 if let Some(p) = &faults_res {
                     router.set_faults(p);
                 }
-                let mut resolved = 0u64;
-                let mut recv_stall = 0u64;
-                while let Some(mut chunk) = recv_timed(&pre_rx, timing, &mut recv_stall) {
-                    if let Some(c) = &trace_res {
-                        c.queue_recv(0);
+                let (stats, resolved, recv_stall, rec_writer) = match &record_path {
+                    Some(path) => {
+                        let writer = TraceWriter::create(path, prog, chunk_events)?;
+                        let mut tap = Recorder::new(writer, chunk_events, router);
+                        let (resolved, recv_stall) = resolve_loop(
+                            &pre_rx,
+                            &pre_pool_tx,
+                            trace_res.as_ref(),
+                            faults_res.as_ref(),
+                            timing,
+                            &mut shadow,
+                            &mut tap,
+                        );
+                        let (router, writer) = tap.into_writer()?;
+                        (router.finish(), resolved, recv_stall, Some(writer))
                     }
-                    if let Some(p) = &faults_res {
-                        if p.should_fire(FaultSite::PanicResolve) {
-                            panic!("injected fault: shadow-resolver panic");
-                        }
+                    None => {
+                        let (resolved, recv_stall) = resolve_loop(
+                            &pre_rx,
+                            &pre_pool_tx,
+                            trace_res.as_ref(),
+                            faults_res.as_ref(),
+                            timing,
+                            &mut shadow,
+                            &mut router,
+                        );
+                        (router.finish(), resolved, recv_stall, None)
                     }
-                    for ev in chunk.events() {
-                        match ev {
-                            EventRef::Point {
-                                stmt,
-                                coords,
-                                value,
-                            } => router.instr_point(stmt, coords, value),
-                            EventRef::Dep {
-                                kind,
-                                src,
-                                src_coords,
-                                dst,
-                                dst_coords,
-                            } => router.dependence(kind, src, src_coords, dst, dst_coords),
-                            EventRef::Access {
-                                stmt,
-                                coords,
-                                addr,
-                                is_write,
-                            } => router.mem_access(stmt, coords, addr, is_write),
-                            EventRef::MemPre {
-                                stmt,
-                                coords,
-                                addr,
-                                is_write,
-                            } => {
-                                resolved += 1;
-                                shadow.resolve(stmt, coords, addr, is_write, &mut router);
-                            }
-                        }
-                    }
-                    chunk.clear();
-                    // Recycling never blocks: a full pool just drops the chunk.
-                    let _ = pre_pool_tx.try_send(chunk);
-                }
-                let stats = router.finish();
+                };
                 if let Some(c) = &trace_res {
                     c.add(Counter::EventsResolved, resolved);
                     c.add(Counter::RecvStallNs, recv_stall);
@@ -386,7 +444,12 @@ fn fold_attempt(
                     c.add(Counter::ShadowMruMiss, misses);
                     c.add(Counter::ShadowPages, shadow.resident_pages() as u64);
                 }
-                Ok((stats, shadow.unresolved(), shadow.alloc_failures()))
+                Ok((
+                    stats,
+                    shadow.unresolved(),
+                    shadow.alloc_failures(),
+                    rec_writer,
+                ))
             };
             catch_unwind(AssertUnwindSafe(body)).unwrap_or_else(|p| {
                 Err(PolyProfError::StagePanic {
@@ -471,7 +534,18 @@ fn fold_attempt(
     // Producer/resolver failures are unrecoverable within the attempt: the
     // event stream itself is incomplete in a way no shard merge can repair.
     let (interner, pruned_events, pre_stats, deadline_hit) = prod?;
-    let (route_stats, unresolved, alloc_failures) = res?;
+    let (route_stats, unresolved, alloc_failures, rec_writer) = res?;
+
+    // The recording's footer needs the interner (statement table), which
+    // only exists once the producer has joined — write it now. A failure
+    // here fails the attempt: a footer-less recording is useless.
+    if let Some(writer) = rec_writer {
+        let stats = writer.finish(&interner)?;
+        if let Some(c) = trace {
+            c.add(Counter::RecFramesWritten, stats.frames);
+            c.add(Counter::RecBytesWritten, stats.bytes);
+        }
+    }
 
     let mut shards: Vec<Option<FoldingSink>> = Vec::with_capacity(k);
     let mut lost_workers = Vec::new();
@@ -510,12 +584,18 @@ fn fold_attempt(
 /// hooks, bounded retry, serial fallback, and a [`RunDegradation`] record of
 /// everything the run lost. Returns `Err` only when even the serial
 /// fallback cannot complete (a deterministic VM failure).
+///
+/// With `record` set, each attempt streams its resolved events into a
+/// `.ptrace` recording at that path (a retried attempt recreates the file).
+/// The serial fallback does not record — the loss is noted in the
+/// degradation report instead of failing the run.
 pub fn fold_pipelined_supervised(
     prog: &Program,
     structure: &StaticStructure,
     cfg: &PipelineConfig,
     trace: Option<&Arc<Collector>>,
     prune: Option<Arc<PruneMask>>,
+    record: Option<&Path>,
     res: &ResilienceConfig,
 ) -> Result<(FoldedDdg, ContextInterner, u64, RunDegradation), PolyProfError> {
     let mut deg = RunDegradation::default();
@@ -530,6 +610,7 @@ pub fn fold_pipelined_supervised(
             prune.clone(),
             res.faults.as_ref(),
             res.budget.as_ref(),
+            record,
         ) {
             Ok(ok) => break Some(ok),
             Err(e) if attempt_no < res.max_retries => {
@@ -585,6 +666,12 @@ pub fn fold_pipelined_supervised(
             // Serial fallback: the trusted single-thread path, fault hooks
             // off, budget still honored so degradation semantics survive.
             deg.fell_back_serial = true;
+            if let Some(path) = record {
+                deg.note(
+                    "record",
+                    format!("serial fallback skipped recording to {}", path.display()),
+                );
+            }
             if let Some(c) = trace {
                 c.add(Counter::SerialFallbacks, 1);
             }
@@ -724,7 +811,7 @@ mod tests {
         polyvm::Vm::new(p).run(&[], &mut rec).unwrap();
         let structure = StaticStructure::analyze(p, rec);
         let (ddg, _, _, deg) =
-            fold_pipelined_supervised(p, &structure, cfg, None, None, res).unwrap();
+            fold_pipelined_supervised(p, &structure, cfg, None, None, None, res).unwrap();
         (ddg, deg)
     }
 

@@ -145,6 +145,43 @@ impl ContextInterner {
             .enumerate()
             .map(|(i, s)| (StmtId(i as u32), s))
     }
+
+    /// Rebuild an interner from a serialized statement table (trace replay).
+    ///
+    /// Path and statement ids are positional, so `paths[i]` answers
+    /// `CtxPathId(i)` and `stmts[i]` answers `StmtId(i)` — exactly the ids
+    /// baked into a recorded event stream. The lookup indices are
+    /// reconstructed with the same per-dimension hashing as
+    /// [`current_path`](Self::current_path), so a replayed interner is
+    /// indistinguishable from the live one that produced the table.
+    pub fn from_parts(paths: Vec<Vec<Vec<CtxElem>>>, stmts: Vec<StmtInfo>) -> Self {
+        use std::hash::{Hash, Hasher};
+        let mut path_index: HashMap<u64, Vec<CtxPathId>> = HashMap::new();
+        for (i, stacks) in paths.iter().enumerate() {
+            let mut hasher = std::collections::hash_map::DefaultHasher::new();
+            for stack in stacks {
+                stack.hash(&mut hasher);
+            }
+            path_index
+                .entry(hasher.finish())
+                .or_default()
+                .push(CtxPathId(i as u32));
+        }
+        let stmt_map = stmts
+            .iter()
+            .enumerate()
+            .map(|(i, s)| ((s.path, s.instr), StmtId(i as u32)))
+            .collect();
+        Self {
+            paths,
+            path_index,
+            stmts,
+            stmt_map,
+            cache: None,
+            cache_hits: 0,
+            cache_misses: 0,
+        }
+    }
 }
 
 // Interned context snapshots cross thread boundaries in the sharded folding

@@ -1,0 +1,795 @@
+//! `polyrec`: versioned on-disk event-stream recordings.
+//!
+//! Splits profiling from analysis (ROADMAP item 2): a [`Recorder`] taps the
+//! resolved folding-interface stream during a live run and persists it as a
+//! compact `.ptrace` file; a [`TraceReader`] replays the frames back into
+//! recycled [`EventChunk`]s so the folder can re-run at any shard count K
+//! without the VM, the shadow resolver, or even the original binary.
+//!
+//! # File layout (format version 1)
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"POLYREC\0"
+//! 8       4     format version (u32 LE)         — mismatch is a hard error
+//! 12      8     program hash (u64 LE)           — FNV-1a of the IR rendering
+//! 20      4     chunk_events (u32 LE)           — recorder's chunk capacity
+//! 24      8     total events (u64 LE)           — patched at finish()
+//! 32      8     total frames (u64 LE)           — patched at finish()
+//! 40      4     workload-name length (u32 LE)
+//! 44      n     workload name (UTF-8)
+//! --      --    frames: [0x01][payload len u32][payload][FNV-1a u64] ...
+//! --      --    footer: [0x02][payload len u32][payload][FNV-1a u64]
+//! --      8     end magic b"POLYREND"
+//! ```
+//!
+//! Frame payloads are delta-coded zigzag varints (see [`codec`]); the footer
+//! carries the interner's statement table plus the authoritative event/frame
+//! totals. Three independent truncation tripwires — per-frame checksums, the
+//! header counts (patched in place at `finish`, so a crash mid-write leaves
+//! zeros), and the footer totals + end magic — mean a torn or bit-flipped
+//! file surfaces as a structured [`PolyProfError::Recording`], never a panic
+//! or a silently short replay.
+
+pub mod codec;
+
+use polyddg::chunk::EventChunk;
+use polyddg::{DepKind, FoldSink, PreSink};
+use polyiiv::context::{ContextInterner, StmtId};
+use polyir::Program;
+use polyresist::PolyProfError;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// Leading file magic.
+pub const MAGIC: [u8; 8] = *b"POLYREC\0";
+/// Trailing file magic (after the footer frame).
+pub const END_MAGIC: [u8; 8] = *b"POLYREND";
+/// Current format version. Readers accept exactly this version; a bump is a
+/// hard, tested error — old fixtures must be re-recorded, never reinterpreted.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Byte offset of the format version in the header.
+pub const HDR_VERSION_OFF: u64 = 8;
+/// Byte offset of the total-event count patched at `finish()`.
+pub const HDR_EVENTS_OFF: u64 = 24;
+/// Byte offset of the total-frame count patched at `finish()`.
+pub const HDR_FRAMES_OFF: u64 = 32;
+
+/// Frame tag: one encoded [`EventChunk`].
+const TAG_FRAME: u8 = 1;
+/// Frame tag: the footer (statement table + totals).
+const TAG_FOOTER: u8 = 2;
+
+/// Upper bound on a single frame/footer payload (64 MiB) — a length field
+/// above this is corruption, not a real chunk.
+const MAX_PAYLOAD: u32 = 64 << 20;
+
+fn rec_err(path: &str, detail: impl Into<String>) -> PolyProfError {
+    PolyProfError::Recording {
+        path: path.to_string(),
+        detail: detail.into(),
+    }
+}
+
+fn io_err(path: &str, op: &str, e: std::io::Error) -> PolyProfError {
+    rec_err(path, format!("{op}: {e}"))
+}
+
+/// Content hash of a [`Program`], stored in the header so a recording can
+/// only be replayed against the IR that produced it. Hashes the IR's
+/// deterministic `Debug` rendering (the `Program` tree is plain `Vec`s, so
+/// the rendering is stable) with FNV-1a, streamed — no intermediate string.
+pub fn program_hash(prog: &Program) -> u64 {
+    struct FnvWriter(u64);
+    impl std::fmt::Write for FnvWriter {
+        fn write_str(&mut self, s: &str) -> std::fmt::Result {
+            for b in s.bytes() {
+                self.0 ^= b as u64;
+                self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            Ok(())
+        }
+    }
+    use std::fmt::Write as _;
+    let mut w = FnvWriter(0xcbf2_9ce4_8422_2325);
+    let _ = write!(w, "{prog:?}");
+    w.0
+}
+
+/// What a finished recording contained.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WriteStats {
+    /// Event frames written (excluding the footer).
+    pub frames: u64,
+    /// Total events across all frames.
+    pub events: u64,
+    /// Total bytes written, header and footer included.
+    pub bytes: u64,
+}
+
+/// Streaming `.ptrace` writer: header up front, one frame per chunk, footer
+/// plus header count-patch at [`finish`](Self::finish).
+pub struct TraceWriter<W: Write + Seek> {
+    w: W,
+    label: String,
+    frames: u64,
+    events: u64,
+    bytes: u64,
+    payload: Vec<u8>,
+}
+
+impl TraceWriter<BufWriter<File>> {
+    /// Create a recording at `path` for `prog` (hash + workload name are
+    /// derived from the program).
+    pub fn create(path: &Path, prog: &Program, chunk_events: usize) -> Result<Self, PolyProfError> {
+        let label = path.display().to_string();
+        let f = File::create(path).map_err(|e| io_err(&label, "create", e))?;
+        Self::new(
+            BufWriter::new(f),
+            label,
+            program_hash(prog),
+            &prog.name,
+            chunk_events,
+        )
+    }
+}
+
+impl<W: Write + Seek> TraceWriter<W> {
+    /// Write the header onto `w`. `label` names the stream in errors.
+    pub fn new(
+        mut w: W,
+        label: String,
+        program_hash: u64,
+        workload: &str,
+        chunk_events: usize,
+    ) -> Result<Self, PolyProfError> {
+        let mut hdr = Vec::with_capacity(44 + workload.len());
+        hdr.extend_from_slice(&MAGIC);
+        hdr.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        hdr.extend_from_slice(&program_hash.to_le_bytes());
+        hdr.extend_from_slice(&(chunk_events as u32).to_le_bytes());
+        hdr.extend_from_slice(&0u64.to_le_bytes()); // total events, patched
+        hdr.extend_from_slice(&0u64.to_le_bytes()); // total frames, patched
+        hdr.extend_from_slice(&(workload.len() as u32).to_le_bytes());
+        hdr.extend_from_slice(workload.as_bytes());
+        w.write_all(&hdr)
+            .map_err(|e| io_err(&label, "write header", e))?;
+        Ok(TraceWriter {
+            w,
+            label,
+            frames: 0,
+            events: 0,
+            bytes: hdr.len() as u64,
+            payload: Vec::new(),
+        })
+    }
+
+    /// Append one resolved chunk as a checksummed frame.
+    pub fn write_chunk(&mut self, chunk: &EventChunk) -> Result<(), PolyProfError> {
+        if chunk.is_empty() {
+            return Ok(());
+        }
+        self.payload.clear();
+        codec::encode_chunk(chunk, &mut self.payload).map_err(|d| rec_err(&self.label, d))?;
+        self.emit_frame(TAG_FRAME)?;
+        self.frames += 1;
+        self.events += chunk.len() as u64;
+        Ok(())
+    }
+
+    fn emit_frame(&mut self, tag: u8) -> Result<(), PolyProfError> {
+        if self.payload.len() as u64 > MAX_PAYLOAD as u64 {
+            return Err(rec_err(
+                &self.label,
+                format!("frame payload of {} bytes exceeds cap", self.payload.len()),
+            ));
+        }
+        let sum = codec::fnv1a(&self.payload);
+        let r: Result<(), std::io::Error> = (|| {
+            self.w.write_all(&[tag])?;
+            self.w
+                .write_all(&(self.payload.len() as u32).to_le_bytes())?;
+            self.w.write_all(&self.payload)?;
+            self.w.write_all(&sum.to_le_bytes())
+        })();
+        r.map_err(|e| io_err(&self.label, "write frame", e))?;
+        self.bytes += 1 + 4 + self.payload.len() as u64 + 8;
+        Ok(())
+    }
+
+    /// Write the footer (statement table + authoritative totals), patch the
+    /// header counts, and flush. Consumes the writer; a recording without a
+    /// successful `finish` is detectably truncated.
+    pub fn finish(mut self, interner: &ContextInterner) -> Result<WriteStats, PolyProfError> {
+        self.payload.clear();
+        codec::encode_interner(&mut self.payload, interner);
+        codec::write_uv(&mut self.payload, self.events);
+        codec::write_uv(&mut self.payload, self.frames);
+        self.emit_frame(TAG_FOOTER)?;
+        let r: Result<(), std::io::Error> = (|| {
+            self.w.write_all(&END_MAGIC)?;
+            self.w.seek(SeekFrom::Start(HDR_EVENTS_OFF))?;
+            self.w.write_all(&self.events.to_le_bytes())?;
+            self.w.write_all(&self.frames.to_le_bytes())?;
+            self.w.flush()
+        })();
+        r.map_err(|e| io_err(&self.label, "finalize", e))?;
+        self.bytes += END_MAGIC.len() as u64;
+        Ok(WriteStats {
+            frames: self.frames,
+            events: self.events,
+            bytes: self.bytes,
+        })
+    }
+
+    /// Frames/events/bytes written so far (footer not included).
+    pub fn stats(&self) -> WriteStats {
+        WriteStats {
+            frames: self.frames,
+            events: self.events,
+            bytes: self.bytes,
+        }
+    }
+}
+
+/// A recording tap: forwards every resolved event to an inner [`FoldSink`]
+/// unchanged while buffering a copy into chunks and spilling each full chunk
+/// as one frame.
+///
+/// Sink methods are infallible by contract, so IO failures are stashed and
+/// surfaced at [`finish`](Self::finish) — the live fold is never disturbed
+/// by a broken disk, it just loses the recording.
+pub struct Recorder<S: FoldSink, W: Write + Seek> {
+    inner: S,
+    writer: Option<TraceWriter<W>>,
+    buf: EventChunk,
+    cap: usize,
+    err: Option<PolyProfError>,
+}
+
+impl<S: FoldSink> Recorder<S, BufWriter<File>> {
+    /// Record to a fresh file at `path` while folding into `inner`.
+    pub fn to_file(
+        path: &Path,
+        prog: &Program,
+        chunk_events: usize,
+        inner: S,
+    ) -> Result<Self, PolyProfError> {
+        let writer = TraceWriter::create(path, prog, chunk_events)?;
+        Ok(Self::new(writer, chunk_events, inner))
+    }
+}
+
+impl<S: FoldSink, W: Write + Seek> Recorder<S, W> {
+    /// Tap `inner` and spill chunks of `chunk_events` events into `writer`.
+    pub fn new(writer: TraceWriter<W>, chunk_events: usize, inner: S) -> Self {
+        let cap = chunk_events.max(1);
+        Recorder {
+            inner,
+            writer: Some(writer),
+            buf: EventChunk::with_capacity(cap),
+            cap,
+            err: None,
+        }
+    }
+
+    /// The wrapped sink.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// The wrapped sink, mutably.
+    pub fn inner_mut(&mut self) -> &mut S {
+        &mut self.inner
+    }
+
+    fn spill(&mut self) {
+        if self.err.is_some() || self.buf.is_empty() {
+            self.buf.clear();
+            return;
+        }
+        if let Some(w) = self.writer.as_mut() {
+            if let Err(e) = w.write_chunk(&self.buf) {
+                self.err = Some(e);
+            }
+        }
+        self.buf.clear();
+    }
+
+    fn after_push(&mut self) {
+        if self.buf.len() >= self.cap {
+            self.spill();
+        }
+    }
+
+    /// Flush the partial chunk, write the footer, and return the inner sink
+    /// plus write stats. Any IO error stashed mid-run resurfaces here.
+    pub fn finish(mut self, interner: &ContextInterner) -> Result<(S, WriteStats), PolyProfError> {
+        self.spill();
+        if let Some(e) = self.err.take() {
+            return Err(e);
+        }
+        let writer = self.writer.take().expect("finish called once");
+        let stats = writer.finish(interner)?;
+        Ok((self.inner, stats))
+    }
+
+    /// Flush the partial chunk and hand back the inner sink and the still
+    /// footer-less writer. For pipelines where the interner only becomes
+    /// available on another thread after this sink is torn down — the caller
+    /// must still call [`TraceWriter::finish`] or the recording is
+    /// (detectably) truncated.
+    pub fn into_writer(mut self) -> Result<(S, TraceWriter<W>), PolyProfError> {
+        self.spill();
+        if let Some(e) = self.err.take() {
+            return Err(e);
+        }
+        let writer = self.writer.take().expect("writer present until teardown");
+        Ok((self.inner, writer))
+    }
+}
+
+impl<S: FoldSink, W: Write + Seek> FoldSink for Recorder<S, W> {
+    fn instr_point(&mut self, stmt: StmtId, coords: &[i64], value: Option<i64>) {
+        self.buf.push_point(stmt, coords, value);
+        self.after_push();
+        self.inner.instr_point(stmt, coords, value);
+    }
+
+    fn mem_access(&mut self, stmt: StmtId, coords: &[i64], addr: u64, is_write: bool) {
+        self.buf.push_access(stmt, coords, addr, is_write);
+        self.after_push();
+        self.inner.mem_access(stmt, coords, addr, is_write);
+    }
+
+    fn dependence(
+        &mut self,
+        kind: DepKind,
+        src: StmtId,
+        src_coords: &[i64],
+        dst: StmtId,
+        dst_coords: &[i64],
+    ) {
+        self.buf.push_dep(kind, src, src_coords, dst, dst_coords);
+        self.after_push();
+        self.inner
+            .dependence(kind, src, src_coords, dst, dst_coords);
+    }
+}
+
+impl<S: PreSink, W: Write + Seek> PreSink for Recorder<S, W> {
+    /// Pre-resolution records pass straight through: the recording holds the
+    /// *resolved* stream, and unresolved touches are resolved downstream.
+    fn mem_pre(&mut self, stmt: StmtId, coords: &[i64], addr: u64, is_write: bool) {
+        self.inner.mem_pre(stmt, coords, addr, is_write);
+    }
+}
+
+/// Header fields of an opened recording.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceMeta {
+    /// Format version (always [`FORMAT_VERSION`] once opened).
+    pub version: u32,
+    /// [`program_hash`] of the recorded program.
+    pub program_hash: u64,
+    /// Chunk capacity the recorder used.
+    pub chunk_events: u32,
+    /// Workload name from the header.
+    pub workload: String,
+    /// Header's total-event count (0 if the writer crashed before finish).
+    pub header_events: u64,
+    /// Header's total-frame count (0 if the writer crashed before finish).
+    pub header_frames: u64,
+}
+
+/// What a fully-read recording contained.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReadStats {
+    /// Event frames read (excluding the footer).
+    pub frames: u64,
+    /// Total events decoded.
+    pub events: u64,
+    /// Total payload bytes decoded (frames + footer).
+    pub bytes: u64,
+}
+
+/// Streaming `.ptrace` reader: [`next_chunk`](Self::next_chunk) until it
+/// returns `false`, then [`finish`](Self::finish) to recover the interner
+/// and cross-check all three event counts.
+#[derive(Debug)]
+pub struct TraceReader<R: Read> {
+    r: R,
+    label: String,
+    meta: TraceMeta,
+    frames: u64,
+    events: u64,
+    bytes: u64,
+    payload: Vec<u8>,
+    footer: Option<(ContextInterner, u64, u64)>,
+}
+
+impl TraceReader<BufReader<File>> {
+    /// Open a recording file and validate its header.
+    pub fn open(path: &Path) -> Result<Self, PolyProfError> {
+        let label = path.display().to_string();
+        let f = File::open(path).map_err(|e| io_err(&label, "open", e))?;
+        Self::new(BufReader::new(f), label)
+    }
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Wrap a raw stream and validate its header. `label` names the stream
+    /// in errors.
+    pub fn new(mut r: R, label: String) -> Result<Self, PolyProfError> {
+        let mut fixed = [0u8; 44];
+        read_exact(&mut r, &mut fixed, &label, "header")?;
+        if fixed[0..8] != MAGIC {
+            return Err(rec_err(&label, "bad magic: not a polyrec recording"));
+        }
+        let version = u32::from_le_bytes(fixed[8..12].try_into().unwrap());
+        if version != FORMAT_VERSION {
+            return Err(rec_err(
+                &label,
+                format!(
+                    "unsupported format version {version} (this build reads version {FORMAT_VERSION})"
+                ),
+            ));
+        }
+        let program_hash = u64::from_le_bytes(fixed[12..20].try_into().unwrap());
+        let chunk_events = u32::from_le_bytes(fixed[20..24].try_into().unwrap());
+        let header_events = u64::from_le_bytes(fixed[24..32].try_into().unwrap());
+        let header_frames = u64::from_le_bytes(fixed[32..40].try_into().unwrap());
+        let name_len = u32::from_le_bytes(fixed[40..44].try_into().unwrap());
+        if name_len > 4096 {
+            return Err(rec_err(
+                &label,
+                format!("workload name of {name_len} bytes is corrupt"),
+            ));
+        }
+        let mut name = vec![0u8; name_len as usize];
+        read_exact(&mut r, &mut name, &label, "workload name")?;
+        let workload =
+            String::from_utf8(name).map_err(|_| rec_err(&label, "workload name is not UTF-8"))?;
+        Ok(TraceReader {
+            r,
+            label,
+            meta: TraceMeta {
+                version,
+                program_hash,
+                chunk_events,
+                workload,
+                header_events,
+                header_frames,
+            },
+            frames: 0,
+            events: 0,
+            bytes: 0,
+            payload: Vec::new(),
+            footer: None,
+        })
+    }
+
+    /// Header metadata.
+    pub fn meta(&self) -> &TraceMeta {
+        &self.meta
+    }
+
+    /// Frames/events/bytes decoded so far.
+    pub fn stats(&self) -> ReadStats {
+        ReadStats {
+            frames: self.frames,
+            events: self.events,
+            bytes: self.bytes,
+        }
+    }
+
+    /// Decode the next frame into `chunk` (cleared first; pass a recycled
+    /// chunk to amortize its buffers). Returns `Ok(false)` once the footer
+    /// is reached — after that, call [`finish`](Self::finish).
+    pub fn next_chunk(&mut self, chunk: &mut EventChunk) -> Result<bool, PolyProfError> {
+        if self.footer.is_some() {
+            chunk.clear();
+            return Ok(false);
+        }
+        let tag = self.read_frame()?;
+        match tag {
+            TAG_FRAME => {
+                let n = codec::decode_chunk(&self.payload, chunk)
+                    .map_err(|d| rec_err(&self.label, format!("frame {}: {d}", self.frames)))?;
+                self.frames += 1;
+                self.events += n;
+                Ok(true)
+            }
+            TAG_FOOTER => {
+                chunk.clear();
+                self.read_footer()?;
+                Ok(false)
+            }
+            other => Err(rec_err(&self.label, format!("unknown frame tag {other}"))),
+        }
+    }
+
+    /// Read one tagged frame into `self.payload`, verifying its checksum.
+    fn read_frame(&mut self) -> Result<u8, PolyProfError> {
+        let mut tag = [0u8; 1];
+        read_exact(
+            &mut self.r,
+            &mut tag,
+            &self.label,
+            "frame tag (file truncated)",
+        )?;
+        let mut len = [0u8; 4];
+        read_exact(
+            &mut self.r,
+            &mut len,
+            &self.label,
+            "frame length (file truncated)",
+        )?;
+        let len = u32::from_le_bytes(len);
+        if len > MAX_PAYLOAD {
+            return Err(rec_err(
+                &self.label,
+                format!("frame payload of {len} bytes exceeds cap — corrupt length"),
+            ));
+        }
+        self.payload.resize(len as usize, 0);
+        read_exact(
+            &mut self.r,
+            &mut self.payload,
+            &self.label,
+            "frame payload (file truncated)",
+        )?;
+        let mut sum = [0u8; 8];
+        read_exact(
+            &mut self.r,
+            &mut sum,
+            &self.label,
+            "frame checksum (file truncated)",
+        )?;
+        let want = u64::from_le_bytes(sum);
+        let got = codec::fnv1a(&self.payload);
+        if want != got {
+            return Err(rec_err(
+                &self.label,
+                format!(
+                    "frame {} checksum mismatch (stored {want:#018x}, computed {got:#018x})",
+                    self.frames
+                ),
+            ));
+        }
+        self.bytes += len as u64;
+        Ok(tag[0])
+    }
+
+    /// Decode the footer payload and run the count cross-checks.
+    fn read_footer(&mut self) -> Result<(), PolyProfError> {
+        let mut cur = codec::Cursor::new(&self.payload);
+        let (paths, stmts) = codec::decode_interner(&mut cur)
+            .map_err(|d| rec_err(&self.label, format!("footer: {d}")))?;
+        let total_events = cur
+            .read_uv()
+            .map_err(|d| rec_err(&self.label, format!("footer totals: {d}")))?;
+        let total_frames = cur
+            .read_uv()
+            .map_err(|d| rec_err(&self.label, format!("footer totals: {d}")))?;
+        if !cur.is_done() {
+            return Err(rec_err(&self.label, "footer has trailing bytes"));
+        }
+        let mut end = [0u8; 8];
+        read_exact(
+            &mut self.r,
+            &mut end,
+            &self.label,
+            "end magic (file truncated)",
+        )?;
+        if end != END_MAGIC {
+            return Err(rec_err(&self.label, "bad end magic after footer"));
+        }
+        let mut extra = [0u8; 1];
+        match self.r.read(&mut extra) {
+            Ok(0) => {}
+            Ok(_) => return Err(rec_err(&self.label, "trailing garbage after end magic")),
+            Err(e) => return Err(io_err(&self.label, "probe end of stream", e)),
+        }
+        // Three-way count agreement: decoded stream vs footer vs header.
+        if total_events != self.events || total_frames != self.frames {
+            return Err(rec_err(
+                &self.label,
+                format!(
+                    "footer claims {total_frames} frames / {total_events} events but stream \
+                     decoded {} / {}",
+                    self.frames, self.events
+                ),
+            ));
+        }
+        if self.meta.header_events != self.events || self.meta.header_frames != self.frames {
+            return Err(rec_err(
+                &self.label,
+                format!(
+                    "header claims {} frames / {} events but stream decoded {} / {} — \
+                     recording was not finished or the header was tampered with",
+                    self.meta.header_frames, self.meta.header_events, self.frames, self.events
+                ),
+            ));
+        }
+        self.footer = Some((
+            ContextInterner::from_parts(paths, stmts),
+            total_events,
+            total_frames,
+        ));
+        Ok(())
+    }
+
+    /// Consume the reader after the footer was reached, returning the
+    /// reconstructed interner and final stats. Calling this before
+    /// [`next_chunk`](Self::next_chunk) returned `false` is an error — the
+    /// stream was not fully verified.
+    pub fn finish(self) -> Result<(ContextInterner, ReadStats), PolyProfError> {
+        let stats = ReadStats {
+            frames: self.frames,
+            events: self.events,
+            bytes: self.bytes,
+        };
+        match self.footer {
+            Some((interner, _, _)) => Ok((interner, stats)),
+            None => Err(rec_err(
+                &self.label,
+                "finish() before the footer was reached — stream not fully read",
+            )),
+        }
+    }
+}
+
+fn read_exact<R: Read>(
+    r: &mut R,
+    buf: &mut [u8],
+    label: &str,
+    what: &str,
+) -> Result<(), PolyProfError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            rec_err(label, format!("unexpected end of file reading {what}"))
+        } else {
+            io_err(label, what, e)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor as IoCursor;
+
+    fn interner_with_stmts() -> ContextInterner {
+        use polyir::{BlockRef, FuncId, InstrRef, LocalBlockId};
+        let b = BlockRef {
+            func: FuncId(0),
+            block: LocalBlockId(0),
+        };
+        ContextInterner::from_parts(
+            vec![vec![vec![polyiiv::CtxElem::Block(b)]]],
+            vec![polyiiv::context::StmtInfo {
+                path: polyiiv::context::CtxPathId(0),
+                instr: InstrRef { block: b, idx: 0 },
+                depth: 1,
+            }],
+        )
+    }
+
+    #[test]
+    fn roundtrip_in_memory() {
+        let mut bytes = Vec::new();
+        {
+            let buf = IoCursor::new(&mut bytes);
+            let mut w = TraceWriter::new(buf, "<mem>".into(), 42, "unit", 4).unwrap();
+            let mut c = EventChunk::with_capacity(4);
+            c.push_point(StmtId(0), &[0, 7], Some(-3));
+            c.push_access(StmtId(0), &[0, 7], 128, false);
+            w.write_chunk(&c).unwrap();
+            c.clear();
+            c.push_dep(DepKind::Anti, StmtId(0), &[1], StmtId(0), &[2]);
+            w.write_chunk(&c).unwrap();
+            let stats = w.finish(&interner_with_stmts()).unwrap();
+            assert_eq!(stats.frames, 2);
+            assert_eq!(stats.events, 3);
+        }
+        let mut r = TraceReader::new(IoCursor::new(&bytes[..]), "<mem>".into()).unwrap();
+        assert_eq!(r.meta().program_hash, 42);
+        assert_eq!(r.meta().workload, "unit");
+        assert_eq!(r.meta().header_events, 3);
+        let mut chunk = EventChunk::default();
+        let mut seen = Vec::new();
+        while r.next_chunk(&mut chunk).unwrap() {
+            for ev in chunk.events() {
+                seen.push(format!("{ev:?}"));
+            }
+        }
+        assert_eq!(seen.len(), 3);
+        let (interner, stats) = r.finish().unwrap();
+        assert_eq!(stats.frames, 2);
+        assert_eq!(stats.events, 3);
+        assert_eq!(interner.n_stmts(), 1);
+        assert_eq!(interner.n_paths(), 1);
+    }
+
+    #[test]
+    fn empty_recording_roundtrips() {
+        let mut bytes = Vec::new();
+        {
+            let w =
+                TraceWriter::new(IoCursor::new(&mut bytes), "<mem>".into(), 7, "empty", 4).unwrap();
+            w.finish(&interner_with_stmts()).unwrap();
+        }
+        let mut r = TraceReader::new(IoCursor::new(&bytes[..]), "<mem>".into()).unwrap();
+        let mut chunk = EventChunk::default();
+        assert!(!r.next_chunk(&mut chunk).unwrap());
+        let (_, stats) = r.finish().unwrap();
+        assert_eq!(stats.frames, 0);
+        assert_eq!(stats.events, 0);
+    }
+
+    #[test]
+    fn version_bump_is_a_hard_error() {
+        let mut bytes = Vec::new();
+        {
+            let w = TraceWriter::new(IoCursor::new(&mut bytes), "<mem>".into(), 7, "v", 4).unwrap();
+            w.finish(&interner_with_stmts()).unwrap();
+        }
+        bytes[HDR_VERSION_OFF as usize] = (FORMAT_VERSION + 1) as u8;
+        let err = TraceReader::new(IoCursor::new(&bytes[..]), "<mem>".into()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("unsupported format version"), "{msg}");
+    }
+
+    #[test]
+    fn bad_magic_is_a_hard_error() {
+        let mut bytes = Vec::new();
+        {
+            let w = TraceWriter::new(IoCursor::new(&mut bytes), "<mem>".into(), 7, "v", 4).unwrap();
+            w.finish(&interner_with_stmts()).unwrap();
+        }
+        bytes[0] ^= 0xff;
+        let err = TraceReader::new(IoCursor::new(&bytes[..]), "<mem>".into()).unwrap_err();
+        assert!(err.to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn recorder_taps_without_perturbing_inner() {
+        #[derive(Default)]
+        struct CountSink(usize);
+        impl FoldSink for CountSink {
+            fn instr_point(&mut self, _: StmtId, _: &[i64], _: Option<i64>) {
+                self.0 += 1;
+            }
+            fn mem_access(&mut self, _: StmtId, _: &[i64], _: u64, _: bool) {
+                self.0 += 1;
+            }
+            fn dependence(&mut self, _: DepKind, _: StmtId, _: &[i64], _: StmtId, _: &[i64]) {
+                self.0 += 1;
+            }
+        }
+        let mut bytes = Vec::new();
+        {
+            let w =
+                TraceWriter::new(IoCursor::new(&mut bytes), "<mem>".into(), 7, "tap", 2).unwrap();
+            let mut rec = Recorder::new(w, 2, CountSink::default());
+            for i in 0..5i64 {
+                rec.instr_point(StmtId(0), &[i], Some(i));
+            }
+            let (inner, stats) = rec.finish(&interner_with_stmts()).unwrap();
+            assert_eq!(inner.0, 5);
+            assert_eq!(stats.events, 5);
+            assert_eq!(stats.frames, 3); // 2 + 2 + 1
+        }
+        let mut r = TraceReader::new(IoCursor::new(&bytes[..]), "<mem>".into()).unwrap();
+        let mut chunk = EventChunk::default();
+        let mut n = 0;
+        while r.next_chunk(&mut chunk).unwrap() {
+            n += chunk.len();
+        }
+        assert_eq!(n, 5);
+        r.finish().unwrap();
+    }
+}

@@ -74,6 +74,15 @@ pub enum PolyProfError {
     },
     /// The watchdog deadline fired and partial results were not permitted.
     DeadlineExceeded,
+    /// An on-disk trace recording could not be written or replayed
+    /// (IO failure, bad magic, unsupported format version, checksum
+    /// mismatch, truncation, or count disagreement).
+    Recording {
+        /// The recording's path (or a label for in-memory streams).
+        path: String,
+        /// What the writer/reader rejected.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for PolyProfError {
@@ -97,6 +106,9 @@ impl std::fmt::Display for PolyProfError {
                 )
             }
             PolyProfError::DeadlineExceeded => write!(f, "profiling deadline exceeded"),
+            PolyProfError::Recording { path, detail } => {
+                write!(f, "trace recording `{path}`: {detail}")
+            }
         }
     }
 }

@@ -286,10 +286,18 @@ pub enum Counter {
     BudgetOverapprox,
     /// Watchdog deadline firings (0 or 1 per run).
     DeadlineHits,
+    /// Trace-recording frames written to disk (`polyrec` writer).
+    RecFramesWritten,
+    /// Trace-recording bytes written to disk (`polyrec` writer).
+    RecBytesWritten,
+    /// Trace-recording frames decoded during replay (`polyrec` reader).
+    RecFramesRead,
+    /// Trace-recording payload bytes decoded during replay (`polyrec` reader).
+    RecBytesRead,
 }
 
 /// Number of [`Counter`] slots.
-pub const N_COUNTERS: usize = 38;
+pub const N_COUNTERS: usize = 42;
 
 impl Counter {
     /// All counters, in report order.
@@ -332,6 +340,10 @@ impl Counter {
         Counter::UnresolvedAccesses,
         Counter::BudgetOverapprox,
         Counter::DeadlineHits,
+        Counter::RecFramesWritten,
+        Counter::RecBytesWritten,
+        Counter::RecFramesRead,
+        Counter::RecBytesRead,
     ];
 
     /// Stable snake_case name (JSON keys, table rows).
@@ -375,6 +387,10 @@ impl Counter {
             Counter::UnresolvedAccesses => "unresolved_accesses",
             Counter::BudgetOverapprox => "budget_overapprox_stmts",
             Counter::DeadlineHits => "deadline_hits",
+            Counter::RecFramesWritten => "rec_frames_written",
+            Counter::RecBytesWritten => "rec_bytes_written",
+            Counter::RecFramesRead => "rec_frames_read",
+            Counter::RecBytesRead => "rec_bytes_read",
         }
     }
 

@@ -1,0 +1,290 @@
+//! Record→replay gate: a `.ptrace` recording captured during a live fold
+//! must re-fold *byte-identically* (via `FoldedDdg::canonical_text`) to the
+//! live result at every shard count, and every corruption of the file —
+//! truncation, bad magic, a format-version bump, a flipped payload byte, a
+//! tampered header count — must surface as a structured `PolyProfError`,
+//! never a panic.
+//!
+//! Why identity holds: a recording carries the fully-resolved folding
+//! stream in serial order; replay routes it through the same
+//! folding-key-sharded channels as the live pipeline, so per-key folder
+//! state is identical and the merge is order-independent.
+
+mod common;
+
+use common::{deep_nest, elementwise, stencil};
+use polyprof_core::polyfold::pipeline::{
+    fold_pipelined_supervised, PipelineConfig, ResilienceConfig,
+};
+use polyprof_core::polyfold::{self, replay::fold_recording, FoldOptions, FoldedDdg};
+use polyprof_core::polyrec::{FORMAT_VERSION, HDR_EVENTS_OFF, HDR_VERSION_OFF, MAGIC};
+use polyprof_core::polyresist::PolyProfError;
+use polyprof_core::{polycfg, polyir::Program, polyvm};
+use polyprof_core::{profile_with, try_profile_with, ProfileConfig};
+use proptest::prelude::*;
+use rodinia::paper_examples::fig6_kernel;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Unique scratch path per (process, test) so parallel test threads never
+/// collide; callers clean up with `fs::remove_file` at the end.
+fn scratch(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("polyrec_{}_{}.ptrace", std::process::id(), name))
+}
+
+/// Live pipelined fold that also records to `path`, returning the live DDG.
+/// Tiny chunks so every trace crosses many frame boundaries.
+fn record_live(prog: &Program, path: &Path, fold_threads: usize) -> FoldedDdg {
+    let mut rec = polycfg::StructureRecorder::new();
+    polyvm::Vm::new(prog).run(&[], &mut rec).expect("pass 1");
+    let structure = polycfg::StaticStructure::analyze(prog, rec);
+    let cfg = PipelineConfig {
+        fold_threads,
+        chunk_events: 64,
+        ..Default::default()
+    };
+    let (ddg, _, _, deg) = fold_pipelined_supervised(
+        prog,
+        &structure,
+        &cfg,
+        None,
+        None,
+        Some(path),
+        &ResilienceConfig::default(),
+    )
+    .expect("recording fold must complete");
+    assert!(
+        !deg.is_degraded(),
+        "recording a healthy run must not degrade: {deg:?}"
+    );
+    ddg
+}
+
+/// The headline invariant: replaying a recording reproduces the live fold
+/// byte-for-byte at K ∈ {1, 2, 8}, for elementwise, stencil, deep-nest
+/// (arena-spilling), and the paper's Fig. 6 kernel.
+#[test]
+fn replay_is_byte_identical_at_every_k() {
+    let progs = [
+        ("elem", elementwise(8, 3)),
+        ("stencil", stencil(10, 3)),
+        ("deep", deep_nest(2)),
+        ("fig6", fig6_kernel(8, 4)),
+    ];
+    for (name, prog) in &progs {
+        let path = scratch(&format!("identity_{name}"));
+        let live = record_live(prog, &path, 4).canonical_text();
+        for k in [1usize, 2, 8] {
+            let (replayed, _) = fold_recording(&path, prog, k, FoldOptions::default(), None)
+                .expect("replay must succeed");
+            assert_eq!(
+                live,
+                replayed.canonical_text(),
+                "{name}: replayed fold at K={k} diverged from the live fold"
+            );
+        }
+        fs::remove_file(&path).ok();
+    }
+}
+
+/// The serial (fold_threads = 1) executor records through the same format;
+/// its recording replays byte-identically too, and matches the recording
+/// taken by the pipelined executor event-for-event after folding.
+#[test]
+fn serial_recording_matches_pipelined_recording() {
+    let prog = stencil(9, 2);
+    let serial_path = scratch("serial_rec");
+    let piped_path = scratch("piped_rec");
+
+    // Serial executor with a recorder tap, driven through the public API.
+    let report = try_profile_with(&prog, &ProfileConfig::new().with_record_to(&serial_path))
+        .expect("serial record run");
+    let live_serial = polyfold::fold_program(&prog).0.canonical_text();
+
+    let piped = record_live(&prog, &piped_path, 4).canonical_text();
+    assert_eq!(live_serial, piped, "serial and pipelined live folds differ");
+
+    for (label, path) in [("serial", &serial_path), ("pipelined", &piped_path)] {
+        for k in [1usize, 2, 8] {
+            let (ddg, _) = fold_recording(path, &prog, k, FoldOptions::default(), None)
+                .expect("replay must succeed");
+            assert_eq!(
+                live_serial,
+                ddg.canonical_text(),
+                "{label} recording diverged at K={k}"
+            );
+        }
+    }
+    // The tap must not perturb the run it observed: the recorded run's
+    // report matches an untapped run of the same config byte-for-byte.
+    let untapped = try_profile_with(&prog, &ProfileConfig::new()).expect("untapped run");
+    assert_eq!(report.folded_stats, untapped.folded_stats);
+    assert_eq!(report.annotated_ast, untapped.annotated_ast);
+    fs::remove_file(&serial_path).ok();
+    fs::remove_file(&piped_path).ok();
+}
+
+/// `replay_from` through the public driver: the replayed report reproduces
+/// the live report's folded statistics and annotated AST without a pass-2
+/// VM run.
+#[test]
+fn profile_replay_from_matches_live_report() {
+    let prog = fig6_kernel(8, 4);
+    let path = scratch("profile_replay");
+    let live =
+        try_profile_with(&prog, &ProfileConfig::new().with_record_to(&path)).expect("record run");
+    for k in [1usize, 8] {
+        let replayed = try_profile_with(
+            &prog,
+            &ProfileConfig::new()
+                .with_fold_threads(k)
+                .with_replay_from(&path),
+        )
+        .expect("replay run");
+        assert_eq!(live.folded_stats, replayed.folded_stats);
+        assert_eq!(live.scev_removed, replayed.scev_removed);
+        assert_eq!(live.annotated_ast, replayed.annotated_ast);
+    }
+    fs::remove_file(&path).ok();
+}
+
+/// Replaying against a different program is a structured error naming the
+/// hash mismatch — never a silently wrong DDG.
+#[test]
+fn program_hash_mismatch_is_a_hard_error() {
+    let prog = stencil(9, 2);
+    let other = elementwise(8, 3);
+    let path = scratch("hash_mismatch");
+    record_live(&prog, &path, 2);
+    let err = fold_recording(&path, &other, 1, FoldOptions::default(), None)
+        .expect_err("wrong program must be rejected");
+    match &err {
+        PolyProfError::Recording { detail, .. } => {
+            assert!(detail.contains("program hash mismatch"), "got: {detail}");
+        }
+        other => panic!("expected Recording error, got {other}"),
+    }
+    fs::remove_file(&path).ok();
+}
+
+/// A future format version (a bumped u32 at `HDR_VERSION_OFF`) is a hard,
+/// structured error at open time — old readers must never misparse new
+/// streams.
+#[test]
+fn format_version_bump_is_a_hard_error() {
+    let prog = elementwise(6, 2);
+    let path = scratch("version_bump");
+    record_live(&prog, &path, 2);
+    let mut bytes = fs::read(&path).unwrap();
+    let off = HDR_VERSION_OFF as usize;
+    bytes[off..off + 4].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+    fs::write(&path, &bytes).unwrap();
+    let err = fold_recording(&path, &prog, 1, FoldOptions::default(), None)
+        .expect_err("future version must be rejected");
+    assert!(
+        matches!(err, PolyProfError::Recording { .. }),
+        "expected structured Recording error, got {err}"
+    );
+    fs::remove_file(&path).ok();
+}
+
+/// A corrupted magic prefix is rejected before anything else is parsed.
+#[test]
+fn bad_magic_is_a_hard_error() {
+    let prog = elementwise(6, 2);
+    let path = scratch("bad_magic");
+    record_live(&prog, &path, 2);
+    let mut bytes = fs::read(&path).unwrap();
+    bytes[0] ^= 0xFF;
+    assert_ne!(&bytes[..8], &MAGIC[..]);
+    fs::write(&path, &bytes).unwrap();
+    let err = fold_recording(&path, &prog, 1, FoldOptions::default(), None)
+        .expect_err("bad magic must be rejected");
+    assert!(matches!(err, PolyProfError::Recording { .. }));
+    fs::remove_file(&path).ok();
+}
+
+/// Flipping a byte inside the first frame's payload trips the per-frame
+/// FNV checksum (or a payload bounds guard) — a structured decode error,
+/// not a silently different DDG.
+#[test]
+fn payload_byte_flip_is_detected() {
+    let prog = stencil(9, 2);
+    let path = scratch("byte_flip");
+    record_live(&prog, &path, 2);
+    let mut bytes = fs::read(&path).unwrap();
+    // Header is 44 bytes + name; the first frame starts right after it:
+    // tag(1) + len(4) + payload. Flip a byte 6 into the frame (inside the
+    // payload for any non-empty frame).
+    let name_len = u32::from_le_bytes(bytes[40..44].try_into().unwrap()) as usize;
+    let frame0 = 44 + name_len;
+    bytes[frame0 + 6] ^= 0xFF;
+    fs::write(&path, &bytes).unwrap();
+    let err = fold_recording(&path, &prog, 1, FoldOptions::default(), None)
+        .expect_err("checksum mismatch must be detected");
+    assert!(matches!(err, PolyProfError::Recording { .. }));
+    fs::remove_file(&path).ok();
+}
+
+/// Tampering with the header's total-event count makes the three-way
+/// (stream / footer / header) count check fail at finish.
+#[test]
+fn header_count_tamper_is_detected() {
+    let prog = elementwise(8, 3);
+    let path = scratch("count_tamper");
+    record_live(&prog, &path, 2);
+    let mut bytes = fs::read(&path).unwrap();
+    let off = HDR_EVENTS_OFF as usize;
+    let n = u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap());
+    bytes[off..off + 8].copy_from_slice(&(n + 1).to_le_bytes());
+    fs::write(&path, &bytes).unwrap();
+    let err = fold_recording(&path, &prog, 1, FoldOptions::default(), None)
+        .expect_err("count disagreement must be detected");
+    assert!(matches!(err, PolyProfError::Recording { .. }));
+    fs::remove_file(&path).ok();
+}
+
+proptest! {
+    /// Truncating a recording at *any* point — mid-header, mid-name,
+    /// mid-frame, mid-footer, before the end magic — yields a structured
+    /// error (no panic, no partial DDG accepted), at serial and sharded
+    /// replay alike. The footer's end magic plus the three-way count check
+    /// make every strict prefix detectable.
+    #[test]
+    fn any_truncation_is_a_structured_error(seed in 0i64..1_000_000, k in 0usize..2) {
+        let k = [1usize, 4][k];
+        let prog = elementwise(7, 2);
+        let path = scratch(&format!("trunc_{seed}_{k}"));
+        record_live(&prog, &path, 2);
+        let bytes = fs::read(&path).unwrap();
+        let cut = (seed as usize) % bytes.len();
+        fs::write(&path, &bytes[..cut]).unwrap();
+        let res = fold_recording(&path, &prog, k, FoldOptions::default(), None);
+        fs::remove_file(&path).ok();
+        prop_assert!(
+            matches!(res, Err(PolyProfError::Recording { .. })),
+            "truncation at {} of {} bytes must be a structured error",
+            cut,
+            bytes.len()
+        );
+    }
+}
+
+/// `record_to` on a replay run is ignored (there is no VM stream to tap):
+/// the replay still succeeds and no file appears.
+#[test]
+fn record_to_is_ignored_during_replay() {
+    let prog = elementwise(6, 2);
+    let src = scratch("replay_src");
+    let ghost = scratch("replay_ghost");
+    record_live(&prog, &src, 2);
+    let report = profile_with(
+        &prog,
+        &ProfileConfig::new()
+            .with_replay_from(&src)
+            .with_record_to(&ghost),
+    );
+    assert!(report.folded_stats.2 > 0);
+    assert!(!ghost.exists(), "replay must not write a new recording");
+    fs::remove_file(&src).ok();
+}

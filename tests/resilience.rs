@@ -36,7 +36,7 @@ fn supervised_fold(
         chunk_events: 64,
         ..Default::default()
     };
-    let (ddg, _, _, deg) = fold_pipelined_supervised(prog, &structure, &cfg, None, None, res)
+    let (ddg, _, _, deg) = fold_pipelined_supervised(prog, &structure, &cfg, None, None, None, res)
         .expect("supervised fold must complete");
     (ddg, deg)
 }
