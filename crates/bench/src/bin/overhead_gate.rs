@@ -1,0 +1,103 @@
+//! Telemetry overhead gate: prove the observability tiers stay within
+//! their wall-time budgets on the Rodinia fixture.
+//!
+//! Usage: `overhead_gate [--reps N] [--limit-timing PCT] [--limit-trace PCT] [--record-only]`
+//!
+//! Profiles `backprop` end-to-end at `Off`, `Timing`, and `Trace`
+//! (interleaved rounds, best-of-N per level so scheduler noise cancels)
+//! and fails when `Timing` exceeds its overhead budget (default +5%) or
+//! `Trace` exceeds its (default +15%) relative to `Off`. `--record-only`
+//! reports the ratios without gating (for noisy dev machines).
+
+use polyprof_core::{profile_with, MetricsLevel, ProfileConfig};
+use std::process::exit;
+use std::time::Instant;
+
+fn main() {
+    let mut reps = 3usize;
+    let mut limit_timing = 0.05f64;
+    let mut limit_trace = 0.15f64;
+    let mut record_only = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--reps" => reps = args.next().unwrap().parse().expect("--reps N"),
+            "--limit-timing" => {
+                limit_timing = args
+                    .next()
+                    .unwrap()
+                    .trim_end_matches('%')
+                    .parse::<f64>()
+                    .unwrap()
+                    / 100.0
+            }
+            "--limit-trace" => {
+                limit_trace = args
+                    .next()
+                    .unwrap()
+                    .trim_end_matches('%')
+                    .parse::<f64>()
+                    .unwrap()
+                    / 100.0
+            }
+            "--record-only" => record_only = true,
+            other => {
+                eprintln!("overhead_gate: unknown arg {other:?}");
+                exit(2);
+            }
+        }
+    }
+
+    let prog = rodinia::backprop::build().program;
+    let levels = [MetricsLevel::Off, MetricsLevel::Timing, MetricsLevel::Trace];
+    let mut best = [f64::INFINITY; 3];
+
+    // Warm-up (page in code + allocator pools), then interleaved rounds.
+    let _ = profile_with(&prog, &ProfileConfig::new());
+    for _ in 0..reps {
+        for (i, level) in levels.iter().enumerate() {
+            let cfg = ProfileConfig::new().with_metrics(*level);
+            let t0 = Instant::now();
+            let r = profile_with(&prog, &cfg);
+            let dt = t0.elapsed().as_secs_f64();
+            std::hint::black_box(&r);
+            if dt < best[i] {
+                best[i] = dt;
+            }
+        }
+    }
+
+    let over = |lvl: usize| best[lvl] / best[0] - 1.0;
+    println!(
+        "overhead_gate: best-of-{reps} wall  off {:.4}s  timing {:.4}s (+{:.1}%)  trace {:.4}s (+{:.1}%)",
+        best[0],
+        best[1],
+        100.0 * over(1),
+        best[2],
+        100.0 * over(2),
+    );
+
+    let mut failed = false;
+    if over(1) > limit_timing {
+        eprintln!(
+            "overhead_gate: Timing overhead {:.1}% exceeds budget {:.0}%",
+            100.0 * over(1),
+            100.0 * limit_timing
+        );
+        failed = true;
+    }
+    if over(2) > limit_trace {
+        eprintln!(
+            "overhead_gate: Trace overhead {:.1}% exceeds budget {:.0}%",
+            100.0 * over(2),
+            100.0 * limit_trace
+        );
+        failed = true;
+    }
+    if failed && !record_only {
+        exit(1);
+    }
+    if failed {
+        println!("overhead_gate: over budget, but --record-only set");
+    }
+}

@@ -1,0 +1,78 @@
+//! Bench-trajectory regression sentinel (CI post-bench step).
+//!
+//! Usage: `sentinel [--limit PCT] [TRAJECTORY_FILE]`
+//!
+//! Reads the JSONL trajectory appended by `bench_pipeline` (default
+//! `BENCH_trajectory.json`), groups runs by `(bench, cpus, smoke)`, and
+//! compares each group's newest ns/event figures against the median of the
+//! previous five matching runs. Exits non-zero when any group regressed by
+//! more than the limit (default 15%); groups with a short history are
+//! records-only. A missing trajectory file is not an error — the history
+//! has to start somewhere.
+
+use polyprof_bench::sentinel::{check_trajectory, Verdict, DEFAULT_WORSE_LIMIT};
+use std::process::exit;
+
+fn main() {
+    let mut limit = DEFAULT_WORSE_LIMIT;
+    let mut path = "BENCH_trajectory.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--limit" => {
+                let v = args.next().unwrap_or_default();
+                limit = v.trim_end_matches('%').parse::<f64>().unwrap_or_else(|_| {
+                    eprintln!("sentinel: bad --limit {v:?}");
+                    exit(2);
+                }) / 100.0;
+            }
+            other => path = other.to_string(),
+        }
+    }
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(_) => {
+            println!("sentinel: no trajectory at {path}; nothing to check (records-only)");
+            return;
+        }
+    };
+
+    let checks = check_trajectory(&text, limit);
+    if checks.is_empty() {
+        println!("sentinel: {path} holds no parsable runs; nothing to check");
+        return;
+    }
+
+    let mut failed = false;
+    for c in &checks {
+        let id = format!("{} cpus={} smoke={}", c.bench, c.cpus, c.smoke);
+        match &c.verdict {
+            Verdict::Pass => {
+                println!(
+                    "sentinel: PASS        {id} ({} runs, within {:.0}%)",
+                    c.runs,
+                    limit * 100.0
+                )
+            }
+            Verdict::RecordOnly { have } => {
+                println!("sentinel: RECORD-ONLY {id} ({have} prior runs, need 5)")
+            }
+            Verdict::Regressed {
+                metric,
+                new,
+                median,
+            } => {
+                failed = true;
+                println!(
+                    "sentinel: REGRESSED   {id}: {metric} {new:.1} ns/event vs median {median:.1} (+{:.1}%, limit {:.0}%)",
+                    100.0 * (new / median - 1.0),
+                    limit * 100.0
+                );
+            }
+        }
+    }
+    if failed {
+        exit(1);
+    }
+}

@@ -6,6 +6,7 @@
 //! case-study kernels (original vs transformed) and the profiling pipeline
 //! itself. Shared helpers live here.
 
+pub mod sentinel;
 pub mod trace;
 
 use polyiiv::CtxElem;
@@ -84,8 +85,8 @@ pub fn pct(x: f64) -> String {
 
 /// Minimal hand-rolled JSON object builder for machine-readable bench
 /// artifacts (`BENCH_pipeline.json`): flat or one-level-nested objects of
-/// strings and numbers. No escaping beyond quotes/backslashes — keys and
-/// values here are identifiers and numbers.
+/// strings and numbers. String values go through `polytrace::json_escape`,
+/// so quote- or control-character-bearing workload names stay valid JSON.
 #[derive(Debug, Default)]
 pub struct JsonObj {
     fields: Vec<(String, String)>,
@@ -102,9 +103,9 @@ impl JsonObj {
         self
     }
 
-    /// Add a string field.
+    /// Add a string field (fully escaped — quotes, backslashes, controls).
     pub fn str_field(&mut self, k: &str, v: &str) -> &mut Self {
-        let escaped = v.replace('\\', "\\\\").replace('"', "\\\"");
+        let escaped = polytrace::json_escape(v);
         self.push(k, format!("\"{escaped}\""))
     }
 
@@ -142,7 +143,7 @@ impl JsonObj {
         let body: Vec<String> = self
             .fields
             .iter()
-            .map(|(k, v)| format!("\"{k}\": {v}"))
+            .map(|(k, v)| format!("\"{}\": {v}", polytrace::json_escape(k)))
             .collect();
         format!("{{{}}}", body.join(", "))
     }
@@ -151,6 +152,19 @@ impl JsonObj {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Regression pin: a workload name carrying quotes, backslashes, and
+    /// control characters must render as valid JSON (previously only `"` and
+    /// `\` were escaped — a newline in a name produced a broken artifact).
+    #[test]
+    fn str_field_escapes_quotes_and_controls() {
+        let mut o = JsonObj::new();
+        o.str_field("workload", "back\"prop\"\n\t\\v1\u{1}");
+        let s = o.render();
+        assert_eq!(s, "{\"workload\": \"back\\\"prop\\\"\\n\\t\\\\v1\\u0001\"}");
+        assert!(!s.contains('\n'), "raw control chars must not leak");
+        sentinel::validate_json(&s).expect("escaped output must be valid JSON");
+    }
 
     #[test]
     fn helpers() {

@@ -40,7 +40,7 @@ pub use polytrace;
 pub use polyvm;
 
 pub use polyresist::{FaultPlan, FaultSite, PolyProfError, ResourceBudget, RunDegradation};
-pub use polytrace::{MetricsLevel, RunMetrics};
+pub use polytrace::{MetricsLevel, ProgressSnapshot, RunMetrics};
 
 use polyfeedback::metrics::ProgramFeedback;
 use polyir::Program;
@@ -93,6 +93,11 @@ pub struct Report {
     /// watchdog deadline. All-default (check [`RunDegradation::is_degraded`])
     /// for a clean run — which every run without a fault plan or budget is.
     pub degradation: RunDegradation,
+    /// Periodic live snapshots from the progress sampler, in sample order.
+    /// Empty unless [`ProfileConfig::with_progress`] armed the watcher
+    /// thread — this is the streaming primitive a monitoring frontend would
+    /// subscribe to; batch runs get the full sequence after the fact.
+    pub progress: Vec<ProgressSnapshot>,
 }
 
 impl Report {
@@ -116,6 +121,15 @@ impl Report {
     /// resilience gate snapshots next to its `metrics.json` artifacts.
     pub fn degradation_json(&self) -> String {
         self.degradation.to_json()
+    }
+
+    /// The run's timeline as Chrome trace-event JSON (loadable in Perfetto
+    /// / `chrome://tracing`), or `None` below [`MetricsLevel::Trace`].
+    pub fn timeline_json(&self) -> Option<String> {
+        self.metrics
+            .as_ref()
+            .filter(|m| m.level >= MetricsLevel::Trace)
+            .map(|m| m.timeline_json())
     }
 }
 
@@ -194,6 +208,12 @@ pub struct ProfileConfig {
     /// `prog`. Fault injection, budgets, and pruning do not apply to a
     /// replayed fold — the stream on disk is already final.
     pub replay_from: Option<PathBuf>,
+    /// Sampling interval for the live-progress watcher thread. `None`
+    /// (default) spawns nothing. When set, a sampler thread snapshots the
+    /// run's counters and gauges every interval into
+    /// [`Report::progress`]; a run configured at [`MetricsLevel::Off`] is
+    /// quietly upgraded to `Counters` so there is something to sample.
+    pub progress: Option<Duration>,
 }
 
 impl Default for ProfileConfig {
@@ -212,6 +232,7 @@ impl Default for ProfileConfig {
             fast_fit: true,
             record_to: None,
             replay_from: None,
+            progress: None,
         }
     }
 }
@@ -306,6 +327,13 @@ impl ProfileConfig {
         self.replay_from = Some(path.into());
         self
     }
+
+    /// Arm the live-progress sampler at this interval (see
+    /// [`ProfileConfig::progress`]).
+    pub fn with_progress(mut self, interval: Duration) -> Self {
+        self.progress = Some(interval);
+        self
+    }
 }
 
 /// Run the full Poly-Prof pipeline (both instrumentation passes, folding,
@@ -337,9 +365,15 @@ pub fn profile_with(prog: &Program, cfg: &ProfileConfig) -> Report {
 pub fn try_profile_with(prog: &Program, cfg: &ProfileConfig) -> Result<Report, PolyProfError> {
     // Telemetry: one fixed-slot collector per run when metrics are on; no
     // allocation and no clock reads at `Off` (the zero-alloc gate runs the
-    // default config through this exact path).
-    let trace = (cfg.metrics != MetricsLevel::Off)
-        .then(|| (Arc::new(Collector::new(cfg.metrics)), Instant::now()));
+    // default config through this exact path). An armed progress sampler
+    // needs counters to sample, so it lifts `Off` to `Counters`.
+    let metrics_level = if cfg.progress.is_some() && cfg.metrics == MetricsLevel::Off {
+        MetricsLevel::Counters
+    } else {
+        cfg.metrics
+    };
+    let trace = (metrics_level != MetricsLevel::Off)
+        .then(|| (Arc::new(Collector::new(metrics_level)), Instant::now()));
 
     // Pass 1: dynamic control structure.
     let structure = {
@@ -365,6 +399,17 @@ pub fn try_profile_with(prog: &Program, cfg: &ProfileConfig) -> Result<Report, P
         .or_else(|| FaultPlan::from_env().map(Arc::new));
     let budget = (cfg.memory_budget.is_some() || cfg.deadline.is_some())
         .then(|| Arc::new(ResourceBudget::new(cfg.memory_budget, cfg.deadline)));
+
+    // Live-progress sampler: a watcher thread snapshotting counters/gauges
+    // every interval into a bounded channel. Purely observational — it only
+    // ever *reads* the collector's atomics, so the profiled run is
+    // undisturbed; a full channel drops the newest sample rather than block.
+    let sampler = match (cfg.progress, &trace) {
+        (Some(interval), Some((c, _))) => {
+            Some(spawn_sampler(interval, Arc::clone(c), budget.clone()))
+        }
+        _ => None,
+    };
 
     // Static affine pre-pass: SCEV proofs, prune mask, lint inputs. Runs
     // only when the hybrid knobs ask for it — the classic dynamic-only
@@ -606,7 +651,23 @@ pub fn try_profile_with(prog: &Program, cfg: &ProfileConfig) -> Result<Report, P
         full_text
     };
 
+    // Stop the sampler (if any) *before* freezing the metrics snapshot, so
+    // no sample is taken concurrently with the drain of trace journals.
+    let progress = match sampler {
+        Some(s) => s.finish(),
+        None => Vec::new(),
+    };
+
     let metrics = trace.map(|(c, t0)| c.snapshot(t0.elapsed().as_nanos() as u64));
+    // VM opcode telemetry only exists at `Timing`+, so `Off`/`Counters`
+    // reports stay byte-identical to pre-telemetry output.
+    let full_text = match &metrics {
+        Some(m) if !m.vm_ops.is_empty() => {
+            let section = polyfeedback::vm_profile_section(m);
+            format!("{full_text}\n{section}")
+        }
+        _ => full_text,
+    };
     Ok(Report {
         feedback,
         static_report,
@@ -621,7 +682,69 @@ pub fn try_profile_with(prog: &Program, cfg: &ProfileConfig) -> Result<Report, P
         lint,
         metrics,
         degradation,
+        progress,
     })
+}
+
+/// A running progress sampler: stop flag + join handle + the bounded
+/// snapshot channel's receiving end.
+struct Sampler {
+    stop: Arc<std::sync::atomic::AtomicBool>,
+    handle: std::thread::JoinHandle<()>,
+    rx: std::sync::mpsc::Receiver<polytrace::ProgressSnapshot>,
+}
+
+/// Most snapshots a run retains; older runs stream, batch runs truncate.
+/// At the default-ish 100ms interval this covers a ~100s run.
+const PROGRESS_CAP: usize = 1024;
+
+fn spawn_sampler(
+    interval: Duration,
+    col: Arc<Collector>,
+    budget: Option<Arc<ResourceBudget>>,
+) -> Sampler {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_t = Arc::clone(&stop);
+    let (tx, rx) = std::sync::mpsc::sync_channel(PROGRESS_CAP);
+    let handle = std::thread::spawn(move || {
+        let mut prev_t = 0u64;
+        let mut prev_folded = 0u64;
+        while !stop_t.load(Ordering::Relaxed) {
+            std::thread::park_timeout(interval);
+            if stop_t.load(Ordering::Relaxed) {
+                break;
+            }
+            let t_ns = col.now_ns();
+            let mut snap = col.progress(t_ns);
+            let dt = t_ns.saturating_sub(prev_t);
+            if dt > 0 {
+                snap.events_per_sec =
+                    snap.events_folded.saturating_sub(prev_folded) as f64 * 1e9 / dt as f64;
+            }
+            prev_t = t_ns;
+            prev_folded = snap.events_folded;
+            if let Some(b) = &budget {
+                snap.budget_used_bytes = b.used_bytes();
+                snap.budget_pressure = b.under_pressure();
+                snap.deadline_remaining_ns = b.deadline_remaining().map(|d| d.as_nanos() as u64);
+            }
+            // Bounded: when the consumer lags PROGRESS_CAP samples behind,
+            // drop the newest instead of blocking the sampler.
+            let _ = tx.try_send(snap);
+        }
+    });
+    Sampler { stop, handle, rx }
+}
+
+impl Sampler {
+    /// Stop the watcher thread and drain every snapshot it took.
+    fn finish(self) -> Vec<polytrace::ProgressSnapshot> {
+        self.stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        self.handle.thread().unpark();
+        let _ = self.handle.join();
+        self.rx.try_iter().collect()
+    }
 }
 
 /// The serial pass-2 body, generic over the folding sink so the recording
@@ -644,7 +767,15 @@ fn serial_pass2<S: polyddg::FoldSink>(
     if let Some(b) = budget {
         prof.set_budget(Arc::clone(b));
     }
-    match polyvm::Vm::new(prog).run(&[], &mut prof) {
+    let mut vm = polyvm::Vm::new(prog);
+    if let Some(c) = trace {
+        // Opcode telemetry is plain-u64 counting at `Timing`, plus sampled
+        // dispatch timing at `Trace`; `Off`/`Counters` never arm it.
+        if c.timing() {
+            vm.enable_opcode_telemetry(c.tracing());
+        }
+    }
+    match vm.run(&[], &mut prof) {
         Ok(_) => {}
         // The budget watchdog asked for a graceful stop: finalize the
         // partial-but-valid folded state observed so far.
@@ -657,6 +788,9 @@ fn serial_pass2<S: polyddg::FoldSink>(
         }
     }
     if let Some(c) = trace {
+        if let Some(t) = vm.take_opcode_telemetry() {
+            t.harvest(c);
+        }
         c.add(Counter::DynOps, prof.dyn_ops);
         c.add(Counter::MemEvents, prof.mem_events);
         c.add(Counter::PrunedEvents, prof.pruned_events);

@@ -19,7 +19,7 @@
 use crate::{DepKind, FoldSink, PreSink};
 use polyiiv::context::StmtId;
 use polyresist::{FaultPlan, FaultSite};
-use polytrace::{Collector, Counter};
+use polytrace::{Collector, Counter, HistKind, Histogram, Journal, TID_PRE, TID_RESOLVE};
 use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::Arc;
 use std::time::Instant;
@@ -404,6 +404,17 @@ impl ChunkStats {
     }
 }
 
+/// Per-writer latency distributions, kept out of [`ChunkStats`] so the
+/// plain tally stays `Copy`. Present only when the attached collector
+/// records at `Timing` or above; the journal only at `Trace`.
+#[derive(Debug, Default)]
+struct WriterTelemetry {
+    occupancy: Histogram,
+    send_stall: Histogram,
+    queue_depth: Histogram,
+    journal: Option<Journal>,
+}
+
 /// A [`FoldSink`]/[`PreSink`] that batches events into [`EventChunk`]s and
 /// ships full chunks over a bounded channel (backpressure: `send` blocks
 /// when the consumer lags). Consumed chunks come back through the `recycled`
@@ -418,6 +429,8 @@ pub struct ChunkWriter {
     /// Optional telemetry: queue-depth gauge + stall timing per flush.
     /// Chunk-granularity only — the per-event path never touches it.
     trace: Option<(Arc<Collector>, usize)>,
+    /// Histograms + trace journal, allocated only at `Timing`+.
+    telemetry: Option<Box<WriterTelemetry>>,
     /// Optional deterministic fault plan probed once per flushed chunk.
     faults: Option<Arc<FaultPlan>>,
 }
@@ -438,6 +451,7 @@ impl ChunkWriter {
             recycled,
             stats: ChunkStats::default(),
             trace: None,
+            telemetry: None,
             faults: None,
         }
     }
@@ -453,6 +467,15 @@ impl ChunkWriter {
     /// in the collector's queue gauges (0 = pre → resolver, `1 + k` =
     /// resolver → shard `k`).
     pub fn set_trace(&mut self, collector: Arc<Collector>, edge: usize) {
+        if collector.timing() {
+            // Edge 0 is the pre-profile → resolver channel; 1 + k the
+            // resolver → shard-k channels — label the journal lane to match.
+            let tid = if edge == 0 { TID_PRE } else { TID_RESOLVE };
+            self.telemetry = Some(Box::new(WriterTelemetry {
+                journal: collector.new_journal(tid),
+                ..WriterTelemetry::default()
+            }));
+        }
         self.trace = Some((collector, edge));
     }
 
@@ -493,15 +516,29 @@ impl ChunkWriter {
         match &self.trace {
             Some((col, edge)) => {
                 if col.timing() {
+                    let occupancy = full.len() as u64;
                     let t0 = Instant::now();
                     if self.tx.send(full).is_err() {
                         self.stats.dropped_chunks += 1;
                     }
-                    self.stats.send_stall_ns += t0.elapsed().as_nanos() as u64;
-                } else if self.tx.send(full).is_err() {
-                    self.stats.dropped_chunks += 1;
+                    let stall = t0.elapsed().as_nanos() as u64;
+                    self.stats.send_stall_ns += stall;
+                    let depth = col.queue_send(*edge);
+                    if let Some(t) = self.telemetry.as_deref_mut() {
+                        t.occupancy.record(occupancy);
+                        t.send_stall.record(stall);
+                        t.queue_depth.record(depth);
+                        if let Some(j) = t.journal.as_mut() {
+                            let seq = self.stats.chunks_recycled + self.stats.chunks_fresh;
+                            j.instant("chunk-send", *edge as u64, seq);
+                        }
+                    }
+                } else {
+                    if self.tx.send(full).is_err() {
+                        self.stats.dropped_chunks += 1;
+                    }
+                    col.queue_send(*edge);
                 }
-                col.queue_send(*edge);
             }
             None => {
                 if self.tx.send(full).is_err() {
@@ -526,8 +563,18 @@ impl ChunkWriter {
 
     /// Flush the trailing partial chunk and close the channel (consumers see
     /// disconnect and finish), returning this writer's telemetry tally.
+    /// Histograms and the trace journal (if any) merge straight into the
+    /// attached collector here — they never ride through [`ChunkStats`].
     pub fn finish(mut self) -> ChunkStats {
         self.flush();
+        if let (Some(t), Some((col, _))) = (self.telemetry.take(), &self.trace) {
+            col.merge_hist(HistKind::ChunkOccupancy, &t.occupancy);
+            col.merge_hist(HistKind::SendStallNs, &t.send_stall);
+            col.merge_hist(HistKind::QueueDepth, &t.queue_depth);
+            if let Some(j) = t.journal {
+                col.submit_journal(j);
+            }
+        }
         self.stats
     }
 

@@ -19,7 +19,7 @@ pub mod report;
 pub use metrics::{ProgramFeedback, RegionReport};
 pub use report::{
     annotated_ast, degradation_section, flamegraph_svg, full_report, self_flamegraph_svg,
-    static_pass_section, table5_row,
+    static_pass_section, table5_row, vm_profile_section,
 };
 
 use polycfg::StaticStructure;

@@ -411,6 +411,40 @@ pub fn degradation_section(deg: &polyresist::RunDegradation) -> String {
     s
 }
 
+/// Render the "VM profile" section appended to the full report when opcode
+/// telemetry ran (`Timing`+): per-opcode dynamic dispatch counts, and the
+/// sampled dispatch-latency distribution when the run traced. This is the
+/// input signal for future dispatch-reordering / superinstruction work.
+pub fn vm_profile_section(m: &polytrace::RunMetrics) -> String {
+    let mut s = String::new();
+    let total: u64 = m.vm_ops.iter().map(|(_, n)| n).sum();
+    let _ = writeln!(s, "─── VM profile ───");
+    let _ = writeln!(s, "  dynamic dispatches                  : {total}");
+    for (name, n) in m.vm_ops.iter().take(12) {
+        let pct = if total > 0 {
+            100.0 * *n as f64 / total as f64
+        } else {
+            0.0
+        };
+        let _ = writeln!(s, "    {name:<12} {n:>12}  {pct:5.1}%");
+    }
+    if m.vm_ops.len() > 12 {
+        let rest: u64 = m.vm_ops.iter().skip(12).map(|(_, n)| n).sum();
+        let _ = writeln!(s, "    {:<12} {rest:>12}", "(other)");
+    }
+    if let Some(h) = m.hist(polytrace::HistKind::VmDispatchNs) {
+        let _ = writeln!(
+            s,
+            "  dispatch latency (sampled, ns)      : p50 {} / p90 {} / p99 {} / max {}",
+            h.percentile(0.50),
+            h.percentile(0.90),
+            h.percentile(0.99),
+            h.max()
+        );
+    }
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -67,7 +67,10 @@ use polyiiv::context::ContextInterner;
 use polyir::Program;
 use polyrec::{Recorder, TraceWriter};
 use polyresist::{panic_msg, FaultPlan, FaultSite, PolyProfError, ResourceBudget, RunDegradation};
-use polytrace::{Collector, Counter, PipeStage, Stage};
+use polytrace::{
+    tid_shard, Collector, Counter, HistKind, Histogram, Journal, PipeStage, Stage, TID_DRIVER,
+    TID_RESOLVE,
+};
 use std::fs::File;
 use std::io::BufWriter;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -150,12 +153,23 @@ pub fn fold_pipelined(
 }
 
 /// One timed (or plain) bounded-channel receive; `None` on disconnect.
+/// With a histogram attached, each individual stall also lands in it
+/// (feeding the p50/p99 recv-stall distribution; the sum feeds the counter).
 #[inline]
-fn recv_timed(rx: &Receiver<EventChunk>, timing: bool, stall_ns: &mut u64) -> Option<EventChunk> {
+fn recv_timed(
+    rx: &Receiver<EventChunk>,
+    timing: bool,
+    stall_ns: &mut u64,
+    hist: Option<&mut Histogram>,
+) -> Option<EventChunk> {
     if timing {
         let t0 = Instant::now();
         let r = rx.recv().ok();
-        *stall_ns += t0.elapsed().as_nanos() as u64;
+        let dt = t0.elapsed().as_nanos() as u64;
+        *stall_ns += dt;
+        if let Some(h) = hist {
+            h.record(dt);
+        }
         r
     } else {
         rx.recv().ok()
@@ -227,12 +241,20 @@ fn resolve_loop<S: FoldSink>(
     trace: Option<&Arc<Collector>>,
     faults: Option<&Arc<FaultPlan>>,
     timing: bool,
+    mut stall_hist: Option<&mut Histogram>,
+    mut journal: Option<&mut Journal>,
     shadow: &mut polyddg::shadow::ShadowResolver,
     sink: &mut S,
 ) -> (u64, u64) {
     let mut resolved = 0u64;
     let mut recv_stall = 0u64;
-    while let Some(mut chunk) = recv_timed(pre_rx, timing, &mut recv_stall) {
+    let mut seq = 0u64;
+    while let Some(mut chunk) =
+        recv_timed(pre_rx, timing, &mut recv_stall, stall_hist.as_deref_mut())
+    {
+        let opened = journal
+            .as_deref_mut()
+            .is_some_and(|j| j.begin("resolve-chunk", 0, seq));
         if let Some(c) = trace {
             c.queue_recv(0);
         }
@@ -275,6 +297,10 @@ fn resolve_loop<S: FoldSink>(
         chunk.clear();
         // Recycling never blocks: a full pool just drops the chunk.
         let _ = pre_pool_tx.try_send(chunk);
+        if let Some(j) = journal.as_deref_mut() {
+            j.end(opened, "resolve-chunk", 0, seq);
+        }
+        seq += 1;
     }
     (resolved, recv_stall)
 }
@@ -344,7 +370,13 @@ fn fold_attempt(
                     if let Some(b) = budget_pre {
                         prof.set_budget(b);
                     }
-                    let deadline_hit = match polyvm::Vm::new(prog).run(&[], &mut prof) {
+                    let mut vm = polyvm::Vm::new(prog);
+                    if let Some(c) = &trace_pre {
+                        if c.timing() {
+                            vm.enable_opcode_telemetry(c.tracing());
+                        }
+                    }
+                    let deadline_hit = match vm.run(&[], &mut prof) {
                         Ok(_) => false,
                         // The budget watchdog asked for a graceful stop: flush
                         // what we have — downstream finalizes partial results.
@@ -357,6 +389,9 @@ fn fold_attempt(
                         }
                     };
                     if let Some(c) = &trace_pre {
+                        if let Some(t) = vm.take_opcode_telemetry() {
+                            t.harvest(c);
+                        }
                         c.add(Counter::DynOps, prof.dyn_ops);
                         c.add(Counter::MemEvents, prof.mem_events);
                         c.add(Counter::PrunedEvents, prof.pruned_events);
@@ -391,6 +426,8 @@ fn fold_attempt(
                     .as_ref()
                     .map(|c| c.pipe_span(PipeStage::ShadowResolve));
                 let timing = trace_res.as_ref().is_some_and(|c| c.timing());
+                let mut stall_hist = Histogram::new();
+                let mut journal = trace_res.as_ref().and_then(|c| c.new_journal(TID_RESOLVE));
                 let mut shadow = ShadowResolver::new(ddg_cfg);
                 if let Some(p) = &faults_res {
                     shadow.set_faults(Arc::clone(p));
@@ -415,6 +452,8 @@ fn fold_attempt(
                             trace_res.as_ref(),
                             faults_res.as_ref(),
                             timing,
+                            Some(&mut stall_hist),
+                            journal.as_mut(),
                             &mut shadow,
                             &mut tap,
                         );
@@ -428,6 +467,8 @@ fn fold_attempt(
                             trace_res.as_ref(),
                             faults_res.as_ref(),
                             timing,
+                            Some(&mut stall_hist),
+                            journal.as_mut(),
                             &mut shadow,
                             &mut router,
                         );
@@ -443,6 +484,10 @@ fn fold_attempt(
                     c.add(Counter::ShadowMruHit, hits);
                     c.add(Counter::ShadowMruMiss, misses);
                     c.add(Counter::ShadowPages, shadow.resident_pages() as u64);
+                    c.merge_hist(HistKind::RecvStallNs, &stall_hist);
+                    if let Some(j) = journal {
+                        c.submit_journal(j);
+                    }
                 }
                 Ok((
                     stats,
@@ -470,6 +515,12 @@ fn fold_attempt(
                     let body = move || -> Result<(FoldingSink, u64), PolyProfError> {
                         let _span = trace_w.as_ref().map(|c| c.shard_span(shard));
                         let timing = trace_w.as_ref().is_some_and(|c| c.timing());
+                        let mut fold_hist = Histogram::new();
+                        let mut stall_hist = Histogram::new();
+                        let mut journal = trace_w
+                            .as_ref()
+                            .and_then(|c| c.new_journal(tid_shard(shard)));
+                        let mut seq = 0u64;
                         let mut sink = FoldingSink::with_options(options);
                         if let Some(b) = &budget_w {
                             sink.set_budget(Arc::clone(b));
@@ -477,7 +528,9 @@ fn fold_attempt(
                         let mut malformed = 0u64;
                         let mut recv_stall = 0u64;
                         let mut scratch = ChunkScratch::default();
-                        while let Some(mut chunk) = recv_timed(&rx, timing, &mut recv_stall) {
+                        while let Some(mut chunk) =
+                            recv_timed(&rx, timing, &mut recv_stall, Some(&mut stall_hist))
+                        {
                             if let Some(c) = &trace_w {
                                 c.queue_recv(1 + shard);
                             }
@@ -495,7 +548,18 @@ fn fold_attempt(
                                     continue;
                                 }
                             }
+                            let opened = journal
+                                .as_mut()
+                                .is_some_and(|j| j.begin("fold-chunk", shard as u64, seq));
+                            let t0 = timing.then(Instant::now);
                             sink.fold_chunk(&chunk, &mut scratch);
+                            if let Some(t0) = t0 {
+                                fold_hist.record(t0.elapsed().as_nanos() as u64);
+                            }
+                            if let Some(j) = journal.as_mut() {
+                                j.end(opened, "fold-chunk", shard as u64, seq);
+                            }
+                            seq += 1;
                             chunk.clear();
                             let _ = pool_tx.try_send(chunk);
                         }
@@ -509,6 +573,11 @@ fn fold_attempt(
                             c.add(Counter::ChunksFolded, fs.chunks_folded);
                             c.add(Counter::RecvStallNs, recv_stall);
                             c.add(Counter::RecvStallThreads, 1);
+                            c.merge_hist(HistKind::FoldChunkNs, &fold_hist);
+                            c.merge_hist(HistKind::RecvStallNs, &stall_hist);
+                            if let Some(j) = journal {
+                                c.submit_journal(j);
+                            }
                         }
                         Ok((sink, malformed))
                     };
@@ -622,6 +691,7 @@ pub fn fold_pipelined_supervised(
                 );
                 if let Some(c) = trace {
                     c.add(Counter::StageRetries, 1);
+                    c.timeline_instant("stage-retry", TID_DRIVER, attempt_no as u64, 0);
                 }
                 let _span = trace.map(|c| c.span(Stage::Recovery));
                 std::thread::sleep(res.backoff * attempt_no);
@@ -674,6 +744,7 @@ pub fn fold_pipelined_supervised(
             }
             if let Some(c) = trace {
                 c.add(Counter::SerialFallbacks, 1);
+                c.timeline_instant("serial-fallback", TID_DRIVER, attempt_no as u64, 0);
             }
             let _span = trace.map(|c| c.span(Stage::Recovery));
             let mut sink = FoldingSink::with_options(cfg.options);
@@ -687,7 +758,13 @@ pub fn fold_pipelined_supervised(
             if let Some(b) = &res.budget {
                 prof.set_budget(Arc::clone(b));
             }
-            match polyvm::Vm::new(prog).run(&[], &mut prof) {
+            let mut vm = polyvm::Vm::new(prog);
+            if let Some(c) = trace {
+                if c.timing() {
+                    vm.enable_opcode_telemetry(c.tracing());
+                }
+            }
+            match vm.run(&[], &mut prof) {
                 Ok(_) => {}
                 Err(polyvm::VmError::Aborted) => deg.deadline_hit = true,
                 Err(e) => {
@@ -696,6 +773,9 @@ pub fn fold_pipelined_supervised(
                         msg: e.to_string(),
                     })
                 }
+            }
+            if let (Some(c), Some(t)) = (trace, vm.take_opcode_telemetry()) {
+                t.harvest(c);
             }
             let pruned_events = prof.pruned_events;
             let (sink, interner) = prof.finish();
@@ -725,6 +805,10 @@ pub fn fold_pipelined_supervised(
         c.add(Counter::BudgetOverapprox, deg.budget_overapprox_stmts);
         if deg.deadline_hit {
             c.add(Counter::DeadlineHits, 1);
+            c.timeline_instant("deadline-hit", TID_DRIVER, 0, 0);
+        }
+        if deg.budget_pressure {
+            c.timeline_instant("budget-pressure", TID_DRIVER, deg.peak_tracked_bytes, 0);
         }
     }
 

@@ -482,6 +482,14 @@ impl ResourceBudget {
     pub fn deadline_was_hit(&self) -> bool {
         self.deadline_hit.load(Ordering::Relaxed)
     }
+
+    /// Time left until the watchdog deadline: `None` without one,
+    /// `Some(ZERO)` once it has passed. Reads the clock — the live-progress
+    /// sampler polls this at its own (caller-chosen) interval.
+    pub fn deadline_remaining(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
 }
 
 // ---------------------------------------------------------------------------

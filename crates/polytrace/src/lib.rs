@@ -36,6 +36,7 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// How much the profiler records about itself during a run.
@@ -47,24 +48,290 @@ pub enum MetricsLevel {
     Off,
     /// Counters and gauges only — spans exist but never read the clock.
     Counters,
-    /// Counters plus wall-clock span timing for every stage.
+    /// Counters plus wall-clock span timing for every stage, plus latency
+    /// [`Histogram`]s for per-chunk fold time, channel stalls, chunk
+    /// occupancy and queue depth.
     Timing,
+    /// Everything above plus a timestamped event timeline: per-thread
+    /// bounded [`Journal`]s record begin/end/instant events at chunk
+    /// granularity, drained once at finish and exportable as Chrome
+    /// trace-event JSON ([`RunMetrics::timeline_json`]).
+    Trace,
 }
 
 impl MetricsLevel {
     /// Parse the `POLYPROF_METRICS` environment variable
-    /// (`off`/`counters`/`timing`, case-insensitive; unset or unknown =>
-    /// `Off`). Suite drivers use this so a run can be made attributable
-    /// without recompiling.
+    /// (`off`/`counters`/`timing`/`trace`, case-insensitive; unset or
+    /// unknown => `Off`). Suite drivers use this so a run can be made
+    /// attributable without recompiling.
     pub fn from_env() -> Self {
         match std::env::var("POLYPROF_METRICS") {
             Ok(v) => match v.to_ascii_lowercase().as_str() {
                 "counters" => MetricsLevel::Counters,
                 "timing" => MetricsLevel::Timing,
+                "trace" => MetricsLevel::Trace,
                 _ => MetricsLevel::Off,
             },
             Err(_) => MetricsLevel::Off,
         }
+    }
+
+    /// Stable lowercase name (JSON `level` field).
+    pub fn name(self) -> &'static str {
+        match self {
+            MetricsLevel::Off => "off",
+            MetricsLevel::Counters => "counters",
+            MetricsLevel::Timing => "timing",
+            MetricsLevel::Trace => "trace",
+        }
+    }
+}
+
+/// Escape a string for embedding inside a JSON string literal: quotes,
+/// backslashes and all control characters (the latter as `\u00XX`). Shared
+/// by every hand-rolled JSON emitter in the workspace so workload names,
+/// degradation details etc. cannot break an artifact.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Latency histograms
+// ---------------------------------------------------------------------------
+
+/// Sub-bucket resolution of [`Histogram`]: each power-of-two octave is split
+/// into `2^HIST_SUB_BITS` linear sub-buckets (≤ 12.5% relative error).
+pub const HIST_SUB_BITS: u32 = 3;
+const HIST_SUB: usize = 1 << HIST_SUB_BITS;
+
+/// Number of buckets in a [`Histogram`]: values `0..8` get exact buckets,
+/// then 8 sub-buckets per octave up to `u64::MAX`.
+pub const N_HIST_BUCKETS: usize = (64 - HIST_SUB_BITS as usize) * HIST_SUB + HIST_SUB;
+
+/// HDR-style log-bucketed histogram of `u64` samples (nanoseconds, counts).
+///
+/// Fixed ~4 KB of plain `u64`s: recording is a handful of ALU ops plus one
+/// indexed increment — no allocation, no atomics — so components keep a
+/// *local* histogram on their own thread and merge it into the
+/// [`Collector`] once at stage end, the same harvest discipline as the
+/// scalar counters. [`Histogram::merge`] is associative and commutative
+/// (bucket-wise addition), so per-shard histograms merge into exactly the
+/// histogram a single observer of the interleaved stream would have built —
+/// the distribution analogue of `FoldedDdg::merge_parts`.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    counts: [u64; N_HIST_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: [0; N_HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl PartialEq for Histogram {
+    fn eq(&self, other: &Self) -> bool {
+        self.count == other.count
+            && self.sum == other.sum
+            && self.min == other.min
+            && self.max == other.max
+            && self.counts[..] == other.counts[..]
+    }
+}
+
+/// Bucket index of a sample value.
+#[inline]
+fn hist_bucket(v: u64) -> usize {
+    if v < HIST_SUB as u64 {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros(); // >= HIST_SUB_BITS
+        let base = (msb - HIST_SUB_BITS + 1) as usize * HIST_SUB;
+        base + ((v >> (msb - HIST_SUB_BITS)) as usize & (HIST_SUB - 1))
+    }
+}
+
+/// Inclusive upper bound of bucket `idx` (what percentiles report).
+fn hist_bucket_upper(idx: usize) -> u64 {
+    if idx < HIST_SUB {
+        idx as u64
+    } else {
+        let msb = (idx / HIST_SUB) as u32 + HIST_SUB_BITS - 1;
+        let offset = (idx % HIST_SUB) as u64;
+        let width = 1u64 << (msb - HIST_SUB_BITS);
+        let start = (1u64 << msb) + offset * width;
+        start + (width - 1)
+    }
+}
+
+impl Histogram {
+    /// Fresh empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.counts[hist_bucket(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Fold `other` into `self` (associative, commutative).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when no sample was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`): upper bound of the bucket holding
+    /// the target rank, clamped into `[min, max]` so a percentile can never
+    /// fall outside the recorded range. 0 when empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return hist_bucket_upper(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// JSON summary object: count, sum, mean, min, p50/p90/p99, max.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"count\": {}, \"sum\": {}, \"mean\": {}, \"min\": {}, ",
+                "\"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}}"
+            ),
+            self.count,
+            self.sum,
+            self.mean(),
+            self.min(),
+            self.percentile(0.50),
+            self.percentile(0.90),
+            self.percentile(0.99),
+            self.max
+        )
+    }
+}
+
+/// The fixed set of latency/occupancy distributions a run records. Every
+/// variant owns one histogram slot in the [`Collector`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HistKind {
+    /// Wall time of one `fold_chunk` call in a fold worker (ns).
+    FoldChunkNs,
+    /// Per-chunk blocked time in a bounded-channel send (ns).
+    SendStallNs,
+    /// Per-recv blocked time waiting on a channel (ns).
+    RecvStallNs,
+    /// Events carried by one sent chunk (occupancy; capacity = chunk_events).
+    ChunkOccupancy,
+    /// In-flight chunk count observed at each send, over all edges.
+    QueueDepth,
+    /// Sampled VM dispatch time of one dynamic instruction (ns).
+    VmDispatchNs,
+}
+
+/// Number of [`HistKind`] slots.
+pub const N_HISTS: usize = 6;
+
+impl HistKind {
+    /// All kinds, in report order.
+    pub const ALL: [HistKind; N_HISTS] = [
+        HistKind::FoldChunkNs,
+        HistKind::SendStallNs,
+        HistKind::RecvStallNs,
+        HistKind::ChunkOccupancy,
+        HistKind::QueueDepth,
+        HistKind::VmDispatchNs,
+    ];
+
+    /// Stable snake_case name (JSON keys, table rows).
+    pub fn name(self) -> &'static str {
+        match self {
+            HistKind::FoldChunkNs => "fold_chunk_ns",
+            HistKind::SendStallNs => "send_stall_ns",
+            HistKind::RecvStallNs => "recv_stall_ns",
+            HistKind::ChunkOccupancy => "chunk_occupancy",
+            HistKind::QueueDepth => "queue_depth",
+            HistKind::VmDispatchNs => "vm_dispatch_ns",
+        }
+    }
+
+    fn slot(self) -> usize {
+        self as usize
     }
 }
 
@@ -432,6 +699,186 @@ impl StageNode {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Timeline events and per-thread journals
+// ---------------------------------------------------------------------------
+
+/// Logical thread lanes of the timeline (the Chrome trace `tid`).
+/// The driver and every sequential stage run in lane [`TID_DRIVER`]; the
+/// pipeline stage threads and fold shards get their own lanes.
+pub const TID_DRIVER: u32 = 0;
+/// The VM / pre-profile producer thread lane.
+pub const TID_PRE: u32 = 1;
+/// The shadow-resolver thread lane.
+pub const TID_RESOLVE: u32 = 2;
+/// Fold shard `k` maps to lane `TID_SHARD0 + k`.
+pub const TID_SHARD0: u32 = 10;
+
+/// Timeline lane of fold shard `k`.
+pub fn tid_shard(k: usize) -> u32 {
+    TID_SHARD0 + k.min(MAX_SHARDS - 1) as u32
+}
+
+/// Human-readable lane name (Chrome trace `thread_name` metadata).
+pub fn tid_name(tid: u32) -> String {
+    match tid {
+        TID_DRIVER => "driver".to_string(),
+        TID_PRE => "pre-profile".to_string(),
+        TID_RESOLVE => "shadow-resolve".to_string(),
+        k if k >= TID_SHARD0 => format!("fold-shard {}", k - TID_SHARD0),
+        other => format!("thread {other}"),
+    }
+}
+
+/// What a [`TraceEvent`] marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// Opens a span (Chrome `ph: "B"`).
+    Begin,
+    /// Closes the innermost open span of the same lane (Chrome `ph: "E"`).
+    End,
+    /// A point event (Chrome `ph: "i"`).
+    Instant,
+}
+
+/// One timestamped timeline record. Plain copyable data: a static name, a
+/// lane, the offset from the collector's epoch, and two free-form integer
+/// arguments (shard id, chunk sequence number, counts, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Static event name (`"fold-chunk"`, `"chunk-send"`, `"profile"`, …).
+    pub name: &'static str,
+    /// Begin / end / instant.
+    pub kind: TraceEventKind,
+    /// Nanoseconds since the collector's construction.
+    pub ts_ns: u64,
+    /// Timeline lane (see [`TID_DRIVER`] and friends).
+    pub tid: u32,
+    /// First argument (convention: shard id, or a count).
+    pub arg0: u64,
+    /// Second argument (convention: chunk sequence number, or a count).
+    pub arg1: u64,
+}
+
+/// A thread-owned, bounded event journal — the [`MetricsLevel::Trace`]
+/// recording primitive for chunk-frequency events.
+///
+/// Lock-free by ownership: exactly one thread writes it, with no atomics or
+/// locks on the recording path, and it is handed back to the collector
+/// ([`Collector::submit_journal`]) once when the thread finishes. Capacity
+/// is fixed at creation; a `begin` is accepted only if its matching `end`
+/// is *guaranteed* to fit (one slot per open span stays reserved), so every
+/// accepted begin has a matching end even under overflow — the
+/// well-formedness invariant the timeline tests assert. Overflowed records
+/// are counted, not silently lost.
+#[derive(Debug)]
+pub struct Journal {
+    tid: u32,
+    events: Vec<TraceEvent>,
+    cap: usize,
+    open: usize,
+    dropped: u64,
+    epoch: Instant,
+}
+
+/// Default per-thread journal capacity (events). At the default chunk size
+/// of 4096 events this covers runs of ~130M events per thread before
+/// dropping; ~1.5 MB per thread at 48 B per record.
+pub const JOURNAL_CAP: usize = 1 << 15;
+
+impl Journal {
+    fn new(tid: u32, cap: usize, epoch: Instant) -> Journal {
+        Journal {
+            tid,
+            events: Vec::with_capacity(cap),
+            cap,
+            open: 0,
+            dropped: 0,
+            epoch,
+        }
+    }
+
+    #[inline]
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Open a span. Returns `true` when the record was accepted — pass the
+    /// result to [`Journal::end`], which records only for accepted begins.
+    #[inline]
+    pub fn begin(&mut self, name: &'static str, arg0: u64, arg1: u64) -> bool {
+        // Reserve one slot per open span (incl. this one) for the ends.
+        if self.events.len() + self.open + 2 > self.cap {
+            self.dropped += 1;
+            return false;
+        }
+        self.open += 1;
+        let ev = TraceEvent {
+            name,
+            kind: TraceEventKind::Begin,
+            ts_ns: self.now_ns(),
+            tid: self.tid,
+            arg0,
+            arg1,
+        };
+        self.events.push(ev);
+        true
+    }
+
+    /// Close the innermost open span. `opened` is the value the matching
+    /// [`Journal::begin`] returned; a dropped begin drops its end too.
+    #[inline]
+    pub fn end(&mut self, opened: bool, name: &'static str, arg0: u64, arg1: u64) {
+        if !opened {
+            return;
+        }
+        debug_assert!(self.open > 0, "end without begin");
+        self.open = self.open.saturating_sub(1);
+        let ev = TraceEvent {
+            name,
+            kind: TraceEventKind::End,
+            ts_ns: self.now_ns(),
+            tid: self.tid,
+            arg0,
+            arg1,
+        };
+        self.events.push(ev);
+    }
+
+    /// Record a point event.
+    #[inline]
+    pub fn instant(&mut self, name: &'static str, arg0: u64, arg1: u64) {
+        if self.events.len() + self.open + 1 > self.cap {
+            self.dropped += 1;
+            return;
+        }
+        let ev = TraceEvent {
+            name,
+            kind: TraceEventKind::Instant,
+            ts_ns: self.now_ns(),
+            tid: self.tid,
+            arg0,
+            arg1,
+        };
+        self.events.push(ev);
+    }
+
+    /// Events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Records rejected because the journal was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
 fn atomic_array<const N: usize>() -> [AtomicU64; N] {
     std::array::from_fn(|_| AtomicU64::new(0))
 }
@@ -444,6 +891,8 @@ fn atomic_array<const N: usize>() -> [AtomicU64; N] {
 #[derive(Debug)]
 pub struct Collector {
     level: MetricsLevel,
+    /// Epoch of the run: every timeline timestamp is an offset from here.
+    epoch: Instant,
     stage_ns: [AtomicU64; N_STAGES],
     pipe_ns: [AtomicU64; N_PIPE],
     shard_ns: [AtomicU64; MAX_SHARDS],
@@ -455,6 +904,18 @@ pub struct Collector {
     counters: [AtomicU64; N_COUNTERS],
     queue_depth: [AtomicU64; N_EDGES],
     queue_peak: [AtomicU64; N_EDGES],
+    /// Latency histograms, merged in at stage granularity (locked only at
+    /// harvest time, never per event).
+    hists: Box<[Mutex<Histogram>; N_HISTS]>,
+    /// Low-frequency shared timeline (stage/pipe/shard spans, recovery
+    /// instants) plus every submitted per-thread [`Journal`]. Locked O(1)
+    /// per span — tens of times per run.
+    timeline: Mutex<Vec<TraceEvent>>,
+    /// Journal records rejected for capacity across all threads.
+    trace_dropped: AtomicU64,
+    /// Per-opcode VM dispatch counts, harvested once per VM run. The names
+    /// come from the interpreter — polytrace stays ignorant of the ISA.
+    vm_ops: Mutex<Vec<(&'static str, u64)>>,
 }
 
 impl Collector {
@@ -462,6 +923,7 @@ impl Collector {
     pub fn new(level: MetricsLevel) -> Self {
         Collector {
             level,
+            epoch: Instant::now(),
             stage_ns: atomic_array(),
             pipe_ns: atomic_array(),
             shard_ns: atomic_array(),
@@ -471,6 +933,10 @@ impl Collector {
             counters: atomic_array(),
             queue_depth: atomic_array(),
             queue_peak: atomic_array(),
+            hists: Box::new(std::array::from_fn(|_| Mutex::new(Histogram::new()))),
+            timeline: Mutex::new(Vec::new()),
+            trace_dropped: AtomicU64::new(0),
+            vm_ops: Mutex::new(Vec::new()),
         }
     }
 
@@ -483,6 +949,84 @@ impl Collector {
     #[inline]
     pub fn timing(&self) -> bool {
         self.level >= MetricsLevel::Timing
+    }
+
+    /// True when timeline journaling is on.
+    #[inline]
+    pub fn tracing(&self) -> bool {
+        self.level >= MetricsLevel::Trace
+    }
+
+    /// Nanoseconds since the collector's epoch (the timeline time axis).
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Hand out a bounded per-thread journal for lane `tid`, sharing this
+    /// collector's epoch. `None` below [`MetricsLevel::Trace`] — callers
+    /// keep the `Option` and skip recording entirely when absent.
+    pub fn new_journal(&self, tid: u32) -> Option<Journal> {
+        self.tracing()
+            .then(|| Journal::new(tid, JOURNAL_CAP, self.epoch))
+    }
+
+    /// Absorb a finished thread's journal into the shared timeline.
+    pub fn submit_journal(&self, j: Journal) {
+        if j.dropped > 0 {
+            self.trace_dropped.fetch_add(j.dropped, Ordering::Relaxed);
+        }
+        if !j.events.is_empty() {
+            self.timeline.lock().unwrap().extend_from_slice(&j.events);
+        }
+    }
+
+    /// Record a point event straight onto the shared timeline (recovery,
+    /// degradation, watchdog — low-frequency paths only). No-op below
+    /// [`MetricsLevel::Trace`].
+    pub fn timeline_instant(&self, name: &'static str, tid: u32, arg0: u64, arg1: u64) {
+        if !self.tracing() {
+            return;
+        }
+        let ev = TraceEvent {
+            name,
+            kind: TraceEventKind::Instant,
+            ts_ns: self.now_ns(),
+            tid,
+            arg0,
+            arg1,
+        };
+        self.timeline.lock().unwrap().push(ev);
+    }
+
+    /// Merge a thread-local histogram into the shared slot for `kind`
+    /// (stage-end harvest; one lock per thread per kind).
+    pub fn merge_hist(&self, kind: HistKind, h: &Histogram) {
+        if h.is_empty() {
+            return;
+        }
+        self.hists[kind.slot()].lock().unwrap().merge(h);
+    }
+
+    /// Record a single sample into the shared histogram for `kind`. Chunk
+    /// granularity or colder only — per-event paths keep a local
+    /// [`Histogram`] and use [`Collector::merge_hist`].
+    pub fn record_hist(&self, kind: HistKind, v: u64) {
+        self.hists[kind.slot()].lock().unwrap().record(v);
+    }
+
+    /// Harvest a per-opcode dispatch count from a finished VM run. Counts
+    /// for the same opcode name accumulate across runs (retries, serial
+    /// fallback).
+    pub fn record_vm_op(&self, name: &'static str, count: u64) {
+        if count == 0 {
+            return;
+        }
+        let mut ops = self.vm_ops.lock().unwrap();
+        match ops.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, c)) => *c += count,
+            None => ops.push((name, count)),
+        }
     }
 
     /// Add `n` to a named counter.
@@ -506,17 +1050,29 @@ impl Collector {
 
     /// RAII span over a sequential stage (no clock read below `Timing`).
     pub fn span(&self, s: Stage) -> Span<'_> {
-        Span::new(self, SpanSlot::Stage(s.slot()))
+        Span::new(self, SpanSlot::Stage(s.slot()), s.name(), TID_DRIVER, 0)
     }
 
     /// RAII span over a concurrent pipeline stage.
     pub fn pipe_span(&self, p: PipeStage) -> Span<'_> {
-        Span::new(self, SpanSlot::Pipe(p.slot()))
+        let tid = match p {
+            PipeStage::PreProfile => TID_PRE,
+            PipeStage::ShadowResolve => TID_RESOLVE,
+            PipeStage::Merge => TID_DRIVER,
+        };
+        Span::new(self, SpanSlot::Pipe(p.slot()), p.name(), tid, 0)
     }
 
     /// RAII span over fold shard `k`'s worker loop.
     pub fn shard_span(&self, k: usize) -> Span<'_> {
-        Span::new(self, SpanSlot::Shard(k.min(MAX_SHARDS - 1)))
+        let k = k.min(MAX_SHARDS - 1);
+        Span::new(
+            self,
+            SpanSlot::Shard(k),
+            "fold-shard",
+            tid_shard(k),
+            k as u64,
+        )
     }
 
     /// Record nanoseconds directly into a sequential-stage slot (for code
@@ -532,14 +1088,45 @@ impl Collector {
         self.shards_used.fetch_max(k as u64 + 1, Ordering::Relaxed);
     }
 
-    /// A chunk entered channel edge `edge` (send side).
+    /// A chunk entered channel edge `edge` (send side). Returns the
+    /// post-send in-flight depth of the edge, so callers recording a
+    /// queue-depth histogram don't need a second atomic read.
     #[inline]
-    pub fn queue_send(&self, edge: usize) {
+    pub fn queue_send(&self, edge: usize) -> u64 {
         let edge = edge.min(N_EDGES - 1);
         let depth = self.queue_depth[edge].fetch_add(1, Ordering::Relaxed) + 1;
         self.queue_peak[edge].fetch_max(depth, Ordering::Relaxed);
         self.edges_used
             .fetch_max(edge as u64 + 1, Ordering::Relaxed);
+        depth
+    }
+
+    /// Current in-flight depth of every touched channel edge (sampler view).
+    pub fn queue_depths(&self) -> Vec<u64> {
+        let edges = self.edges_used.load(Ordering::Relaxed) as usize;
+        self.queue_depth[..edges]
+            .iter()
+            .map(|d| d.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// An incremental live view of the run for the progress sampler:
+    /// counters and gauges loaded relaxed, no locks on any recording path.
+    /// Budget fields are left zero for the caller to fill in.
+    pub fn progress(&self, t_ns: u64) -> ProgressSnapshot {
+        ProgressSnapshot {
+            t_ns,
+            dyn_ops: self.get(Counter::DynOps),
+            events_emitted: self.get(Counter::EventsEmitted),
+            events_resolved: self.get(Counter::EventsResolved),
+            events_folded: self.get(Counter::EventsFolded),
+            events_per_sec: 0.0,
+            pipe_busy_ns: std::array::from_fn(|i| self.pipe_ns[i].load(Ordering::Relaxed)),
+            queue_depths: self.queue_depths(),
+            budget_used_bytes: 0,
+            budget_pressure: false,
+            deadline_remaining_ns: None,
+        }
     }
 
     /// A chunk left channel edge `edge` (receive side).
@@ -557,6 +1144,26 @@ impl Collector {
     pub fn snapshot(&self, total_ns: u64) -> RunMetrics {
         let ld = |a: &AtomicU64| a.load(Ordering::Relaxed);
         let shards = ld(&self.shards_used) as usize;
+        let hists = if self.timing() {
+            self.hists
+                .iter()
+                .map(|h| h.lock().unwrap().clone())
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let mut vm_ops = self.vm_ops.lock().unwrap().clone();
+        vm_ops.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        let timeline = if self.tracing() {
+            let mut tl = self.timeline.lock().unwrap().clone();
+            // Stable per-lane order: journals arrive whole; sorting by
+            // timestamp interleaves the lanes chronologically while the
+            // stable sort preserves same-timestamp intra-thread order.
+            tl.sort_by_key(|e| e.ts_ns);
+            tl
+        } else {
+            Vec::new()
+        };
         let mut m = RunMetrics {
             level: self.level,
             total_ns,
@@ -569,6 +1176,10 @@ impl Collector {
                 .map(ld)
                 .collect(),
             counters: std::array::from_fn(|i| ld(&self.counters[i])),
+            hists,
+            vm_ops,
+            timeline,
+            trace_dropped: ld(&self.trace_dropped),
         };
         let peak = m.queue_peak.iter().copied().max().unwrap_or(0);
         m.counters[Counter::QueuePeakDepth.slot()] =
@@ -585,17 +1196,40 @@ enum SpanSlot {
 
 /// RAII timing guard: adds its elapsed wall time to a collector slot on
 /// drop. Below [`MetricsLevel::Timing`] it never reads the clock and drop is
-/// a no-op.
+/// a no-op. At [`MetricsLevel::Trace`] it additionally opens/closes a span
+/// on the shared timeline, so every existing stage/pipe/shard span shows up
+/// in the Chrome trace for free.
 pub struct Span<'a> {
     col: &'a Collector,
     slot: SpanSlot,
     t0: Option<Instant>,
+    name: &'static str,
+    tid: u32,
+    arg0: u64,
 }
 
 impl<'a> Span<'a> {
-    fn new(col: &'a Collector, slot: SpanSlot) -> Self {
+    fn new(col: &'a Collector, slot: SpanSlot, name: &'static str, tid: u32, arg0: u64) -> Self {
         let t0 = col.timing().then(Instant::now);
-        Span { col, slot, t0 }
+        if col.tracing() {
+            let ev = TraceEvent {
+                name,
+                kind: TraceEventKind::Begin,
+                ts_ns: col.now_ns(),
+                tid,
+                arg0,
+                arg1: 0,
+            };
+            col.timeline.lock().unwrap().push(ev);
+        }
+        Span {
+            col,
+            slot,
+            t0,
+            name,
+            tid,
+            arg0,
+        }
     }
 }
 
@@ -610,7 +1244,50 @@ impl Drop for Span<'_> {
             };
             slot.fetch_add(ns, Ordering::Relaxed);
         }
+        if self.col.tracing() {
+            let ev = TraceEvent {
+                name: self.name,
+                kind: TraceEventKind::End,
+                ts_ns: self.col.now_ns(),
+                tid: self.tid,
+                arg0: self.arg0,
+                arg1: 0,
+            };
+            self.col.timeline.lock().unwrap().push(ev);
+        }
     }
+}
+
+/// One incremental live view of a running profile, produced by the optional
+/// watcher thread (`ProfileConfig::with_progress`). Counter fields are
+/// monotone totals as of `t_ns`; the sampler derives `events_per_sec` from
+/// consecutive snapshots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgressSnapshot {
+    /// Nanoseconds since the collector's epoch.
+    pub t_ns: u64,
+    /// Dynamic instructions executed so far.
+    pub dyn_ops: u64,
+    /// Events emitted by stage 1 so far.
+    pub events_emitted: u64,
+    /// Memory touches resolved by the shadow stage so far.
+    pub events_resolved: u64,
+    /// Events consumed by folding sinks so far.
+    pub events_folded: u64,
+    /// Folded-event throughput over the last sampling interval.
+    pub events_per_sec: f64,
+    /// Cumulative busy nanoseconds per concurrent pipeline stage (zero
+    /// below `Timing`); deltas over the interval give per-stage busy
+    /// fractions.
+    pub pipe_busy_ns: [u64; N_PIPE],
+    /// Current in-flight chunks per touched channel edge.
+    pub queue_depths: Vec<u64>,
+    /// Bytes currently tracked against the resource budget (0 if none).
+    pub budget_used_bytes: u64,
+    /// Whether the byte budget has latched pressure.
+    pub budget_pressure: bool,
+    /// Time left until the watchdog deadline (`None` without a deadline).
+    pub deadline_remaining_ns: Option<u64>,
 }
 
 /// Frozen metrics of one profiling run: plain data, cheap to clone, stable
@@ -634,6 +1311,17 @@ pub struct RunMetrics {
     pub queue_peak: Vec<u64>,
     /// Named counters, indexed by [`Counter`] slot order.
     pub counters: [u64; N_COUNTERS],
+    /// Latency histograms, indexed by [`HistKind`] slot order; empty below
+    /// [`MetricsLevel::Timing`].
+    pub hists: Vec<Histogram>,
+    /// Per-opcode VM dispatch counts, sorted by count descending; empty
+    /// unless VM telemetry ran (Timing and above).
+    pub vm_ops: Vec<(&'static str, u64)>,
+    /// The merged timeline, sorted by timestamp; empty below
+    /// [`MetricsLevel::Trace`].
+    pub timeline: Vec<TraceEvent>,
+    /// Journal records lost to capacity (0 on a well-sized run).
+    pub trace_dropped: u64,
 }
 
 impl RunMetrics {
@@ -701,17 +1389,87 @@ impl RunMetrics {
             .unwrap_or(0)
     }
 
+    /// The recorded histogram for `kind` (`None` below `Timing`).
+    pub fn hist(&self, kind: HistKind) -> Option<&Histogram> {
+        self.hists.get(kind.slot())
+    }
+
+    /// Count of timeline events with a given name and kind (reconciliation
+    /// against the scalar counters: e.g. `fold-chunk` begins must equal
+    /// [`Counter::ChunksFolded`] on a drop-free trace).
+    pub fn timeline_count(&self, name: &str, kind: TraceEventKind) -> u64 {
+        self.timeline
+            .iter()
+            .filter(|e| e.name == name && e.kind == kind)
+            .count() as u64
+    }
+
+    /// Render the timeline as Chrome trace-event JSON (the
+    /// `{"traceEvents": [...]}` object format), loadable in Perfetto or
+    /// `chrome://tracing`. Timestamps are microseconds from the run epoch;
+    /// lanes carry `thread_name` metadata. Valid (empty) JSON below
+    /// [`MetricsLevel::Trace`].
+    pub fn timeline_json(&self) -> String {
+        let mut s = String::with_capacity(64 + self.timeline.len() * 96);
+        s.push_str("{\"traceEvents\":[");
+        let mut first = true;
+        let mut push = |s: &mut String, ev: String| {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            s.push('\n');
+            s.push_str(&ev);
+        };
+        // One thread_name metadata record per lane that appears.
+        let mut tids: Vec<u32> = self.timeline.iter().map(|e| e.tid).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        for tid in tids {
+            push(
+                &mut s,
+                format!(
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\
+                     \"args\":{{\"name\":\"{}\"}}}}",
+                    tid,
+                    json_escape(&tid_name(tid))
+                ),
+            );
+        }
+        for ev in &self.timeline {
+            let ph = match ev.kind {
+                TraceEventKind::Begin => "B",
+                TraceEventKind::End => "E",
+                TraceEventKind::Instant => "i",
+            };
+            let scope = if ev.kind == TraceEventKind::Instant {
+                ",\"s\":\"t\""
+            } else {
+                ""
+            };
+            push(
+                &mut s,
+                format!(
+                    "{{\"name\":\"{}\",\"ph\":\"{ph}\",\"pid\":1,\"tid\":{},\
+                     \"ts\":{:.3}{scope},\"args\":{{\"arg0\":{},\"arg1\":{}}}}}",
+                    json_escape(ev.name),
+                    ev.tid,
+                    ev.ts_ns as f64 / 1000.0,
+                    ev.arg0,
+                    ev.arg1
+                ),
+            );
+        }
+        s.push_str("\n],\"displayTimeUnit\":\"ms\"}");
+        s
+    }
+
     /// Machine-readable JSON rendering (hand-rolled; no external deps —
     /// stable snake_case keys, suitable for CI artifacts).
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(1024);
         s.push('{');
-        let level = match self.level {
-            MetricsLevel::Off => "off",
-            MetricsLevel::Counters => "counters",
-            MetricsLevel::Timing => "timing",
-        };
-        push_kv(&mut s, "level", &format!("\"{level}\""));
+        push_kv(&mut s, "level", &format!("\"{}\"", self.level.name()));
         push_kv(&mut s, "total_ns", &self.total_ns.to_string());
         s.push_str("\"stages_ns\": {");
         for (i, st) in Stage::ALL.iter().enumerate() {
@@ -749,6 +1507,33 @@ impl RunMetrics {
             "recv_stall_mean_ns",
             &self.recv_stall_mean_ns().to_string(),
         );
+        // Distribution / timeline / VM sections exist only at the levels
+        // that record them, so `Off`/`Counters` artifacts stay byte-stable.
+        if !self.hists.is_empty() {
+            s.push_str("\"histograms\": {");
+            for (i, k) in HistKind::ALL.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                let h = self.hist(*k).cloned().unwrap_or_default();
+                s.push_str(&format!("\"{}\": {}", k.name(), h.to_json()));
+            }
+            s.push_str("}, ");
+        }
+        if !self.vm_ops.is_empty() {
+            s.push_str("\"vm_ops\": {");
+            for (i, (name, count)) in self.vm_ops.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                s.push_str(&format!("\"{}\": {count}", json_escape(name)));
+            }
+            s.push_str("}, ");
+        }
+        if self.level >= MetricsLevel::Trace {
+            push_kv(&mut s, "trace_events", &self.timeline.len().to_string());
+            push_kv(&mut s, "trace_dropped", &self.trace_dropped.to_string());
+        }
         s.push_str("\"counters\": {");
         for (i, c) in Counter::ALL.iter().enumerate() {
             if i > 0 {
@@ -835,6 +1620,49 @@ impl fmt::Display for RunMetrics {
                 ms(self.counter(Counter::RecvStallNs)),
                 ms(self.recv_stall_mean_ns()),
                 self.counter(Counter::QueuePeakDepth)
+            )?;
+        }
+        if self.hists.iter().any(|h| !h.is_empty()) {
+            writeln!(f, "latency histograms:")?;
+            for k in HistKind::ALL {
+                let Some(h) = self.hist(k) else { continue };
+                if h.is_empty() {
+                    continue;
+                }
+                writeln!(
+                    f,
+                    "  {:<18} n {:>10}  p50 {:>10}  p90 {:>10}  p99 {:>10}  max {:>10}",
+                    k.name(),
+                    h.count(),
+                    h.percentile(0.50),
+                    h.percentile(0.90),
+                    h.percentile(0.99),
+                    h.max()
+                )?;
+            }
+        }
+        if !self.vm_ops.is_empty() {
+            let total: u64 = self.vm_ops.iter().map(|(_, c)| c).sum();
+            writeln!(f, "vm opcode profile ({total} dispatches):")?;
+            for (name, count) in self.vm_ops.iter().take(12) {
+                writeln!(
+                    f,
+                    "  {:<18} {:>14}  {:>5.1}%",
+                    name,
+                    count,
+                    100.0 * *count as f64 / total.max(1) as f64
+                )?;
+            }
+            if self.vm_ops.len() > 12 {
+                writeln!(f, "  … {} more opcodes", self.vm_ops.len() - 12)?;
+            }
+        }
+        if self.level >= MetricsLevel::Trace {
+            writeln!(
+                f,
+                "timeline: {} events ({} dropped)",
+                self.timeline.len(),
+                self.trace_dropped
             )?;
         }
         writeln!(f, "counters:")?;
@@ -996,9 +1824,228 @@ mod tests {
         assert_eq!(MetricsLevel::from_env(), MetricsLevel::Timing);
         std::env::set_var("POLYPROF_METRICS", "Counters");
         assert_eq!(MetricsLevel::from_env(), MetricsLevel::Counters);
+        std::env::set_var("POLYPROF_METRICS", "Trace");
+        assert_eq!(MetricsLevel::from_env(), MetricsLevel::Trace);
         std::env::set_var("POLYPROF_METRICS", "nonsense");
         assert_eq!(MetricsLevel::from_env(), MetricsLevel::Off);
         std::env::remove_var("POLYPROF_METRICS");
         assert_eq!(MetricsLevel::from_env(), MetricsLevel::Off);
+    }
+
+    #[test]
+    fn trace_is_ordered_above_timing() {
+        assert!(MetricsLevel::Trace > MetricsLevel::Timing);
+        let c = Collector::new(MetricsLevel::Trace);
+        assert!(c.timing(), "Trace implies Timing");
+        assert!(c.tracing());
+        assert!(!Collector::new(MetricsLevel::Timing).tracing());
+    }
+
+    #[test]
+    fn json_escape_covers_quotes_and_controls() {
+        assert_eq!(json_escape(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(json_escape("a\nb\tc\r"), "a\\nb\\tc\\r");
+        assert_eq!(json_escape("\u{1}x"), "\\u0001x");
+        assert_eq!(json_escape("plain"), "plain");
+    }
+
+    #[test]
+    fn histogram_buckets_are_monotone_and_dense() {
+        // Bucket index must be monotone non-decreasing in the value and
+        // every value must land in a bucket whose upper bound covers it.
+        let mut vals: Vec<u64> = (0..=256).collect();
+        for shift in 3..63 {
+            for off in [0u64, 1, 3] {
+                vals.push((1u64 << shift) + off);
+                vals.push((1u64 << shift) - 1);
+            }
+        }
+        vals.push(u64::MAX);
+        vals.sort_unstable();
+        let mut prev = 0;
+        for v in vals {
+            let b = hist_bucket(v);
+            assert!(b >= prev, "bucket({v}) = {b} < {prev}");
+            assert!(b < N_HIST_BUCKETS);
+            assert!(hist_bucket_upper(b) >= v, "upper({b}) < {v}");
+            prev = b;
+        }
+        // Small values are exact.
+        for v in 0..8u64 {
+            assert_eq!(hist_bucket_upper(hist_bucket(v)), v);
+        }
+    }
+
+    #[test]
+    fn histogram_percentiles_bound_and_order() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30, 1000, 5000, 100_000] {
+            h.record(v);
+        }
+        let (p50, p90, p99) = (h.percentile(0.5), h.percentile(0.9), h.percentile(0.99));
+        assert!(p50 <= p90 && p90 <= p99, "{p50} {p90} {p99}");
+        assert!(p99 >= h.min() && p99 <= h.max());
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.min(), 10);
+        assert_eq!(h.max(), 100_000);
+        // Empty histogram renders zeros, no panic.
+        let e = Histogram::new();
+        assert_eq!(e.percentile(0.99), 0);
+        assert_eq!(e.min(), 0);
+        assert!(e.to_json().contains("\"count\": 0"));
+    }
+
+    #[test]
+    fn histogram_merge_matches_single_stream() {
+        let samples: Vec<u64> = (0..500).map(|i| (i * i * 7 + 13) % 100_000).collect();
+        let mut whole = Histogram::new();
+        let mut parts = vec![Histogram::new(); 4];
+        for (i, &v) in samples.iter().enumerate() {
+            whole.record(v);
+            parts[i % 4].record(v);
+        }
+        let mut merged = Histogram::new();
+        for p in &parts {
+            merged.merge(p);
+        }
+        assert_eq!(merged, whole);
+        assert_eq!(merged.percentile(0.99), whole.percentile(0.99));
+    }
+
+    #[test]
+    fn journal_reserves_ends_under_overflow() {
+        let mut j = Journal::new(TID_PRE, 5, Instant::now());
+        let a = j.begin("outer", 0, 0);
+        let b = j.begin("inner", 1, 1);
+        assert!(a && b);
+        // len 2 + open 2 + 2 > 5: next begin must be rejected…
+        let c = j.begin("third", 2, 2);
+        assert!(!c);
+        assert_eq!(j.dropped(), 1);
+        // …but both accepted spans can still close.
+        j.end(b, "inner", 1, 1);
+        j.end(a, "outer", 0, 0);
+        j.end(c, "third", 2, 2); // dropped begin: end is a no-op
+        assert_eq!(j.len(), 4);
+        let begins = j
+            .events
+            .iter()
+            .filter(|e| e.kind == TraceEventKind::Begin)
+            .count();
+        let ends = j
+            .events
+            .iter()
+            .filter(|e| e.kind == TraceEventKind::End)
+            .count();
+        assert_eq!(begins, ends);
+    }
+
+    #[test]
+    fn journals_and_spans_feed_the_timeline() {
+        let c = Collector::new(MetricsLevel::Trace);
+        {
+            let _s = c.span(Stage::Profile);
+            let mut j = c.new_journal(tid_shard(1)).expect("tracing on");
+            let ok = j.begin("fold-chunk", 1, 0);
+            j.end(ok, "fold-chunk", 1, 0);
+            j.instant("chunk-send", 0, 42);
+            c.submit_journal(j);
+        }
+        c.timeline_instant("recovery", TID_DRIVER, 7, 0);
+        let m = c.snapshot(1);
+        assert_eq!(m.timeline_count("fold-chunk", TraceEventKind::Begin), 1);
+        assert_eq!(m.timeline_count("fold-chunk", TraceEventKind::End), 1);
+        assert_eq!(m.timeline_count("profile", TraceEventKind::Begin), 1);
+        assert_eq!(m.timeline_count("chunk-send", TraceEventKind::Instant), 1);
+        assert_eq!(m.timeline_count("recovery", TraceEventKind::Instant), 1);
+        // Sorted by timestamp.
+        assert!(m.timeline.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+        let j = m.timeline_json();
+        assert!(j.contains("\"traceEvents\""), "{j}");
+        assert!(j.contains("\"ph\":\"B\""), "{j}");
+        assert!(j.contains("\"ph\":\"E\""), "{j}");
+        assert!(j.contains("\"thread_name\""), "{j}");
+        assert!(j.contains("fold-shard 1"), "{j}");
+    }
+
+    #[test]
+    fn below_trace_no_journal_no_timeline() {
+        let c = Collector::new(MetricsLevel::Timing);
+        assert!(c.new_journal(TID_PRE).is_none());
+        c.timeline_instant("recovery", TID_DRIVER, 0, 0);
+        {
+            let _s = c.span(Stage::Profile);
+        }
+        let m = c.snapshot(1);
+        assert!(m.timeline.is_empty());
+        // Valid (empty) Chrome JSON either way.
+        assert!(m.timeline_json().contains("\"traceEvents\":["));
+    }
+
+    #[test]
+    fn vm_ops_accumulate_and_render() {
+        let c = Collector::new(MetricsLevel::Timing);
+        c.record_vm_op("iop.add", 100);
+        c.record_vm_op("load", 50);
+        c.record_vm_op("iop.add", 10);
+        c.record_vm_op("nop", 0); // zero counts are skipped
+        let m = c.snapshot(1);
+        assert_eq!(m.vm_ops, vec![("iop.add", 110), ("load", 50)]);
+        let j = m.to_json();
+        assert!(
+            j.contains("\"vm_ops\": {\"iop.add\": 110, \"load\": 50}"),
+            "{j}"
+        );
+        let t = format!("{m}");
+        assert!(t.contains("vm opcode profile"), "{t}");
+    }
+
+    #[test]
+    fn hists_render_at_timing_not_counters() {
+        let c = Collector::new(MetricsLevel::Timing);
+        c.record_hist(HistKind::FoldChunkNs, 1234);
+        let mut local = Histogram::new();
+        local.record(10);
+        local.record(99);
+        c.merge_hist(HistKind::QueueDepth, &local);
+        let m = c.snapshot(1);
+        assert_eq!(m.hist(HistKind::FoldChunkNs).unwrap().count(), 1);
+        assert_eq!(m.hist(HistKind::QueueDepth).unwrap().count(), 2);
+        let j = m.to_json();
+        assert!(j.contains("\"histograms\""), "{j}");
+        assert!(j.contains("\"fold_chunk_ns\": {\"count\": 1"), "{j}");
+
+        // Counters-level snapshots carry no histograms and render none —
+        // the byte-stability invariant for Off/Counters artifacts.
+        let c = Collector::new(MetricsLevel::Counters);
+        c.record_hist(HistKind::FoldChunkNs, 1234);
+        let m = c.snapshot(1);
+        assert!(m.hists.is_empty());
+        assert!(!m.to_json().contains("histograms"));
+        assert!(!m.to_json().contains("trace_events"));
+    }
+
+    #[test]
+    fn queue_send_reports_depth() {
+        let c = Collector::new(MetricsLevel::Counters);
+        assert_eq!(c.queue_send(0), 1);
+        assert_eq!(c.queue_send(0), 2);
+        c.queue_recv(0);
+        assert_eq!(c.queue_send(0), 2);
+        assert_eq!(c.queue_depths(), vec![2]);
+    }
+
+    #[test]
+    fn progress_snapshot_reads_counters() {
+        let c = Collector::new(MetricsLevel::Counters);
+        c.add(Counter::EventsFolded, 500);
+        c.add(Counter::DynOps, 1000);
+        c.queue_send(0);
+        let p = c.progress(123);
+        assert_eq!(p.t_ns, 123);
+        assert_eq!(p.events_folded, 500);
+        assert_eq!(p.dyn_ops, 1000);
+        assert_eq!(p.queue_depths, vec![1]);
+        assert_eq!(p.budget_used_bytes, 0);
     }
 }

@@ -1,0 +1,305 @@
+//! Observability-layer invariants (polytrace v2): histogram algebra
+//! (property-based), timeline well-formedness and counter reconciliation
+//! at every shard count, shard-merge exactness, live-progress sampling,
+//! and the `Off`/`Counters` perturbation-free guarantee.
+//!
+//! These are the tests behind CI's `timeline-gate` step (together with the
+//! `trace_export` binary, which gates the on-disk Chrome JSON).
+
+mod common;
+
+use common::stencil;
+use polyprof_core::polytrace::{Counter, HistKind, Histogram, TraceEventKind};
+use polyprof_core::{profile_with, MetricsLevel, ProfileConfig};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::time::Duration;
+
+fn trace_run(fold_threads: usize) -> polyprof_core::Report {
+    let prog = stencil(6, 40);
+    let cfg = ProfileConfig::new()
+        .with_fold_threads(fold_threads)
+        .with_chunk_events(64) // small chunks: many per-chunk trace records
+        .with_metrics(MetricsLevel::Trace);
+    profile_with(&prog, &cfg)
+}
+
+// ---------------------------------------------------------------------------
+// Histogram algebra (property-based)
+// ---------------------------------------------------------------------------
+
+fn hist_of(vals: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in vals {
+        h.record(v);
+    }
+    h
+}
+
+/// Full-spread `u64` sample vectors (the vendored proptest implements
+/// `Strategy` for `u32` ranges; a splitmix-style multiply scatters those
+/// across all 64 bits, hitting every histogram octave).
+fn u64_vec(size: std::ops::Range<usize>) -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(
+        (0u32..u32::MAX).prop_map(|v| (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        size,
+    )
+}
+
+proptest! {
+    /// Merge is associative and commutative: any merge tree over any
+    /// partition of a stream equals the single-histogram result — this is
+    /// what makes per-shard histograms mergeable like `merge_parts`.
+    #[test]
+    fn hist_merge_associative_commutative(
+        a in u64_vec(0..40),
+        b in u64_vec(0..40),
+        c in u64_vec(0..40),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        // (a ⊔ b) ⊔ c == a ⊔ (b ⊔ c)
+        let mut ab_c = ha.clone();
+        ab_c.merge(&hb);
+        ab_c.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut a_bc = ha.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc);
+        // a ⊔ b == b ⊔ a
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(&ab, &ba);
+        // and both equal the single-stream histogram
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        prop_assert_eq!(&ab_c, &hist_of(&all));
+    }
+
+    /// Percentiles are bounded by the recorded extrema and ordered:
+    /// min ≤ p50 ≤ p90 ≤ p99 ≤ max.
+    #[test]
+    fn hist_percentiles_bounded_and_monotone(
+        vals in u64_vec(1..200),
+    ) {
+        let h = hist_of(&vals);
+        let lo = *vals.iter().min().unwrap();
+        let hi = *vals.iter().max().unwrap();
+        let (p50, p90, p99) = (h.percentile(0.50), h.percentile(0.90), h.percentile(0.99));
+        prop_assert_eq!(h.min(), lo);
+        prop_assert_eq!(h.max(), hi);
+        prop_assert!(lo <= p50 && p50 <= p90 && p90 <= p99 && p99 <= hi,
+            "min {lo} p50 {p50} p90 {p90} p99 {p99} max {hi}");
+    }
+}
+
+/// Zero- and one-sample edge cases have exact, non-panicking answers.
+#[test]
+fn hist_zero_and_one_sample_edges() {
+    let empty = Histogram::new();
+    assert!(empty.is_empty());
+    assert_eq!(empty.count(), 0);
+    assert_eq!(empty.min(), 0);
+    assert_eq!(empty.max(), 0);
+    assert_eq!(empty.percentile(0.50), 0);
+    assert_eq!(empty.percentile(0.99), 0);
+
+    let one = hist_of(&[42_000_000_007]);
+    assert_eq!(one.count(), 1);
+    // A single sample IS every percentile, exactly (bucket width clamped
+    // to the recorded min/max).
+    for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+        assert_eq!(one.percentile(q), 42_000_000_007, "q={q}");
+    }
+}
+
+/// The acceptance criterion, directly: split one event stream across K
+/// "shards", record per-shard histograms, merge — identical to the single
+/// histogram of the unsplit stream, for every K.
+#[test]
+fn shard_partitioned_histograms_merge_exactly() {
+    let stream: Vec<u64> = (0u64..5000)
+        .map(|i| i.wrapping_mul(2654435761) >> 13)
+        .collect();
+    let single = hist_of(&stream);
+    for k in [1usize, 2, 4, 7] {
+        let mut shards = vec![Histogram::new(); k];
+        for (i, &v) in stream.iter().enumerate() {
+            shards[i % k].record(v);
+        }
+        let mut merged = Histogram::new();
+        for s in &shards {
+            merged.merge(s);
+        }
+        assert_eq!(merged, single, "k={k}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Timeline well-formedness + counter reconciliation
+// ---------------------------------------------------------------------------
+
+/// At `Trace`, every K: the timeline is non-empty, drop-free, per-lane
+/// begin/end events obey stack discipline (every end closes the matching
+/// innermost begin), and the chunk-granular events reconcile **exactly**
+/// with the polytrace counters.
+#[test]
+fn timeline_well_formed_and_reconciles_at_every_k() {
+    for k in [1usize, 2, 4] {
+        let r = trace_run(k);
+        let m = r.metrics.as_ref().expect("Trace run has metrics");
+        assert_eq!(m.trace_dropped, 0, "k={k}: journal overflow");
+        assert!(!m.timeline.is_empty(), "k={k}: empty timeline");
+
+        // Stack discipline per lane (events are sorted by timestamp).
+        let mut stacks: HashMap<u32, Vec<&str>> = HashMap::new();
+        for ev in &m.timeline {
+            let stack = stacks.entry(ev.tid).or_default();
+            match ev.kind {
+                TraceEventKind::Begin => stack.push(ev.name),
+                TraceEventKind::End => {
+                    let open = stack.pop();
+                    assert_eq!(
+                        open,
+                        Some(ev.name),
+                        "k={k}: end {:?} closes {open:?} on lane {}",
+                        ev.name,
+                        ev.tid
+                    );
+                }
+                TraceEventKind::Instant => {}
+            }
+        }
+        for (tid, stack) in &stacks {
+            assert!(stack.is_empty(), "k={k}: lane {tid} left open: {stack:?}");
+        }
+
+        // Timeline ↔ counters: two views of one run.
+        let fold_ends = m.timeline_count("fold-chunk", TraceEventKind::End);
+        assert_eq!(
+            fold_ends,
+            m.counter(Counter::ChunksFolded),
+            "k={k}: fold-chunk spans vs chunks_folded"
+        );
+        let sends = m.timeline_count("chunk-send", TraceEventKind::Instant);
+        assert_eq!(
+            sends,
+            m.counter(Counter::ChunkRecycled) + m.counter(Counter::ChunkFresh),
+            "k={k}: chunk-send instants vs chunks shipped"
+        );
+        if k == 1 {
+            assert_eq!(fold_ends + sends, 0, "serial run has no chunk events");
+        } else {
+            assert!(fold_ends > 0, "k={k}: no fold-chunk spans traced");
+        }
+
+        // The Chrome export exists exactly at Trace and carries the events.
+        let json = r.timeline_json().expect("Trace exports a timeline");
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"B\"") && json.contains("\"ph\":\"E\""));
+    }
+}
+
+/// `Trace` runs populate the latency histograms the pipeline feeds:
+/// fold-chunk times and chunk-send telemetry exist at K > 1, and the
+/// histogram counts agree with the chunk counters.
+#[test]
+fn trace_run_populates_latency_histograms() {
+    let r = trace_run(3);
+    let m = r.metrics.as_ref().unwrap();
+    let fold = m.hist(HistKind::FoldChunkNs).expect("fold-time histogram");
+    assert_eq!(fold.count(), m.counter(Counter::ChunksFolded));
+    let occ = m
+        .hist(HistKind::ChunkOccupancy)
+        .expect("occupancy histogram");
+    assert_eq!(
+        occ.count(),
+        m.counter(Counter::ChunkRecycled) + m.counter(Counter::ChunkFresh)
+    );
+    // Occupancy never exceeds the configured chunk capacity (64 above).
+    assert!(occ.max() <= 64, "occupancy {} > chunk capacity", occ.max());
+    assert!(
+        m.hist(HistKind::QueueDepth).is_some(),
+        "queue-depth histogram"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Live-progress sampler
+// ---------------------------------------------------------------------------
+
+/// `with_progress` arms the watcher thread: snapshots arrive in time
+/// order with monotone cumulative counters, and the knob quietly lifts
+/// `Off` to `Counters` so there is something to sample.
+#[test]
+fn progress_sampler_streams_monotone_snapshots() {
+    let w = rodinia::backprop::build();
+    let cfg = ProfileConfig::new().with_progress(Duration::from_micros(100));
+    let r = profile_with(&w.program, &cfg);
+    assert!(
+        r.metrics.is_some(),
+        "progress sampling implies at least Counters"
+    );
+    assert!(!r.progress.is_empty(), "no snapshots sampled");
+    for pair in r.progress.windows(2) {
+        assert!(pair[0].t_ns <= pair[1].t_ns, "snapshots out of order");
+        assert!(pair[0].dyn_ops <= pair[1].dyn_ops);
+        assert!(pair[0].events_folded <= pair[1].events_folded);
+    }
+    // Without a budget there is no pressure and no deadline to report.
+    let last = r.progress.last().unwrap();
+    assert!(!last.budget_pressure);
+    assert_eq!(last.deadline_remaining_ns, None);
+}
+
+/// With a (generous) budget armed, the sampler surfaces its gauges.
+#[test]
+fn progress_sampler_reports_budget_gauges() {
+    let w = rodinia::backprop::build();
+    let cfg = ProfileConfig::new()
+        .with_progress(Duration::from_micros(100))
+        .with_memory_budget(1 << 30)
+        .with_deadline(Duration::from_secs(3600));
+    let r = profile_with(&w.program, &cfg);
+    assert!(!r.degradation.deadline_hit);
+    assert!(!r.progress.is_empty());
+    let last = r.progress.last().unwrap();
+    let remaining = last.deadline_remaining_ns.expect("deadline armed");
+    assert!(remaining > 0 && remaining <= 3600 * 1_000_000_000);
+}
+
+// ---------------------------------------------------------------------------
+// Perturbation-free lower tiers
+// ---------------------------------------------------------------------------
+
+/// `Counters` output must not grow any of the new `Timing`+/`Trace`-only
+/// sections: no histograms, no VM profile, no timeline — the JSON and the
+/// report text stay byte-compatible with pre-v2 output.
+#[test]
+fn counters_level_is_free_of_v2_sections() {
+    let prog = stencil(6, 40);
+    let cfg = ProfileConfig::new()
+        .with_fold_threads(2)
+        .with_metrics(MetricsLevel::Counters);
+    let r = profile_with(&prog, &cfg);
+    let m = r.metrics.as_ref().unwrap();
+    assert!(m.hists.is_empty());
+    assert!(m.vm_ops.is_empty());
+    assert!(m.timeline.is_empty());
+    assert!(r.timeline_json().is_none());
+    assert!(r.progress.is_empty());
+    let json = r.metrics_json().unwrap();
+    for key in ["\"histograms\"", "\"vm_ops\"", "\"trace_events\""] {
+        assert!(!json.contains(key), "{key} leaked into Counters JSON");
+    }
+    assert!(!r.full_text.contains("VM profile"));
+
+    // Timing gains the VM profile + histograms; Trace gains the timeline.
+    let t = profile_with(&prog, &cfg.clone().with_metrics(MetricsLevel::Timing));
+    assert!(t.full_text.contains("VM profile"));
+    assert!(t.metrics_json().unwrap().contains("\"histograms\""));
+    assert!(t.timeline_json().is_none(), "Timing must not trace");
+}
